@@ -1,0 +1,86 @@
+// Reproduces the Section 7.5 "why not BDDs" comparison.
+//
+// The paper implemented a CUDD-based diff and found that reading the
+// result back as rule-like entries yields millions of bit-level cubes even
+// for small firewalls, whereas the FDD pipeline emits a handful of
+// field-level discrepancies. We rebuild that experiment against our own
+// ROBDD engine: for each policy pair we report the FDD discrepancy count
+// (human-readable rules) next to the BDD diff's one-path (cube) count —
+// the entries a BDD-based report would need to print.
+//
+// Expected shape: cubes exceed FDD discrepancies by orders of magnitude
+// and grow rapidly with rule count; FDD discrepancy counts stay near the
+// number of genuinely differing traffic classes.
+
+#include <cstdio>
+#include <vector>
+
+#include "bdd/packet_encode.hpp"
+#include "bench_common.hpp"
+#include "fdd/compare.hpp"
+#include "fw/parser.hpp"
+#include "synth/synth.hpp"
+
+namespace {
+
+using namespace dfw;
+
+void report(const char* label, const Policy& a, const Policy& b) {
+  using bench::time_ms;
+  std::vector<Discrepancy> fdd_diffs;
+  const double fdd_ms = time_ms([&] { fdd_diffs = discrepancies(a, b); });
+
+  const BitLayout layout = layout_for(a.schema());
+  BddManager mgr(layout.total_bits);
+  BddRef diff = mgr.zero();
+  const double bdd_ms =
+      time_ms([&] { diff = policy_diff(mgr, layout, a, b); });
+  const std::uint64_t cubes = mgr.cube_count(diff);
+
+  std::printf("%-28s %10zu %14llu %10.1f %10.1f %12zu\n", label,
+              fdd_diffs.size(), static_cast<unsigned long long>(cubes),
+              fdd_ms, bdd_ms, mgr.node_count());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Section 7.5 — FDD vs BDD diff readability\n");
+  std::printf("%-28s %10s %14s %10s %10s %12s\n", "policy pair", "FDD-diffs",
+              "BDD-cubes", "FDD(ms)", "BDD(ms)", "BDD-nodes");
+
+  // The paper's running example (Tables 1-2).
+  {
+    const Schema schema = example_schema();
+    const DecisionSet& ds = default_decisions();
+    const Policy a = parse_policy(schema, ds,
+                                  "accept  I=0 D=192.168.0.1 N=25 P=tcp\n"
+                                  "discard I=0 S=224.168.0.0/16\n"
+                                  "accept\n");
+    const Policy b = parse_policy(schema, ds,
+                                  "discard I=0 S=224.168.0.0/16\n"
+                                  "accept  I=0 D=192.168.0.1 N=25 P=tcp\n"
+                                  "discard I=0 D=192.168.0.1\n"
+                                  "accept\n");
+    report("paper example (3 vs 4)", a, b);
+  }
+
+  // Independent synthetic pairs of growing size.
+  for (const std::size_t n : {10u, 20u, 40u, 80u}) {
+    SynthConfig config;
+    config.num_rules = n;
+    Rng rng(n);
+    const Policy a = synth_policy(config, rng);
+    const Policy b = synth_policy(config, rng);
+    char label[64];
+    std::snprintf(label, sizeof label, "synthetic pair (%zu rules)",
+                  static_cast<std::size_t>(n));
+    report(label, a, b);
+  }
+
+  std::printf(
+      "\nexpectation (paper): BDD cube counts run orders of magnitude\n"
+      "beyond the FDD discrepancy counts (\"millions of rules\" for small\n"
+      "firewalls), because every cube speaks in packet bits, not fields.\n");
+  return 0;
+}

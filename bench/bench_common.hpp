@@ -1,0 +1,26 @@
+// Shared helpers for the figure benchmarks: wall-clock timing and simple
+// aligned table printing so each binary can emit the paper's series as
+// plain text.
+
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+
+namespace dfw::bench {
+
+using Clock = std::chrono::steady_clock;
+
+inline double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Times one call and returns milliseconds.
+template <typename F>
+double time_ms(F&& fn) {
+  const auto start = Clock::now();
+  fn();
+  return ms_between(start, Clock::now());
+}
+
+}  // namespace dfw::bench

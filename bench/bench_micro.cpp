@@ -1,0 +1,188 @@
+// Google-benchmark micro suite over the library's hot paths: interval-set
+// algebra, construction, shaping, comparison, generation, evaluation, and
+// the BDD baseline's encoding. Complements the figure benches with
+// steady-state per-operation costs.
+
+#include <benchmark/benchmark.h>
+
+#include "bdd/packet_encode.hpp"
+#include "fdd/compare.hpp"
+#include "fdd/construct.hpp"
+#include "fdd/reduce.hpp"
+#include "fdd/shape.hpp"
+#include "fdd/simplify.hpp"
+#include "engine/classifier.hpp"
+#include "gen/generate.hpp"
+#include "synth/synth.hpp"
+
+namespace {
+
+using namespace dfw;
+
+Policy cached_policy(std::size_t n, std::uint64_t seed) {
+  SynthConfig config;
+  config.num_rules = n;
+  Rng rng(seed);
+  return synth_policy(config, rng);
+}
+
+void BM_IntervalSetSubtract(benchmark::State& state) {
+  IntervalSet a;
+  IntervalSet b;
+  for (Value i = 0; i < 64; ++i) {
+    a.add(Interval(i * 100, i * 100 + 60));
+    b.add(Interval(i * 100 + 30, i * 100 + 90));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.subtract(b));
+  }
+}
+BENCHMARK(BM_IntervalSetSubtract);
+
+void BM_IntervalSetIntersect(benchmark::State& state) {
+  IntervalSet a;
+  IntervalSet b;
+  for (Value i = 0; i < 64; ++i) {
+    a.add(Interval(i * 100, i * 100 + 60));
+    b.add(Interval(i * 100 + 30, i * 100 + 90));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.intersect(b));
+  }
+}
+BENCHMARK(BM_IntervalSetIntersect);
+
+void BM_ConstructReference(benchmark::State& state) {
+  const Policy p = cached_policy(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_fdd(p));
+  }
+}
+BENCHMARK(BM_ConstructReference)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_ConstructReduced(benchmark::State& state) {
+  const Policy p = cached_policy(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_reduced_fdd(p));
+  }
+}
+BENCHMARK(BM_ConstructReduced)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_ShapePair(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Policy pa = cached_policy(n, 7);
+  const Policy pb = cached_policy(n, 8);
+  const Fdd fa = build_reduced_fdd(pa);
+  const Fdd fb = build_reduced_fdd(pb);
+  for (auto _ : state) {
+    Fdd a = fa.clone();
+    Fdd b = fb.clone();
+    shape_pair(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_ShapePair)->Arg(100)->Arg(400);
+
+void BM_CompareShaped(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Policy pa = cached_policy(n, 7);
+  const Policy pb = cached_policy(n, 8);
+  Fdd fa = build_reduced_fdd(pa);
+  Fdd fb = build_reduced_fdd(pb);
+  shape_pair(fa, fb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compare_fdds(fa, fb));
+  }
+}
+BENCHMARK(BM_CompareShaped)->Arg(100)->Arg(400);
+
+void BM_EndToEndDiscrepancies(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Policy pa = cached_policy(n, 7);
+  const Policy pb = cached_policy(n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(discrepancies(pa, pb));
+  }
+}
+BENCHMARK(BM_EndToEndDiscrepancies)->Arg(42)->Arg(200)->Arg(661);
+
+void BM_EvaluatePolicy(benchmark::State& state) {
+  const Policy p = cached_policy(661, 7);
+  const Packet pkt = {0x0a000001, 0x0a010005, 40000, 443, 6};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.evaluate(pkt));
+  }
+}
+BENCHMARK(BM_EvaluatePolicy);
+
+void BM_ClassifyCompiled(benchmark::State& state) {
+  const Policy p = cached_policy(661, 7);
+  const Classifier c = Classifier::compile(p);
+  const Packet pkt = {0x0a000001, 0x0a010005, 40000, 443, 6};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.classify(pkt));
+  }
+}
+BENCHMARK(BM_ClassifyCompiled);
+
+void BM_CompileClassifier(benchmark::State& state) {
+  const Policy p = cached_policy(200, 7);
+  const Fdd fdd = build_reduced_fdd(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Classifier::compile(fdd));
+  }
+}
+BENCHMARK(BM_CompileClassifier);
+
+void BM_EvaluateFdd(benchmark::State& state) {
+  const Policy p = cached_policy(661, 7);
+  const Fdd fdd = build_reduced_fdd(p);
+  const Packet pkt = {0x0a000001, 0x0a010005, 40000, 443, 6};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fdd.evaluate(pkt));
+  }
+}
+BENCHMARK(BM_EvaluateFdd);
+
+void BM_GeneratePolicy(benchmark::State& state) {
+  const Policy p = cached_policy(200, 7);
+  const Fdd fdd = build_reduced_fdd(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_policy(fdd));
+  }
+}
+BENCHMARK(BM_GeneratePolicy);
+
+void BM_ReduceFdd(benchmark::State& state) {
+  const Policy p = cached_policy(200, 7);
+  const Fdd fdd = build_fdd(p);
+  for (auto _ : state) {
+    Fdd copy = fdd.clone();
+    reduce(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_ReduceFdd);
+
+void BM_MakeSimple(benchmark::State& state) {
+  const Policy p = cached_policy(100, 7);
+  const Fdd fdd = build_reduced_fdd(p);
+  for (auto _ : state) {
+    Fdd copy = fdd.clone();
+    make_simple(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_MakeSimple);
+
+void BM_BddEncodePolicy(benchmark::State& state) {
+  const Policy p = cached_policy(static_cast<std::size_t>(state.range(0)), 7);
+  const BitLayout layout = layout_for(p.schema());
+  for (auto _ : state) {
+    BddManager mgr(layout.total_bits);
+    benchmark::DoNotOptimize(encode_policy(mgr, layout, p));
+  }
+}
+BENCHMARK(BM_BddEncodePolicy)->Arg(10)->Arg(40);
+
+}  // namespace

@@ -1,0 +1,65 @@
+// Change-impact analysis (Sections 1.3, 8.1): an administrator evolves a
+// production policy through a week of edits; after each edit the tool
+// prints exactly which traffic classes changed decision and in which
+// direction — the report that would have caught the paper's 72
+// ordering-induced errors before deployment.
+
+#include <iostream>
+
+#include "fw/format.hpp"
+#include "fw/parser.hpp"
+#include "impact/impact.hpp"
+
+namespace {
+
+void show(const char* title, const dfw::Policy& before,
+          const dfw::Policy& after) {
+  using namespace dfw;
+  std::cout << "== " << title << " ==\n"
+            << format_impact_report(before.schema(), default_decisions(),
+                                    change_impact(before, after))
+            << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace dfw;
+  const Schema schema = five_tuple_schema();
+  const DecisionSet& decisions = default_decisions();
+
+  const Policy monday =
+      parse_policy(schema, decisions,
+                   "accept dip=10.1.0.0/24 dport=80,443 proto=tcp\n"
+                   "accept dip=10.1.1.25/32 dport=25 proto=tcp\n"
+                   "accept sip=10.9.0.0/16 dport=22 proto=tcp\n"
+                   "discard dport=22\n"
+                   "accept sip=10.0.0.0/8 dip=10.0.0.0/8\n"
+                   "discard\n");
+
+  // Tuesday: a worm outbreak — block a botnet /24 at the very top. Safe:
+  // the analysis shows only that subnet's traffic changes.
+  Policy tuesday = monday;
+  tuesday.insert(0, parse_rule(schema, decisions,
+                               "discard sip=203.0.113.0/24"));
+  show("Tuesday: insert botnet block at head", monday, tuesday);
+
+  // Wednesday: the classic mistake — a broad ssh block added at the head,
+  // unintentionally cutting off the ops subnet that rule 3 meant to allow.
+  Policy wednesday = tuesday;
+  wednesday.insert(0, parse_rule(schema, decisions, "discard dport=22"));
+  show("Wednesday: overbroad ssh block at head (BUG)", tuesday, wednesday);
+
+  // Thursday: attempt to fix by moving the block below the ops allowance —
+  // the analysis proves the fix restores exactly the ops subnet's ssh.
+  Policy thursday = wednesday;
+  thursday.move(0, 4);
+  show("Thursday: demote the ssh block below the ops allow", wednesday,
+       thursday);
+
+  // Friday sanity check: Thursday should behave like Tuesday again.
+  std::cout << "Thursday == Tuesday (bug fully undone): "
+            << (is_semantics_preserving(tuesday, thursday) ? "yes" : "no")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,160 @@
+// policy_lint: a command-line firewall auditor built on the public API.
+//
+//   policy_lint [options] <policy-file>                  lint one policy
+//   policy_lint [options] <before-file> <after-file>     change impact
+//
+// options:
+//   --format=native|iptables|ip6tables|cisco   input syntax (default native)
+//   --chain=<name>                   iptables chain (default INPUT)
+//   --acl=<id>                       Cisco access-list id (default 101)
+//
+// Lint mode checks comprehensiveness, runs the anomaly scan (shadowing /
+// generalization / correlation / redundancy pairs), finds dead and
+// redundant rules, reports FDD statistics, and prints the compact
+// regenerated form. Diff mode runs the comparison pipeline and prints the
+// impact report. Native files use the parser syntax over the classic
+// five-tuple schema (see fw/parser.hpp).
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "adapters/cisco.hpp"
+#include "adapters/iptables.hpp"
+#include "analysis/anomaly.hpp"
+#include "fdd/compare.hpp"
+#include "fdd/construct.hpp"
+#include "fdd/stats.hpp"
+#include "fw/format.hpp"
+#include "fw/parser.hpp"
+#include "gen/generate.hpp"
+#include "gen/redundancy.hpp"
+#include "impact/impact.hpp"
+
+namespace {
+
+struct Options {
+  std::string format = "native";
+  std::string chain = "INPUT";
+  std::string acl = "101";
+  std::vector<const char*> files;
+};
+
+std::string slurp(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error(std::string("cannot open ") + path);
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+dfw::Policy load(const Options& opts, const char* path) {
+  using namespace dfw;
+  const std::string text = slurp(path);
+  if (opts.format == "iptables") {
+    return parse_iptables_save(text, opts.chain);
+  }
+  if (opts.format == "ip6tables") {
+    return parse_ip6tables_save(text, opts.chain);
+  }
+  if (opts.format == "cisco") {
+    return parse_cisco_acl(text, opts.acl);
+  }
+  return parse_policy(five_tuple_schema(), default_decisions(), text);
+}
+
+int lint(const dfw::Policy& policy) {
+  using namespace dfw;
+  const DecisionSet& decisions = default_decisions();
+  std::cout << "rules: " << policy.size() << "\n";
+
+  Fdd fdd = build_reduced_fdd(policy);
+  try {
+    fdd.validate();
+    std::cout << "comprehensive: yes\n";
+  } catch (const std::logic_error& e) {
+    std::cout << "comprehensive: NO — " << e.what() << "\n"
+              << "add a final catch-all rule; aborting further checks\n";
+    return 1;
+  }
+  std::cout << "fdd: " << to_string(compute_stats(fdd)) << "\n\n";
+
+  std::cout << format_anomaly_report(policy, decisions,
+                                     find_anomalies(policy),
+                                     dead_rules(policy));
+
+  const std::vector<std::size_t> redundant = redundant_rules(policy);
+  if (redundant.empty()) {
+    std::cout << "redundant rules: none\n";
+  } else {
+    std::cout << "redundant rules (1-based, each individually removable):\n";
+    for (const std::size_t i : redundant) {
+      std::cout << "  r" << (i + 1) << ": "
+                << format_rule(policy.schema(), decisions, policy.rule(i))
+                << "\n";
+    }
+  }
+
+  const Policy compact = generate_policy(fdd);
+  std::cout << "\ncompact equivalent (" << compact.size() << " rules):\n"
+            << format_policy(compact, decisions);
+  return 0;
+}
+
+int diff(const dfw::Policy& before, const dfw::Policy& after) {
+  using namespace dfw;
+  const std::vector<Impact> impacts = change_impact(before, after);
+  std::cout << format_impact_report(before.schema(), default_decisions(),
+                                    impacts);
+  return impacts.empty() ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dfw;
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      opts.format = arg.substr(9);
+      if (opts.format != "native" && opts.format != "iptables" &&
+          opts.format != "ip6tables" && opts.format != "cisco") {
+        std::cerr << "unknown format '" << opts.format << "'\n";
+        return 64;
+      }
+    } else if (arg.rfind("--chain=", 0) == 0) {
+      opts.chain = arg.substr(8);
+    } else if (arg.rfind("--acl=", 0) == 0) {
+      opts.acl = arg.substr(6);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return 64;
+    } else {
+      opts.files.push_back(argv[i]);
+    }
+  }
+  if (opts.files.size() != 1 && opts.files.size() != 2) {
+    std::cerr << "usage: " << argv[0]
+              << " [--format=native|iptables|ip6tables|cisco] [--chain=NAME]"
+                 " [--acl=ID] <policy> [<changed-policy>]\n";
+    return 64;
+  }
+  try {
+    const Policy first = load(opts, opts.files[0]);
+    if (opts.files.size() == 1) {
+      return lint(first);
+    }
+    return diff(first, load(opts, opts.files[1]));
+  } catch (const ParseError& e) {
+    std::cerr << "parse error: " << e.what() << "\n";
+    return 65;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 70;
+  }
+}

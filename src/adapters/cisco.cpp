@@ -1,0 +1,261 @@
+#include "adapters/cisco.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <utility>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace dfw {
+namespace {
+
+constexpr std::array<std::pair<std::string_view, Value>, 12> kServiceNames = {
+    {{"ftp-data", 20},
+     {"ftp", 21},
+     {"ssh", 22},
+     {"telnet", 23},
+     {"smtp", 25},
+     {"domain", 53},
+     {"www", 80},
+     {"pop3", 110},
+     {"ntp", 123},
+     {"snmp", 161},
+     {"bgp", 179},
+     {"https", 443}}};
+
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i > start) {
+      tokens.push_back(line.substr(start, i - start));
+    }
+  }
+  return tokens;
+}
+
+std::optional<Value> parse_uint(std::string_view s) {
+  if (s.empty()) {
+    return std::nullopt;
+  }
+  Value v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+Value parse_port(std::string_view s, std::size_t line) {
+  for (const auto& [name, port] : kServiceNames) {
+    if (s == name) {
+      return port;
+    }
+  }
+  const auto num = parse_uint(s);
+  if (!num || *num > 65535) {
+    throw ParseError(line, "bad port '" + std::string(s) + "'");
+  }
+  return *num;
+}
+
+// A token cursor over one ACL line.
+struct Cursor {
+  const std::vector<std::string_view>& tokens;
+  std::size_t pos;
+  std::size_t line;
+
+  bool done() const { return pos >= tokens.size(); }
+  std::string_view peek() const {
+    return done() ? std::string_view{} : tokens[pos];
+  }
+  std::string_view next(const char* what) {
+    if (done()) {
+      throw ParseError(line, std::string("missing ") + what);
+    }
+    return tokens[pos++];
+  }
+};
+
+Interval parse_address(Cursor& c) {
+  const std::string_view tok = c.next("address");
+  if (tok == "any") {
+    return Interval(0, UINT32_MAX);
+  }
+  if (tok == "host") {
+    const auto addr = parse_ipv4(c.next("host address"));
+    if (!addr) {
+      throw ParseError(c.line, "bad host address");
+    }
+    return Interval::point(*addr);
+  }
+  const auto base = parse_ipv4(tok);
+  if (!base) {
+    throw ParseError(c.line, "bad address '" + std::string(tok) + "'");
+  }
+  const auto wildcard = parse_ipv4(c.next("wildcard mask"));
+  if (!wildcard) {
+    throw ParseError(c.line, "bad wildcard mask");
+  }
+  // Contiguous wildcard: 0...01...1 — adding one makes a power of two.
+  const std::uint64_t plus_one = std::uint64_t{*wildcard} + 1;
+  if ((plus_one & (plus_one - 1)) != 0) {
+    throw ParseError(c.line, "non-contiguous wildcard mask " +
+                                 format_ipv4(*wildcard) + " is not supported");
+  }
+  if ((*base & *wildcard) != 0) {
+    throw ParseError(c.line, "address bits set inside the wildcard mask");
+  }
+  return Interval(*base, *base | *wildcard);
+}
+
+// Port operator, if present. Returns the whole domain when the next token
+// is not a port operator.
+IntervalSet parse_port_op(Cursor& c) {
+  const std::string_view op = c.peek();
+  if (op != "eq" && op != "neq" && op != "lt" && op != "gt" && op != "range") {
+    return IntervalSet(Interval(0, 65535));
+  }
+  c.next("port operator");
+  if (op == "range") {
+    const Value lo = parse_port(c.next("range start"), c.line);
+    const Value hi = parse_port(c.next("range end"), c.line);
+    if (lo > hi) {
+      throw ParseError(c.line, "inverted port range");
+    }
+    return IntervalSet(Interval(lo, hi));
+  }
+  const Value p = parse_port(c.next("port"), c.line);
+  if (op == "eq") {
+    return IntervalSet(Interval::point(p));
+  }
+  if (op == "lt") {
+    if (p == 0) {
+      throw ParseError(c.line, "lt 0 matches nothing");
+    }
+    return IntervalSet(Interval(0, p - 1));
+  }
+  if (op == "gt") {
+    if (p == 65535) {
+      throw ParseError(c.line, "gt 65535 matches nothing");
+    }
+    return IntervalSet(Interval(p + 1, 65535));
+  }
+  // neq: everything except p — a two-interval set.
+  IntervalSet set;
+  if (p > 0) {
+    set.add(Interval(0, p - 1));
+  }
+  if (p < 65535) {
+    set.add(Interval(p + 1, 65535));
+  }
+  return set;
+}
+
+}  // namespace
+
+Policy parse_cisco_acl(std::string_view text, std::string_view acl_id) {
+  const Schema schema = five_tuple_schema();
+  std::vector<Rule> rules;
+
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::string_view line = text.substr(
+        start, nl == std::string_view::npos ? std::string_view::npos
+                                            : nl - start);
+    ++line_no;
+    start = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
+
+    const std::vector<std::string_view> tokens = tokenize(line);
+    if (tokens.size() < 3 || tokens[0] != "access-list" ||
+        tokens[1] != acl_id) {
+      continue;  // another ACL or unrelated configuration
+    }
+    if (tokens[2] == "remark") {
+      continue;
+    }
+    Cursor c{tokens, 2, line_no};
+
+    const std::string_view action = c.next("permit/deny");
+    Decision decision;
+    if (action == "permit") {
+      decision = kAccept;
+    } else if (action == "deny") {
+      decision = kDiscard;
+    } else {
+      throw ParseError(line_no,
+                       "expected permit or deny, got '" +
+                           std::string(action) + "'");
+    }
+
+    const std::string_view proto = c.next("protocol");
+    IntervalSet proto_set{Interval(0, 255)};
+    bool ports_allowed = false;
+    if (proto == "tcp") {
+      proto_set = IntervalSet(Interval::point(6));
+      ports_allowed = true;
+    } else if (proto == "udp") {
+      proto_set = IntervalSet(Interval::point(17));
+      ports_allowed = true;
+    } else if (proto == "icmp") {
+      proto_set = IntervalSet(Interval::point(1));
+    } else if (proto != "ip") {
+      const auto num = parse_uint(proto);
+      if (!num || *num > 255) {
+        throw ParseError(line_no,
+                         "unsupported protocol '" + std::string(proto) + "'");
+      }
+      proto_set = IntervalSet(Interval::point(*num));
+    }
+
+    const Interval src = parse_address(c);
+    const IntervalSet sport = parse_port_op(c);
+    const Interval dst = parse_address(c);
+    const IntervalSet dport = parse_port_op(c);
+    if (!ports_allowed &&
+        (sport != IntervalSet(Interval(0, 65535)) ||
+         dport != IntervalSet(Interval(0, 65535)))) {
+      throw ParseError(line_no, "port operators require tcp or udp");
+    }
+    if (!c.done()) {
+      const std::string_view trailing = c.next("");
+      if (trailing != "log" && trailing != "log-input") {
+        throw ParseError(line_no, "unsupported trailing token '" +
+                                      std::string(trailing) + "'");
+      }
+      // Logging does not change the accept/discard mapping in this model.
+    }
+    if (!c.done()) {
+      throw ParseError(line_no, "unexpected tokens after 'log'");
+    }
+
+    rules.emplace_back(
+        schema,
+        std::vector<IntervalSet>{IntervalSet(src), IntervalSet(dst), sport,
+                                 dport, proto_set},
+        decision);
+  }
+
+  if (rules.empty()) {
+    throw ParseError(line_no, "no rules found for access-list " +
+                                  std::string(acl_id));
+  }
+  // Cisco's implicit deny closes every ACL.
+  rules.push_back(Rule::catch_all(schema, kDiscard));
+  return Policy(schema, std::move(rules));
+}
+
+}  // namespace dfw

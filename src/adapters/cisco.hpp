@@ -1,0 +1,35 @@
+// Cisco extended-ACL frontend.
+//
+// Converts numbered extended access lists into five-tuple Policies, so
+// router configurations can flow into the comparison pipeline. Supported
+// grammar per line (fields in Cisco's fixed order):
+//
+//   access-list <id> {permit|deny} <proto> <src> [<sport-op>] <dst>
+//                    [<dport-op>] [log]
+//
+//   <proto>    ip | tcp | udp | icmp | <0-255>
+//   <src/dst>  any | host a.b.c.d | a.b.c.d <wildcard-mask>
+//   <port-op>  eq <p> | neq <p> | lt <p> | gt <p> | range <p> <q>
+//              (ports numeric or a well-known service name)
+//
+// Wildcard masks must be contiguous (an inverted prefix mask); arbitrary
+// bit patterns raise ParseError. `neq` produces a two-interval conjunct —
+// the rule model handles non-contiguous sets natively. The ACL's implicit
+// "deny ip any any" is appended as the final catch-all.
+
+#pragma once
+
+#include <string_view>
+
+#include "fw/parser.hpp"
+#include "fw/policy.hpp"
+
+namespace dfw {
+
+/// Parses the lines of access list `acl_id` (e.g. "101") out of a Cisco
+/// configuration and returns the equivalent Policy over
+/// five_tuple_schema(). Unrelated configuration lines are ignored; bad or
+/// unsupported ACL syntax raises ParseError with line information.
+Policy parse_cisco_acl(std::string_view text, std::string_view acl_id);
+
+}  // namespace dfw

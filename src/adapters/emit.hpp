@@ -1,0 +1,36 @@
+// Deployment backends: render a Policy as vendor configuration.
+//
+// The resolution phase ends with a Policy "that is agreed upon by all
+// teams" (paper, Section 1.2); these emitters turn it into deployable
+// text. Vendor rule languages are less expressive than the model — an
+// iptables rule takes one prefix per address and one port range — so a
+// model rule whose conjuncts need several prefixes or runs is emitted as
+// the equivalent *cartesian expansion* of vendor rules (adjacent rules
+// with one decision commute, so expansion preserves first-match
+// semantics). `max_expansion` caps the blow-up; exceeding it throws
+// instead of silently emitting a monster config.
+
+#pragma once
+
+#include <string>
+
+#include "fw/policy.hpp"
+
+namespace dfw {
+
+/// Renders the policy as an iptables-save fragment for `chain`:
+/// ":<chain> <policy> [0:0]" header (from the final catch-all's decision)
+/// followed by one "-A <chain> ..." line per expanded rule. The final
+/// catch-all becomes the chain policy rather than a rule. Requires the
+/// five-tuple schema and a comprehensive policy ending in a catch-all.
+/// Round-trips through parse_iptables_save to an equivalent policy.
+std::string emit_iptables_save(const Policy& policy, std::string_view chain,
+                               std::size_t max_expansion = 4096);
+
+/// Renders the policy as Cisco extended-ACL lines for `acl_id`. The final
+/// catch-all is emitted only when it differs from the implicit deny.
+/// Round-trips through parse_cisco_acl to an equivalent policy.
+std::string emit_cisco_acl(const Policy& policy, std::string_view acl_id,
+                           std::size_t max_expansion = 4096);
+
+}  // namespace dfw

@@ -1,0 +1,353 @@
+#include "adapters/iptables.hpp"
+
+#include <cctype>
+#include <map>
+#include <charconv>
+#include <string>
+#include <vector>
+
+#include "net/ipv6.hpp"
+#include "net/prefix.hpp"
+
+namespace dfw {
+namespace {
+
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i > start) {
+      tokens.push_back(line.substr(start, i - start));
+    }
+  }
+  return tokens;
+}
+
+std::optional<Value> parse_uint(std::string_view s) {
+  if (s.empty()) {
+    return std::nullopt;
+  }
+  Value v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+Interval parse_address(std::string_view spec, std::size_t line) {
+  const auto prefix = parse_prefix(spec);
+  if (!prefix) {
+    throw ParseError(line, "bad address '" + std::string(spec) + "'");
+  }
+  return prefix->to_interval();
+}
+
+Interval parse_port_range(std::string_view spec, std::size_t line) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string_view::npos) {
+    const auto port = parse_uint(spec);
+    if (!port || *port > 65535) {
+      throw ParseError(line, "bad port '" + std::string(spec) + "'");
+    }
+    return Interval::point(*port);
+  }
+  // iptables allows open-ended ranges ":1023" and "1024:".
+  const std::string_view lo_s = spec.substr(0, colon);
+  const std::string_view hi_s = spec.substr(colon + 1);
+  const Value lo = lo_s.empty() ? 0 : parse_uint(lo_s).value_or(UINT64_MAX);
+  const Value hi =
+      hi_s.empty() ? 65535 : parse_uint(hi_s).value_or(UINT64_MAX);
+  if (lo > 65535 || hi > 65535 || lo > hi) {
+    throw ParseError(line, "bad port range '" + std::string(spec) + "'");
+  }
+  return Interval(lo, hi);
+}
+
+IntervalSet parse_multiport(std::string_view spec, std::size_t line) {
+  IntervalSet set;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string_view item =
+        spec.substr(start, comma == std::string_view::npos
+                               ? std::string_view::npos
+                               : comma - start);
+    if (item.empty()) {
+      throw ParseError(line, "empty multiport item");
+    }
+    set.add(parse_port_range(item, line));
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return set;
+}
+
+Value parse_protocol(std::string_view spec, std::size_t line) {
+  if (spec == "tcp") {
+    return 6;
+  }
+  if (spec == "udp") {
+    return 17;
+  }
+  if (spec == "icmp") {
+    return 1;
+  }
+  const auto num = parse_uint(spec);
+  if (!num || *num > 255) {
+    throw ParseError(line, "unsupported protocol '" + std::string(spec) + "'");
+  }
+  return *num;
+}
+
+std::optional<Decision> builtin_target(std::string_view target) {
+  if (target == "ACCEPT") {
+    return kAccept;
+  }
+  if (target == "DROP" || target == "REJECT") {
+    return kDiscard;
+  }
+  return std::nullopt;
+}
+
+Decision parse_policy_target(std::string_view target, std::size_t line) {
+  const auto decision = builtin_target(target);
+  if (!decision) {
+    throw ParseError(line, "chain policy must be ACCEPT or DROP, got '" +
+                               std::string(target) + "'");
+  }
+  return *decision;
+}
+
+// Field layout of the active schema: v4 uses one field per address, v6 a
+// (hi, lo) pair.
+struct FieldLayout {
+  bool v6;
+  std::size_t sip;
+  std::size_t dip;
+  std::size_t sport;
+  std::size_t dport;
+  std::size_t proto;
+};
+
+constexpr FieldLayout kV4Layout{false, 0, 1, 2, 3, 4};
+constexpr FieldLayout kV6Layout{true, 0, 2, 4, 5, 6};
+
+// Writes an address spec into the conjunct vector: one interval for v4,
+// the (hi, lo) pair for v6.
+void set_address(std::vector<IntervalSet>& conjuncts, std::size_t field,
+                 bool v6, std::string_view spec, std::size_t line) {
+  if (!v6) {
+    conjuncts[field] = IntervalSet(parse_address(spec, line));
+    return;
+  }
+  const auto prefix = parse_ipv6_prefix(spec);
+  if (!prefix) {
+    throw ParseError(line, "bad IPv6 address '" + std::string(spec) + "'");
+  }
+  const auto [hi, lo] = prefix->to_intervals();
+  conjuncts[field] = IntervalSet(hi);
+  conjuncts[field + 1] = IntervalSet(lo);
+}
+
+Policy parse_save_impl(std::string_view text, std::string_view chain,
+                       const Schema& schema, const FieldLayout& layout) {
+  const std::size_t kSip = layout.sip;
+  const std::size_t kDip = layout.dip;
+  const std::size_t kSport = layout.sport;
+  const std::size_t kDport = layout.dport;
+  const std::size_t kProto = layout.proto;
+
+  // Pass 1: collect every chain's rules (predicate + raw target) and the
+  // built-in chains' policies.
+  struct ChainRule {
+    std::vector<IntervalSet> conjuncts;
+    std::string target;
+    std::size_t line;
+  };
+  std::map<std::string, std::vector<ChainRule>, std::less<>> chains;
+  std::optional<Decision> chain_policy;
+
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    std::string_view line = text.substr(
+        start, nl == std::string_view::npos ? std::string_view::npos
+                                            : nl - start);
+    ++line_no;
+    start = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
+
+    const std::vector<std::string_view> tokens = tokenize(line);
+    if (tokens.empty() || tokens[0][0] == '#' || tokens[0][0] == '*' ||
+        tokens[0] == "COMMIT") {
+      continue;  // comments, table headers, commit markers
+    }
+    // Chain header: ":INPUT DROP [0:0]" (user chains use "-").
+    if (tokens[0][0] == ':') {
+      chains.try_emplace(std::string(tokens[0].substr(1)));
+      if (tokens.size() >= 2 && tokens[0].substr(1) == chain &&
+          tokens[1] != "-") {
+        chain_policy = parse_policy_target(tokens[1], line_no);
+      }
+      continue;
+    }
+    if (tokens[0] != "-A") {
+      throw ParseError(line_no, "unsupported directive '" +
+                                    std::string(tokens[0]) + "'");
+    }
+    if (tokens.size() < 2) {
+      throw ParseError(line_no, "-A without a chain name");
+    }
+
+    std::vector<IntervalSet> conjuncts;
+    conjuncts.reserve(schema.field_count());
+    for (std::size_t f = 0; f < schema.field_count(); ++f) {
+      conjuncts.emplace_back(schema.domain(f));
+    }
+    std::optional<std::string> target;
+
+    const auto need_arg = [&](std::size_t i) -> std::string_view {
+      if (i + 1 >= tokens.size()) {
+        throw ParseError(line_no, "option '" + std::string(tokens[i]) +
+                                      "' missing its argument");
+      }
+      return tokens[i + 1];
+    };
+
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+      const std::string_view opt = tokens[i];
+      if (opt == "!") {
+        throw ParseError(line_no, "negation ('!') is not supported");
+      }
+      if (opt == "-s" || opt == "--source") {
+        set_address(conjuncts, kSip, layout.v6, need_arg(i), line_no);
+        ++i;
+      } else if (opt == "-d" || opt == "--destination") {
+        set_address(conjuncts, kDip, layout.v6, need_arg(i), line_no);
+        ++i;
+      } else if (opt == "-p" || opt == "--protocol") {
+        conjuncts[kProto] =
+            IntervalSet(Interval::point(parse_protocol(need_arg(i), line_no)));
+        ++i;
+      } else if (opt == "--sport" || opt == "--source-port") {
+        conjuncts[kSport] = IntervalSet(parse_port_range(need_arg(i), line_no));
+        ++i;
+      } else if (opt == "--dport" || opt == "--destination-port") {
+        conjuncts[kDport] = IntervalSet(parse_port_range(need_arg(i), line_no));
+        ++i;
+      } else if (opt == "--sports") {
+        conjuncts[kSport] = parse_multiport(need_arg(i), line_no);
+        ++i;
+      } else if (opt == "--dports") {
+        conjuncts[kDport] = parse_multiport(need_arg(i), line_no);
+        ++i;
+      } else if (opt == "-m") {
+        const std::string_view module = need_arg(i);
+        if (module != "tcp" && module != "udp" && module != "multiport") {
+          throw ParseError(line_no, "unsupported match module '" +
+                                        std::string(module) + "'");
+        }
+        ++i;
+      } else if (opt == "-j" || opt == "--jump") {
+        target = std::string(need_arg(i));
+        ++i;
+      } else {
+        throw ParseError(line_no,
+                         "unsupported option '" + std::string(opt) + "'");
+      }
+    }
+    if (!target) {
+      throw ParseError(line_no, "rule has no -j target");
+    }
+    chains[std::string(tokens[1])].push_back(
+        {std::move(conjuncts), std::move(*target), line_no});
+  }
+
+  // Pass 2: flatten the requested chain. A jump into a user chain runs the
+  // chain's rules with each predicate narrowed by the jump predicate; a
+  // packet matching the jump but nothing inside falls through to the next
+  // caller rule, which is exactly what the flattened first-match order
+  // produces. RETURN would need non-conjunctive predicate subtraction and
+  // is rejected.
+  if (chains.find(chain) == chains.end()) {
+    // Built-in chains exist even when the save file never mentions them;
+    // asking for anything else is a caller mistake.
+    if (chain == "INPUT" || chain == "OUTPUT" || chain == "FORWARD") {
+      chains.try_emplace(std::string(chain));
+    } else {
+      throw ParseError(line_no,
+                       "chain '" + std::string(chain) + "' not found");
+    }
+  }
+  std::vector<Rule> rules;
+  std::vector<std::string_view> call_stack;
+  const auto flatten = [&](auto&& self, const std::string& name,
+                           const std::vector<IntervalSet>* context)
+      -> void {
+    for (const std::string_view open : call_stack) {
+      if (open == name) {
+        throw ParseError(0, "chain jump cycle through '" + name + "'");
+      }
+    }
+    const auto chain_it = chains.find(name);
+    if (chain_it == chains.end()) {
+      throw ParseError(0, "jump to undefined chain '" + name + "'");
+    }
+    call_stack.push_back(chain_it->first);
+    for (const ChainRule& cr : chain_it->second) {
+      // Narrow by the jump context; an empty field kills the whole rule.
+      std::vector<IntervalSet> conjuncts = cr.conjuncts;
+      bool feasible = true;
+      if (context != nullptr) {
+        for (std::size_t f = 0; f < conjuncts.size(); ++f) {
+          conjuncts[f] = conjuncts[f].intersect((*context)[f]);
+          feasible = feasible && !conjuncts[f].empty();
+        }
+      }
+      if (!feasible) {
+        continue;
+      }
+      if (const auto decision = builtin_target(cr.target)) {
+        rules.emplace_back(schema, std::move(conjuncts), *decision);
+        continue;
+      }
+      if (cr.target == "RETURN") {
+        throw ParseError(cr.line,
+                         "RETURN is not supported (cannot be flattened "
+                         "into conjunctive rules)");
+      }
+      self(self, cr.target, &conjuncts);
+    }
+    call_stack.pop_back();
+  };
+  flatten(flatten, std::string(chain), nullptr);
+
+  // The chain policy is the implicit final rule; default ACCEPT matches
+  // iptables' built-in chains when no header was present.
+  rules.push_back(Rule::catch_all(schema, chain_policy.value_or(kAccept)));
+  return Policy(schema, std::move(rules));
+}
+
+}  // namespace
+
+Policy parse_iptables_save(std::string_view text, std::string_view chain) {
+  return parse_save_impl(text, chain, five_tuple_schema(), kV4Layout);
+}
+
+Policy parse_ip6tables_save(std::string_view text, std::string_view chain) {
+  return parse_save_impl(text, chain, five_tuple_v6_schema(), kV6Layout);
+}
+
+}  // namespace dfw

@@ -1,0 +1,41 @@
+// iptables-save frontend.
+//
+// Converts (a well-defined subset of) `iptables-save` output into a
+// five-tuple Policy so that production Linux firewalls can be fed to the
+// comparison pipeline. Supported per-rule matches:
+//
+//   -A <chain>                       rule appended to <chain>
+//   -s/--source      a.b.c.d[/len]   source prefix
+//   -d/--destination a.b.c.d[/len]   destination prefix
+//   -p/--protocol    tcp|udp|icmp|<num>
+//   --sport/--dport  N | N:M         single port or range
+//   -m multiport --sports/--dports   comma list of ports/ranges
+//   -m tcp / -m udp                  accepted (no-op markers)
+//   -j ACCEPT|DROP|REJECT            target (REJECT maps to discard)
+//
+// Chain policy headers (":INPUT DROP [0:0]") provide the implicit default
+// appended as a final catch-all. Unsupported options (negation with '!',
+// -i/-o interfaces, stateful -m conntrack, jumps to user chains, ...)
+// raise ParseError rather than silently altering semantics.
+
+#pragma once
+
+#include <string_view>
+
+#include "fw/parser.hpp"
+#include "fw/policy.hpp"
+
+namespace dfw {
+
+/// Parses `iptables-save` text and extracts the rules of `chain` (e.g.
+/// "INPUT") as a Policy over five_tuple_schema(). The chain's policy
+/// target (or ACCEPT when the header is absent) becomes the final
+/// catch-all. Throws ParseError with line information on malformed or
+/// unsupported input.
+Policy parse_iptables_save(std::string_view text, std::string_view chain);
+
+/// The ip6tables-save counterpart: identical grammar, IPv6 addresses, and
+/// a Policy over five_tuple_v6_schema() (paired 64-bit address halves).
+Policy parse_ip6tables_save(std::string_view text, std::string_view chain);
+
+}  // namespace dfw

@@ -1,0 +1,143 @@
+#include "analysis/anomaly.hpp"
+
+#include "fdd/construct.hpp"
+#include "fw/format.hpp"
+
+namespace dfw {
+
+const char* to_string(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kShadowing:
+      return "shadowing";
+    case AnomalyKind::kGeneralization:
+      return "generalization";
+    case AnomalyKind::kCorrelation:
+      return "correlation";
+    case AnomalyKind::kRedundancyPair:
+      return "redundancy-pair";
+  }
+  return "unknown";
+}
+
+bool predicate_subset(const Rule& inner, const Rule& outer) {
+  for (std::size_t f = 0; f < inner.conjuncts().size(); ++f) {
+    if (!outer.conjunct(f).contains(inner.conjunct(f))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool predicates_overlap(const Rule& a, const Rule& b) {
+  for (std::size_t f = 0; f < a.conjuncts().size(); ++f) {
+    if (!a.conjunct(f).overlaps(b.conjunct(f))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Anomaly> find_anomalies(const Policy& policy) {
+  std::vector<Anomaly> anomalies;
+  for (std::size_t j = 1; j < policy.size(); ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      const Rule& earlier = policy.rule(i);
+      const Rule& later = policy.rule(j);
+      if (!predicates_overlap(earlier, later)) {
+        continue;
+      }
+      const bool later_inside = predicate_subset(later, earlier);
+      const bool earlier_inside = predicate_subset(earlier, later);
+      const bool same_decision = earlier.decision() == later.decision();
+      if (later_inside && !same_decision) {
+        anomalies.push_back({AnomalyKind::kShadowing, i, j});
+      } else if (later_inside && same_decision) {
+        anomalies.push_back({AnomalyKind::kRedundancyPair, i, j});
+      } else if (earlier_inside && !later_inside && !same_decision) {
+        anomalies.push_back({AnomalyKind::kGeneralization, i, j});
+      } else if (!earlier_inside && !later_inside && !same_decision) {
+        anomalies.push_back({AnomalyKind::kCorrelation, i, j});
+      }
+      // Overlapping, non-nested, same decision: benign overlap — the
+      // taxonomy does not flag it.
+    }
+  }
+  return anomalies;
+}
+
+namespace {
+
+// True iff some packet matching `rule` falls off the *partial* FDD rooted
+// at `node` — i.e. is not covered by the rules folded in so far. A
+// terminal means "covered"; an uncovered slice of the rule's conjunct at
+// any node means "alive" (the rule's remaining conjuncts are nonempty by
+// Rule's invariant, so the slice extends to whole packets).
+bool escapes_coverage(const FddNode& node, const Rule& rule) {
+  if (node.is_terminal()) {
+    return false;
+  }
+  const IntervalSet& wanted = rule.conjunct(node.field);
+  if (!wanted.subtract(node.edge_label_union()).empty()) {
+    return true;
+  }
+  for (const FddEdge& e : node.edges) {
+    if (!e.label.overlaps(wanted)) {
+      continue;
+    }
+    if (escapes_coverage(*e.target, rule)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::size_t> dead_rules(const Policy& policy) {
+  std::vector<std::size_t> dead;
+  // Fold rules into one growing *partial* FDD: after i rules it covers
+  // exactly the packets some earlier rule matches. Rule i is dead iff its
+  // predicate cannot escape that coverage.
+  Fdd coverage = build_partial_fdd(policy, 1);
+  for (std::size_t i = 1; i < policy.size(); ++i) {
+    if (!escapes_coverage(coverage.root(), policy.rule(i))) {
+      dead.push_back(i);
+    }
+    append_rule(coverage, policy.rule(i));
+  }
+  return dead;
+}
+
+std::string format_anomaly_report(const Policy& policy,
+                                  const DecisionSet& decisions,
+                                  const std::vector<Anomaly>& anomalies,
+                                  const std::vector<std::size_t>& dead) {
+  std::string out;
+  if (anomalies.empty()) {
+    out += "rule-pair anomalies: none\n";
+  } else {
+    out += "rule-pair anomalies (" + std::to_string(anomalies.size()) +
+           "):\n";
+    for (const Anomaly& a : anomalies) {
+      out += "  [" + std::string(to_string(a.kind)) + "] r" +
+             std::to_string(a.second + 1) + " vs r" +
+             std::to_string(a.first + 1) + ": " +
+             format_rule(policy.schema(), decisions, policy.rule(a.second)) +
+             "  <->  " +
+             format_rule(policy.schema(), decisions, policy.rule(a.first)) +
+             "\n";
+    }
+  }
+  if (dead.empty()) {
+    out += "dead rules: none\n";
+  } else {
+    out += "dead rules (never first-matched):\n";
+    for (const std::size_t i : dead) {
+      out += "  r" + std::to_string(i + 1) + ": " +
+             format_rule(policy.schema(), decisions, policy.rule(i)) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace dfw

@@ -1,0 +1,70 @@
+// Rule-pair anomaly analysis.
+//
+// The paper's related work (its ref [1], Al-Shaer & Hamed) classifies
+// suspicious rule-pair configurations; the paper positions such per-team
+// analysis as a design-phase complement to cross-team comparison
+// (Sections 1.4, 9). We implement the classic taxonomy over our rule
+// model, plus a *semantic* dead-rule check the syntactic pair scan cannot
+// provide: a rule no packet ever first-matches, detected exactly via the
+// FDD query engine.
+//
+// For rules r_i before r_j (i < j) with predicates P_i, P_j:
+//   shadowing      P_j subset of P_i, decisions differ  (r_j can never fire
+//                  with its intended effect — almost always an error)
+//   generalization P_i strict subset of P_j, decisions differ (r_j is the
+//                  broader fallback; legitimate but worth an eyebrow)
+//   correlation    P_i, P_j overlap, neither contains the other, decisions
+//                  differ (order-sensitive pair)
+//   redundancy-pair P_j subset of P_i, same decision (r_j looks removable;
+//                  confirm with the semantic gen/redundancy check)
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fw/policy.hpp"
+
+namespace dfw {
+
+enum class AnomalyKind {
+  kShadowing,
+  kGeneralization,
+  kCorrelation,
+  kRedundancyPair,
+};
+
+const char* to_string(AnomalyKind kind);
+
+/// One detected rule-pair anomaly between rules()[first] (the earlier
+/// rule) and rules()[second].
+struct Anomaly {
+  AnomalyKind kind;
+  std::size_t first;
+  std::size_t second;
+};
+
+/// True iff every packet matching `inner` also matches `outer`.
+bool predicate_subset(const Rule& inner, const Rule& outer);
+
+/// True iff some packet matches both rules.
+bool predicates_overlap(const Rule& a, const Rule& b);
+
+/// Scans all ordered rule pairs and reports every anomaly, ordered by
+/// (second, first). Pure syntax over predicates; O(n^2 d).
+std::vector<Anomaly> find_anomalies(const Policy& policy);
+
+/// Indices of *dead* rules: rules no packet ever first-matches (fully
+/// masked by the rules above them). Exact, via FDD evaluation of the
+/// preceding prefix. Dead rules are a strict subset of rules flagged by
+/// shadowing/redundancy-pair anomalies.
+std::vector<std::size_t> dead_rules(const Policy& policy);
+
+/// Renders an administrator-facing report.
+std::string format_anomaly_report(const Policy& policy,
+                                  const DecisionSet& decisions,
+                                  const std::vector<Anomaly>& anomalies,
+                                  const std::vector<std::size_t>& dead);
+
+}  // namespace dfw

@@ -1,0 +1,143 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dfw {
+
+BddManager::BddManager(std::size_t num_vars) : num_vars_(num_vars) {
+  if (num_vars >= UINT32_MAX) {
+    throw std::invalid_argument("BddManager: too many variables");
+  }
+  // Terminals live at ids 0 and 1 with a past-the-end variable index so
+  // that top_var comparisons treat them as below every real variable.
+  nodes_.push_back({static_cast<std::uint32_t>(num_vars_), 0, 0});  // zero
+  nodes_.push_back({static_cast<std::uint32_t>(num_vars_), 1, 1});  // one
+}
+
+BddRef BddManager::var(std::size_t v) {
+  if (v >= num_vars_) {
+    throw std::out_of_range("BddManager::var: index out of range");
+  }
+  return make_node(static_cast<std::uint32_t>(v), zero(), one());
+}
+
+BddRef BddManager::make_node(std::uint32_t var, BddRef lo, BddRef hi) {
+  if (lo == hi) {
+    return lo;  // reduction rule: redundant test
+  }
+  const NodeKey key{var, lo, hi};
+  const auto it = unique_.find(key);
+  if (it != unique_.end()) {
+    return it->second;  // hash-consing: share isomorphic subgraphs
+  }
+  const BddRef ref = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back({var, lo, hi});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+BddRef BddManager::cofactor(BddRef f, std::uint32_t var, bool value) const {
+  const Node& n = nodes_[f];
+  if (n.var != var) {
+    return f;  // f does not test var at its top
+  }
+  return value ? n.hi : n.lo;
+}
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  // Terminal cases.
+  if (f == one()) {
+    return g;
+  }
+  if (f == zero()) {
+    return h;
+  }
+  if (g == h) {
+    return g;
+  }
+  if (g == one() && h == zero()) {
+    return f;
+  }
+  const IteKey key{f, g, h};
+  const auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) {
+    return it->second;
+  }
+  const std::uint32_t v = std::min({top_var(f), top_var(g), top_var(h)});
+  const BddRef lo =
+      ite(cofactor(f, v, false), cofactor(g, v, false), cofactor(h, v, false));
+  const BddRef hi =
+      ite(cofactor(f, v, true), cofactor(g, v, true), cofactor(h, v, true));
+  const BddRef result = make_node(v, lo, hi);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+std::uint64_t BddManager::cube_count(BddRef f) const {
+  std::unordered_map<BddRef, std::uint64_t> memo;
+  // Iterative post-order would avoid recursion depth concerns; depth is
+  // bounded by num_vars (one level per variable), so recursion is fine.
+  struct Counter {
+    const std::vector<Node>& nodes;
+    std::unordered_map<BddRef, std::uint64_t>& memo;
+    std::uint64_t count(BddRef r) {
+      if (r == 0) {
+        return 0;
+      }
+      if (r == 1) {
+        return 1;
+      }
+      const auto it = memo.find(r);
+      if (it != memo.end()) {
+        return it->second;
+      }
+      const std::uint64_t lo = count(nodes[r].lo);
+      const std::uint64_t hi = count(nodes[r].hi);
+      const std::uint64_t total =
+          (lo > UINT64_MAX - hi) ? UINT64_MAX : lo + hi;
+      memo.emplace(r, total);
+      return total;
+    }
+  } counter{nodes_, memo};
+  return counter.count(f);
+}
+
+std::uint64_t BddManager::sat_count(BddRef f) const {
+  // Weight each edge by 2^(skipped levels); saturating arithmetic.
+  const auto scaled = [](std::uint64_t count, std::uint32_t skipped) {
+    if (skipped >= 64) {
+      return count == 0 ? std::uint64_t{0} : UINT64_MAX;
+    }
+    const std::uint64_t factor = 1ull << skipped;
+    return (count != 0 && count > UINT64_MAX / factor) ? UINT64_MAX
+                                                       : count * factor;
+  };
+  std::unordered_map<BddRef, std::uint64_t> memo;  // counts below node level
+  struct Counter {
+    const std::vector<Node>& nodes;
+    std::unordered_map<BddRef, std::uint64_t>& memo;
+    const decltype(scaled)& scale;
+    std::uint64_t count(BddRef r) {  // assignments over vars below var(r)
+      if (r <= 1) {
+        return r;
+      }
+      const auto it = memo.find(r);
+      if (it != memo.end()) {
+        return it->second;
+      }
+      const Node& n = nodes[r];
+      const std::uint64_t lo =
+          scale(count(n.lo), nodes[n.lo].var - n.var - 1);
+      const std::uint64_t hi =
+          scale(count(n.hi), nodes[n.hi].var - n.var - 1);
+      const std::uint64_t total =
+          (lo > UINT64_MAX - hi) ? UINT64_MAX : lo + hi;
+      memo.emplace(r, total);
+      return total;
+    }
+  } counter{nodes_, memo, scaled};
+  return scaled(counter.count(f), top_var(f));
+}
+
+}  // namespace dfw

@@ -1,0 +1,111 @@
+#include "bdd/packet_encode.hpp"
+
+#include <stdexcept>
+
+namespace dfw {
+namespace {
+
+std::size_t bits_needed(Value domain_hi) {
+  std::size_t bits = 0;
+  while (domain_hi > 0) {
+    ++bits;
+    domain_hi >>= 1;
+  }
+  return bits == 0 ? 1 : bits;
+}
+
+// BDD for "value >= bound" over the block's bits, accumulated LSB to MSB:
+// at a 1-bound bit the value bit must be 1 and the tail decides ties; at a
+// 0-bound bit a 1 value bit wins outright.
+BddRef encode_ge(BddManager& mgr, std::size_t offset, std::size_t width,
+                 Value bound) {
+  BddRef acc = mgr.one();  // built LSB -> MSB
+  for (std::size_t bit = 0; bit < width; ++bit) {  // 0 = LSB
+    const BddRef v = mgr.var(offset + (width - 1 - bit));
+    if ((bound >> bit) & 1) {
+      acc = mgr.land(v, acc);
+    } else {
+      acc = mgr.lor(v, acc);
+    }
+  }
+  return acc;
+}
+
+BddRef encode_le(BddManager& mgr, std::size_t offset, std::size_t width,
+                 Value bound) {
+  BddRef acc = mgr.one();
+  for (std::size_t bit = 0; bit < width; ++bit) {  // 0 = LSB
+    const BddRef v = mgr.var(offset + (width - 1 - bit));
+    if ((bound >> bit) & 1) {
+      acc = mgr.lor(mgr.lnot(v), acc);
+    } else {
+      acc = mgr.land(mgr.lnot(v), acc);
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+BitLayout layout_for(const Schema& schema) {
+  BitLayout layout;
+  layout.offset.reserve(schema.field_count());
+  layout.width.reserve(schema.field_count());
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < schema.field_count(); ++i) {
+    const std::size_t width = bits_needed(schema.domain(i).hi());
+    layout.offset.push_back(next);
+    layout.width.push_back(width);
+    next += width;
+  }
+  layout.total_bits = next;
+  return layout;
+}
+
+BddRef encode_interval(BddManager& mgr, const BitLayout& layout,
+                       std::size_t field, const Interval& iv) {
+  if (field >= layout.offset.size()) {
+    throw std::out_of_range("encode_interval: field out of range");
+  }
+  const BddRef ge =
+      encode_ge(mgr, layout.offset[field], layout.width[field], iv.lo());
+  const BddRef le =
+      encode_le(mgr, layout.offset[field], layout.width[field], iv.hi());
+  return mgr.land(ge, le);
+}
+
+BddRef encode_predicate(BddManager& mgr, const BitLayout& layout,
+                        const Rule& rule) {
+  BddRef acc = mgr.one();
+  for (std::size_t f = 0; f < rule.conjuncts().size(); ++f) {
+    BddRef field_set = mgr.zero();
+    for (const Interval& iv : rule.conjunct(f).intervals()) {
+      field_set = mgr.lor(field_set, encode_interval(mgr, layout, f, iv));
+    }
+    acc = mgr.land(acc, field_set);
+  }
+  return acc;
+}
+
+BddRef encode_policy(BddManager& mgr, const BitLayout& layout,
+                     const Policy& policy) {
+  // Fold the first-match chain back to front:
+  //   f_i = ite(match_i, decision_i, f_{i+1})
+  BddRef acc = mgr.zero();  // fall-through (non-comprehensive tail) rejects
+  for (std::size_t i = policy.size(); i-- > 0;) {
+    const Rule& rule = policy.rule(i);
+    const BddRef match = encode_predicate(mgr, layout, rule);
+    const BddRef decision =
+        rule.decision() == kAccept ? mgr.one() : mgr.zero();
+    acc = mgr.ite(match, decision, acc);
+  }
+  return acc;
+}
+
+BddRef policy_diff(BddManager& mgr, const BitLayout& layout, const Policy& a,
+                   const Policy& b) {
+  return mgr.lxor(encode_policy(mgr, layout, a),
+                  encode_policy(mgr, layout, b));
+}
+
+}  // namespace dfw

@@ -1,0 +1,46 @@
+// Bit-level packet encoding into BDDs.
+//
+// To diff two firewalls with BDDs one must encode every packet field as a
+// bit vector (Section 7.5: "every node in a BDD represents only a bit of a
+// packet and not a field"). This module assigns each schema field a block
+// of variables (MSB first, fields in schema order), encodes interval
+// conjuncts as threshold circuits, folds a first-match policy into its
+// accept-set BDD, and diffs two policies by XOR.
+
+#pragma once
+
+#include "bdd/bdd.hpp"
+#include "fw/policy.hpp"
+
+namespace dfw {
+
+/// Bit layout of a schema: field i occupies bit_offset[i] .. +bit_width[i).
+struct BitLayout {
+  std::vector<std::size_t> offset;
+  std::vector<std::size_t> width;
+  std::size_t total_bits = 0;
+};
+
+/// Computes the layout: each field gets ceil(log2(|D(F_i)|)) variables.
+BitLayout layout_for(const Schema& schema);
+
+/// BDD for "field value (at the given block) lies in [lo, hi]".
+BddRef encode_interval(BddManager& mgr, const BitLayout& layout,
+                       std::size_t field, const Interval& iv);
+
+/// BDD for a rule's predicate (conjunction over all fields).
+BddRef encode_predicate(BddManager& mgr, const BitLayout& layout,
+                        const Rule& rule);
+
+/// BDD for the accept-set of a first-match policy: packets whose decision
+/// is kAccept. Decisions other than kAccept are treated as "not accept",
+/// matching the Boolean scope of the BDD baseline.
+BddRef encode_policy(BddManager& mgr, const BitLayout& layout,
+                     const Policy& policy);
+
+/// BDD of the symmetric difference of two policies' accept sets — the
+/// BDD-based analogue of the discrepancy computation.
+BddRef policy_diff(BddManager& mgr, const BitLayout& layout,
+                   const Policy& a, const Policy& b);
+
+}  // namespace dfw

@@ -1,0 +1,74 @@
+#include "diverse/discrepancy.hpp"
+
+#include "fw/format.hpp"
+
+namespace dfw {
+namespace {
+
+std::string team_label(const std::vector<std::string>& names,
+                       std::size_t i) {
+  if (i < names.size() && !names[i].empty()) {
+    return names[i];
+  }
+  return "team" + std::to_string(i + 1);
+}
+
+}  // namespace
+
+std::string format_discrepancy(const Schema& schema,
+                               const DecisionSet& decisions,
+                               const Discrepancy& d,
+                               const std::vector<std::string>& team_names) {
+  std::string out;
+  bool any_field = false;
+  for (std::size_t i = 0; i < schema.field_count(); ++i) {
+    const Field& field = schema.field(i);
+    if (d.conjuncts[i] == IntervalSet(field.domain)) {
+      continue;
+    }
+    if (any_field) {
+      out += " ^ ";
+    }
+    out += field.name + " in " + format_spec(field, d.conjuncts[i]);
+    any_field = true;
+  }
+  if (!any_field) {
+    out += "all packets";
+  }
+  out += " : ";
+  for (std::size_t i = 0; i < d.decisions.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += team_label(team_names, i) + "=" +
+           decisions.name(d.decisions[i]);
+  }
+  return out;
+}
+
+std::string format_discrepancy_report(
+    const Schema& schema, const DecisionSet& decisions,
+    const std::vector<Discrepancy>& discrepancies,
+    const std::vector<std::string>& team_names) {
+  if (discrepancies.empty()) {
+    return "no functional discrepancies: the firewalls are equivalent\n";
+  }
+  std::string out = "functional discrepancies (" +
+                    std::to_string(discrepancies.size()) + "):\n";
+  Value packets = 0;
+  for (std::size_t i = 0; i < discrepancies.size(); ++i) {
+    out += "  d" + std::to_string(i + 1) + ": " +
+           format_discrepancy(schema, decisions, discrepancies[i],
+                              team_names) +
+           "\n";
+    const Value n = discrepancy_packet_count(discrepancies[i]);
+    packets = (packets > UINT64_MAX - n) ? UINT64_MAX : packets + n;
+  }
+  out += "  total packets affected: " +
+         (packets == UINT64_MAX ? std::string("2^64 or more (saturated)")
+                                : std::to_string(packets)) +
+         "\n";
+  return out;
+}
+
+}  // namespace dfw

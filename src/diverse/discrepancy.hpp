@@ -1,0 +1,34 @@
+// Human-readable discrepancy reports.
+//
+// The comparison phase must present discrepancies "in human readable
+// format in order to be used in the next step" (paper, Section 1.2) —
+// rule-like lines with CIDR prefixes for IP fields (Section 7.1), one
+// column per team, exactly like the paper's Table 3.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fdd/compare.hpp"
+#include "fw/decision.hpp"
+#include "fw/schema.hpp"
+
+namespace dfw {
+
+/// Renders one discrepancy as "<predicate> : <team1>=accept <team2>=discard".
+/// `team_names` labels the decision columns; empty names default to
+/// "team1", "team2", ...
+std::string format_discrepancy(const Schema& schema,
+                               const DecisionSet& decisions,
+                               const Discrepancy& d,
+                               const std::vector<std::string>& team_names = {});
+
+/// Renders a full report: header, one line per discrepancy, and a summary
+/// line with the discrepancy count and total packets covered.
+std::string format_discrepancy_report(
+    const Schema& schema, const DecisionSet& decisions,
+    const std::vector<Discrepancy>& discrepancies,
+    const std::vector<std::string>& team_names = {});
+
+}  // namespace dfw

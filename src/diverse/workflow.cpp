@@ -1,0 +1,83 @@
+#include "diverse/workflow.hpp"
+
+#include <stdexcept>
+
+#include "diverse/discrepancy.hpp"
+#include "fdd/construct.hpp"
+
+namespace dfw {
+
+DiverseDesign::DiverseDesign(DecisionSet decisions)
+    : decisions_(std::move(decisions)) {}
+
+std::size_t DiverseDesign::submit(std::string team_name, Policy policy) {
+  if (!policies_.empty() && !(policy.schema() == policies_[0].schema())) {
+    throw std::invalid_argument("submit: schema differs from earlier teams");
+  }
+  // Comprehensiveness gate: a rule sequence must cover every packet to
+  // serve as a firewall (Section 3.1).
+  Fdd fdd = build_reduced_fdd(policy);
+  fdd.validate();
+  names_.push_back(std::move(team_name));
+  policies_.push_back(std::move(policy));
+  return policies_.size() - 1;
+}
+
+const Policy& DiverseDesign::policy(std::size_t team) const {
+  if (team >= policies_.size()) {
+    throw std::out_of_range("policy: no such team");
+  }
+  return policies_[team];
+}
+
+std::vector<Discrepancy> DiverseDesign::compare() const {
+  if (policies_.size() < 2) {
+    throw std::logic_error("compare: need at least two teams");
+  }
+  return discrepancies_many(policies_);
+}
+
+std::vector<PairwiseReport> DiverseDesign::cross_compare() const {
+  if (policies_.size() < 2) {
+    throw std::logic_error("cross_compare: need at least two teams");
+  }
+  std::vector<PairwiseReport> reports;
+  for (std::size_t a = 0; a < policies_.size(); ++a) {
+    for (std::size_t b = a + 1; b < policies_.size(); ++b) {
+      reports.push_back(
+          {a, b, discrepancies(policies_[a], policies_[b])});
+    }
+  }
+  return reports;
+}
+
+std::string DiverseDesign::report() const {
+  return format_discrepancy_report(policies_[0].schema(), decisions_,
+                                   compare(), names_);
+}
+
+Policy DiverseDesign::resolve(const ResolutionPlan& plan,
+                              ResolutionMethod method,
+                              std::size_t base_team) const {
+  switch (method) {
+    case ResolutionMethod::kCorrectedFdd:
+      return resolve_via_fdd(policies_, plan, base_team);
+    case ResolutionMethod::kPrependAndTrim:
+      return resolve_via_corrections(policies_, plan, base_team);
+  }
+  throw std::invalid_argument("resolve: unknown method");
+}
+
+Policy DiverseDesign::resolve_in_favour_of(std::size_t winner,
+                                           ResolutionMethod method,
+                                           std::size_t base_team) const {
+  const std::vector<Discrepancy> all = compare();
+  ResolutionPlan plan;
+  plan.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    plan.push_back(adopt(i, all[i], winner));
+  }
+  return resolve(plan, method, base_team);
+}
+
+}  // namespace dfw

@@ -1,0 +1,79 @@
+// The three-phase diverse-design workflow (paper, Section 2).
+//
+// A DiverseDesign session collects the team firewalls from the design
+// phase, runs the comparison phase (construct -> shape -> compare), and
+// drives the resolution phase to a final, unanimously agreed firewall.
+// Cross comparison of all pairs (Section 7.3) is offered alongside the
+// direct N-way comparison.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "diverse/resolve.hpp"
+#include "fdd/compare.hpp"
+#include "fw/policy.hpp"
+
+namespace dfw {
+
+/// Which resolution method generates the final firewall (Section 6).
+enum class ResolutionMethod {
+  kCorrectedFdd,   ///< method 1: correct an FDD, regenerate rules
+  kPrependAndTrim, ///< method 2: prepend corrections, remove redundancy
+};
+
+/// One pairwise comparison result from cross comparison.
+struct PairwiseReport {
+  std::size_t team_a = 0;
+  std::size_t team_b = 0;
+  std::vector<Discrepancy> discrepancies;
+};
+
+class DiverseDesign {
+ public:
+  /// Starts a session over the given decision vocabulary.
+  explicit DiverseDesign(DecisionSet decisions);
+
+  /// Design phase: registers one team's firewall. All firewalls must share
+  /// a schema and be comprehensive (validated on submit). Returns the team
+  /// index.
+  std::size_t submit(std::string team_name, Policy policy);
+
+  std::size_t team_count() const { return policies_.size(); }
+  const Policy& policy(std::size_t team) const;
+  const std::vector<std::string>& team_names() const { return names_; }
+  const DecisionSet& decisions() const { return decisions_; }
+
+  /// Comparison phase, direct N-way (Section 7.3). Requires >= 2 teams.
+  std::vector<Discrepancy> compare() const;
+
+  /// Comparison phase, cross comparison: one report per unordered pair.
+  std::vector<PairwiseReport> cross_compare() const;
+
+  /// Human-readable report of compare(), Table-3 style.
+  std::string report() const;
+
+  /// Resolution phase: given an agreed decision per discrepancy (indices
+  /// into compare()'s result), produce the final firewall.
+  Policy resolve(const ResolutionPlan& plan,
+                 ResolutionMethod method = ResolutionMethod::kCorrectedFdd,
+                 std::size_t base_team = 0) const;
+
+  /// Shortcut: resolve every discrepancy in favour of team `winner`.
+  /// The result is then equivalent to `policy(winner)` but expressed
+  /// through the chosen method — useful for testing and for adopting a
+  /// reference team wholesale.
+  Policy resolve_in_favour_of(std::size_t winner,
+                              ResolutionMethod method,
+                              std::size_t base_team) const;
+
+ private:
+  DecisionSet decisions_;
+  std::vector<std::string> names_;
+  std::vector<Policy> policies_;
+};
+
+}  // namespace dfw

@@ -1,0 +1,67 @@
+#include "engine/classifier.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fdd/construct.hpp"
+
+namespace dfw {
+
+std::uint32_t Classifier::compile_node(const FddNode& node) {
+  if (node.is_terminal()) {
+    return kDecisionBit | node.decision;
+  }
+  // Children first, so this node's slabs land contiguously afterwards.
+  std::vector<std::pair<Value, std::uint32_t>> pending;
+  for (const FddEdge& e : node.edges) {
+    const std::uint32_t target = compile_node(*e.target);
+    for (const Interval& run : e.label.intervals()) {
+      pending.emplace_back(run.hi(), target);
+    }
+  }
+  std::sort(pending.begin(), pending.end());
+  const std::uint32_t slab_begin = static_cast<std::uint32_t>(slabs_.size());
+  for (const auto& [upper, target] : pending) {
+    slabs_.push_back({upper, target});
+  }
+  const std::uint32_t index = static_cast<std::uint32_t>(nodes_.size());
+  if (index >= kDecisionBit) {
+    throw std::length_error("Classifier: diagram too large to compile");
+  }
+  nodes_.push_back({static_cast<std::uint32_t>(node.field), slab_begin,
+                    static_cast<std::uint32_t>(slabs_.size())});
+  return index;
+}
+
+Classifier Classifier::compile(const Fdd& fdd) {
+  fdd.validate();  // completeness makes every lookup land in a slab
+  Classifier c;
+  c.field_count_ = fdd.schema().field_count();
+  c.root_ = c.compile_node(fdd.root());
+  return c;
+}
+
+Classifier Classifier::compile(const Policy& policy) {
+  return compile(build_reduced_fdd(policy));
+}
+
+Decision Classifier::classify(const Packet& p) const {
+  if (p.size() != field_count_) {
+    throw std::invalid_argument("Classifier::classify: packet arity mismatch");
+  }
+  std::uint32_t current = root_;
+  while ((current & kDecisionBit) == 0) {
+    const Node& node = nodes_[current];
+    const Value v = p[node.field];
+    // First slab whose upper bound is >= v; completeness guarantees one.
+    const Slab* begin = slabs_.data() + node.slab_begin;
+    const Slab* end = slabs_.data() + node.slab_end;
+    const Slab* hit = std::lower_bound(
+        begin, end, v,
+        [](const Slab& s, Value value) { return s.upper < value; });
+    current = hit->next;
+  }
+  return static_cast<Decision>(current & ~kDecisionBit);
+}
+
+}  // namespace dfw

@@ -1,0 +1,68 @@
+// Compiled packet classifier.
+//
+// FDDs are not only an analysis vehicle — they are an efficient execution
+// form for the very firewalls they model (the paper's FDD lineage, ref
+// [10], introduced them for specification *and* lookup). This module
+// compiles a policy's reduced FDD into a flat, cache-friendly structure:
+// one record per node holding a sorted array of (upper-bound, next-index)
+// slabs, so classifying a packet is d binary searches over contiguous
+// memory with no pointer chasing into heap-scattered tree nodes.
+//
+// The classifier is the deployment-side counterpart of the comparison
+// pipeline: resolve the teams' discrepancies, compile the agreed policy
+// once, and classify packets at line rate.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fdd/fdd.hpp"
+#include "fw/policy.hpp"
+
+namespace dfw {
+
+/// An immutable compiled classifier. Copyable; internally a few flat
+/// vectors.
+class Classifier {
+ public:
+  /// Compiles a comprehensive policy (via its reduced FDD).
+  static Classifier compile(const Policy& policy);
+
+  /// Compiles an already-built complete FDD.
+  static Classifier compile(const Fdd& fdd);
+
+  /// The decision for packet p. O(sum over path fields of log(edges)).
+  Decision classify(const Packet& p) const;
+
+  /// Number of compiled nodes (terminals excluded).
+  std::size_t node_count() const { return nodes_.size(); }
+  /// Number of slab entries across all nodes.
+  std::size_t slab_count() const { return slabs_.size(); }
+
+ private:
+  // A slab covers values up to and including `upper`; `next` encodes
+  // either another node index or a terminal decision.
+  struct Slab {
+    Value upper;
+    std::uint32_t next;
+  };
+  struct Node {
+    std::uint32_t field;
+    std::uint32_t slab_begin;
+    std::uint32_t slab_end;
+  };
+
+  static constexpr std::uint32_t kDecisionBit = 0x8000'0000u;
+
+  Classifier() = default;
+
+  std::uint32_t compile_node(const FddNode& node);
+
+  std::vector<Node> nodes_;
+  std::vector<Slab> slabs_;
+  std::uint32_t root_ = 0;
+  std::size_t field_count_ = 0;
+};
+
+}  // namespace dfw

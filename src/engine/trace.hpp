@@ -1,0 +1,43 @@
+// Trace evaluation and rule-coverage telemetry.
+//
+// The static analyses (dead_rules, redundancy) say which rules *can* ever
+// fire; operators also want to know which rules *do* fire under real
+// traffic — unreferenced rules are candidates for retirement and hot
+// rules drive classifier placement. This module replays a packet trace
+// through a policy, collecting per-rule hit counters and per-decision
+// totals, plus a biased trace generator that draws packets from inside
+// rule predicates (uniform packets over the 2^104 five-tuple space would
+// almost never exercise specific rules).
+
+#pragma once
+
+#include <vector>
+
+#include "fw/policy.hpp"
+#include "synth/synth.hpp"
+
+namespace dfw {
+
+struct TraceStats {
+  std::vector<std::uint64_t> rule_hits;      ///< one counter per rule
+  std::vector<std::uint64_t> decision_hits;  ///< indexed by decision id
+  std::uint64_t packets = 0;
+
+  /// Indices of rules no packet of the trace first-matched.
+  std::vector<std::size_t> unexercised() const;
+};
+
+/// Replays the trace, counting first-match hits. The policy must be
+/// comprehensive over every packet of the trace.
+TraceStats evaluate_trace(const Policy& policy,
+                          const std::vector<Packet>& trace);
+
+/// Generates `count` packets biased toward the policy's own rules: each
+/// packet picks a random rule and samples each field from inside that
+/// rule's conjunct (earlier rules may still capture the packet — exactly
+/// like production traffic hitting a deep rule's shadow). A slice of
+/// fully-random packets is mixed in to exercise the default path.
+std::vector<Packet> synth_trace(const Policy& policy, std::size_t count,
+                                Rng& rng, double random_fraction = 0.1);
+
+}  // namespace dfw

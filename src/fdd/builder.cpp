@@ -1,0 +1,122 @@
+#include "fdd/builder.hpp"
+
+#include <stdexcept>
+
+namespace dfw {
+
+FddBuilder::FddBuilder(Schema schema) : schema_(std::move(schema)) {
+  nodes_.push_back(Node{});
+}
+
+const FddBuilder::Node& FddBuilder::at(Region region) const {
+  if (region >= nodes_.size()) {
+    throw std::out_of_range("FddBuilder: unknown region");
+  }
+  return nodes_[region];
+}
+
+std::vector<FddBuilder::Region> FddBuilder::split(
+    Region region, std::size_t field,
+    const std::vector<IntervalSet>& partitions) {
+  const Node& current = at(region);
+  if (current.state != State::kOpen) {
+    throw std::logic_error("FddBuilder::split: region already closed");
+  }
+  if (field >= schema_.field_count()) {
+    throw std::invalid_argument("FddBuilder::split: unknown field");
+  }
+  if (field < current.min_field) {
+    throw std::logic_error(
+        "FddBuilder::split: field order violated (field already used or "
+        "skipped backwards on this path)");
+  }
+  if (partitions.empty()) {
+    throw std::invalid_argument("FddBuilder::split: no partitions");
+  }
+  const IntervalSet domain{schema_.domain(field)};
+  IntervalSet covered;
+  for (const IntervalSet& part : partitions) {
+    if (part.empty()) {
+      throw std::invalid_argument("FddBuilder::split: empty partition");
+    }
+    if (!domain.contains(part)) {
+      throw std::invalid_argument(
+          "FddBuilder::split: partition exceeds the field's domain");
+    }
+    if (covered.overlaps(part)) {
+      throw std::invalid_argument(
+          "FddBuilder::split: partitions overlap (consistency)");
+    }
+    covered = covered.unite(part);
+  }
+
+  std::vector<IntervalSet> labels = partitions;
+  const IntervalSet rest = domain.subtract(covered);
+  if (!rest.empty()) {
+    labels.push_back(rest);  // completeness, without designer busywork
+  }
+
+  std::vector<Region> children;
+  children.reserve(labels.size());
+  Node updated = current;
+  updated.state = State::kSplit;
+  updated.field = field;
+  for (IntervalSet& label : labels) {
+    const Region child = nodes_.size();
+    Node child_node;
+    child_node.min_field = field + 1;
+    nodes_.push_back(std::move(child_node));
+    updated.children.emplace_back(std::move(label), child);
+    children.push_back(child);
+  }
+  nodes_[region] = std::move(updated);
+  // The split region closes; its children open.
+  open_count_ += children.size() - 1;
+  return children;
+}
+
+void FddBuilder::decide(Region region, Decision decision) {
+  const Node& current = at(region);
+  if (current.state != State::kOpen) {
+    throw std::logic_error("FddBuilder::decide: region already closed");
+  }
+  nodes_[region].state = State::kDecided;
+  nodes_[region].decision = decision;
+  --open_count_;
+}
+
+bool FddBuilder::closed(Region region) const {
+  return at(region).state != State::kOpen;
+}
+
+std::size_t FddBuilder::open_regions() const { return open_count_; }
+
+std::unique_ptr<FddNode> FddBuilder::materialise(std::size_t index) const {
+  const Node& node = nodes_[index];
+  if (node.state == State::kDecided) {
+    return FddNode::make_terminal(node.decision);
+  }
+  auto out = FddNode::make_internal(node.field);
+  out->edges.reserve(node.children.size());
+  for (const auto& [label, child] : node.children) {
+    out->edges.emplace_back(label, materialise(child));
+  }
+  out->sort_edges();
+  return out;
+}
+
+Fdd FddBuilder::finish() {
+  if (open_count_ != 0) {
+    throw std::logic_error("FddBuilder::finish: " +
+                           std::to_string(open_count_) +
+                           " region(s) still undecided");
+  }
+  Fdd fdd(schema_, materialise(0));
+  nodes_.clear();
+  nodes_.push_back(Node{});
+  open_count_ = 1;
+  fdd.validate();
+  return fdd;
+}
+
+}  // namespace dfw

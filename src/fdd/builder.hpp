@@ -1,0 +1,74 @@
+// FddBuilder: designing a firewall directly as an FDD.
+//
+// Section 7.2: "a team can use the structured firewall design method in
+// [12] to design the firewall by using an FDD". The builder is that
+// method's API: start from a single undecided region, repeatedly *split*
+// a region on a field into labeled subregions, *decide* the finished
+// regions, and finish() into a validated FDD (from which generate_policy
+// emits deployable rules). The builder enforces the invariants as you go —
+// splits must be disjoint and within the domain, fields must increase
+// along every path — so a design cannot leave the FDD well-formedness
+// envelope, which is precisely why the paper advocates designing in FDDs.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fdd/fdd.hpp"
+
+namespace dfw {
+
+class FddBuilder {
+ public:
+  /// Opaque handle to a region (a leaf of the diagram under construction).
+  using Region = std::size_t;
+
+  explicit FddBuilder(Schema schema);
+
+  /// The initial region covering the whole packet space.
+  Region root() const { return 0; }
+
+  /// Splits an undecided region on `field` into one subregion per entry of
+  /// `partitions` (disjoint, nonempty, within the field's domain; the
+  /// field must be strictly greater than every field already split on the
+  /// path to this region). If the partitions do not cover the whole
+  /// domain, a final subregion for the remainder is added automatically.
+  /// Returns the subregion handles in partition order (the remainder, if
+  /// any, last).
+  std::vector<Region> split(Region region, std::size_t field,
+                            const std::vector<IntervalSet>& partitions);
+
+  /// Assigns a decision to an undecided region, closing it.
+  void decide(Region region, Decision decision);
+
+  /// True when the region has been split or decided.
+  bool closed(Region region) const;
+
+  /// Number of regions still awaiting decide()/split().
+  std::size_t open_regions() const;
+
+  /// Materialises the FDD. Every region must be closed; the result is a
+  /// valid, complete, ordered FDD. The builder is left empty.
+  Fdd finish();
+
+ private:
+  enum class State { kOpen, kSplit, kDecided };
+
+  struct Node {
+    State state = State::kOpen;
+    std::size_t field = kTerminalField;  // split field
+    Decision decision = kAccept;         // when decided
+    std::size_t min_field = 0;           // smallest field allowed here
+    std::vector<std::pair<IntervalSet, std::size_t>> children;
+  };
+
+  const Node& at(Region region) const;
+  std::unique_ptr<FddNode> materialise(std::size_t index) const;
+
+  Schema schema_;
+  std::vector<Node> nodes_;
+  std::size_t open_count_ = 1;
+};
+
+}  // namespace dfw

@@ -1,0 +1,136 @@
+#include "fdd/compare.hpp"
+
+#include <algorithm>
+#include <future>
+#include <stdexcept>
+
+#include "fdd/construct.hpp"
+#include "fdd/shape.hpp"
+
+namespace dfw {
+namespace {
+
+// Lockstep walk over N semi-isomorphic subtrees accumulating the common
+// path predicate; emits a record at terminals with disagreeing decisions.
+void walk(const Schema& schema, const std::vector<const FddNode*>& nodes,
+          std::vector<IntervalSet>& conjuncts,
+          std::vector<Discrepancy>& out) {
+  const FddNode* first = nodes.front();
+  if (first->is_terminal()) {
+    const bool all_equal =
+        std::all_of(nodes.begin(), nodes.end(), [&](const FddNode* n) {
+          return n->decision == first->decision;
+        });
+    if (!all_equal) {
+      Discrepancy d;
+      d.conjuncts = conjuncts;
+      d.decisions.reserve(nodes.size());
+      for (const FddNode* n : nodes) {
+        d.decisions.push_back(n->decision);
+      }
+      out.push_back(std::move(d));
+    }
+    return;
+  }
+  for (std::size_t e = 0; e < first->edges.size(); ++e) {
+    conjuncts[first->field] = first->edges[e].label;
+    std::vector<const FddNode*> children;
+    children.reserve(nodes.size());
+    for (const FddNode* n : nodes) {
+      children.push_back(n->edges[e].target.get());
+    }
+    walk(schema, children, conjuncts, out);
+  }
+  conjuncts[first->field] = IntervalSet(schema.domain(first->field));
+}
+
+std::vector<Discrepancy> compare_impl(const Schema& schema,
+                                      std::vector<const FddNode*> roots) {
+  std::vector<IntervalSet> conjuncts;
+  conjuncts.reserve(schema.field_count());
+  for (std::size_t i = 0; i < schema.field_count(); ++i) {
+    conjuncts.emplace_back(schema.domain(i));
+  }
+  std::vector<Discrepancy> out;
+  walk(schema, roots, conjuncts, out);
+  return out;
+}
+
+}  // namespace
+
+std::vector<Discrepancy> compare_fdds(const Fdd& a, const Fdd& b) {
+  if (!semi_isomorphic(a, b)) {
+    throw std::invalid_argument("compare_fdds: FDDs are not semi-isomorphic");
+  }
+  return compare_impl(a.schema(), {&a.root(), &b.root()});
+}
+
+std::vector<Discrepancy> compare_fdds_many(const std::vector<Fdd>& fdds) {
+  if (fdds.empty()) {
+    throw std::invalid_argument("compare_fdds_many: no FDDs");
+  }
+  std::vector<const FddNode*> roots;
+  roots.reserve(fdds.size());
+  for (std::size_t i = 1; i < fdds.size(); ++i) {
+    if (!semi_isomorphic(fdds[0], fdds[i])) {
+      throw std::invalid_argument(
+          "compare_fdds_many: FDDs are not pairwise semi-isomorphic");
+    }
+  }
+  for (const Fdd& f : fdds) {
+    roots.push_back(&f.root());
+  }
+  return compare_impl(fdds[0].schema(), std::move(roots));
+}
+
+std::vector<Discrepancy> discrepancies(const Policy& a, const Policy& b) {
+  // Construction dominates the pipeline (Fig. 13) and the two diagrams
+  // are independent until shaping — build them concurrently.
+  std::future<Fdd> fb_future = std::async(
+      std::launch::async, [&b] { return build_reduced_fdd(b); });
+  Fdd fa = build_reduced_fdd(a);
+  Fdd fb = fb_future.get();
+  fa.validate();  // rejects non-comprehensive inputs up front
+  fb.validate();
+  shape_pair(fa, fb);
+  return compare_fdds(fa, fb);
+}
+
+std::vector<Discrepancy> discrepancies_many(
+    const std::vector<Policy>& policies) {
+  if (policies.empty()) {
+    throw std::invalid_argument("discrepancies_many: no policies");
+  }
+  std::vector<std::future<Fdd>> futures;
+  futures.reserve(policies.size());
+  for (const Policy& p : policies) {
+    futures.push_back(std::async(std::launch::async,
+                                 [&p] { return build_reduced_fdd(p); }));
+  }
+  std::vector<Fdd> fdds;
+  fdds.reserve(policies.size());
+  for (std::future<Fdd>& f : futures) {
+    fdds.push_back(f.get());
+    fdds.back().validate();
+  }
+  shape_all(fdds);
+  return compare_fdds_many(fdds);
+}
+
+bool equivalent(const Policy& a, const Policy& b) {
+  return discrepancies(a, b).empty();
+}
+
+Value discrepancy_packet_count(const Discrepancy& d) {
+  Value total = 1;
+  for (const IntervalSet& s : d.conjuncts) {
+    const Value n = s.size();
+    if (n != 0 && total > UINT64_MAX / n) {
+      return UINT64_MAX;
+    }
+    total *= n;
+  }
+  return total;
+}
+
+}  // namespace dfw

@@ -1,0 +1,56 @@
+// Comparison algorithm (paper, Section 5).
+//
+// Two semi-isomorphic FDDs define companion rules: corresponding decision
+// paths share the same predicate and may differ only in decision. A
+// discrepancy is one companion pair with different decisions; the set of
+// all of them manifests every functional difference between the two
+// firewalls. We also provide the N-way generalisation (one record per
+// predicate whose decisions across the N diagrams are not all equal) and a
+// whole-pipeline convenience that goes from two rule sequences to
+// discrepancies (construct -> shape -> compare).
+
+#pragma once
+
+#include <vector>
+
+#include "fdd/fdd.hpp"
+#include "fw/policy.hpp"
+
+namespace dfw {
+
+/// One functional discrepancy: a predicate (one value set per schema
+/// field) plus the decision each compared firewall assigns to packets
+/// matching it. decisions.size() equals the number of compared firewalls,
+/// in input order, and the decisions are not all equal.
+struct Discrepancy {
+  std::vector<IntervalSet> conjuncts;
+  std::vector<Decision> decisions;
+};
+
+/// Compares two semi-isomorphic FDDs; requires semi_isomorphic(a, b).
+/// Returns one Discrepancy per differing companion-rule pair, in decision-
+/// path (depth-first) order.
+std::vector<Discrepancy> compare_fdds(const Fdd& a, const Fdd& b);
+
+/// N-way comparison of pairwise semi-isomorphic FDDs (e.g. from
+/// shape_all). A path is reported when not all N decisions agree.
+std::vector<Discrepancy> compare_fdds_many(const std::vector<Fdd>& fdds);
+
+/// Full pipeline on policies: construct, shape, compare. Policies must be
+/// comprehensive and share a schema.
+std::vector<Discrepancy> discrepancies(const Policy& a, const Policy& b);
+
+/// N-way full pipeline using direct comparison (Section 7.3).
+std::vector<Discrepancy> discrepancies_many(
+    const std::vector<Policy>& policies);
+
+/// Two firewalls are equivalent iff they have no functional discrepancy
+/// (Section 3.1's f1 == f2 mapping equality).
+bool equivalent(const Policy& a, const Policy& b);
+
+/// The number of *packets* covered by a discrepancy's predicate
+/// (saturating): useful for ranking discrepancies by blast radius in
+/// change-impact reports.
+Value discrepancy_packet_count(const Discrepancy& d);
+
+}  // namespace dfw

@@ -1,0 +1,41 @@
+// Construction algorithm (paper, Section 3.2, Fig. 7).
+//
+// Builds an ordered FDD equivalent to a first-match rule sequence by
+// appending the rules one at a time to a partial FDD. Appending rule r at a
+// node v labeled F splits v's outgoing edges against r's F-conjunct:
+// values no existing edge covers get a fresh branch deciding r; values an
+// edge fully covers recurse into the edge's subtree; values an edge partly
+// covers split the edge (cloning the subtree) and recurse into one half.
+// Earlier rules always win, which is exactly first-match semantics.
+
+#pragma once
+
+#include "fdd/fdd.hpp"
+#include "fw/policy.hpp"
+
+namespace dfw {
+
+/// Constructs an FDD equivalent to the policy. The result is ordered in
+/// schema field order, consistent, and complete iff the policy is
+/// comprehensive; validate() is the caller's tool for asserting that.
+/// Complexity: O(n^d) paths worst case (Theorem 1), near-linear on
+/// practically shaped rule sets (Section 7.4).
+Fdd build_fdd(const Policy& policy);
+
+/// Appends one more rule (lowest priority) to an existing partial FDD,
+/// exposing the incremental step for construction traces and tests.
+void append_rule(Fdd& fdd, const Rule& rule);
+
+/// Builds a *partial* FDD from the first `count` rules only (Fig. 6's
+/// intermediate diagrams). count >= 1.
+Fdd build_partial_fdd(const Policy& policy, std::size_t count);
+
+/// Construction with interleaved reduction: equivalent to
+/// reduce(build_fdd(policy)) but never materialises the unreduced
+/// intermediate tree, whose size — not the reduced result's — is what
+/// blows up on large rule sets. This is the production entry point the
+/// comparison pipeline uses; build_fdd remains the paper-faithful
+/// reference implementation of Fig. 7.
+Fdd build_reduced_fdd(const Policy& policy);
+
+}  // namespace dfw

@@ -1,0 +1,37 @@
+#include "fdd/dot.hpp"
+
+#include "fw/format.hpp"
+
+namespace dfw {
+namespace {
+
+void emit(const Schema& schema, const DecisionSet& decisions,
+          const FddNode& node, std::size_t& next_id, std::string& out) {
+  const std::size_t id = next_id++;
+  if (node.is_terminal()) {
+    out += "  n" + std::to_string(id) + " [shape=box, label=\"" +
+           decisions.name(node.decision) + "\"];\n";
+    return;
+  }
+  out += "  n" + std::to_string(id) + " [shape=circle, label=\"" +
+         schema.field(node.field).name + "\"];\n";
+  for (const FddEdge& e : node.edges) {
+    const std::size_t child_id = next_id;
+    emit(schema, decisions, *e.target, next_id, out);
+    out += "  n" + std::to_string(id) + " -> n" + std::to_string(child_id) +
+           " [label=\"" + format_spec(schema.field(node.field), e.label) +
+           "\"];\n";
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const Fdd& fdd, const DecisionSet& decisions) {
+  std::string out = "digraph fdd {\n";
+  std::size_t next_id = 0;
+  emit(fdd.schema(), decisions, fdd.root(), next_id, out);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace dfw

@@ -1,0 +1,17 @@
+// Graphviz export: renders an FDD the way the paper draws Figs. 2-5, for
+// inspection and documentation.
+
+#pragma once
+
+#include <string>
+
+#include "fdd/fdd.hpp"
+#include "fw/decision.hpp"
+
+namespace dfw {
+
+/// Emits the FDD in Graphviz dot syntax. Edge labels use the field-aware
+/// formatter (CIDR for IPv4 fields, mnemonics for protocols).
+std::string to_dot(const Fdd& fdd, const DecisionSet& decisions);
+
+}  // namespace dfw

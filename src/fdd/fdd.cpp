@@ -1,0 +1,184 @@
+#include "fdd/fdd.hpp"
+
+#include <stdexcept>
+
+namespace dfw {
+namespace {
+
+void validate_node(const Schema& schema, const FddNode& node,
+                   std::size_t min_field, bool require_complete) {
+  if (node.is_terminal()) {
+    if (!node.edges.empty()) {
+      throw std::logic_error("FDD: terminal node has outgoing edges");
+    }
+    return;
+  }
+  if (node.field >= schema.field_count()) {
+    throw std::logic_error("FDD: node labeled with unknown field index");
+  }
+  if (node.field < min_field) {
+    throw std::logic_error("FDD: field order violated on a path (field " +
+                           schema.field(node.field).name + ")");
+  }
+  if (node.edges.empty()) {
+    throw std::logic_error("FDD: nonterminal node has no outgoing edges");
+  }
+  const IntervalSet domain{schema.domain(node.field)};
+  IntervalSet seen;
+  for (const FddEdge& e : node.edges) {
+    if (e.label.empty()) {
+      throw std::logic_error("FDD: empty edge label");
+    }
+    if (!domain.contains(e.label)) {
+      throw std::logic_error("FDD: edge label exceeds domain of field " +
+                             schema.field(node.field).name);
+    }
+    if (seen.overlaps(e.label)) {
+      throw std::logic_error("FDD: consistency violated at field " +
+                             schema.field(node.field).name);
+    }
+    seen = seen.unite(e.label);
+    if (e.target == nullptr) {
+      throw std::logic_error("FDD: edge with null target");
+    }
+    validate_node(schema, *e.target, node.field + 1, require_complete);
+  }
+  if (require_complete && seen != domain) {
+    throw std::logic_error("FDD: completeness violated at field " +
+                           schema.field(node.field).name);
+  }
+}
+
+bool node_is_simple(const Schema& schema, const FddNode& node,
+                    std::size_t expected_field) {
+  if (node.is_terminal()) {
+    // Simple + shaping require every path to mention every field so that
+    // lockstep edge alignment never has to invent nodes mid-walk.
+    return expected_field == schema.field_count();
+  }
+  if (node.field != expected_field) {
+    return false;
+  }
+  Value prev_hi = 0;
+  bool first = true;
+  for (const FddEdge& e : node.edges) {
+    if (e.label.run_count() != 1) {
+      return false;
+    }
+    if (!first && e.label.min() <= prev_hi) {
+      return false;  // unsorted (or overlapping) edges
+    }
+    first = false;
+    prev_hi = e.label.max();
+    if (!node_is_simple(schema, *e.target, expected_field + 1)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool nodes_semi_isomorphic(const FddNode& a, const FddNode& b) {
+  if (a.is_terminal() != b.is_terminal()) {
+    return false;
+  }
+  if (a.is_terminal()) {
+    return true;  // decisions may differ
+  }
+  if (a.field != b.field || a.edges.size() != b.edges.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.edges.size(); ++i) {
+    if (a.edges[i].label != b.edges[i].label) {
+      return false;
+    }
+    if (!nodes_semi_isomorphic(*a.edges[i].target, *b.edges[i].target)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void for_each_path_impl(
+    const Schema& schema, const FddNode& node,
+    std::vector<IntervalSet>& conjuncts,
+    const std::function<void(const std::vector<IntervalSet>&, Decision)>&
+        fn) {
+  if (node.is_terminal()) {
+    fn(conjuncts, node.decision);
+    return;
+  }
+  for (const FddEdge& e : node.edges) {
+    conjuncts[node.field] = e.label;
+    for_each_path_impl(schema, *e.target, conjuncts, fn);
+  }
+  conjuncts[node.field] = IntervalSet(schema.domain(node.field));
+}
+
+}  // namespace
+
+Fdd::Fdd(Schema schema, std::unique_ptr<FddNode> root)
+    : schema_(std::move(schema)), root_(std::move(root)) {
+  if (root_ == nullptr) {
+    throw std::invalid_argument("Fdd: null root");
+  }
+}
+
+Fdd Fdd::constant(Schema schema, Decision decision) {
+  return Fdd(std::move(schema), FddNode::make_terminal(decision));
+}
+
+Fdd Fdd::clone() const { return Fdd(schema_, root_->clone()); }
+
+Decision Fdd::evaluate(const Packet& p) const {
+  if (p.size() != schema_.field_count()) {
+    throw std::invalid_argument("Fdd::evaluate: packet arity mismatch");
+  }
+  const FddNode* node = root_.get();
+  while (!node->is_terminal()) {
+    const FddNode* next = nullptr;
+    for (const FddEdge& e : node->edges) {
+      if (e.label.contains(p[node->field])) {
+        next = e.target.get();
+        break;
+      }
+    }
+    if (next == nullptr) {
+      throw std::logic_error("Fdd::evaluate: packet falls off a partial FDD");
+    }
+    node = next;
+  }
+  return node->decision;
+}
+
+void Fdd::validate(bool require_complete) const {
+  validate_node(schema_, *root_, 0, require_complete);
+}
+
+bool Fdd::is_simple() const {
+  // A terminal-only FDD (constant firewall) is trivially not simple unless
+  // the schema has zero fields, which Schema forbids; the shaping driver
+  // first expands such roots via node insertion.
+  return node_is_simple(schema_, *root_, 0);
+}
+
+void Fdd::for_each_path(
+    const std::function<void(const std::vector<IntervalSet>&, Decision)>& fn)
+    const {
+  std::vector<IntervalSet> conjuncts;
+  conjuncts.reserve(schema_.field_count());
+  for (std::size_t i = 0; i < schema_.field_count(); ++i) {
+    conjuncts.emplace_back(schema_.domain(i));
+  }
+  for_each_path_impl(schema_, *root_, conjuncts, fn);
+}
+
+bool structurally_equal(const Fdd& a, const Fdd& b) {
+  return a.schema() == b.schema() && nodes_equal(a.root(), b.root());
+}
+
+bool semi_isomorphic(const Fdd& a, const Fdd& b) {
+  return a.schema() == b.schema() &&
+         nodes_semi_isomorphic(a.root(), b.root());
+}
+
+}  // namespace dfw

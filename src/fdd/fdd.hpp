@@ -1,0 +1,81 @@
+// The Fdd class: a schema-typed, tree-shaped Firewall Decision Diagram.
+//
+// Invariants an Fdd promises (checkable with validate()):
+//   consistency   — sibling edge labels are pairwise disjoint
+//   completeness  — sibling edge labels union to the field's whole domain
+//   ordering      — field indices strictly increase along every path
+//   domain        — every edge label is within its field's domain
+// These are exactly the FDD properties of Section 2 plus the "ordered FDD"
+// property of Definition 4.1 (with the schema's field order as the total
+// order).
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "fdd/node.hpp"
+#include "fw/packet.hpp"
+#include "fw/rule.hpp"
+#include "fw/schema.hpp"
+
+namespace dfw {
+
+/// A (partial or complete) ordered FDD over a schema. Move-only; use
+/// clone() for deep copies.
+class Fdd {
+ public:
+  /// Adopts a root; the root may be terminal (a constant firewall).
+  Fdd(Schema schema, std::unique_ptr<FddNode> root);
+
+  /// The trivial FDD mapping every packet to `decision`.
+  static Fdd constant(Schema schema, Decision decision);
+
+  Fdd(Fdd&&) noexcept = default;
+  Fdd& operator=(Fdd&&) noexcept = default;
+
+  Fdd clone() const;
+
+  const Schema& schema() const { return schema_; }
+  const FddNode& root() const { return *root_; }
+  FddNode& mutable_root() { return *root_; }
+  std::unique_ptr<FddNode>& root_slot() { return root_; }
+
+  /// The decision the diagram assigns to packet p. Throws std::logic_error
+  /// if p falls off the diagram (only possible for a *partial* FDD).
+  Decision evaluate(const Packet& p) const;
+
+  /// Verifies all four invariants; throws std::logic_error with a
+  /// description of the first violation. `require_complete` may be turned
+  /// off to validate partial FDDs (construction intermediates).
+  void validate(bool require_complete = true) const;
+
+  /// True when every decision path contains every schema field, every edge
+  /// label is a single interval, and edges are sorted — the precondition of
+  /// the shaping algorithm (Definition 4.3; trees are always share-free).
+  bool is_simple() const;
+
+  std::size_t node_count() const { return subtree_node_count(*root_); }
+  std::size_t path_count() const { return subtree_path_count(*root_); }
+
+  /// Calls `fn(conjuncts, decision)` once per decision path, where
+  /// `conjuncts` has one IntervalSet per schema field (full domain for
+  /// fields the path skips). This enumerates f.rules (Section 2).
+  void for_each_path(
+      const std::function<void(const std::vector<IntervalSet>&, Decision)>&
+          fn) const;
+
+ private:
+  Schema schema_;
+  std::unique_ptr<FddNode> root_;
+};
+
+/// Deep structural equality of two FDDs (same schema, nodes_equal roots).
+bool structurally_equal(const Fdd& a, const Fdd& b);
+
+/// Semi-isomorphism (Definition 4.2): equal shape and labels everywhere
+/// except terminal decisions.
+bool semi_isomorphic(const Fdd& a, const Fdd& b);
+
+}  // namespace dfw

@@ -1,0 +1,86 @@
+#include "fdd/node.hpp"
+
+#include <algorithm>
+
+namespace dfw {
+
+std::unique_ptr<FddNode> FddNode::make_terminal(Decision d) {
+  auto node = std::make_unique<FddNode>();
+  node->field = kTerminalField;
+  node->decision = d;
+  return node;
+}
+
+std::unique_ptr<FddNode> FddNode::make_internal(std::size_t field) {
+  auto node = std::make_unique<FddNode>();
+  node->field = field;
+  return node;
+}
+
+std::unique_ptr<FddNode> FddNode::clone() const {
+  auto copy = std::make_unique<FddNode>();
+  copy->field = field;
+  copy->decision = decision;
+  copy->edges.reserve(edges.size());
+  for (const FddEdge& e : edges) {
+    copy->edges.emplace_back(e.label, e.target->clone());
+  }
+  return copy;
+}
+
+IntervalSet FddNode::edge_label_union() const {
+  IntervalSet all;
+  for (const FddEdge& e : edges) {
+    all = all.unite(e.label);
+  }
+  return all;
+}
+
+void FddNode::sort_edges() {
+  std::sort(edges.begin(), edges.end(),
+            [](const FddEdge& a, const FddEdge& b) {
+              return a.label.min() < b.label.min();
+            });
+}
+
+bool nodes_equal(const FddNode& a, const FddNode& b) {
+  if (a.field != b.field) {
+    return false;
+  }
+  if (a.is_terminal()) {
+    return a.decision == b.decision;
+  }
+  if (a.edges.size() != b.edges.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.edges.size(); ++i) {
+    if (a.edges[i].label != b.edges[i].label) {
+      return false;
+    }
+    if (!nodes_equal(*a.edges[i].target, *b.edges[i].target)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t subtree_node_count(const FddNode& n) {
+  std::size_t count = 1;
+  for (const FddEdge& e : n.edges) {
+    count += subtree_node_count(*e.target);
+  }
+  return count;
+}
+
+std::size_t subtree_path_count(const FddNode& n) {
+  if (n.is_terminal()) {
+    return 1;
+  }
+  std::size_t count = 0;
+  for (const FddEdge& e : n.edges) {
+    count += subtree_path_count(*e.target);
+  }
+  return count;
+}
+
+}  // namespace dfw

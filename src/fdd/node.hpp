@@ -1,0 +1,72 @@
+// FDD nodes and edges.
+//
+// A Firewall Decision Diagram (paper, Section 2) is an acyclic diagram whose
+// nonterminal nodes are labeled with packet fields, whose edges are labeled
+// with nonempty value sets, and whose terminal nodes are labeled with
+// decisions. We represent FDDs as trees — the paper's own examples are
+// trees, its simple FDDs are "outgoing directed trees", and the construction
+// algorithm's subgraph copies keep diagrams tree-shaped — with each edge
+// owning its target node.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "fw/decision.hpp"
+#include "net/interval_set.hpp"
+
+namespace dfw {
+
+struct FddNode;
+
+/// A labeled edge e : u -> v with label I(e), owning its target e.t.
+struct FddEdge {
+  IntervalSet label;
+  std::unique_ptr<FddNode> target;
+
+  FddEdge(IntervalSet l, std::unique_ptr<FddNode> t)
+      : label(std::move(l)), target(std::move(t)) {}
+};
+
+/// Sentinel field index marking terminal nodes.
+inline constexpr std::size_t kTerminalField = static_cast<std::size_t>(-1);
+
+/// One FDD node. A nonterminal carries a schema field index and outgoing
+/// edges; a terminal carries a decision and no edges.
+struct FddNode {
+  std::size_t field = kTerminalField;  ///< F(v): field index, or terminal
+  Decision decision = kAccept;         ///< label of a terminal node
+  std::vector<FddEdge> edges;          ///< E(v); empty for terminals
+
+  bool is_terminal() const { return field == kTerminalField; }
+
+  /// Makes a terminal node.
+  static std::unique_ptr<FddNode> make_terminal(Decision d);
+  /// Makes a nonterminal node labeled with `field` and no edges yet.
+  static std::unique_ptr<FddNode> make_internal(std::size_t field);
+
+  /// Deep copy (the "subgraph replication" operation, Section 4).
+  std::unique_ptr<FddNode> clone() const;
+
+  /// Union of all outgoing edge labels.
+  IntervalSet edge_label_union() const;
+
+  /// Sorts edges by the smallest value of their label. Labels of a valid
+  /// node are disjoint, so this is a total order.
+  void sort_edges();
+};
+
+/// Deep structural equality: same labels, same decisions, edges compared
+/// in order. Callers normalise edge order first (sort_edges) when order
+/// should not matter.
+bool nodes_equal(const FddNode& a, const FddNode& b);
+
+/// Number of nodes in the subtree rooted at `n` (including `n`).
+std::size_t subtree_node_count(const FddNode& n);
+
+/// Number of root-to-terminal paths in the subtree rooted at `n`.
+std::size_t subtree_path_count(const FddNode& n);
+
+}  // namespace dfw

@@ -1,0 +1,98 @@
+#include "fdd/reduce.hpp"
+
+#include <unordered_map>
+
+namespace dfw {
+namespace {
+
+// 64-bit FNV-1a style combiner for structural subtree hashing.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t hash_set(const IntervalSet& s) {
+  std::uint64_t h = 0x243f6a8885a308d3ull;
+  for (const Interval& iv : s.intervals()) {
+    h = mix(h, iv.lo());
+    h = mix(h, iv.hi());
+  }
+  return h;
+}
+
+// Reduces the subtree in place and returns its structural hash. Hashes let
+// sibling merging bucket candidates instead of comparing all pairs; equal
+// hashes are confirmed with nodes_equal, so collisions cost time, never
+// correctness.
+std::uint64_t reduce_node(const Schema& schema,
+                          std::unique_ptr<FddNode>& slot) {
+  FddNode& node = *slot;
+  if (node.is_terminal()) {
+    return mix(0x452821e638d01377ull, node.decision);
+  }
+  std::vector<std::uint64_t> child_hashes;
+  child_hashes.reserve(node.edges.size());
+  for (FddEdge& e : node.edges) {
+    child_hashes.push_back(reduce_node(schema, e.target));
+  }
+  // Merge sibling edges with structurally identical subtrees. Children are
+  // already reduced (hence canonical), so structural equality coincides
+  // with functional equality.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+  std::vector<bool> dead(node.edges.size(), false);
+  for (std::size_t i = 0; i < node.edges.size(); ++i) {
+    std::vector<std::size_t>& bucket = buckets[child_hashes[i]];
+    bool merged = false;
+    for (const std::size_t j : bucket) {
+      if (nodes_equal(*node.edges[j].target, *node.edges[i].target)) {
+        node.edges[j].label = node.edges[j].label.unite(node.edges[i].label);
+        dead[i] = true;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      bucket.push_back(i);
+    }
+  }
+  std::vector<FddEdge> kept;
+  std::vector<std::uint64_t> kept_hashes;
+  kept.reserve(node.edges.size());
+  for (std::size_t i = 0; i < node.edges.size(); ++i) {
+    if (!dead[i]) {
+      kept.push_back(std::move(node.edges[i]));
+      kept_hashes.push_back(child_hashes[i]);
+    }
+  }
+  node.edges = std::move(kept);
+  node.sort_edges();
+  // Splice out a node whose single edge covers the entire domain: every
+  // packet passes through it unconditionally.
+  if (node.edges.size() == 1 &&
+      node.edges[0].label == IntervalSet(schema.domain(node.field))) {
+    const std::uint64_t child_hash = kept_hashes.front();
+    slot = std::move(node.edges[0].target);
+    return child_hash;
+  }
+  // Hash after sorting so structurally equal nodes hash equally. Labels
+  // and child hashes together determine the subtree.
+  std::uint64_t h = mix(0x13198a2e03707344ull, node.field);
+  for (const FddEdge& e : slot->edges) {
+    h = mix(h, hash_set(e.label));
+  }
+  // kept_hashes is aligned with pre-sort order; recompute child hashes in
+  // sorted order by pairing through the edge vector. Sorting permuted the
+  // edges, so rebuild the aligned list.
+  // (Cheap: hashes were already computed; find by pointer identity.)
+  // Simpler and still collision-safe: mix child hashes unordered.
+  for (const std::uint64_t ch : kept_hashes) {
+    h += ch * 0x9e3779b97f4a7c15ull;  // order-insensitive accumulation
+  }
+  return h;
+}
+
+}  // namespace
+
+void reduce(Fdd& fdd) { reduce_node(fdd.schema(), fdd.root_slot()); }
+
+}  // namespace dfw

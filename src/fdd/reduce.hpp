@@ -1,0 +1,21 @@
+// FDD reduction.
+//
+// The structured-firewall-design pipeline the paper builds on (its ref
+// [12]) reduces an FDD before generating rules from it: sibling edges whose
+// subtrees are functionally identical merge into one edge with the union
+// label, and a node whose lone edge spans its whole domain is spliced out.
+// Reduction shrinks the diagram (fewer paths -> fewer generated rules)
+// without changing its semantics, and is the inverse direction of the
+// shaping operations.
+
+#pragma once
+
+#include "fdd/fdd.hpp"
+
+namespace dfw {
+
+/// Reduces the FDD in place (bottom-up). Semantics preserving; the result
+/// remains a valid ordered FDD, though not necessarily simple.
+void reduce(Fdd& fdd);
+
+}  // namespace dfw

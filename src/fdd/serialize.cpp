@@ -1,0 +1,173 @@
+#include "fdd/serialize.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace dfw {
+namespace {
+
+void emit(const FddNode& node, std::string& out) {
+  if (node.is_terminal()) {
+    out += "T " + std::to_string(node.decision) + "\n";
+    return;
+  }
+  out += "N " + std::to_string(node.field) + " " +
+         std::to_string(node.edges.size()) + "\n";
+  for (const FddEdge& e : node.edges) {
+    out += "E ";
+    const std::vector<Interval>& runs = e.label.intervals();
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      if (i != 0) {
+        out += ",";
+      }
+      out += std::to_string(runs[i].lo()) + ":" +
+             std::to_string(runs[i].hi());
+    }
+    out += "\n";
+    emit(*e.target, out);
+  }
+}
+
+// Line-cursor over the serialized text.
+struct Reader {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+
+  std::string_view next_line() {
+    if (pos > text.size()) {
+      throw std::invalid_argument("deserialize_fdd: unexpected end of input");
+    }
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line;
+    if (nl == std::string_view::npos) {
+      line = text.substr(pos);
+      pos = text.size() + 1;
+    } else {
+      line = text.substr(pos, nl - pos);
+      pos = nl + 1;
+    }
+    ++line_no;
+    return line;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::invalid_argument("deserialize_fdd: line " +
+                                std::to_string(line_no) + ": " + message);
+  }
+};
+
+std::uint64_t parse_number(Reader& r, std::string_view s) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    r.fail("bad number '" + std::string(s) + "'");
+  }
+  return v;
+}
+
+IntervalSet parse_label(Reader& r, std::string_view s) {
+  IntervalSet set;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::string_view item =
+        s.substr(start, comma == std::string_view::npos
+                            ? std::string_view::npos
+                            : comma - start);
+    const std::size_t colon = item.find(':');
+    if (colon == std::string_view::npos) {
+      r.fail("edge label item without ':'");
+    }
+    const std::uint64_t lo = parse_number(r, item.substr(0, colon));
+    const std::uint64_t hi = parse_number(r, item.substr(colon + 1));
+    if (lo > hi) {
+      r.fail("inverted interval in edge label");
+    }
+    set.add(Interval(lo, hi));
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  if (set.empty()) {
+    r.fail("empty edge label");
+  }
+  return set;
+}
+
+std::unique_ptr<FddNode> parse_node(Reader& r) {
+  const std::string_view line = r.next_line();
+  if (line.size() < 2 || line[1] != ' ') {
+    r.fail("expected node line, got '" + std::string(line) + "'");
+  }
+  const std::string_view body = line.substr(2);
+  if (line[0] == 'T') {
+    const std::uint64_t decision = parse_number(r, body);
+    if (decision > UINT16_MAX) {
+      r.fail("decision id out of range");
+    }
+    return FddNode::make_terminal(static_cast<Decision>(decision));
+  }
+  if (line[0] != 'N') {
+    r.fail("expected 'N' or 'T' line");
+  }
+  const std::size_t space = body.find(' ');
+  if (space == std::string_view::npos) {
+    r.fail("node line needs field and edge count");
+  }
+  const std::uint64_t field = parse_number(r, body.substr(0, space));
+  const std::uint64_t edge_count = parse_number(r, body.substr(space + 1));
+  if (edge_count == 0) {
+    r.fail("nonterminal node with zero edges");
+  }
+  auto node = FddNode::make_internal(static_cast<std::size_t>(field));
+  node->edges.reserve(edge_count);
+  for (std::uint64_t e = 0; e < edge_count; ++e) {
+    const std::string_view edge_line = r.next_line();
+    if (edge_line.size() < 2 || edge_line[0] != 'E' || edge_line[1] != ' ') {
+      r.fail("expected edge line");
+    }
+    IntervalSet label = parse_label(r, edge_line.substr(2));
+    node->edges.emplace_back(std::move(label), parse_node(r));
+  }
+  return node;
+}
+
+}  // namespace
+
+std::string serialize_fdd(const Fdd& fdd) {
+  std::string out = "dfdd 1\n";
+  out += "schema " + std::to_string(fdd.schema().field_count()) + "\n";
+  emit(fdd.root(), out);
+  return out;
+}
+
+Fdd deserialize_fdd(const Schema& schema, std::string_view text) {
+  Reader r{text};
+  if (r.next_line() != "dfdd 1") {
+    r.fail("missing 'dfdd 1' header");
+  }
+  const std::string_view schema_line = r.next_line();
+  if (schema_line.substr(0, 7) != "schema ") {
+    r.fail("missing schema line");
+  }
+  const std::uint64_t d = parse_number(r, schema_line.substr(7));
+  if (d != schema.field_count()) {
+    r.fail("schema field count mismatch");
+  }
+  Fdd fdd(schema, parse_node(r));
+  // Trailing garbage (beyond a final newline) is an error.
+  while (r.pos <= text.size()) {
+    const std::string_view line = r.next_line();
+    if (!line.empty()) {
+      r.fail("trailing content after the diagram");
+    }
+  }
+  // Structure checks: ordering, domains, consistency. Completeness is not
+  // required here (partial diagrams are legitimate artifacts).
+  fdd.validate(/*require_complete=*/false);
+  return fdd;
+}
+
+}  // namespace dfw

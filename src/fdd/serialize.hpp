@@ -1,0 +1,35 @@
+// FDD serialization.
+//
+// A compact, line-based text format for saving shaped or reduced diagrams
+// and shipping them between tools (the comparison phase's artifacts —
+// shaped FDDs and corrected FDDs — are worth persisting across the
+// resolution phase). Format, preorder:
+//
+//   dfdd 1                      header: magic + version
+//   schema <d>                  field count (domains come from the caller)
+//   N <field> <edge-count>      nonterminal node
+//   E <lo>:<hi>[,<lo>:<hi>...]  one edge label; its subtree follows
+//   T <decision>                terminal node
+//
+// The caller supplies the Schema on load; the format stores only the
+// structure, and load validates it against the schema (field indices,
+// domain containment, consistency, completeness when requested).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "fdd/fdd.hpp"
+
+namespace dfw {
+
+/// Serializes the diagram. Deterministic: equal FDDs produce equal text.
+std::string serialize_fdd(const Fdd& fdd);
+
+/// Parses a serialized diagram and re-attaches the schema. Throws
+/// std::invalid_argument on syntax errors and std::logic_error when the
+/// structure violates the FDD invariants for this schema.
+Fdd deserialize_fdd(const Schema& schema, std::string_view text);
+
+}  // namespace dfw

@@ -1,0 +1,21 @@
+// Simplification: turning an ordered FDD into a simple FDD.
+//
+// A simple FDD (Definition 4.3) has single-interval edge labels and no
+// shared nodes — an outgoing directed tree. Our FDDs are already trees, so
+// simplification is repeated *edge splitting* (Section 4, basic operation
+// 2): an edge labeled {[a,b], [c,d]} becomes two edges over cloned
+// subtrees. We additionally insert full-domain nodes for fields a path
+// skips (basic operation 1, *node insertion*) and sort sibling edges, so
+// the output satisfies the exact precondition of the shaping algorithm.
+
+#pragma once
+
+#include "fdd/fdd.hpp"
+
+namespace dfw {
+
+/// In-place transformation to a simple FDD. Semantics preserving; after the
+/// call fdd.is_simple() holds. Requires a complete, valid FDD.
+void make_simple(Fdd& fdd);
+
+}  // namespace dfw

@@ -1,0 +1,50 @@
+#include "fdd/stats.hpp"
+
+#include <algorithm>
+
+namespace dfw {
+namespace {
+
+void visit(const FddNode& n, std::size_t depth, FddStats& s) {
+  s.nodes += 1;
+  s.depth = std::max(s.depth, depth + 1);
+  if (n.is_terminal()) {
+    s.terminals += 1;
+    s.paths += 1;
+    return;
+  }
+  s.edges += n.edges.size();
+  for (const FddEdge& e : n.edges) {
+    visit(*e.target, depth + 1, s);
+  }
+}
+
+}  // namespace
+
+FddStats compute_stats(const Fdd& fdd) {
+  FddStats s;
+  visit(fdd.root(), 0, s);
+  return s;
+}
+
+std::size_t theorem1_path_bound(std::size_t n_rules, std::size_t d_fields) {
+  const std::size_t base = 2 * n_rules - 1;
+  std::size_t bound = 1;
+  for (std::size_t i = 0; i < d_fields; ++i) {
+    if (bound > SIZE_MAX / base) {
+      return SIZE_MAX;
+    }
+    bound *= base;
+  }
+  return bound;
+}
+
+std::string to_string(const FddStats& s) {
+  return "nodes=" + std::to_string(s.nodes) +
+         " terminals=" + std::to_string(s.terminals) +
+         " edges=" + std::to_string(s.edges) +
+         " paths=" + std::to_string(s.paths) +
+         " depth=" + std::to_string(s.depth);
+}
+
+}  // namespace dfw

@@ -1,0 +1,29 @@
+// Diagram statistics: size measures used by Theorem 1's bound checks, the
+// benchmarks, and the examples' progress reports.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "fdd/fdd.hpp"
+
+namespace dfw {
+
+struct FddStats {
+  std::size_t nodes = 0;      ///< total node count, root included
+  std::size_t terminals = 0;  ///< terminal-node count
+  std::size_t edges = 0;      ///< total edge count
+  std::size_t paths = 0;      ///< decision-path count (f.rules size)
+  std::size_t depth = 0;      ///< longest root-to-terminal node count
+};
+
+FddStats compute_stats(const Fdd& fdd);
+
+/// Theorem 1's bound on the path count of an FDD constructed from n simple
+/// rules over d fields: (2n-1)^d, saturating at SIZE_MAX.
+std::size_t theorem1_path_bound(std::size_t n_rules, std::size_t d_fields);
+
+std::string to_string(const FddStats& s);
+
+}  // namespace dfw

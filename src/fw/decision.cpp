@@ -1,0 +1,44 @@
+#include "fw/decision.hpp"
+
+#include <stdexcept>
+
+namespace dfw {
+
+DecisionSet::DecisionSet() {
+  names_.emplace_back("accept");
+  names_.emplace_back("discard");
+}
+
+Decision DecisionSet::add(std::string_view name) {
+  if (auto existing = find(name)) {
+    return *existing;
+  }
+  if (names_.size() > UINT16_MAX) {
+    throw std::length_error("DecisionSet: too many decisions");
+  }
+  names_.emplace_back(name);
+  return static_cast<Decision>(names_.size() - 1);
+}
+
+std::optional<Decision> DecisionSet::find(std::string_view name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return static_cast<Decision>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+const std::string& DecisionSet::name(Decision d) const {
+  if (d >= names_.size()) {
+    throw std::out_of_range("DecisionSet::name: unknown decision id");
+  }
+  return names_[d];
+}
+
+const DecisionSet& default_decisions() {
+  static const DecisionSet instance;
+  return instance;
+}
+
+}  // namespace dfw

@@ -1,0 +1,53 @@
+// Rule decisions.
+//
+// The paper's decision set DS (Section 2) commonly holds accept, discard,
+// accept-with-logging, and discard-with-logging, but the method "can support
+// any number of decisions". We model a decision as a small integer id with a
+// registry of printable names so user-defined decisions compose with every
+// algorithm unchanged.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dfw {
+
+/// Identifier of a decision within a DecisionSet.
+using Decision = std::uint16_t;
+
+/// The built-in decisions every DecisionSet starts with.
+inline constexpr Decision kAccept = 0;
+inline constexpr Decision kDiscard = 1;
+
+/// A registry of decision names. Ids are dense and stable; 0 is "accept"
+/// and 1 is "discard" by construction.
+class DecisionSet {
+ public:
+  /// Creates a set with the two built-in decisions.
+  DecisionSet();
+
+  /// Registers a new decision (e.g. "accept_log"); returns its id.
+  /// Registering an existing name returns the existing id.
+  Decision add(std::string_view name);
+
+  /// Looks a name up; nullopt if unknown.
+  std::optional<Decision> find(std::string_view name) const;
+
+  /// Name of an id; requires d < size().
+  const std::string& name(Decision d) const;
+
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// A shared default set holding exactly accept/discard — sufficient for the
+/// paper's running example and most tests.
+const DecisionSet& default_decisions();
+
+}  // namespace dfw

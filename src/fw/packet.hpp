@@ -1,0 +1,17 @@
+// Packets.
+//
+// A packet over fields F_1 ... F_d is a d-tuple (p_1, ..., p_d) with each
+// p_i in D(F_i) (paper, Section 3.1). We keep it as a plain value vector;
+// schema conformance is checked where packets enter the library.
+
+#pragma once
+
+#include <vector>
+
+#include "net/interval.hpp"
+
+namespace dfw {
+
+using Packet = std::vector<Value>;
+
+}  // namespace dfw

@@ -1,0 +1,54 @@
+// Text format for firewall policies.
+//
+// One rule per line:
+//
+//   <decision> [<field>=<spec> ...]     # trailing comment
+//
+// where <spec> is a comma-separated union of atoms and an atom is
+//   *                        the whole domain (same as omitting the field)
+//   42                       a single value
+//   10-20                    an inclusive integer range
+//   192.168.0.1              an IPv4 host          (kIpv4 fields)
+//   224.168.0.0/16           a CIDR prefix         (kIpv4 fields)
+//   10.0.0.0-10.0.0.255      an IPv4 range         (kIpv4 fields)
+//   tcp | udp | icmp         protocol mnemonics    (kProtocol fields)
+//
+// Omitted fields default to their full domain, matching the paper's
+// "F in all" shorthand (Section 3.1). Blank lines and '#' comments are
+// ignored. Example (Team B's firewall, Table 2):
+//
+//   discard I=0 S=224.168.0.0/16
+//   accept  I=0 D=192.168.0.1 N=25 P=tcp
+//   discard I=0 D=192.168.0.1
+//   accept
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "fw/policy.hpp"
+
+namespace dfw {
+
+/// Thrown on malformed input; what() carries line number and cause.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses a whole policy (one rule per line).
+Policy parse_policy(const Schema& schema, const DecisionSet& decisions,
+                    std::string_view text);
+
+/// Parses a single rule line (no comments/blank allowed).
+Rule parse_rule(const Schema& schema, const DecisionSet& decisions,
+                std::string_view line);
+
+}  // namespace dfw

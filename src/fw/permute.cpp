@@ -1,0 +1,71 @@
+#include "fw/permute.hpp"
+
+#include <stdexcept>
+
+namespace dfw {
+namespace {
+
+void check_permutation(std::size_t d, const std::vector<std::size_t>& order) {
+  if (order.size() != d) {
+    throw std::invalid_argument("permute: order size != field count");
+  }
+  std::vector<bool> seen(d, false);
+  for (const std::size_t i : order) {
+    if (i >= d || seen[i]) {
+      throw std::invalid_argument("permute: order is not a permutation");
+    }
+    seen[i] = true;
+  }
+}
+
+}  // namespace
+
+Schema permute_schema(const Schema& schema,
+                      const std::vector<std::size_t>& order) {
+  check_permutation(schema.field_count(), order);
+  std::vector<Field> fields;
+  fields.reserve(order.size());
+  for (const std::size_t i : order) {
+    fields.push_back(schema.field(i));
+  }
+  return Schema(std::move(fields));
+}
+
+Policy permute_policy(const Policy& policy,
+                      const std::vector<std::size_t>& order) {
+  const Schema permuted = permute_schema(policy.schema(), order);
+  std::vector<Rule> rules;
+  rules.reserve(policy.size());
+  for (const Rule& rule : policy.rules()) {
+    std::vector<IntervalSet> conjuncts;
+    conjuncts.reserve(order.size());
+    for (const std::size_t i : order) {
+      conjuncts.push_back(rule.conjunct(i));
+    }
+    rules.emplace_back(permuted, std::move(conjuncts), rule.decision());
+  }
+  return Policy(permuted, std::move(rules));
+}
+
+Packet permute_packet(const Packet& packet,
+                      const std::vector<std::size_t>& order) {
+  check_permutation(packet.size(), order);
+  Packet out;
+  out.reserve(order.size());
+  for (const std::size_t i : order) {
+    out.push_back(packet[i]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> inverse_order(
+    const std::vector<std::size_t>& order) {
+  check_permutation(order.size(), order);
+  std::vector<std::size_t> inverse(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    inverse[order[i]] = i;
+  }
+  return inverse;
+}
+
+}  // namespace dfw

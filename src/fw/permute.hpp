@@ -1,0 +1,39 @@
+// Field-order permutation (paper, Section 7.2).
+//
+// The shaping algorithm requires both FDDs to be ordered by the same field
+// order. When teams design over different orders — e.g. one team's FDD
+// tests destination address first — the paper's recipe is: generate an
+// equivalent rule sequence from one design, then construct an ordered FDD
+// from it using the other's field order. Permuting a policy's schema is
+// the substrate of that recipe: rules are order-insensitive conjunctions,
+// so reordering fields preserves semantics exactly.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fw/policy.hpp"
+
+namespace dfw {
+
+/// Returns the schema with fields reordered so that new field i is old
+/// field order[i]. `order` must be a permutation of [0, d).
+Schema permute_schema(const Schema& schema,
+                      const std::vector<std::size_t>& order);
+
+/// Returns the policy over the permuted schema; packet p in the original
+/// schema corresponds to the permuted packet q with q[i] = p[order[i]],
+/// and decisions are preserved under that bijection.
+Policy permute_policy(const Policy& policy,
+                      const std::vector<std::size_t>& order);
+
+/// Reorders a packet from the original schema into the permuted one.
+Packet permute_packet(const Packet& packet,
+                      const std::vector<std::size_t>& order);
+
+/// The inverse permutation: permute_policy(p, order) composed with
+/// permute_policy(..., inverse_order(order)) is the identity.
+std::vector<std::size_t> inverse_order(const std::vector<std::size_t>& order);
+
+}  // namespace dfw

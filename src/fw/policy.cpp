@@ -1,0 +1,83 @@
+#include "fw/policy.hpp"
+
+#include <stdexcept>
+
+namespace dfw {
+
+Policy::Policy(Schema schema, std::vector<Rule> rules)
+    : schema_(std::move(schema)), rules_(std::move(rules)) {
+  if (rules_.empty()) {
+    throw std::invalid_argument("Policy: at least one rule required");
+  }
+  for (const Rule& r : rules_) {
+    if (r.conjuncts().size() != schema_.field_count()) {
+      throw std::invalid_argument("Policy: rule arity != schema arity");
+    }
+  }
+}
+
+Decision Policy::evaluate(const Packet& p) const {
+  if (auto idx = first_match(p)) {
+    return rules_[*idx].decision();
+  }
+  throw std::logic_error("Policy::evaluate: no rule matches (policy not comprehensive)");
+}
+
+std::optional<std::size_t> Policy::first_match(const Packet& p) const {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].matches(p)) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Policy::last_rule_is_catch_all() const {
+  const Rule& last = rules_.back();
+  for (std::size_t i = 0; i < schema_.field_count(); ++i) {
+    if (last.conjunct(i) != IntervalSet(schema_.domain(i))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Policy::insert(std::size_t index, Rule rule) {
+  if (index > rules_.size()) {
+    throw std::out_of_range("Policy::insert: index out of range");
+  }
+  rules_.insert(rules_.begin() + static_cast<std::ptrdiff_t>(index),
+                std::move(rule));
+}
+
+void Policy::erase(std::size_t index) {
+  if (index >= rules_.size()) {
+    throw std::out_of_range("Policy::erase: index out of range");
+  }
+  if (rules_.size() == 1) {
+    throw std::logic_error("Policy::erase: cannot remove the only rule");
+  }
+  rules_.erase(rules_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+void Policy::replace(std::size_t index, Rule rule) {
+  if (index >= rules_.size()) {
+    throw std::out_of_range("Policy::replace: index out of range");
+  }
+  rules_[index] = std::move(rule);
+}
+
+void Policy::move(std::size_t from, std::size_t to) {
+  if (from >= rules_.size() || to >= rules_.size()) {
+    throw std::out_of_range("Policy::move: index out of range");
+  }
+  if (from == to) {
+    return;
+  }
+  Rule r = rules_[from];
+  rules_.erase(rules_.begin() + static_cast<std::ptrdiff_t>(from));
+  rules_.insert(rules_.begin() + static_cast<std::ptrdiff_t>(to),
+                std::move(r));
+}
+
+}  // namespace dfw

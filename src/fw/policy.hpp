@@ -1,0 +1,59 @@
+// Firewall policies: ordered rule sequences with first-match semantics.
+//
+// "A firewall f over the d fields F_1 ... F_d is a sequence of firewall
+// rules ... the decision for a packet p is the decision of the first rule
+// that p matches" (paper, Section 3.1). A sequence must be comprehensive to
+// serve as a firewall; Policy checks and reports that.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fw/rule.hpp"
+#include "fw/schema.hpp"
+
+namespace dfw {
+
+/// A firewall policy: a schema plus an ordered, nonempty rule list.
+class Policy {
+ public:
+  /// Constructs a policy. Rules must be nonempty; comprehensiveness is NOT
+  /// required here (use is_comprehensive(), or evaluate() which throws on a
+  /// fall-through) so that in-progress edits can be represented.
+  Policy(Schema schema, std::vector<Rule> rules);
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Rule>& rules() const { return rules_; }
+  const Rule& rule(std::size_t i) const { return rules_.at(i); }
+  std::size_t size() const { return rules_.size(); }
+
+  /// First-match evaluation f(p). Throws std::logic_error if no rule
+  /// matches (the sequence was not comprehensive).
+  Decision evaluate(const Packet& p) const;
+
+  /// Index of the first matching rule, or nullopt on fall-through.
+  std::optional<std::size_t> first_match(const Packet& p) const;
+
+  /// True iff the last rule is a catch-all (the standard way the paper
+  /// ensures comprehensiveness, Section 3.1). This is a sufficient,
+  /// syntactic check; semantic comprehensiveness is checked via FDDs.
+  bool last_rule_is_catch_all() const;
+
+  // --- edit operations (used by change-impact analysis, Section 1.3) ---
+
+  /// Inserts `rule` so that it becomes rules()[index]; index <= size().
+  void insert(std::size_t index, Rule rule);
+  /// Removes rules()[index]; index < size().
+  void erase(std::size_t index);
+  /// Replaces rules()[index]; index < size().
+  void replace(std::size_t index, Rule rule);
+  /// Moves the rule at `from` so that it ends up at position `to`.
+  void move(std::size_t from, std::size_t to);
+
+ private:
+  Schema schema_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace dfw

@@ -1,0 +1,51 @@
+// Firewall rules.
+//
+// A rule is <predicate> -> <decision> where the predicate is a conjunction
+// F_1 in S_1 ^ ... ^ F_d in S_d (paper, Section 3.1). Each S_i is stored as
+// an IntervalSet over D(F_i); a rule is "simple" when every S_i is a single
+// interval, which is the common deployable form and the form Theorem 1 and
+// the synthetic generator use.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fw/decision.hpp"
+#include "fw/packet.hpp"
+#include "fw/schema.hpp"
+#include "net/interval_set.hpp"
+
+namespace dfw {
+
+/// One firewall rule: d conjuncts plus a decision.
+class Rule {
+ public:
+  /// Constructs a rule; `conjuncts` must have one nonempty set per schema
+  /// field, each within the field's domain (validated).
+  Rule(const Schema& schema, std::vector<IntervalSet> conjuncts,
+       Decision decision);
+
+  /// Convenience: the catch-all rule F_i in D(F_i) for all i.
+  static Rule catch_all(const Schema& schema, Decision decision);
+
+  const std::vector<IntervalSet>& conjuncts() const { return conjuncts_; }
+  const IntervalSet& conjunct(std::size_t i) const { return conjuncts_[i]; }
+  Decision decision() const { return decision_; }
+  void set_decision(Decision d) { decision_ = d; }
+
+  /// First-match semantics building block: does packet p satisfy every
+  /// conjunct? Requires p.size() == d.
+  bool matches(const Packet& p) const;
+
+  /// A rule is simple iff every conjunct is one interval (Section 3.1).
+  bool is_simple() const;
+
+  friend bool operator==(const Rule&, const Rule&) = default;
+
+ private:
+  std::vector<IntervalSet> conjuncts_;
+  Decision decision_;
+};
+
+}  // namespace dfw

@@ -1,0 +1,100 @@
+#include "gen/generate.hpp"
+
+#include "fdd/reduce.hpp"
+
+namespace dfw {
+namespace {
+
+// Number of rules gen() would emit for this subtree.
+std::size_t rule_cost(const FddNode& n) {
+  if (n.is_terminal()) {
+    return 1;
+  }
+  std::size_t total = 0;
+  for (const FddEdge& e : n.edges) {
+    total += rule_cost(*e.target);
+  }
+  return total;
+}
+
+// Emits rules for the subtree under `node` given the constraints
+// accumulated so far. The default (last-emitted) branch leaves its field
+// unconstrained; correctness rests on the earlier, explicitly-constrained
+// rules having carved out every other branch's packets.
+void gen(const Schema& schema, const FddNode& node,
+         std::vector<IntervalSet>& conjuncts, std::vector<Rule>& out) {
+  if (node.is_terminal()) {
+    out.emplace_back(schema, conjuncts, node.decision);
+    return;
+  }
+  // Elect the default branch: highest rule cost, ties broken toward the
+  // larger value region (the "everything else" branch human authors would
+  // leave for last, and the one most likely to be absorbed by an outer
+  // default during redundancy removal).
+  std::size_t default_edge = 0;
+  std::size_t best_cost = 0;
+  Value best_width = 0;
+  for (std::size_t i = 0; i < node.edges.size(); ++i) {
+    const std::size_t cost = rule_cost(*node.edges[i].target);
+    const Value width = node.edges[i].label.size();
+    if (cost > best_cost || (cost == best_cost && width > best_width)) {
+      best_cost = cost;
+      best_width = width;
+      default_edge = i;
+    }
+  }
+  for (std::size_t i = 0; i < node.edges.size(); ++i) {
+    if (i == default_edge) {
+      continue;
+    }
+    conjuncts[node.field] = node.edges[i].label;
+    gen(schema, *node.edges[i].target, conjuncts, out);
+  }
+  conjuncts[node.field] = IntervalSet(schema.domain(node.field));
+  gen(schema, *node.edges[default_edge].target, conjuncts, out);
+}
+
+}  // namespace
+
+Policy generate_disjoint_policy(const Fdd& fdd, Decision fallback,
+                                bool reduce_first) {
+  const Schema& schema = fdd.schema();
+  std::vector<Rule> rules;
+  const auto emit_paths = [&](const Fdd& diagram) {
+    diagram.for_each_path(
+        [&](const std::vector<IntervalSet>& conjuncts, Decision decision) {
+          if (decision != fallback) {
+            rules.emplace_back(schema, conjuncts, decision);
+          }
+        });
+  };
+  if (reduce_first) {
+    Fdd reduced = fdd.clone();
+    reduce(reduced);
+    emit_paths(reduced);
+  } else {
+    emit_paths(fdd);
+  }
+  rules.push_back(Rule::catch_all(schema, fallback));
+  return Policy(schema, std::move(rules));
+}
+
+Policy generate_policy(const Fdd& fdd, bool reduce_first) {
+  const Schema& schema = fdd.schema();
+  std::vector<IntervalSet> conjuncts;
+  conjuncts.reserve(schema.field_count());
+  for (std::size_t i = 0; i < schema.field_count(); ++i) {
+    conjuncts.emplace_back(schema.domain(i));
+  }
+  std::vector<Rule> rules;
+  if (reduce_first) {
+    Fdd reduced = fdd.clone();
+    reduce(reduced);
+    gen(schema, reduced.root(), conjuncts, rules);
+  } else {
+    gen(schema, fdd.root(), conjuncts, rules);
+  }
+  return Policy(schema, std::move(rules));
+}
+
+}  // namespace dfw

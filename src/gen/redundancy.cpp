@@ -1,0 +1,66 @@
+#include "gen/redundancy.hpp"
+
+#include <stdexcept>
+
+#include "fdd/compare.hpp"
+#include "fdd/construct.hpp"
+
+namespace dfw {
+namespace {
+
+Policy without_rule(const Policy& policy, std::size_t index) {
+  std::vector<Rule> rules = policy.rules();
+  rules.erase(rules.begin() + static_cast<std::ptrdiff_t>(index));
+  return Policy(policy.schema(), std::move(rules));
+}
+
+}  // namespace
+
+bool is_redundant(const Policy& policy, std::size_t index) {
+  if (index >= policy.size()) {
+    throw std::out_of_range("is_redundant: index out of range");
+  }
+  if (policy.size() < 2) {
+    return false;  // the only rule of a policy is never removable
+  }
+  // Removing the final catch-all can make the rest non-comprehensive, in
+  // which case it is certainly not redundant; detect that cheaply first.
+  const Policy candidate = without_rule(policy, index);
+  Fdd rest = [&] {
+    Fdd f = build_reduced_fdd(candidate);
+    return f;
+  }();
+  try {
+    rest.validate();
+  } catch (const std::logic_error&) {
+    return false;  // candidate not comprehensive -> mapping changed
+  }
+  return equivalent(policy, candidate);
+}
+
+std::vector<std::size_t> redundant_rules(const Policy& policy) {
+  std::vector<std::size_t> result;
+  for (std::size_t i = 0; i < policy.size(); ++i) {
+    if (is_redundant(policy, i)) {
+      result.push_back(i);
+    }
+  }
+  return result;
+}
+
+Policy remove_redundant(const Policy& policy) {
+  Policy current = policy;
+  bool removed = true;
+  while (removed) {
+    removed = false;
+    for (std::size_t i = current.size(); i-- > 0;) {
+      if (current.size() >= 2 && is_redundant(current, i)) {
+        current = without_rule(current, i);
+        removed = true;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace dfw

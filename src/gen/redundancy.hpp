@@ -1,0 +1,35 @@
+// Redundant-rule detection and removal (the paper's ref [19], "Complete
+// Redundancy Detection in Firewalls"), used by discrepancy-resolution
+// method 2 (Section 6.2).
+//
+// A rule is redundant iff removing it does not change the firewall's
+// mapping from packets to decisions. We decide that definitionally with an
+// FDD equivalence check per candidate, and remove greedily back to front,
+// re-checking against the shrinking policy so the final sequence has no
+// redundant rule left (a maximal removal set).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fw/policy.hpp"
+
+namespace dfw {
+
+/// True iff rules()[index] is redundant in `policy` — removing it leaves
+/// the packet-to-decision mapping unchanged. Requires a comprehensive
+/// policy with at least two rules and index < size().
+bool is_redundant(const Policy& policy, std::size_t index);
+
+/// Indices (ascending) of rules redundant *in the original policy*, each
+/// tested independently. Note removing several at once is not always
+/// sound; use remove_redundant for that.
+std::vector<std::size_t> redundant_rules(const Policy& policy);
+
+/// Returns an equivalent policy from which redundant rules have been
+/// removed greedily (back to front, re-testing after each removal) until
+/// none remains.
+Policy remove_redundant(const Policy& policy);
+
+}  // namespace dfw

@@ -1,0 +1,78 @@
+#include "impact/impact.hpp"
+
+#include <algorithm>
+
+#include "diverse/discrepancy.hpp"
+
+namespace dfw {
+
+ImpactKind classify_impact(Decision before, Decision after) {
+  if (before == kDiscard && after == kAccept) {
+    return ImpactKind::kNowAccepted;
+  }
+  if (before == kAccept && after == kDiscard) {
+    return ImpactKind::kNowDiscarded;
+  }
+  return ImpactKind::kOtherChange;
+}
+
+std::vector<Impact> change_impact(const Policy& before,
+                                  const Policy& after) {
+  std::vector<Discrepancy> diffs = discrepancies(before, after);
+  std::vector<Impact> impacts;
+  impacts.reserve(diffs.size());
+  for (Discrepancy& d : diffs) {
+    Impact impact;
+    impact.kind = classify_impact(d.decisions[0], d.decisions[1]);
+    impact.packet_count = discrepancy_packet_count(d);
+    impact.discrepancy = std::move(d);
+    impacts.push_back(std::move(impact));
+  }
+  std::stable_sort(impacts.begin(), impacts.end(),
+                   [](const Impact& a, const Impact& b) {
+                     return a.packet_count > b.packet_count;
+                   });
+  return impacts;
+}
+
+bool is_semantics_preserving(const Policy& before, const Policy& after) {
+  return equivalent(before, after);
+}
+
+std::string format_impact_report(const Schema& schema,
+                                 const DecisionSet& decisions,
+                                 const std::vector<Impact>& impacts) {
+  if (impacts.empty()) {
+    return "change impact: none (semantics preserved)\n";
+  }
+  std::size_t now_accepted = 0;
+  std::size_t now_discarded = 0;
+  std::string body;
+  for (const Impact& impact : impacts) {
+    const char* tag = "changed";
+    switch (impact.kind) {
+      case ImpactKind::kNowAccepted:
+        tag = "NOW-ACCEPTED";
+        ++now_accepted;
+        break;
+      case ImpactKind::kNowDiscarded:
+        tag = "NOW-DISCARDED";
+        ++now_discarded;
+        break;
+      case ImpactKind::kOtherChange:
+        break;
+    }
+    body += "  [" + std::string(tag) + ", " +
+            std::to_string(impact.packet_count) + " packets] " +
+            format_discrepancy(schema, decisions, impact.discrepancy,
+                               {"before", "after"}) +
+            "\n";
+  }
+  std::string out = "change impact: " + std::to_string(impacts.size()) +
+                    " traffic classes (" + std::to_string(now_accepted) +
+                    " newly accepted, " + std::to_string(now_discarded) +
+                    " newly discarded)\n";
+  return out + body;
+}
+
+}  // namespace dfw

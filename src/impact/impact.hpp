@@ -1,0 +1,51 @@
+// Firewall change-impact analysis (paper, Sections 1.3 and 8.1).
+//
+// "The impact of the changes can literally be defined as the functional
+// discrepancies between the firewall before changes and the firewall after
+// changes." This module wraps the comparison pipeline in an edit-centric
+// API: apply edits, compute the impact, classify each impacted predicate
+// by what happened to its traffic (newly accepted, newly discarded, other
+// decision change), and render an administrator-facing report.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fdd/compare.hpp"
+#include "fw/policy.hpp"
+
+namespace dfw {
+
+/// Direction of a decision change, from a security standpoint.
+enum class ImpactKind {
+  kNowAccepted,   ///< was discarded, now accepted: potential new hole
+  kNowDiscarded,  ///< was accepted, now discarded: potential outage
+  kOtherChange,   ///< change among user-defined decisions (e.g. logging)
+};
+
+/// One impacted traffic class.
+struct Impact {
+  Discrepancy discrepancy;  ///< decisions[0] = before, decisions[1] = after
+  ImpactKind kind = ImpactKind::kOtherChange;
+  Value packet_count = 0;   ///< saturating number of packets affected
+};
+
+/// Classifies a before/after decision pair. Treats kAccept/kDiscard as the
+/// security-relevant axis; everything else is kOtherChange.
+ImpactKind classify_impact(Decision before, Decision after);
+
+/// Computes the full impact of replacing `before` with `after`; both must
+/// be comprehensive policies over the same schema. Results are ordered by
+/// decreasing packet count (biggest blast radius first).
+std::vector<Impact> change_impact(const Policy& before, const Policy& after);
+
+/// True when the change is a pure refactoring: no packet changes decision.
+bool is_semantics_preserving(const Policy& before, const Policy& after);
+
+/// Renders an administrator-facing report of change_impact().
+std::string format_impact_report(const Schema& schema,
+                                 const DecisionSet& decisions,
+                                 const std::vector<Impact>& impacts);
+
+}  // namespace dfw

@@ -1,0 +1,103 @@
+#include "impact/rule_diff.hpp"
+
+#include <stdexcept>
+
+#include "fw/format.hpp"
+
+namespace dfw {
+
+std::vector<RuleEdit> rule_diff(const Policy& before, const Policy& after) {
+  if (!(before.schema() == after.schema())) {
+    throw std::invalid_argument("rule_diff: schemas differ");
+  }
+  const std::size_t n = before.size();
+  const std::size_t m = after.size();
+  // lcs[i][j] = LCS length of before[i..] and after[j..].
+  std::vector<std::vector<std::size_t>> lcs(
+      n + 1, std::vector<std::size_t>(m + 1, 0));
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t j = m; j-- > 0;) {
+      if (before.rule(i) == after.rule(j)) {
+        lcs[i][j] = lcs[i + 1][j + 1] + 1;
+      } else {
+        lcs[i][j] = std::max(lcs[i + 1][j], lcs[i][j + 1]);
+      }
+    }
+  }
+  std::vector<RuleEdit> edits;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < n && j < m) {
+    if (before.rule(i) == after.rule(j)) {
+      edits.push_back({EditKind::kKeep, i, j});
+      ++i;
+      ++j;
+    } else if (lcs[i + 1][j] >= lcs[i][j + 1]) {
+      edits.push_back({EditKind::kDelete, i, 0});
+      ++i;
+    } else {
+      edits.push_back({EditKind::kInsert, 0, j});
+      ++j;
+    }
+  }
+  for (; i < n; ++i) {
+    edits.push_back({EditKind::kDelete, i, 0});
+  }
+  for (; j < m; ++j) {
+    edits.push_back({EditKind::kInsert, 0, j});
+  }
+  return edits;
+}
+
+EditSummary summarize_edits(const std::vector<RuleEdit>& edits) {
+  EditSummary summary;
+  for (const RuleEdit& e : edits) {
+    switch (e.kind) {
+      case EditKind::kKeep:
+        ++summary.kept;
+        break;
+      case EditKind::kDelete:
+        ++summary.deleted;
+        break;
+      case EditKind::kInsert:
+        ++summary.inserted;
+        break;
+    }
+  }
+  return summary;
+}
+
+std::string format_edit_script(const Policy& before, const Policy& after,
+                               const DecisionSet& decisions,
+                               const std::vector<RuleEdit>& edits) {
+  const EditSummary summary = summarize_edits(edits);
+  std::string out = "rule edits: " + std::to_string(summary.inserted) +
+                    " inserted, " + std::to_string(summary.deleted) +
+                    " deleted, " + std::to_string(summary.kept) +
+                    " unchanged\n";
+  for (const RuleEdit& e : edits) {
+    switch (e.kind) {
+      case EditKind::kKeep:
+        out += "  " +
+               format_rule(before.schema(), decisions,
+                           before.rule(e.before_index)) +
+               "\n";
+        break;
+      case EditKind::kDelete:
+        out += "- " +
+               format_rule(before.schema(), decisions,
+                           before.rule(e.before_index)) +
+               "\n";
+        break;
+      case EditKind::kInsert:
+        out += "+ " +
+               format_rule(after.schema(), decisions,
+                           after.rule(e.after_index)) +
+               "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dfw

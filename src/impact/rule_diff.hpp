@@ -1,0 +1,53 @@
+// Rule-level edit scripts.
+//
+// Change-impact analysis (Section 1.3) answers *what traffic* changed;
+// administrators also ask *which rules* changed. This module computes a
+// minimal textual edit script between two rule sequences — a longest-
+// common-subsequence diff over whole rules — so a change report can say
+// "rule 4 was inserted, old rule 7 deleted" next to the semantic impact.
+// The two views intentionally differ: a reorder of non-conflicting rules
+// is a textual edit with zero semantic impact, and the pair of reports
+// makes that visible (the property the migration_audit example shows off).
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fw/policy.hpp"
+
+namespace dfw {
+
+enum class EditKind {
+  kKeep,    ///< rule present in both sequences
+  kDelete,  ///< rule only in `before`
+  kInsert,  ///< rule only in `after`
+};
+
+/// One entry of the edit script, in output order. `before_index` is set
+/// for kKeep/kDelete, `after_index` for kKeep/kInsert.
+struct RuleEdit {
+  EditKind kind;
+  std::size_t before_index = 0;
+  std::size_t after_index = 0;
+};
+
+/// LCS-based minimal edit script between the two rule sequences. Policies
+/// must share a schema. O(n*m) time and space.
+std::vector<RuleEdit> rule_diff(const Policy& before, const Policy& after);
+
+/// Counts of each edit kind, for summaries.
+struct EditSummary {
+  std::size_t kept = 0;
+  std::size_t deleted = 0;
+  std::size_t inserted = 0;
+};
+EditSummary summarize_edits(const std::vector<RuleEdit>& edits);
+
+/// Renders a unified-diff-style listing (' ' keep, '-' delete, '+' insert).
+std::string format_edit_script(const Policy& before, const Policy& after,
+                               const DecisionSet& decisions,
+                               const std::vector<RuleEdit>& edits);
+
+}  // namespace dfw

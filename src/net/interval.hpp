@@ -1,0 +1,78 @@
+// Closed integer intervals over uint64_t values.
+//
+// Intervals are the atomic geometry of the whole library: every firewall-rule
+// predicate conjunct, every FDD edge label, and every discrepancy report is
+// built from them (paper, Section 3.1). An interval [lo, hi] contains every
+// value v with lo <= v <= hi; it is never empty.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace dfw {
+
+using Value = std::uint64_t;
+
+/// A nonempty closed interval [lo, hi] of uint64_t values.
+///
+/// Invariant: lo <= hi. The constructor throws std::invalid_argument on a
+/// violated invariant so that an empty interval can never be observed.
+class Interval {
+ public:
+  /// Constructs [lo, hi]; requires lo <= hi.
+  constexpr Interval(Value lo, Value hi) : lo_(lo), hi_(hi) {
+    if (lo > hi) {
+      throw std::invalid_argument("Interval: lo > hi");
+    }
+  }
+
+  /// Constructs the singleton interval [v, v].
+  static constexpr Interval point(Value v) { return Interval(v, v); }
+
+  constexpr Value lo() const { return lo_; }
+  constexpr Value hi() const { return hi_; }
+
+  /// Number of values in the interval. Saturates at UINT64_MAX for the
+  /// full 64-bit domain (whose true size, 2^64, is not representable).
+  constexpr Value size() const {
+    const Value span = hi_ - lo_;
+    return span == UINT64_MAX ? UINT64_MAX : span + 1;
+  }
+
+  constexpr bool contains(Value v) const { return lo_ <= v && v <= hi_; }
+  constexpr bool contains(const Interval& other) const {
+    return lo_ <= other.lo_ && other.hi_ <= hi_;
+  }
+  constexpr bool overlaps(const Interval& other) const {
+    return lo_ <= other.hi_ && other.lo_ <= hi_;
+  }
+
+  /// Intersection, or nullopt when the intervals are disjoint.
+  std::optional<Interval> intersect(const Interval& other) const;
+
+  /// True when `this` and `other` are adjacent or overlapping, i.e. their
+  /// union is a single interval.
+  bool mergeable(const Interval& other) const;
+
+  /// Union of two mergeable intervals; requires mergeable(other).
+  Interval merge(const Interval& other) const;
+
+  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+
+  /// Total order by (lo, hi); disjoint intervals sort by position.
+  friend constexpr bool operator<(const Interval& a, const Interval& b) {
+    return a.lo_ != b.lo_ ? a.lo_ < b.lo_ : a.hi_ < b.hi_;
+  }
+
+  /// Renders "[lo, hi]", or "[v]" for singletons.
+  std::string to_string() const;
+
+ private:
+  Value lo_;
+  Value hi_;
+};
+
+}  // namespace dfw

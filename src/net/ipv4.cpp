@@ -1,0 +1,44 @@
+#include "net/ipv4.hpp"
+
+namespace dfw {
+
+std::optional<std::uint32_t> parse_ipv4(std::string_view text) {
+  std::uint32_t addr = 0;
+  int octets = 0;
+  std::size_t i = 0;
+  while (octets < 4) {
+    if (i >= text.size() || text[i] < '0' || text[i] > '9') {
+      return std::nullopt;
+    }
+    std::uint32_t octet = 0;
+    std::size_t digits = 0;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+      octet = octet * 10 + static_cast<std::uint32_t>(text[i] - '0');
+      if (octet > 255 || ++digits > 3) {
+        return std::nullopt;
+      }
+      ++i;
+    }
+    addr = (addr << 8) | octet;
+    ++octets;
+    if (octets < 4) {
+      if (i >= text.size() || text[i] != '.') {
+        return std::nullopt;
+      }
+      ++i;
+    }
+  }
+  if (i != text.size()) {
+    return std::nullopt;
+  }
+  return addr;
+}
+
+std::string format_ipv4(std::uint32_t addr) {
+  return std::to_string((addr >> 24) & 0xff) + "." +
+         std::to_string((addr >> 16) & 0xff) + "." +
+         std::to_string((addr >> 8) & 0xff) + "." +
+         std::to_string(addr & 0xff);
+}
+
+}  // namespace dfw

@@ -1,0 +1,222 @@
+#include "net/ipv6.hpp"
+
+#include <array>
+#include <vector>
+
+namespace dfw {
+namespace {
+
+// Parses one hex group "0".."ffff"; nullopt on bad syntax.
+std::optional<std::uint32_t> parse_group(std::string_view s) {
+  if (s.empty() || s.size() > 4) {
+    return std::nullopt;
+  }
+  std::uint32_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<std::uint32_t>(c - 'A' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return v;
+}
+
+// Splits on ':' keeping empty pieces (which mark the '::' position).
+std::vector<std::string_view> split_groups(std::string_view s) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t colon = s.find(':', start);
+    if (colon == std::string_view::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, colon - start));
+    start = colon + 1;
+  }
+  return parts;
+}
+
+std::uint64_t low_mask64(int free_bits) {
+  if (free_bits >= 64) {
+    return UINT64_MAX;
+  }
+  return free_bits <= 0 ? 0 : ((std::uint64_t{1} << free_bits) - 1);
+}
+
+}  // namespace
+
+std::optional<Ipv6> parse_ipv6(std::string_view text) {
+  // Locate "::" (at most one).
+  const std::size_t gap = text.find("::");
+  if (gap != std::string_view::npos &&
+      text.find("::", gap + 1) != std::string_view::npos) {
+    return std::nullopt;
+  }
+  std::array<std::uint32_t, 8> groups{};
+  if (gap == std::string_view::npos) {
+    const std::vector<std::string_view> parts = split_groups(text);
+    if (parts.size() != 8) {
+      return std::nullopt;
+    }
+    for (std::size_t i = 0; i < 8; ++i) {
+      const auto g = parse_group(parts[i]);
+      if (!g) {
+        return std::nullopt;
+      }
+      groups[i] = *g;
+    }
+  } else {
+    const std::string_view head = text.substr(0, gap);
+    const std::string_view tail = text.substr(gap + 2);
+    std::vector<std::string_view> head_parts =
+        head.empty() ? std::vector<std::string_view>{} : split_groups(head);
+    std::vector<std::string_view> tail_parts =
+        tail.empty() ? std::vector<std::string_view>{} : split_groups(tail);
+    if (head_parts.size() + tail_parts.size() > 7) {
+      return std::nullopt;  // "::" must cover at least one zero group
+    }
+    for (std::size_t i = 0; i < head_parts.size(); ++i) {
+      const auto g = parse_group(head_parts[i]);
+      if (!g) {
+        return std::nullopt;
+      }
+      groups[i] = *g;
+    }
+    for (std::size_t i = 0; i < tail_parts.size(); ++i) {
+      const auto g = parse_group(tail_parts[i]);
+      if (!g) {
+        return std::nullopt;
+      }
+      groups[8 - tail_parts.size() + i] = *g;
+    }
+  }
+  Ipv6 out;
+  for (int i = 0; i < 4; ++i) {
+    out.hi = (out.hi << 16) | groups[static_cast<std::size_t>(i)];
+  }
+  for (int i = 4; i < 8; ++i) {
+    out.lo = (out.lo << 16) | groups[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+std::string format_ipv6(const Ipv6& addr) {
+  std::array<std::uint32_t, 8> groups{};
+  for (int i = 0; i < 4; ++i) {
+    groups[static_cast<std::size_t>(i)] =
+        static_cast<std::uint32_t>((addr.hi >> (48 - 16 * i)) & 0xffff);
+    groups[static_cast<std::size_t>(i + 4)] =
+        static_cast<std::uint32_t>((addr.lo >> (48 - 16 * i)) & 0xffff);
+  }
+  // Longest run of zero groups (length >= 2) gets "::" (RFC 5952 §4.2).
+  int best_start = -1;
+  int best_len = 1;  // a single zero group is not compressed
+  for (int i = 0; i < 8;) {
+    if (groups[static_cast<std::size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[static_cast<std::size_t>(j)] == 0) {
+      ++j;
+    }
+    if (j - i > best_len) {
+      best_len = j - i;
+      best_start = i;
+    }
+    i = j;
+  }
+  std::string out;
+  const auto hex = [](std::uint32_t v) {
+    if (v == 0) {
+      return std::string("0");
+    }
+    std::string s;
+    bool started = false;
+    for (int shift = 12; shift >= 0; shift -= 4) {
+      const std::uint32_t digit = (v >> shift) & 0xf;
+      if (!started && digit == 0) {
+        continue;
+      }
+      started = true;
+      s += digit < 10 ? static_cast<char>('0' + digit)
+                      : static_cast<char>('a' + digit - 10);
+    }
+    return s;
+  };
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";  // closes the previous group and opens the next
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') {
+      out += ":";
+    }
+    out += hex(groups[static_cast<std::size_t>(i)]);
+    ++i;
+  }
+  if (out.empty()) {
+    out = "::";
+  }
+  return out;
+}
+
+std::pair<Interval, Interval> Ipv6Prefix::to_intervals() const {
+  if (length <= 64) {
+    const std::uint64_t mask = low_mask64(64 - length);
+    return {Interval(bits.hi, bits.hi | mask), Interval(0, UINT64_MAX)};
+  }
+  const std::uint64_t mask = low_mask64(128 - length);
+  return {Interval::point(bits.hi), Interval(bits.lo, bits.lo | mask)};
+}
+
+std::string Ipv6Prefix::to_string() const {
+  return format_ipv6(bits) + "/" + std::to_string(length);
+}
+
+std::optional<Ipv6Prefix> parse_ipv6_prefix(std::string_view text) {
+  int length = 128;
+  std::string_view addr_part = text;
+  const std::size_t slash = text.find('/');
+  if (slash != std::string_view::npos) {
+    addr_part = text.substr(0, slash);
+    const std::string_view len_part = text.substr(slash + 1);
+    if (len_part.empty() || len_part.size() > 3) {
+      return std::nullopt;
+    }
+    length = 0;
+    for (const char c : len_part) {
+      if (c < '0' || c > '9') {
+        return std::nullopt;
+      }
+      length = length * 10 + (c - '0');
+    }
+    if (length > 128) {
+      return std::nullopt;
+    }
+  }
+  const auto addr = parse_ipv6(addr_part);
+  if (!addr) {
+    return std::nullopt;
+  }
+  // Host bits below the prefix length must be zero.
+  const std::uint64_t hi_free =
+      length >= 64 ? 0 : low_mask64(64 - length);
+  const std::uint64_t lo_free =
+      length >= 128 ? 0
+                    : (length <= 64 ? UINT64_MAX : low_mask64(128 - length));
+  if ((addr->hi & hi_free) != 0 || (addr->lo & lo_free) != 0) {
+    return std::nullopt;
+  }
+  return Ipv6Prefix{*addr, length};
+}
+
+}  // namespace dfw

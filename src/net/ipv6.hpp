@@ -1,0 +1,58 @@
+// IPv6 addresses and prefixes.
+//
+// The paper is IPv4-era, but a credible firewall toolchain needs IPv6.
+// Our Value type is 64-bit, so a 128-bit address is modeled as a *pair of
+// adjacent fields* (high and low 64 bits) in a schema — see
+// FieldKind::kIpv6Hi/kIpv6Lo and five_tuple_v6_schema(). The key fact
+// making this exact: any IPv6 CIDR prefix maps to a single conjunct over
+// the (hi, lo) pair — a /L with L <= 64 constrains hi to an aligned block
+// and leaves lo unconstrained; L > 64 pins hi to one value and constrains
+// lo to an aligned block. Parsing accepts RFC 4291 text (full and
+// ::-compressed groups); formatting emits RFC 5952-style lowercase with
+// the longest zero run compressed.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "net/interval.hpp"
+
+namespace dfw {
+
+/// A 128-bit IPv6 address as two 64-bit halves.
+struct Ipv6 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Ipv6&, const Ipv6&) = default;
+};
+
+/// Parses "2001:db8::1" (full or ::-compressed). No embedded-IPv4 tail,
+/// no zone index. Returns nullopt on malformed input.
+std::optional<Ipv6> parse_ipv6(std::string_view text);
+
+/// Formats with the longest zero-group run compressed ("::"), lowercase.
+std::string format_ipv6(const Ipv6& addr);
+
+/// An IPv6 CIDR prefix.
+struct Ipv6Prefix {
+  Ipv6 bits;
+  int length = 0;  // 0..128; non-prefix bits of `bits` must be zero
+
+  /// The conjunct this prefix denotes over the (hi, lo) field pair.
+  std::pair<Interval, Interval> to_intervals() const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const Ipv6Prefix&, const Ipv6Prefix&) = default;
+};
+
+/// Parses "2001:db8::/32" or a bare address (treated as /128). Rejects
+/// host bits set below the prefix length.
+std::optional<Ipv6Prefix> parse_ipv6_prefix(std::string_view text);
+
+}  // namespace dfw

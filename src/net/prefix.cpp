@@ -1,0 +1,122 @@
+#include "net/prefix.hpp"
+
+#include <stdexcept>
+
+#include "net/ipv4.hpp"
+
+namespace dfw {
+namespace {
+
+// All-ones mask over the low (width - length) bits of a width-bit value.
+std::uint32_t low_mask(int length, int width) {
+  const int free_bits = width - length;
+  if (free_bits >= 32) {
+    return UINT32_MAX;
+  }
+  return (free_bits == 0) ? 0u : ((1u << free_bits) - 1u);
+}
+
+std::uint32_t domain_max(int width) {
+  return width >= 32 ? UINT32_MAX : ((1u << width) - 1u);
+}
+
+}  // namespace
+
+Prefix::Prefix(std::uint32_t bits, int length, int width)
+    : bits_(bits), length_(length), width_(width) {
+  if (width < 1 || width > 32) {
+    throw std::invalid_argument("Prefix: width out of range");
+  }
+  if (length < 0 || length > width) {
+    throw std::invalid_argument("Prefix: length out of range");
+  }
+  if (bits > domain_max(width)) {
+    throw std::invalid_argument("Prefix: bits exceed domain");
+  }
+  if ((bits & low_mask(length, width)) != 0) {
+    throw std::invalid_argument("Prefix: nonzero bits below prefix length");
+  }
+}
+
+Interval Prefix::to_interval() const {
+  return Interval(bits_, bits_ | low_mask(length_, width_));
+}
+
+bool Prefix::contains(std::uint32_t value) const {
+  return value >= bits_ && value <= (bits_ | low_mask(length_, width_));
+}
+
+std::string Prefix::to_string() const {
+  if (width_ == 32) {
+    return format_ipv4(bits_) + "/" + std::to_string(length_);
+  }
+  return std::to_string(bits_) + "/" + std::to_string(length_);
+}
+
+std::optional<Prefix> parse_prefix(std::string_view text) {
+  int length = 32;
+  const std::size_t slash = text.find('/');
+  std::string_view addr_part = text;
+  if (slash != std::string_view::npos) {
+    addr_part = text.substr(0, slash);
+    std::string_view len_part = text.substr(slash + 1);
+    if (len_part.empty() || len_part.size() > 2) {
+      return std::nullopt;
+    }
+    length = 0;
+    for (char c : len_part) {
+      if (c < '0' || c > '9') {
+        return std::nullopt;
+      }
+      length = length * 10 + (c - '0');
+    }
+    if (length > 32) {
+      return std::nullopt;
+    }
+  }
+  const std::optional<std::uint32_t> addr = parse_ipv4(addr_part);
+  if (!addr) {
+    return std::nullopt;
+  }
+  const std::uint32_t mask =
+      (length == 0) ? 0u : (UINT32_MAX << (32 - length));
+  if ((*addr & ~mask) != 0) {
+    return std::nullopt;  // host bits set below the prefix length
+  }
+  return Prefix(*addr, length, 32);
+}
+
+std::vector<Prefix> interval_to_prefixes(const Interval& iv, int width) {
+  if (width < 1 || width > 32) {
+    throw std::invalid_argument("interval_to_prefixes: width out of range");
+  }
+  if (iv.hi() > domain_max(width)) {
+    throw std::invalid_argument("interval_to_prefixes: interval exceeds domain");
+  }
+  std::vector<Prefix> result;
+  std::uint64_t lo = iv.lo();
+  const std::uint64_t hi = iv.hi();
+  // Greedy: at each step emit the largest aligned block starting at lo that
+  // does not overshoot hi. This yields the unique minimal disjoint cover.
+  while (lo <= hi) {
+    int free_bits = 0;
+    // Grow the block while lo stays aligned and the block fits in [lo, hi].
+    while (free_bits < width) {
+      const std::uint64_t block = 1ull << (free_bits + 1);
+      if ((lo & (block - 1)) != 0 || lo + block - 1 > hi) {
+        break;
+      }
+      ++free_bits;
+    }
+    result.push_back(Prefix(static_cast<std::uint32_t>(lo),
+                            width - free_bits, width));
+    const std::uint64_t block = 1ull << free_bits;
+    lo += block;
+    if (lo == 0) {
+      break;  // wrapped past the top of the 64-bit space: hi was 2^width - 1
+    }
+  }
+  return result;
+}
+
+}  // namespace dfw

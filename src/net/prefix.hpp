@@ -1,0 +1,57 @@
+// CIDR prefixes and prefix <-> interval conversion.
+//
+// Section 7.1 of the paper: source/destination IP addresses arrive in prefix
+// format, the algorithms run on integer intervals, and discrepancy reports
+// convert back to prefixes for readability. Every prefix maps to exactly one
+// interval; a w-bit interval converts to at most 2w-2 prefixes.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/interval.hpp"
+
+namespace dfw {
+
+/// A w-bit CIDR-style prefix: the `length` high bits of `bits` are fixed and
+/// the remaining width-length low bits range over all values.
+class Prefix {
+ public:
+  /// Constructs a prefix over `width`-bit values (1 <= width <= 32).
+  /// Requires length <= width and the non-prefix low bits of `bits` zero.
+  Prefix(std::uint32_t bits, int length, int width = 32);
+
+  std::uint32_t bits() const { return bits_; }
+  int length() const { return length_; }
+  int width() const { return width_; }
+
+  /// The exact interval [bits, bits | low_mask] this prefix covers.
+  Interval to_interval() const;
+
+  bool contains(std::uint32_t value) const;
+
+  friend bool operator==(const Prefix&, const Prefix&) = default;
+
+  /// Renders CIDR notation "a.b.c.d/len" for width 32, "bits/len" otherwise.
+  std::string to_string() const;
+
+ private:
+  std::uint32_t bits_;
+  int length_;
+  int width_;
+};
+
+/// Parses "a.b.c.d/len" or a bare "a.b.c.d" (treated as /32).
+std::optional<Prefix> parse_prefix(std::string_view text);
+
+/// Converts an arbitrary interval within a w-bit domain into the unique
+/// minimal set of disjoint prefixes covering it, in ascending order.
+/// The result has at most 2w-2 prefixes (Gupta & McKeown, cited as [14]).
+/// Requires iv.hi() < 2^width.
+std::vector<Prefix> interval_to_prefixes(const Interval& iv, int width = 32);
+
+}  // namespace dfw

@@ -1,0 +1,101 @@
+#include "query/query.hpp"
+
+#include <stdexcept>
+
+#include "fdd/construct.hpp"
+#include "fw/format.hpp"
+
+namespace dfw {
+namespace {
+
+void collect(const Schema& schema, const FddNode& node,
+             const Query& query, std::vector<IntervalSet>& conjuncts,
+             std::vector<QueryResult>& out) {
+  if (node.is_terminal()) {
+    if (!query.decision || node.decision == *query.decision) {
+      out.push_back({conjuncts, node.decision});
+    }
+    return;
+  }
+  // Constraint for this field: the query's, or the whole domain.
+  const IntervalSet domain{schema.domain(node.field)};
+  const IntervalSet& wanted = query.constraints[node.field].empty()
+                                  ? domain
+                                  : query.constraints[node.field];
+  for (const FddEdge& e : node.edges) {
+    const IntervalSet common = e.label.intersect(wanted);
+    if (common.empty()) {
+      continue;  // the query cannot reach this branch
+    }
+    conjuncts[node.field] = common;
+    collect(schema, *e.target, query, conjuncts, out);
+  }
+  // Restore: fields skipped by deeper paths keep the query constraint.
+  conjuncts[node.field] = wanted;
+}
+
+}  // namespace
+
+Query Query::any(const Schema& schema) {
+  Query q;
+  q.constraints.resize(schema.field_count());
+  return q;
+}
+
+std::vector<QueryResult> run_query(const Fdd& fdd, const Query& query) {
+  const Schema& schema = fdd.schema();
+  if (query.constraints.size() != schema.field_count()) {
+    throw std::invalid_argument("run_query: constraint arity mismatch");
+  }
+  for (std::size_t f = 0; f < schema.field_count(); ++f) {
+    if (!query.constraints[f].empty() &&
+        !IntervalSet(schema.domain(f)).contains(query.constraints[f])) {
+      throw std::invalid_argument("run_query: constraint exceeds domain of " +
+                                  schema.field(f).name);
+    }
+  }
+  std::vector<IntervalSet> conjuncts;
+  conjuncts.reserve(schema.field_count());
+  for (std::size_t f = 0; f < schema.field_count(); ++f) {
+    conjuncts.push_back(query.constraints[f].empty()
+                            ? IntervalSet(schema.domain(f))
+                            : query.constraints[f]);
+  }
+  std::vector<QueryResult> out;
+  collect(schema, fdd.root(), query, conjuncts, out);
+  return out;
+}
+
+std::vector<QueryResult> run_query(const Policy& policy, const Query& query) {
+  return run_query(build_reduced_fdd(policy), query);
+}
+
+std::string format_query_results(const Schema& schema,
+                                 const DecisionSet& decisions,
+                                 const std::vector<QueryResult>& results) {
+  if (results.empty()) {
+    return "no packets match the query\n";
+  }
+  std::string out;
+  for (const QueryResult& r : results) {
+    bool any_field = false;
+    for (std::size_t f = 0; f < schema.field_count(); ++f) {
+      if (r.conjuncts[f] == IntervalSet(schema.domain(f))) {
+        continue;
+      }
+      if (any_field) {
+        out += " ^ ";
+      }
+      out += schema.field(f).name + " in " +
+             format_spec(schema.field(f), r.conjuncts[f]);
+      any_field = true;
+    }
+    if (!any_field) {
+      out += "all packets";
+    }
+    out += " -> " + decisions.name(r.decision) + "\n";
+  }
+  return out;
+}
+
+}  // namespace dfw

@@ -1,0 +1,53 @@
+// Firewall queries over FDDs.
+//
+// The paper positions per-team analysis tools as complements used during
+// the design phase (Sections 1.4 and 9), citing the authors' companion
+// work on firewall queries [20]: questions of the form "which packets with
+// dport = 25 does this firewall accept?". An FDD answers such questions
+// exactly: intersect the query's constraints with every decision path and
+// collect the nonempty remainders with the requested decision.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fdd/fdd.hpp"
+#include "fw/policy.hpp"
+
+namespace dfw {
+
+/// A query: optional constraint per field (unconstrained = whole domain)
+/// plus an optional decision filter (nullopt = any decision).
+struct Query {
+  /// One entry per schema field; empty IntervalSet means unconstrained.
+  std::vector<IntervalSet> constraints;
+  std::optional<Decision> decision;
+
+  /// An unconstrained query over `schema` ("describe the whole policy").
+  static Query any(const Schema& schema);
+};
+
+/// One query answer: a traffic class (nonempty set per field) and the
+/// decision the firewall maps it to.
+struct QueryResult {
+  std::vector<IntervalSet> conjuncts;
+  Decision decision;
+};
+
+/// Runs a query against an FDD. Results are the intersections of the
+/// query constraints with each decision path, in path order; together
+/// they partition exactly the queried packet set (restricted to the
+/// decision filter when present).
+std::vector<QueryResult> run_query(const Fdd& fdd, const Query& query);
+
+/// Convenience: builds the (reduced) FDD internally.
+std::vector<QueryResult> run_query(const Policy& policy, const Query& query);
+
+/// Renders results in the rule-like report style.
+std::string format_query_results(const Schema& schema,
+                                 const DecisionSet& decisions,
+                                 const std::vector<QueryResult>& results);
+
+}  // namespace dfw

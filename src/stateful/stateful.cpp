@@ -1,0 +1,61 @@
+#include "stateful/stateful.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dfw {
+
+Flow Flow::of(const Packet& p) {
+  return Flow{p[0], p[1], p[2], p[3], p[4]};
+}
+
+Flow Flow::reversed() const { return Flow{dip, sip, dport, sport, proto}; }
+
+StatefulFirewall::StatefulFirewall(Policy core, std::vector<bool> tracked,
+                                   std::size_t state_capacity)
+    : core_(std::move(core)),
+      tracked_(std::move(tracked)),
+      capacity_(state_capacity) {
+  if (!(core_.schema() == five_tuple_schema())) {
+    throw std::invalid_argument(
+        "StatefulFirewall: core must use five_tuple_schema()");
+  }
+  if (tracked_.size() != core_.size()) {
+    throw std::invalid_argument(
+        "StatefulFirewall: tracked flags must match the rule count");
+  }
+  if (capacity_ == 0) {
+    throw std::invalid_argument(
+        "StatefulFirewall: state capacity must be positive");
+  }
+}
+
+bool StatefulFirewall::knows_flow(const Flow& flow) const {
+  return std::find(table_.begin(), table_.end(), flow) != table_.end();
+}
+
+StatefulVerdict StatefulFirewall::process(const Packet& p) {
+  const Flow flow = Flow::of(p);
+  // Section 1: the state table admits both directions of a tracked flow.
+  if (knows_flow(flow) || knows_flow(flow.reversed())) {
+    return {kAccept, /*via_state=*/true, /*tracked_new=*/false};
+  }
+  // Section 2: the stateless core.
+  const std::optional<std::size_t> match = core_.first_match(p);
+  if (!match) {
+    throw std::logic_error(
+        "StatefulFirewall::process: core is not comprehensive");
+  }
+  const Decision decision = core_.rule(*match).decision();
+  bool inserted = false;
+  if (decision == kAccept && tracked_[*match]) {
+    if (table_.size() == capacity_) {
+      table_.pop_front();  // FIFO eviction
+    }
+    table_.push_back(flow);
+    inserted = true;
+  }
+  return {decision, /*via_state=*/false, inserted};
+}
+
+}  // namespace dfw

@@ -1,0 +1,78 @@
+// A model of stateful firewalls.
+//
+// The paper scopes itself to stateless policies but leans on the authors'
+// companion model of stateful firewalls (its ref [11], Gouda & Liu,
+// DSN 2005): a stateful firewall is a *stateless core* — exactly the
+// Policy the diverse-design method analyses — plus a state section that
+// remembers accepted flows and admits their return traffic. We implement
+// that two-section model so stateful configurations can be (a) executed
+// over packet traces and (b) fed to the comparison pipeline through their
+// stateless cores.
+//
+// Semantics per packet, in order:
+//   1. if the packet belongs to a tracked flow (same direction) or is the
+//      reverse of one, accept it (the state section);
+//   2. otherwise evaluate the stateless core; if it accepts via a rule
+//      marked `track`, insert the packet's flow into the state table.
+// The state table is bounded; inserting into a full table evicts the
+// oldest flow (FIFO), mirroring the connection-table behaviour of real
+// middleboxes.
+
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "fw/policy.hpp"
+
+namespace dfw {
+
+/// A flow identity over the five-tuple schema.
+struct Flow {
+  Value sip;
+  Value dip;
+  Value sport;
+  Value dport;
+  Value proto;
+
+  static Flow of(const Packet& p);
+  /// The reverse direction: endpoints and ports swapped.
+  Flow reversed() const;
+
+  friend bool operator==(const Flow&, const Flow&) = default;
+};
+
+/// Outcome of processing one packet.
+struct StatefulVerdict {
+  Decision decision;
+  bool via_state = false;   ///< accepted by the state section
+  bool tracked_new = false; ///< inserted a new flow into the table
+};
+
+class StatefulFirewall {
+ public:
+  /// Wraps a comprehensive stateless core over five_tuple_schema().
+  /// `tracked` marks which rules insert state on accept; its size must
+  /// equal the core's rule count.
+  StatefulFirewall(Policy core, std::vector<bool> tracked,
+                   std::size_t state_capacity = 4096);
+
+  /// Processes one packet, mutating the state table.
+  StatefulVerdict process(const Packet& p);
+
+  /// The stateless core — the object diverse design compares.
+  const Policy& core() const { return core_; }
+
+  std::size_t state_size() const { return table_.size(); }
+  bool knows_flow(const Flow& flow) const;
+  void clear_state() { table_.clear(); }
+
+ private:
+  Policy core_;
+  std::vector<bool> tracked_;
+  std::size_t capacity_;
+  std::deque<Flow> table_;  // FIFO eviction order
+};
+
+}  // namespace dfw

@@ -1,0 +1,110 @@
+#include "synth/mutate.hpp"
+
+#include <algorithm>
+
+namespace dfw {
+namespace {
+
+// Picks a rule index excluding the final catch-all.
+std::optional<std::size_t> pick_rule(const Policy& policy, Rng& rng) {
+  if (policy.size() < 2) {
+    return std::nullopt;
+  }
+  std::uniform_int_distribution<std::size_t> pick(0, policy.size() - 2);
+  return pick(rng);
+}
+
+// A fresh rule whose geometry matches the synthetic distribution; used as
+// the "incorrectly added" head rule.
+Rule random_rule(const Policy& policy, Rng& rng) {
+  SynthConfig config;
+  config.num_rules = 2;  // one synthetic rule + catch-all
+  const Policy sample = synth_policy(config, rng);
+  Rule r = sample.rule(0);
+  // Decisions of bad head insertions are biased to differ from the default.
+  std::uniform_int_distribution<int> coin(0, 1);
+  r.set_decision(coin(rng) == 0 ? kAccept : kDiscard);
+  (void)policy;
+  return r;
+}
+
+}  // namespace
+
+const char* to_string(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kInsertAtHead:
+      return "insert-at-head";
+    case MutationKind::kDeleteRule:
+      return "delete-rule";
+    case MutationKind::kFlipDecision:
+      return "flip-decision";
+    case MutationKind::kSwapAdjacent:
+      return "swap-adjacent";
+    case MutationKind::kWidenConjunct:
+      return "widen-conjunct";
+  }
+  return "unknown";
+}
+
+std::optional<Policy> mutate_policy(const Policy& policy, MutationKind kind,
+                                    Rng& rng) {
+  Policy mutant = policy;
+  switch (kind) {
+    case MutationKind::kInsertAtHead: {
+      if (!(policy.schema() == five_tuple_schema())) {
+        return std::nullopt;  // random_rule generates five-tuple geometry
+      }
+      mutant.insert(0, random_rule(policy, rng));
+      return mutant;
+    }
+    case MutationKind::kDeleteRule: {
+      const auto idx = pick_rule(policy, rng);
+      if (!idx) {
+        return std::nullopt;
+      }
+      mutant.erase(*idx);
+      return mutant;
+    }
+    case MutationKind::kFlipDecision: {
+      const auto idx = pick_rule(policy, rng);
+      if (!idx) {
+        return std::nullopt;
+      }
+      Rule r = policy.rule(*idx);
+      r.set_decision(r.decision() == kAccept ? kDiscard : kAccept);
+      mutant.replace(*idx, std::move(r));
+      return mutant;
+    }
+    case MutationKind::kSwapAdjacent: {
+      if (policy.size() < 3) {
+        return std::nullopt;  // need two non-catch-all neighbours
+      }
+      std::uniform_int_distribution<std::size_t> pick(0, policy.size() - 3);
+      const std::size_t i = pick(rng);
+      mutant.move(i, i + 1);
+      return mutant;
+    }
+    case MutationKind::kWidenConjunct: {
+      const auto idx = pick_rule(policy, rng);
+      if (!idx) {
+        return std::nullopt;
+      }
+      const Rule& original = policy.rule(*idx);
+      // Widen the first non-wildcard conjunct to the whole domain.
+      for (std::size_t f = 0; f < policy.schema().field_count(); ++f) {
+        const IntervalSet domain{policy.schema().domain(f)};
+        if (original.conjunct(f) != domain) {
+          std::vector<IntervalSet> conjuncts = original.conjuncts();
+          conjuncts[f] = domain;
+          mutant.replace(*idx, Rule(policy.schema(), std::move(conjuncts),
+                                    original.decision()));
+          return mutant;
+        }
+      }
+      return std::nullopt;  // rule was already all-wildcard
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace dfw

@@ -1,0 +1,40 @@
+// Policy mutation operators for the effectiveness study (paper, Section 8.1).
+//
+// The paper's real-world experiment found 84 functional discrepancies
+// between a production firewall and an independent redesign; 72 of the 82
+// production-side errors came from rules incorrectly *inserted at the head*
+// of the policy during maintenance, and the rest from *missing rules*.
+// These operators inject exactly those error classes (plus a few more for
+// test coverage), so the mutation benchmark can measure how completely the
+// comparison pipeline recovers known-injected errors.
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "synth/synth.hpp"
+
+namespace dfw {
+
+/// The error classes injected by mutate_policy.
+enum class MutationKind {
+  kInsertAtHead,   ///< shadowing rule added at the top (the dominant class)
+  kDeleteRule,     ///< a non-catch-all rule goes missing
+  kFlipDecision,   ///< a rule's decision inverted
+  kSwapAdjacent,   ///< two neighbouring rules reordered
+  kWidenConjunct,  ///< a conjunct grows (rule matches more traffic)
+};
+
+const char* to_string(MutationKind kind);
+
+/// Applies one mutation of the given kind to a copy of `policy`. Returns
+/// nullopt when the kind is inapplicable (e.g. deleting from a 1-rule
+/// policy). Mutations never touch the final catch-all, so results remain
+/// comprehensive. Note a mutation is *syntactic*: it may happen to be
+/// semantically invisible (e.g. a swap of non-overlapping rules) — the
+/// effectiveness study counts semantic impact via the comparison pipeline.
+std::optional<Policy> mutate_policy(const Policy& policy, MutationKind kind,
+                                    Rng& rng);
+
+}  // namespace dfw

@@ -1,0 +1,198 @@
+#include "synth/synth.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace dfw {
+namespace {
+
+// Well-known service ports seen in the wild (Gupta's traces are dominated
+// by a small set of services).
+constexpr std::array<Value, 14> kServicePorts = {
+    20, 21, 22, 23, 25, 53, 80, 110, 123, 143, 161, 443, 3306, 8080};
+
+// Weighted among the common prefix lengths; wildcards and hosts handled
+// separately.
+constexpr std::array<int, 8> kSubnetLengths = {14, 16, 16, 20, 24, 24, 28, 28};
+
+std::size_t pick_weighted(Rng& rng, std::initializer_list<double> weights) {
+  double total = 0;
+  for (double w : weights) {
+    total += w;
+  }
+  if (total <= 0) {
+    throw std::invalid_argument("synth: all weights are zero");
+  }
+  std::uniform_real_distribution<double> dist(0.0, total);
+  double x = dist(rng);
+  std::size_t i = 0;
+  for (double w : weights) {
+    if (x < w) {
+      return i;
+    }
+    x -= w;
+    ++i;
+  }
+  return weights.size() - 1;
+}
+
+// The pool of subnets and hosts a synthetic site talks about. Hosts are
+// drawn from inside the subnets (servers live in the protected ranges),
+// mirroring how production rules keep referencing the same addresses.
+struct AddressPool {
+  std::vector<Interval> subnets;
+  std::vector<Value> hosts;
+
+  AddressPool(std::size_t size, Rng& rng) {
+    std::uniform_int_distribution<std::size_t> len_pick(
+        0, kSubnetLengths.size() - 1);
+    std::uniform_int_distribution<std::uint32_t> addr(0, UINT32_MAX);
+    for (std::size_t i = 0; i < size; ++i) {
+      const int len = kSubnetLengths[len_pick(rng)];
+      const std::uint32_t mask = UINT32_MAX << (32 - len);
+      const std::uint32_t base = addr(rng) & mask;
+      subnets.push_back(Interval(base, base | ~mask));
+      std::uniform_int_distribution<std::uint32_t> offset(
+          0, static_cast<std::uint32_t>(~mask));
+      hosts.push_back(base + offset(rng));
+    }
+  }
+};
+
+IntervalSet synth_ip(const IpFieldWeights& w, const AddressPool& pool,
+                     Rng& rng) {
+  std::uniform_int_distribution<std::size_t> pool_pick(
+      0, pool.subnets.size() - 1);
+  switch (pick_weighted(rng, {w.wildcard, w.host, w.subnet})) {
+    case 0:
+      return IntervalSet(Interval(0, UINT32_MAX));
+    case 1:
+      return IntervalSet(Interval::point(pool.hosts[pool_pick(rng)]));
+    default:
+      return IntervalSet(pool.subnets[pool_pick(rng)]);
+  }
+}
+
+IntervalSet synth_port(const PortFieldWeights& w, Rng& rng) {
+  switch (pick_weighted(rng, {w.wildcard, w.service, w.range})) {
+    case 0:
+      return IntervalSet(Interval(0, 65535));
+    case 1: {
+      std::uniform_int_distribution<std::size_t> pick(
+          0, kServicePorts.size() - 1);
+      return IntervalSet(Interval::point(kServicePorts[pick(rng)]));
+    }
+    default: {
+      // Mostly the ephemeral range; sometimes a short service range.
+      std::uniform_int_distribution<int> coin(0, 2);
+      if (coin(rng) != 0) {
+        return IntervalSet(Interval(1024, 65535));
+      }
+      std::uniform_int_distribution<Value> lo_pick(0, 65000);
+      const Value lo = lo_pick(rng);
+      std::uniform_int_distribution<Value> hi_pick(lo, std::min<Value>(
+                                                           lo + 512, 65535));
+      return IntervalSet(Interval(lo, hi_pick(rng)));
+    }
+  }
+}
+
+IntervalSet synth_proto(const SynthConfig& c, Rng& rng) {
+  switch (pick_weighted(rng, {c.tcp_weight, c.udp_weight,
+                              c.any_proto_weight})) {
+    case 0:
+      return IntervalSet(Interval::point(6));
+    case 1:
+      return IntervalSet(Interval::point(17));
+    default:
+      return IntervalSet(Interval(0, 255));
+  }
+}
+
+}  // namespace
+
+Policy synth_policy(const SynthConfig& config, Rng& rng) {
+  if (config.num_rules < 1) {
+    throw std::invalid_argument("synth_policy: num_rules must be >= 1");
+  }
+  const Schema schema = five_tuple_schema();
+  std::size_t pool_size = config.address_pool_size;
+  if (pool_size == 0) {
+    // Roughly sqrt(n) distinct subnets: a 100-rule site mentions ~10
+    // networks, a 3000-rule one ~55 — in line with the bounded reuse real
+    // configurations exhibit.
+    pool_size = 2;
+    while (pool_size * pool_size < config.num_rules) {
+      ++pool_size;
+    }
+  }
+  const AddressPool pool(pool_size, rng);
+  std::vector<Rule> rules;
+  rules.reserve(config.num_rules);
+  for (std::size_t i = 0; i + 1 < config.num_rules; ++i) {
+    std::vector<IntervalSet> conjuncts;
+    conjuncts.reserve(5);
+    conjuncts.push_back(synth_ip(config.sip, pool, rng));
+    conjuncts.push_back(synth_ip(config.dip, pool, rng));
+    conjuncts.push_back(synth_port(config.sport, rng));
+    conjuncts.push_back(synth_port(config.dport, rng));
+    conjuncts.push_back(synth_proto(config, rng)); // proto
+    const Decision d =
+        pick_weighted(rng, {config.accept_weight,
+                            100.0 - std::min(config.accept_weight, 100.0)}) ==
+                0
+            ? kAccept
+            : kDiscard;
+    rules.emplace_back(schema, std::move(conjuncts), d);
+  }
+  rules.push_back(Rule::catch_all(schema, config.default_decision));
+  return Policy(schema, std::move(rules));
+}
+
+Policy perturb_policy(const Policy& original, double x_percent, Rng& rng) {
+  if (x_percent < 0 || x_percent > 100) {
+    throw std::invalid_argument("perturb_policy: x_percent out of range");
+  }
+  if (original.size() < 2) {
+    return original;
+  }
+  // Candidate indices exclude the final catch-all so the perturbed policy
+  // stays comprehensive (the paper's setup keeps both firewalls valid).
+  std::vector<std::size_t> candidates(original.size() - 1);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    candidates[i] = i;
+  }
+  std::shuffle(candidates.begin(), candidates.end(), rng);
+  const std::size_t select_count = static_cast<std::size_t>(
+      static_cast<double>(candidates.size()) * x_percent / 100.0);
+  candidates.resize(select_count);
+
+  // y percent of the selection flips decision; the rest is deleted.
+  std::uniform_real_distribution<double> y_dist(0.0, 100.0);
+  const double y = y_dist(rng);
+  const std::size_t flip_count = static_cast<std::size_t>(
+      static_cast<double>(select_count) * y / 100.0);
+
+  std::vector<bool> flip(original.size(), false);
+  std::vector<bool> drop(original.size(), false);
+  for (std::size_t i = 0; i < select_count; ++i) {
+    (i < flip_count ? flip : drop)[candidates[i]] = true;
+  }
+
+  std::vector<Rule> rules;
+  rules.reserve(original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (drop[i]) {
+      continue;
+    }
+    Rule r = original.rule(i);
+    if (flip[i]) {
+      r.set_decision(r.decision() == kAccept ? kDiscard : kAccept);
+    }
+    rules.push_back(std::move(r));
+  }
+  return Policy(original.schema(), std::move(rules));
+}
+
+}  // namespace dfw

@@ -1,0 +1,90 @@
+// Synthetic firewall generation (paper, Section 8.2.2).
+//
+// Real firewall configurations are confidential, so the paper evaluates on
+// synthetic firewalls "generated based on the characteristics of real-life
+// firewalls reported in [13]" (Gupta's classifier study): IP conjuncts are
+// CIDR-shaped with a heavy skew toward wildcard, /16, /24 and /32 lengths;
+// port conjuncts are wildcards, well-known service ports, or the ephemeral
+// range; protocols are mostly TCP/UDP; decisions mix accept and discard;
+// and the final rule is a catch-all default. The same generator also
+// implements Section 8.2.1's perturbation model, which simulates two design
+// teams (or a before/after change pair) by flipping and deleting a random
+// slice of an existing firewall.
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <utility>
+
+#include "fw/policy.hpp"
+
+namespace dfw {
+
+using Rng = std::mt19937_64;
+
+/// Tunable rule-geometry distribution. Weights need not sum to 1; they are
+/// normalised internally.
+/// Geometry of one IP field: weights for wildcard ("F in all"), exact
+/// /32 host, and /8../28 subnet conjuncts.
+struct IpFieldWeights {
+  double wildcard;
+  double host;
+  double subnet;
+};
+
+/// Geometry of one port field: weights for wildcard, a single well-known
+/// service port, and a range (ephemeral or short service range).
+struct PortFieldWeights {
+  double wildcard;
+  double service;
+  double range;
+};
+
+struct SynthConfig {
+  std::size_t num_rules = 100;  ///< including the final catch-all
+
+  // Per-field geometry, defaulted to the asymmetry real rule sets show
+  // (Gupta [13]): sources are usually broad ("from anywhere/this net"),
+  // destinations name concrete servers, source ports are almost never
+  // constrained, destination ports usually are.
+  IpFieldWeights sip{50, 10, 40};
+  IpFieldWeights dip{15, 50, 35};
+  PortFieldWeights sport{92, 2, 6};
+  PortFieldWeights dport{20, 65, 15};
+
+  double tcp_weight = 70;
+  double udp_weight = 18;
+  double any_proto_weight = 12;
+
+  /// Probability (percent) that a rule accepts. Real policies are mostly
+  /// accept rules carving services out of a default-deny; interleaving
+  /// conflicting decisions on overlapping predicates at a 50/50 rate is
+  /// what real rule sets avoid and what inflates FDDs toward the
+  /// Theorem 1 worst case.
+  double accept_weight = 85;
+  Decision default_decision = kDiscard;  ///< decision of the catch-all
+
+  /// Size of the address pool rules draw from. Real firewalls protect a
+  /// bounded set of subnets and servers, so distinct IP conjuncts grow
+  /// much slower than the rule count (Gupta [13]); that bounded reuse is
+  /// what keeps real FDDs small (Section 7.4's "the worst case ... is
+  /// extremely unlikely to happen in practice"). 0 = scale automatically
+  /// with sqrt(num_rules).
+  std::size_t address_pool_size = 0;
+};
+
+/// Generates a comprehensive policy over five_tuple_schema() with
+/// `config.num_rules` rules (the last one a catch-all). Deterministic in
+/// the rng state.
+Policy synth_policy(const SynthConfig& config, Rng& rng);
+
+/// Section 8.2.1's perturbation model on an existing policy: select
+/// x_percent of the rules; flip the decision of a random y-percent portion
+/// of the selection (y drawn uniformly from [0, 100]); delete the rest of
+/// the selection. Returns the perturbed policy (the "second team" /
+/// "after change" firewall). The final rule is never selected, keeping the
+/// result comprehensive.
+Policy perturb_policy(const Policy& original, double x_percent, Rng& rng);
+
+}  // namespace dfw

@@ -1,0 +1,157 @@
+// Anomaly-analysis tests: the four pair classes on hand-built policies,
+// exactness of the dead-rule detector against brute force, and agreement
+// between the syntactic and semantic views.
+
+#include <gtest/gtest.h>
+
+#include "analysis/anomaly.hpp"
+#include "test_util.hpp"
+
+namespace dfw {
+namespace {
+
+using test::tiny2;
+using test::tiny3;
+
+Rule rule(const Schema& s, Interval x, Interval y, Decision d) {
+  return Rule(s, {IntervalSet(x), IntervalSet(y)}, d);
+}
+
+bool has(const std::vector<Anomaly>& anomalies, AnomalyKind kind,
+         std::size_t first, std::size_t second) {
+  for (const Anomaly& a : anomalies) {
+    if (a.kind == kind && a.first == first && a.second == second) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(Anomaly, PredicateSubsetAndOverlap) {
+  const Schema s = tiny2();
+  const Rule big = rule(s, Interval(0, 7), Interval(0, 7), kAccept);
+  const Rule small = rule(s, Interval(2, 3), Interval(2, 3), kDiscard);
+  const Rule side = rule(s, Interval(4, 7), Interval(0, 1), kDiscard);
+  EXPECT_TRUE(predicate_subset(small, big));
+  EXPECT_FALSE(predicate_subset(big, small));
+  EXPECT_TRUE(predicates_overlap(big, small));
+  EXPECT_FALSE(predicates_overlap(small, side));
+}
+
+TEST(Anomaly, ShadowingDetected) {
+  const Schema s = tiny2();
+  const Policy p(s, {rule(s, Interval(0, 5), Interval(0, 7), kAccept),
+                     rule(s, Interval(1, 2), Interval(1, 2), kDiscard),
+                     Rule::catch_all(s, kDiscard)});
+  const std::vector<Anomaly> anomalies = find_anomalies(p);
+  EXPECT_TRUE(has(anomalies, AnomalyKind::kShadowing, 0, 1));
+}
+
+TEST(Anomaly, GeneralizationDetected) {
+  const Schema s = tiny2();
+  const Policy p(s, {rule(s, Interval(1, 2), Interval(1, 2), kDiscard),
+                     rule(s, Interval(0, 5), Interval(0, 7), kAccept),
+                     Rule::catch_all(s, kDiscard)});
+  const std::vector<Anomaly> anomalies = find_anomalies(p);
+  EXPECT_TRUE(has(anomalies, AnomalyKind::kGeneralization, 0, 1));
+  EXPECT_FALSE(has(anomalies, AnomalyKind::kShadowing, 0, 1));
+}
+
+TEST(Anomaly, CorrelationDetected) {
+  const Schema s = tiny2();
+  const Policy p(s, {rule(s, Interval(0, 4), Interval(0, 7), kAccept),
+                     rule(s, Interval(2, 7), Interval(0, 7), kDiscard),
+                     Rule::catch_all(s, kDiscard)});
+  const std::vector<Anomaly> anomalies = find_anomalies(p);
+  EXPECT_TRUE(has(anomalies, AnomalyKind::kCorrelation, 0, 1));
+}
+
+TEST(Anomaly, RedundancyPairDetected) {
+  const Schema s = tiny2();
+  const Policy p(s, {rule(s, Interval(0, 5), Interval(0, 7), kAccept),
+                     rule(s, Interval(1, 2), Interval(1, 2), kAccept),
+                     Rule::catch_all(s, kDiscard)});
+  const std::vector<Anomaly> anomalies = find_anomalies(p);
+  EXPECT_TRUE(has(anomalies, AnomalyKind::kRedundancyPair, 0, 1));
+}
+
+TEST(Anomaly, BenignOverlapNotFlagged) {
+  const Schema s = tiny2();
+  // Overlapping, non-nested, same decision.
+  const Policy p(s, {rule(s, Interval(0, 4), Interval(0, 7), kAccept),
+                     rule(s, Interval(2, 7), Interval(0, 7), kAccept),
+                     Rule::catch_all(s, kDiscard)});
+  const std::vector<Anomaly> anomalies = find_anomalies(p);
+  for (const Anomaly& a : anomalies) {
+    EXPECT_FALSE(a.first == 0 && a.second == 1);
+  }
+}
+
+TEST(Anomaly, DisjointRulesProduceNoAnomalies) {
+  const Schema s = tiny2();
+  const Policy p(s, {rule(s, Interval(0, 3), Interval(0, 3), kAccept),
+                     rule(s, Interval(4, 7), Interval(4, 7), kDiscard)});
+  EXPECT_TRUE(find_anomalies(p).empty());
+}
+
+TEST(Anomaly, DeadRulesMatchBruteForce) {
+  std::mt19937_64 rng(91);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Policy p = test::random_policy(tiny3(), 6, rng);
+    const std::vector<std::size_t> dead = dead_rules(p);
+    // Brute force: a rule is dead iff no packet first-matches it.
+    std::vector<bool> hit(p.size(), false);
+    for (const Packet& pkt : test::all_packets(tiny3())) {
+      hit[*p.first_match(pkt)] = true;
+    }
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (!hit[i]) {
+        expected.push_back(i);
+      }
+    }
+    EXPECT_EQ(dead, expected) << "trial " << trial;
+  }
+}
+
+TEST(Anomaly, DeadRuleFromCombinedCoverage) {
+  // Neither earlier rule alone shadows rule 3, but together they do — the
+  // pairwise scan cannot see it, the semantic check must.
+  const Schema s = tiny2();
+  const Policy p(s, {rule(s, Interval(0, 3), Interval(0, 7), kAccept),
+                     rule(s, Interval(4, 7), Interval(0, 7), kDiscard),
+                     rule(s, Interval(2, 5), Interval(2, 5), kAccept),
+                     Rule::catch_all(s, kDiscard)});
+  const std::vector<std::size_t> dead = dead_rules(p);
+  // Rules 1 and 2 already cover the whole space, so the trailing
+  // catch-all is dead too.
+  EXPECT_EQ(dead, (std::vector<std::size_t>{2, 3}));
+  const std::vector<Anomaly> anomalies = find_anomalies(p);
+  EXPECT_FALSE(has(anomalies, AnomalyKind::kShadowing, 0, 2));
+  EXPECT_FALSE(has(anomalies, AnomalyKind::kShadowing, 1, 2));
+}
+
+TEST(Anomaly, ReportFormatsKindsAndRules) {
+  const Schema s = tiny2();
+  const Policy p(s, {rule(s, Interval(0, 5), Interval(0, 7), kAccept),
+                     rule(s, Interval(1, 2), Interval(1, 2), kDiscard),
+                     Rule::catch_all(s, kDiscard)});
+  const std::string report = format_anomaly_report(
+      p, default_decisions(), find_anomalies(p), dead_rules(p));
+  EXPECT_NE(report.find("[shadowing] r2 vs r1"), std::string::npos);
+  EXPECT_NE(report.find("dead rules"), std::string::npos);
+  const std::string clean = format_anomaly_report(
+      p, default_decisions(), {}, {});
+  EXPECT_NE(clean.find("anomalies: none"), std::string::npos);
+  EXPECT_NE(clean.find("dead rules: none"), std::string::npos);
+}
+
+TEST(Anomaly, KindNames) {
+  EXPECT_STREQ(to_string(AnomalyKind::kShadowing), "shadowing");
+  EXPECT_STREQ(to_string(AnomalyKind::kGeneralization), "generalization");
+  EXPECT_STREQ(to_string(AnomalyKind::kCorrelation), "correlation");
+  EXPECT_STREQ(to_string(AnomalyKind::kRedundancyPair), "redundancy-pair");
+}
+
+}  // namespace
+}  // namespace dfw

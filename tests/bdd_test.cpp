@@ -1,0 +1,199 @@
+// ROBDD engine tests: reduction rules, hash-consing canonicity, Boolean
+// algebra against truth tables, and the counting operations the baseline
+// benchmark relies on.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bdd/bdd.hpp"
+
+namespace dfw {
+namespace {
+
+// Small expression tree for randomized truth-table comparison.
+struct Expr {
+  enum Kind { kVar, kAnd, kOr, kXor, kNot } kind;
+  std::size_t var = 0;
+  std::unique_ptr<Expr> a;
+  std::unique_ptr<Expr> b;
+
+  bool eval(const std::vector<bool>& assignment) const {
+    switch (kind) {
+      case kVar:
+        return assignment[var];
+      case kAnd:
+        return a->eval(assignment) && b->eval(assignment);
+      case kOr:
+        return a->eval(assignment) || b->eval(assignment);
+      case kXor:
+        return a->eval(assignment) != b->eval(assignment);
+      case kNot:
+        return !a->eval(assignment);
+    }
+    return false;
+  }
+};
+
+std::unique_ptr<Expr> random_expr(std::mt19937_64& rng, std::size_t vars,
+                                  int depth) {
+  std::uniform_int_distribution<int> kind_pick(0, depth <= 0 ? 0 : 4);
+  std::uniform_int_distribution<std::size_t> var_pick(0, vars - 1);
+  auto e = std::make_unique<Expr>();
+  switch (kind_pick(rng)) {
+    case 0:
+      e->kind = Expr::kVar;
+      e->var = var_pick(rng);
+      return e;
+    case 1:
+      e->kind = Expr::kAnd;
+      break;
+    case 2:
+      e->kind = Expr::kOr;
+      break;
+    case 3:
+      e->kind = Expr::kXor;
+      break;
+    default:
+      e->kind = Expr::kNot;
+      e->a = random_expr(rng, vars, depth - 1);
+      return e;
+  }
+  e->a = random_expr(rng, vars, depth - 1);
+  e->b = random_expr(rng, vars, depth - 1);
+  return e;
+}
+
+BddRef build(BddManager& mgr, const Expr& e) {
+  switch (e.kind) {
+    case Expr::kVar:
+      return mgr.var(e.var);
+    case Expr::kAnd:
+      return mgr.land(build(mgr, *e.a), build(mgr, *e.b));
+    case Expr::kOr:
+      return mgr.lor(build(mgr, *e.a), build(mgr, *e.b));
+    case Expr::kXor:
+      return mgr.lxor(build(mgr, *e.a), build(mgr, *e.b));
+    case Expr::kNot:
+      return mgr.lnot(build(mgr, *e.a));
+  }
+  return mgr.zero();
+}
+
+// Semantic evaluation of a BDD by restriction: walk with ite against
+// constants is overkill; instead exploit canonicity — f restricted to an
+// assignment equals one() iff f evaluates true. Restriction via ite with
+// literal conjunctions:
+bool bdd_eval(BddManager& mgr, BddRef f, const std::vector<bool>& assign) {
+  // cube = conjunction of literals; f * cube != 0 iff f(assign) = 1.
+  BddRef cube = mgr.one();
+  for (std::size_t v = 0; v < assign.size(); ++v) {
+    const BddRef literal =
+        assign[v] ? mgr.var(v) : mgr.lnot(mgr.var(v));
+    cube = mgr.land(cube, literal);
+  }
+  return mgr.land(f, cube) != mgr.zero();
+}
+
+TEST(Bdd, TerminalsAndVar) {
+  BddManager mgr(3);
+  EXPECT_EQ(mgr.zero(), 0u);
+  EXPECT_EQ(mgr.one(), 1u);
+  const BddRef x0 = mgr.var(0);
+  EXPECT_NE(x0, mgr.zero());
+  EXPECT_NE(x0, mgr.one());
+  EXPECT_EQ(mgr.var(0), x0);  // hash-consed
+  EXPECT_THROW(mgr.var(3), std::out_of_range);
+}
+
+TEST(Bdd, BasicIdentities) {
+  BddManager mgr(2);
+  const BddRef x = mgr.var(0);
+  const BddRef y = mgr.var(1);
+  EXPECT_EQ(mgr.land(x, mgr.one()), x);
+  EXPECT_EQ(mgr.land(x, mgr.zero()), mgr.zero());
+  EXPECT_EQ(mgr.lor(x, mgr.zero()), x);
+  EXPECT_EQ(mgr.lor(x, mgr.one()), mgr.one());
+  EXPECT_EQ(mgr.lxor(x, x), mgr.zero());
+  EXPECT_EQ(mgr.lnot(mgr.lnot(x)), x);
+  EXPECT_EQ(mgr.land(x, y), mgr.land(y, x));  // canonical form
+}
+
+TEST(Bdd, CanonicityEqualFunctionsShareNodes) {
+  BddManager mgr(3);
+  const BddRef a = mgr.lor(mgr.var(0), mgr.var(1));
+  const BddRef b =
+      mgr.lnot(mgr.land(mgr.lnot(mgr.var(0)), mgr.lnot(mgr.var(1))));
+  EXPECT_EQ(a, b);  // De Morgan, same canonical node
+}
+
+TEST(Bdd, RandomExpressionsMatchTruthTables) {
+  std::mt19937_64 rng(2024);
+  constexpr std::size_t kVars = 4;
+  for (int trial = 0; trial < 60; ++trial) {
+    BddManager mgr(kVars);
+    const auto expr = random_expr(rng, kVars, 4);
+    const BddRef f = build(mgr, *expr);
+    for (unsigned mask = 0; mask < (1u << kVars); ++mask) {
+      std::vector<bool> assign(kVars);
+      for (std::size_t v = 0; v < kVars; ++v) {
+        assign[v] = (mask >> v) & 1;
+      }
+      EXPECT_EQ(bdd_eval(mgr, f, assign), expr->eval(assign))
+          << "trial " << trial << " mask " << mask;
+    }
+  }
+}
+
+TEST(Bdd, SatCountMatchesTruthTable) {
+  std::mt19937_64 rng(2025);
+  constexpr std::size_t kVars = 5;
+  for (int trial = 0; trial < 40; ++trial) {
+    BddManager mgr(kVars);
+    const auto expr = random_expr(rng, kVars, 4);
+    const BddRef f = build(mgr, *expr);
+    std::uint64_t expected = 0;
+    for (unsigned mask = 0; mask < (1u << kVars); ++mask) {
+      std::vector<bool> assign(kVars);
+      for (std::size_t v = 0; v < kVars; ++v) {
+        assign[v] = (mask >> v) & 1;
+      }
+      expected += expr->eval(assign) ? 1 : 0;
+    }
+    EXPECT_EQ(mgr.sat_count(f), expected) << "trial " << trial;
+  }
+}
+
+TEST(Bdd, SatCountTerminals) {
+  BddManager mgr(4);
+  EXPECT_EQ(mgr.sat_count(mgr.zero()), 0u);
+  EXPECT_EQ(mgr.sat_count(mgr.one()), 16u);  // 2^4
+  EXPECT_EQ(mgr.sat_count(mgr.var(0)), 8u);
+}
+
+TEST(Bdd, CubeCountCountsOnePaths) {
+  BddManager mgr(3);
+  // x0 XOR x1: BDD has two 1-paths.
+  const BddRef f = mgr.lxor(mgr.var(0), mgr.var(1));
+  EXPECT_EQ(mgr.cube_count(f), 2u);
+  EXPECT_EQ(mgr.cube_count(mgr.zero()), 0u);
+  EXPECT_EQ(mgr.cube_count(mgr.one()), 1u);
+  // Single variable: one 1-path regardless of total variable count.
+  EXPECT_EQ(mgr.cube_count(mgr.var(2)), 1u);
+}
+
+TEST(Bdd, ParityFunctionHasExponentialCubes) {
+  // Parity is the classic cube-explosion function: 2^(n-1) one-paths.
+  constexpr std::size_t kVars = 10;
+  BddManager mgr(kVars);
+  BddRef parity = mgr.zero();
+  for (std::size_t v = 0; v < kVars; ++v) {
+    parity = mgr.lxor(parity, mgr.var(v));
+  }
+  EXPECT_EQ(mgr.cube_count(parity), 1u << (kVars - 1));
+  // Yet the BDD itself is linear in size.
+  EXPECT_LT(mgr.node_count(), 200u);
+}
+
+}  // namespace
+}  // namespace dfw

@@ -1,0 +1,153 @@
+// FddBuilder tests: guided construction, automatic remainder regions,
+// invariant enforcement at the API boundary, and integration with rule
+// generation (the Section 7.2 design-in-FDD workflow).
+
+#include <gtest/gtest.h>
+
+#include "fdd/builder.hpp"
+#include "fdd/compare.hpp"
+#include "fw/parser.hpp"
+#include "gen/generate.hpp"
+#include "net/ipv4.hpp"
+#include "test_util.hpp"
+
+namespace dfw {
+namespace {
+
+using test::tiny2;
+using test::tiny3;
+
+TEST(Builder, SimpleTwoRegionDesign) {
+  FddBuilder b(tiny2());
+  const auto children =
+      b.split(b.root(), 0, {IntervalSet(Interval(0, 3))});
+  ASSERT_EQ(children.size(), 2u);  // explicit region + remainder
+  b.decide(children[0], kAccept);
+  b.decide(children[1], kDiscard);
+  const Fdd fdd = b.finish();
+  EXPECT_EQ(fdd.evaluate({2, 5}), kAccept);
+  EXPECT_EQ(fdd.evaluate({5, 5}), kDiscard);
+}
+
+TEST(Builder, ExhaustivePartitionAddsNoRemainder) {
+  FddBuilder b(tiny2());
+  const auto children = b.split(
+      b.root(), 0,
+      {IntervalSet(Interval(0, 3)), IntervalSet(Interval(4, 7))});
+  EXPECT_EQ(children.size(), 2u);
+  b.decide(children[0], kAccept);
+  b.decide(children[1], kDiscard);
+  EXPECT_NO_THROW(b.finish());
+}
+
+TEST(Builder, NestedSplitsFollowFieldOrder) {
+  FddBuilder b(tiny3());
+  const auto on_x = b.split(b.root(), 0, {IntervalSet(Interval(0, 2))});
+  const auto on_z = b.split(on_x[0], 2, {IntervalSet(Interval(0, 1))});
+  b.decide(on_z[0], kDiscard);
+  b.decide(on_z[1], kAccept);
+  b.decide(on_x[1], kAccept);
+  const Fdd fdd = b.finish();
+  EXPECT_EQ(fdd.evaluate({1, 0, 0}), kDiscard);
+  EXPECT_EQ(fdd.evaluate({1, 0, 3}), kAccept);
+  EXPECT_EQ(fdd.evaluate({5, 0, 0}), kAccept);
+  // Splitting on y after z on the same path must fail (ordering).
+  FddBuilder b2(tiny3());
+  const auto deep = b2.split(b2.root(), 2, {IntervalSet(Interval(0, 1))});
+  EXPECT_THROW(b2.split(deep[0], 1, {IntervalSet(Interval(0, 1))}),
+               std::logic_error);
+}
+
+TEST(Builder, RejectsBadSplits) {
+  FddBuilder b(tiny2());
+  // Overlapping partitions.
+  EXPECT_THROW(b.split(b.root(), 0,
+                       {IntervalSet(Interval(0, 4)),
+                        IntervalSet(Interval(4, 7))}),
+               std::invalid_argument);
+  // Domain escape.
+  EXPECT_THROW(b.split(b.root(), 0, {IntervalSet(Interval(0, 9))}),
+               std::invalid_argument);
+  // Empty partition list / empty set.
+  EXPECT_THROW(b.split(b.root(), 0, {}), std::invalid_argument);
+  EXPECT_THROW(b.split(b.root(), 0, {IntervalSet()}),
+               std::invalid_argument);
+  // Unknown field and unknown region.
+  EXPECT_THROW(b.split(b.root(), 9, {IntervalSet(Interval(0, 1))}),
+               std::invalid_argument);
+  EXPECT_THROW(b.split(42, 0, {IntervalSet(Interval(0, 1))}),
+               std::out_of_range);
+}
+
+TEST(Builder, RejectsDoubleCloseAndUnfinishedDesigns) {
+  FddBuilder b(tiny2());
+  const auto children = b.split(b.root(), 0, {IntervalSet(Interval(0, 3))});
+  b.decide(children[0], kAccept);
+  EXPECT_THROW(b.decide(children[0], kDiscard), std::logic_error);
+  EXPECT_THROW(b.split(children[0], 1, {IntervalSet(Interval(0, 1))}),
+               std::logic_error);
+  EXPECT_EQ(b.open_regions(), 1u);
+  EXPECT_THROW(b.finish(), std::logic_error);  // children[1] undecided
+}
+
+TEST(Builder, ClosedPredicate) {
+  FddBuilder b(tiny2());
+  EXPECT_FALSE(b.closed(b.root()));
+  const auto children = b.split(b.root(), 1, {IntervalSet(Interval(0, 3))});
+  EXPECT_TRUE(b.closed(b.root()));
+  EXPECT_FALSE(b.closed(children[0]));
+}
+
+// The paper's Section 7.2 workflow: one team designs by FDD, rules are
+// generated from the diagram, and the result compares cleanly against a
+// rule-based design of the same intent.
+TEST(Builder, DesignByFddMatchesEquivalentRuleDesign) {
+  const Schema schema = example_schema();
+  const std::uint32_t alpha = *parse_ipv4("224.168.0.0");
+  const std::uint32_t beta = *parse_ipv4("224.168.255.255");
+  const std::uint32_t gamma = *parse_ipv4("192.168.0.1");
+
+  FddBuilder b(schema);
+  // Split on interface first: inside traffic is accepted outright.
+  const auto on_iface = b.split(b.root(), 0, {IntervalSet(Interval(0, 0))});
+  b.decide(on_iface[1], kAccept);
+  // Outside: malicious domain discarded, mail to the server accepted, ...
+  const auto on_src =
+      b.split(on_iface[0], 1, {IntervalSet(Interval(alpha, beta))});
+  b.decide(on_src[0], kDiscard);
+  const auto on_dst =
+      b.split(on_src[1], 2, {IntervalSet(Interval::point(gamma))});
+  b.decide(on_dst[1], kAccept);
+  const auto on_port =
+      b.split(on_dst[0], 3, {IntervalSet(Interval::point(25))});
+  b.decide(on_port[1], kDiscard);
+  const auto on_proto =
+      b.split(on_port[0], 4, {IntervalSet(Interval::point(0))});
+  b.decide(on_proto[0], kAccept);
+  b.decide(on_proto[1], kDiscard);
+  const Fdd designed = b.finish();
+
+  // Team B's firewall from the paper (Table 2) captures the same intent.
+  const Policy team_b = parse_policy(schema, default_decisions(),
+                                     "discard I=0 S=224.168.0.0/16\n"
+                                     "accept  I=0 D=192.168.0.1 N=25 P=tcp\n"
+                                     "discard I=0 D=192.168.0.1\n"
+                                     "accept\n");
+  const Policy generated = generate_policy(designed);
+  EXPECT_TRUE(equivalent(generated, team_b));
+}
+
+TEST(Builder, ReusableAfterFinish) {
+  FddBuilder b(tiny2());
+  b.decide(b.root(), kAccept);
+  const Fdd first = b.finish();
+  EXPECT_EQ(first.evaluate({0, 0}), kAccept);
+  // The builder resets to a fresh open root.
+  EXPECT_EQ(b.open_regions(), 1u);
+  b.decide(b.root(), kDiscard);
+  const Fdd second = b.finish();
+  EXPECT_EQ(second.evaluate({0, 0}), kDiscard);
+}
+
+}  // namespace
+}  // namespace dfw

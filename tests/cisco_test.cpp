@@ -1,0 +1,154 @@
+// Cisco extended-ACL frontend tests: address forms, wildcard masks, port
+// operators (including neq's two-interval result), implicit deny, and
+// cross-vendor comparison through the pipeline.
+
+#include <gtest/gtest.h>
+
+#include "adapters/cisco.hpp"
+#include "adapters/iptables.hpp"
+#include "fdd/compare.hpp"
+#include "net/ipv4.hpp"
+
+namespace dfw {
+namespace {
+
+constexpr std::string_view kConfig =
+    "hostname edge-router\n"
+    "!\n"
+    "access-list 101 remark --- mail server ---\n"
+    "access-list 101 permit tcp any host 192.168.0.1 eq smtp\n"
+    "access-list 101 deny ip 224.168.0.0 0.0.255.255 any\n"
+    "access-list 101 permit tcp 10.0.0.0 0.255.255.255 any range 80 443\n"
+    "access-list 101 permit udp any eq domain any\n"
+    "access-list 101 deny tcp any any neq 22 log\n"
+    "access-list 102 permit ip any any\n"
+    "!\n"
+    "interface GigabitEthernet0/0\n"
+    " ip access-group 101 in\n";
+
+TEST(Cisco, ParsesOnlyTheRequestedAcl) {
+  const Policy p = parse_cisco_acl(kConfig, "101");
+  // 5 rules (remark skipped) + implicit deny.
+  ASSERT_EQ(p.size(), 6u);
+  EXPECT_TRUE(p.last_rule_is_catch_all());
+  EXPECT_EQ(p.rules().back().decision(), kDiscard);
+  const Policy other = parse_cisco_acl(kConfig, "102");
+  ASSERT_EQ(other.size(), 2u);
+}
+
+TEST(Cisco, AddressForms) {
+  const Policy p = parse_cisco_acl(kConfig, "101");
+  // host form.
+  EXPECT_EQ(p.rule(0).conjunct(1),
+            IntervalSet(Interval::point(*parse_ipv4("192.168.0.1"))));
+  // wildcard-mask form: 224.168.0.0 0.0.255.255 == 224.168.0.0/16.
+  EXPECT_EQ(p.rule(1).conjunct(0),
+            IntervalSet(Interval(*parse_ipv4("224.168.0.0"),
+                                 *parse_ipv4("224.168.255.255"))));
+  // any form.
+  EXPECT_EQ(p.rule(0).conjunct(0), IntervalSet(Interval(0, UINT32_MAX)));
+}
+
+TEST(Cisco, PortOperators) {
+  const Policy p = parse_cisco_acl(kConfig, "101");
+  EXPECT_EQ(p.rule(0).conjunct(3), IntervalSet(Interval::point(25)));  // smtp
+  EXPECT_EQ(p.rule(2).conjunct(3), IntervalSet(Interval(80, 443)));
+  EXPECT_EQ(p.rule(3).conjunct(2), IntervalSet(Interval::point(53)));
+  // neq 22: the complement split into two runs.
+  IntervalSet not_ssh;
+  not_ssh.add(Interval(0, 21));
+  not_ssh.add(Interval(23, 65535));
+  EXPECT_EQ(p.rule(4).conjunct(3), not_ssh);
+}
+
+TEST(Cisco, LtGtOperators) {
+  const Policy p = parse_cisco_acl(
+      "access-list 7 permit tcp any any lt 1024\n"
+      "access-list 7 deny tcp any gt 50000 any\n",
+      "7");
+  EXPECT_EQ(p.rule(0).conjunct(3), IntervalSet(Interval(0, 1023)));
+  EXPECT_EQ(p.rule(1).conjunct(2), IntervalSet(Interval(50001, 65535)));
+}
+
+TEST(Cisco, ProtocolHandling) {
+  const Policy p = parse_cisco_acl(
+      "access-list 9 permit icmp any any\n"
+      "access-list 9 permit 89 any any\n"
+      "access-list 9 permit ip any any\n",
+      "9");
+  EXPECT_EQ(p.rule(0).conjunct(4), IntervalSet(Interval::point(1)));
+  EXPECT_EQ(p.rule(1).conjunct(4), IntervalSet(Interval::point(89)));
+  EXPECT_EQ(p.rule(2).conjunct(4), IntervalSet(Interval(0, 255)));
+}
+
+TEST(Cisco, FirstMatchSemantics) {
+  const Policy p = parse_cisco_acl(kConfig, "101");
+  // Mail from the malicious net: the smtp permit precedes the deny.
+  const Packet mail = {*parse_ipv4("224.168.1.1"),
+                       *parse_ipv4("192.168.0.1"), 40000, 25, 6};
+  EXPECT_EQ(p.evaluate(mail), kAccept);
+  // Other malicious traffic hits the deny.
+  const Packet other = {*parse_ipv4("224.168.1.1"), *parse_ipv4("1.2.3.4"),
+                        40000, 80, 6};
+  EXPECT_EQ(p.evaluate(other), kDiscard);
+  // Unmatched traffic hits the implicit deny.
+  const Packet stray = {*parse_ipv4("8.8.8.8"), *parse_ipv4("9.9.9.9"),
+                        1000, 22, 6};
+  EXPECT_EQ(p.evaluate(stray), kDiscard);
+}
+
+TEST(Cisco, RejectsUnsupportedSyntax) {
+  EXPECT_THROW(parse_cisco_acl("access-list 5 permit tcp any any eq 80 80\n",
+                               "5"),
+               ParseError);
+  EXPECT_THROW(
+      parse_cisco_acl("access-list 5 allow tcp any any\n", "5"),
+      ParseError);
+  // Non-contiguous wildcard mask.
+  EXPECT_THROW(parse_cisco_acl(
+                   "access-list 5 permit ip 10.0.0.0 0.255.0.255 any\n", "5"),
+               ParseError);
+  // Address bits inside the wildcard.
+  EXPECT_THROW(parse_cisco_acl(
+                   "access-list 5 permit ip 10.0.0.7 0.0.0.255 any\n", "5"),
+               ParseError);
+  // Port operator on a non-port protocol.
+  EXPECT_THROW(parse_cisco_acl(
+                   "access-list 5 permit icmp any any eq 80\n", "5"),
+               ParseError);
+  // Inverted range.
+  EXPECT_THROW(parse_cisco_acl(
+                   "access-list 5 permit tcp any any range 90 80\n", "5"),
+               ParseError);
+  // Missing ACL entirely.
+  EXPECT_THROW(parse_cisco_acl("hostname r1\n", "5"), ParseError);
+}
+
+TEST(Cisco, CrossVendorComparisonThroughPipeline) {
+  // The same intent written for a router and for a Linux box; the
+  // comparison pipeline verifies the translation is faithful.
+  const Policy cisco = parse_cisco_acl(
+      "access-list 110 permit tcp any host 192.168.0.1 eq smtp\n"
+      "access-list 110 deny ip 224.168.0.0 0.0.255.255 any\n",
+      "110");
+  const Policy linux = parse_iptables_save(
+      ":INPUT DROP [0:0]\n"
+      "-A INPUT -d 192.168.0.1/32 -p tcp --dport 25 -j ACCEPT\n"
+      "-A INPUT -s 224.168.0.0/16 -j DROP\n",
+      "INPUT");
+  EXPECT_TRUE(equivalent(cisco, linux));
+  // And a deliberately different port shows up as a discrepancy.
+  const Policy linux_typo = parse_iptables_save(
+      ":INPUT DROP [0:0]\n"
+      "-A INPUT -d 192.168.0.1/32 -p tcp --dport 26 -j ACCEPT\n"
+      "-A INPUT -s 224.168.0.0/16 -j DROP\n",
+      "INPUT");
+  const std::vector<Discrepancy> diffs = discrepancies(cisco, linux_typo);
+  EXPECT_FALSE(diffs.empty());
+  for (const Discrepancy& d : diffs) {
+    EXPECT_TRUE(d.conjuncts[3].contains(25) || d.conjuncts[3].contains(26));
+  }
+}
+
+}  // namespace
+}  // namespace dfw

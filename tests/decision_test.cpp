@@ -1,0 +1,57 @@
+// DecisionSet unit tests: built-ins, user-defined decisions (the paper's
+// accept/discard "with logging" variants), idempotent registration.
+
+#include <gtest/gtest.h>
+
+#include "fw/decision.hpp"
+
+namespace dfw {
+namespace {
+
+TEST(Decision, BuiltinsArePresent) {
+  const DecisionSet ds;
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.name(kAccept), "accept");
+  EXPECT_EQ(ds.name(kDiscard), "discard");
+  EXPECT_EQ(ds.find("accept"), kAccept);
+  EXPECT_EQ(ds.find("discard"), kDiscard);
+}
+
+TEST(Decision, AddUserDefinedDecisions) {
+  DecisionSet ds;
+  const Decision accept_log = ds.add("accept_log");
+  const Decision discard_log = ds.add("discard_log");
+  EXPECT_EQ(ds.size(), 4u);
+  EXPECT_NE(accept_log, discard_log);
+  EXPECT_EQ(ds.name(accept_log), "accept_log");
+  EXPECT_EQ(ds.find("discard_log"), discard_log);
+}
+
+TEST(Decision, AddIsIdempotent) {
+  DecisionSet ds;
+  const Decision first = ds.add("accept_log");
+  const Decision second = ds.add("accept_log");
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(ds.size(), 3u);
+}
+
+TEST(Decision, AddExistingBuiltinReturnsBuiltin) {
+  DecisionSet ds;
+  EXPECT_EQ(ds.add("accept"), kAccept);
+  EXPECT_EQ(ds.size(), 2u);
+}
+
+TEST(Decision, UnknownLookups) {
+  const DecisionSet ds;
+  EXPECT_FALSE(ds.find("reject").has_value());
+  EXPECT_THROW(ds.name(99), std::out_of_range);
+}
+
+TEST(Decision, DefaultDecisionsSingleton) {
+  const DecisionSet& ds = default_decisions();
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_EQ(&default_decisions(), &ds);
+}
+
+}  // namespace
+}  // namespace dfw

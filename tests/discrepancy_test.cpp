@@ -1,0 +1,81 @@
+// Human-readable discrepancy report tests.
+
+#include <gtest/gtest.h>
+
+#include "diverse/discrepancy.hpp"
+#include "fw/parser.hpp"
+#include "net/ipv4.hpp"
+
+namespace dfw {
+namespace {
+
+const Schema kSchema = five_tuple_schema();
+const DecisionSet& kDecisions = default_decisions();
+
+Discrepancy sample_discrepancy() {
+  Discrepancy d;
+  d.conjuncts = {
+      IntervalSet(Interval(*parse_ipv4("224.168.0.0"),
+                           *parse_ipv4("224.168.255.255"))),
+      IntervalSet(kSchema.domain(1)),
+      IntervalSet(kSchema.domain(2)),
+      IntervalSet(Interval::point(25)),
+      IntervalSet(Interval::point(6)),
+  };
+  d.decisions = {kAccept, kDiscard};
+  return d;
+}
+
+TEST(DiscrepancyReport, RendersPredicateInFieldSyntax) {
+  const std::string line =
+      format_discrepancy(kSchema, kDecisions, sample_discrepancy());
+  EXPECT_NE(line.find("sip in 224.168.0.0/16"), std::string::npos);
+  EXPECT_NE(line.find("dport in 25"), std::string::npos);
+  EXPECT_NE(line.find("proto in tcp"), std::string::npos);
+  // Wildcarded fields are omitted entirely.
+  EXPECT_EQ(line.find("dip"), std::string::npos);
+}
+
+TEST(DiscrepancyReport, DefaultTeamNames) {
+  const std::string line =
+      format_discrepancy(kSchema, kDecisions, sample_discrepancy());
+  EXPECT_NE(line.find("team1=accept"), std::string::npos);
+  EXPECT_NE(line.find("team2=discard"), std::string::npos);
+}
+
+TEST(DiscrepancyReport, CustomTeamNames) {
+  const std::string line = format_discrepancy(
+      kSchema, kDecisions, sample_discrepancy(), {"before", "after"});
+  EXPECT_NE(line.find("before=accept"), std::string::npos);
+  EXPECT_NE(line.find("after=discard"), std::string::npos);
+}
+
+TEST(DiscrepancyReport, AllWildcardPredicateSaysAllPackets) {
+  Discrepancy d;
+  for (std::size_t i = 0; i < kSchema.field_count(); ++i) {
+    d.conjuncts.emplace_back(kSchema.domain(i));
+  }
+  d.decisions = {kAccept, kDiscard};
+  const std::string line = format_discrepancy(kSchema, kDecisions, d);
+  EXPECT_NE(line.find("all packets"), std::string::npos);
+}
+
+TEST(DiscrepancyReport, EmptyListReportsEquivalence) {
+  const std::string report =
+      format_discrepancy_report(kSchema, kDecisions, {});
+  EXPECT_NE(report.find("equivalent"), std::string::npos);
+}
+
+TEST(DiscrepancyReport, FullReportNumbersAndCounts) {
+  const std::vector<Discrepancy> diffs = {sample_discrepancy(),
+                                          sample_discrepancy()};
+  const std::string report =
+      format_discrepancy_report(kSchema, kDecisions, diffs);
+  EXPECT_NE(report.find("functional discrepancies (2):"), std::string::npos);
+  EXPECT_NE(report.find("d1: "), std::string::npos);
+  EXPECT_NE(report.find("d2: "), std::string::npos);
+  EXPECT_NE(report.find("total packets affected"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfw

@@ -1,0 +1,95 @@
+// Dedicated tests for the Graphviz exporter and the statistics module.
+
+#include <gtest/gtest.h>
+
+#include "fdd/construct.hpp"
+#include "fdd/dot.hpp"
+#include "fdd/stats.hpp"
+#include "test_util.hpp"
+
+namespace dfw {
+namespace {
+
+using test::tiny2;
+using test::tiny3;
+
+TEST(Dot, TerminalOnlyDiagram) {
+  const std::string dot =
+      to_dot(Fdd::constant(tiny2(), kAccept), default_decisions());
+  EXPECT_NE(dot.find("digraph fdd {"), std::string::npos);
+  EXPECT_NE(dot.find("[shape=box, label=\"accept\"]"), std::string::npos);
+  EXPECT_EQ(dot.find("->"), std::string::npos);  // no edges
+}
+
+TEST(Dot, NodeAndEdgeCountsMatchDiagram) {
+  std::mt19937_64 rng(131);
+  const Policy p = test::random_policy(tiny3(), 5, rng);
+  const Fdd fdd = build_reduced_fdd(p);
+  const FddStats stats = compute_stats(fdd);
+  const std::string dot = to_dot(fdd, default_decisions());
+  // One "nK [" declaration per node, one "->" per edge.
+  std::size_t decls = 0;
+  std::size_t arrows = 0;
+  for (std::size_t pos = dot.find(" [shape="); pos != std::string::npos;
+       pos = dot.find(" [shape=", pos + 1)) {
+    ++decls;
+  }
+  for (std::size_t pos = dot.find("->"); pos != std::string::npos;
+       pos = dot.find("->", pos + 1)) {
+    ++arrows;
+  }
+  EXPECT_EQ(decls, stats.nodes);
+  EXPECT_EQ(arrows, stats.edges);
+}
+
+TEST(Dot, EdgeLabelsUseFieldAwareFormatting) {
+  const Schema s = five_tuple_schema();
+  const Policy p(s,
+                 {Rule(s,
+                       {IntervalSet(Interval(0, UINT32_MAX)),
+                        IntervalSet(Interval(0, UINT32_MAX)),
+                        IntervalSet(Interval(0, 65535)),
+                        IntervalSet(Interval::point(25)),
+                        IntervalSet(Interval::point(6))},
+                       kAccept),
+                  Rule::catch_all(s, kDiscard)});
+  const std::string dot = to_dot(build_fdd(p), default_decisions());
+  EXPECT_NE(dot.find("label=\"25\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"tcp\""), std::string::npos);
+}
+
+TEST(Stats, CountsAgreeWithNodeHelpers) {
+  std::mt19937_64 rng(132);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Policy p = test::random_policy(tiny3(), 5, rng);
+    const Fdd fdd = build_reduced_fdd(p);
+    const FddStats stats = compute_stats(fdd);
+    EXPECT_EQ(stats.nodes, fdd.node_count());
+    EXPECT_EQ(stats.paths, fdd.path_count());
+    EXPECT_EQ(stats.terminals, stats.paths);  // trees: one terminal/path
+    EXPECT_EQ(stats.edges, stats.nodes - 1);  // trees: |E| = |V| - 1
+    EXPECT_LE(stats.depth, tiny3().field_count() + 1);
+    EXPECT_GE(stats.depth, 1u);
+  }
+}
+
+TEST(Stats, ConstantDiagram) {
+  const FddStats stats = compute_stats(Fdd::constant(tiny2(), kDiscard));
+  EXPECT_EQ(stats.nodes, 1u);
+  EXPECT_EQ(stats.terminals, 1u);
+  EXPECT_EQ(stats.edges, 0u);
+  EXPECT_EQ(stats.paths, 1u);
+  EXPECT_EQ(stats.depth, 1u);
+}
+
+TEST(Stats, ToStringListsEveryMeasure) {
+  const std::string text =
+      to_string(compute_stats(Fdd::constant(tiny2(), kAccept)));
+  for (const char* key :
+       {"nodes=", "terminals=", "edges=", "paths=", "depth="}) {
+    EXPECT_NE(text.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace dfw

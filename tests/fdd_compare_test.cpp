@@ -1,0 +1,166 @@
+// Comparison algorithm tests (Section 5): the discrepancy set must equal —
+// exactly — the set of packets on which the two firewalls disagree, as
+// verified by brute force on small universes.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "fdd/compare.hpp"
+#include "fdd/construct.hpp"
+#include "fdd/shape.hpp"
+#include "test_util.hpp"
+
+namespace dfw {
+namespace {
+
+using test::all_packets;
+using test::tiny2;
+using test::tiny3;
+
+// Returns the packets whose membership in some discrepancy is claimed.
+std::vector<bool> covered_mask(const Schema& schema,
+                               const std::vector<Discrepancy>& diffs) {
+  const std::vector<Packet> packets = all_packets(schema);
+  std::vector<bool> mask(packets.size(), false);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    for (const Discrepancy& d : diffs) {
+      bool inside = true;
+      for (std::size_t f = 0; f < packets[i].size(); ++f) {
+        inside = inside && d.conjuncts[f].contains(packets[i][f]);
+      }
+      if (inside) {
+        mask[i] = true;
+        break;
+      }
+    }
+  }
+  return mask;
+}
+
+TEST(FddCompare, EquivalentPoliciesHaveNoDiscrepancies) {
+  std::mt19937_64 rng(1);
+  const Policy p = test::random_policy(tiny3(), 6, rng);
+  EXPECT_TRUE(discrepancies(p, p).empty());
+  EXPECT_TRUE(equivalent(p, p));
+}
+
+TEST(FddCompare, DiscrepanciesExactlyCoverDisagreeingPackets) {
+  std::mt19937_64 rng(2);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Policy pa = test::random_policy(tiny3(), 5, rng);
+    const Policy pb = test::random_policy(tiny3(), 5, rng);
+    const std::vector<Discrepancy> diffs = discrepancies(pa, pb);
+    const std::vector<Packet> packets = all_packets(tiny3());
+    const std::vector<bool> covered = covered_mask(tiny3(), diffs);
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      const bool disagree =
+          pa.evaluate(packets[i]) != pb.evaluate(packets[i]);
+      EXPECT_EQ(covered[i], disagree)
+          << "trial " << trial << " packet " << i;
+    }
+  }
+}
+
+TEST(FddCompare, ReportedDecisionsMatchThePolicies) {
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Policy pa = test::random_policy(tiny2(), 4, rng);
+    const Policy pb = test::random_policy(tiny2(), 4, rng);
+    for (const Discrepancy& d : discrepancies(pa, pb)) {
+      // Every packet in the class maps to the reported pair.
+      for (const Packet& p : all_packets(tiny2())) {
+        bool inside = true;
+        for (std::size_t f = 0; f < p.size(); ++f) {
+          inside = inside && d.conjuncts[f].contains(p[f]);
+        }
+        if (inside) {
+          EXPECT_EQ(pa.evaluate(p), d.decisions[0]);
+          EXPECT_EQ(pb.evaluate(p), d.decisions[1]);
+        }
+      }
+    }
+  }
+}
+
+TEST(FddCompare, DiscrepancyClassesArePairwiseDisjoint) {
+  std::mt19937_64 rng(4);
+  const Policy pa = test::random_policy(tiny3(), 6, rng);
+  const Policy pb = test::random_policy(tiny3(), 6, rng);
+  const std::vector<Discrepancy> diffs = discrepancies(pa, pb);
+  for (std::size_t i = 0; i < diffs.size(); ++i) {
+    for (std::size_t j = i + 1; j < diffs.size(); ++j) {
+      bool overlap_all_fields = true;
+      for (std::size_t f = 0; f < diffs[i].conjuncts.size(); ++f) {
+        overlap_all_fields =
+            overlap_all_fields &&
+            diffs[i].conjuncts[f].overlaps(diffs[j].conjuncts[f]);
+      }
+      EXPECT_FALSE(overlap_all_fields)
+          << "classes " << i << " and " << j << " overlap";
+    }
+  }
+}
+
+TEST(FddCompare, RequiresSemiIsomorphicInputs) {
+  std::mt19937_64 rng(5);
+  const Fdd fa = build_fdd(test::random_policy(tiny2(), 4, rng));
+  const Fdd fb = build_fdd(test::random_policy(tiny2(), 4, rng));
+  // Unshaped diagrams are (almost surely) not semi-isomorphic.
+  if (!semi_isomorphic(fa, fb)) {
+    EXPECT_THROW(compare_fdds(fa, fb), std::invalid_argument);
+  }
+}
+
+TEST(FddCompare, NWayComparisonMatchesPairwise) {
+  std::mt19937_64 rng(6);
+  std::vector<Policy> teams;
+  for (int i = 0; i < 3; ++i) {
+    teams.push_back(test::random_policy(tiny3(), 4, rng));
+  }
+  const std::vector<Discrepancy> nway = discrepancies_many(teams);
+  // N-way coverage must equal the union of pairwise disagreement sets.
+  const std::vector<Packet> packets = all_packets(tiny3());
+  const std::vector<bool> covered = covered_mask(tiny3(), nway);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const Decision d0 = teams[0].evaluate(packets[i]);
+    const Decision d1 = teams[1].evaluate(packets[i]);
+    const Decision d2 = teams[2].evaluate(packets[i]);
+    const bool disagree = !(d0 == d1 && d1 == d2);
+    EXPECT_EQ(covered[i], disagree) << "packet " << i;
+  }
+  for (const Discrepancy& d : nway) {
+    EXPECT_EQ(d.decisions.size(), 3u);
+  }
+}
+
+TEST(FddCompare, NonComprehensiveInputRejected) {
+  const Schema schema = tiny2();
+  const Policy partial(
+      schema,
+      {Rule(schema, {IntervalSet(Interval(0, 3)), IntervalSet(Interval(0, 7))},
+            kAccept)});
+  const Policy full(schema, {Rule::catch_all(schema, kDiscard)});
+  EXPECT_THROW(discrepancies(partial, full), std::logic_error);
+}
+
+TEST(FddCompare, PacketCountIsExact) {
+  Discrepancy d;
+  d.conjuncts = {IntervalSet(Interval(0, 3)), IntervalSet(Interval(2, 5))};
+  d.decisions = {kAccept, kDiscard};
+  EXPECT_EQ(discrepancy_packet_count(d), 16u);
+}
+
+TEST(FddCompare, TotalDisagreementReportsWholeSpace) {
+  const Schema schema = tiny2();
+  const Policy all_accept(schema, {Rule::catch_all(schema, kAccept)});
+  const Policy all_discard(schema, {Rule::catch_all(schema, kDiscard)});
+  const std::vector<Discrepancy> diffs =
+      discrepancies(all_accept, all_discard);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_EQ(discrepancy_packet_count(diffs[0]),
+            schema.packet_space_size());
+}
+
+}  // namespace
+}  // namespace dfw

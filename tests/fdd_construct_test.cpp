@@ -1,0 +1,137 @@
+// Construction algorithm (Fig. 7) unit tests: incremental appends,
+// first-match precedence, partial FDDs, and structural invariants.
+
+#include <gtest/gtest.h>
+
+#include "fdd/construct.hpp"
+#include "fdd/stats.hpp"
+#include "test_util.hpp"
+
+namespace dfw {
+namespace {
+
+using test::tiny2;
+using test::tiny3;
+
+Rule make_rule(const Schema& schema, std::vector<IntervalSet> conjuncts,
+               Decision d) {
+  return Rule(schema, std::move(conjuncts), d);
+}
+
+TEST(FddConstruct, SingleCatchAllRuleGivesOnePath) {
+  const Schema schema = tiny2();
+  const Policy p(schema, {Rule::catch_all(schema, kAccept)});
+  const Fdd fdd = build_fdd(p);
+  fdd.validate();
+  EXPECT_EQ(fdd.path_count(), 1u);
+  EXPECT_EQ(fdd.evaluate({3, 3}), kAccept);
+}
+
+TEST(FddConstruct, SingleRulePartialFddHasOneDecisionPath) {
+  const Schema schema = tiny2();
+  const Policy p(schema,
+                 {make_rule(schema, {Interval(2, 4), Interval(1, 3)}, kAccept),
+                  Rule::catch_all(schema, kDiscard)});
+  const Fdd partial = build_partial_fdd(p, 1);
+  EXPECT_EQ(partial.path_count(), 1u);
+  // Partial: packets outside the rule fall off the diagram.
+  EXPECT_EQ(partial.evaluate({3, 2}), kAccept);
+  EXPECT_THROW(partial.evaluate({0, 0}), std::logic_error);
+  // Complete FDD covers everything.
+  const Fdd full = build_fdd(p);
+  full.validate();
+  EXPECT_EQ(full.evaluate({0, 0}), kDiscard);
+}
+
+TEST(FddConstruct, FirstMatchWinsOnOverlap) {
+  const Schema schema = tiny2();
+  // Overlapping rules with conflicting decisions: [0,4] accept shadows
+  // [2,7] discard on [2,4].
+  const Policy p(schema,
+                 {make_rule(schema, {Interval(0, 4), Interval(0, 7)}, kAccept),
+                  make_rule(schema, {Interval(2, 7), Interval(0, 7)}, kDiscard),
+                  Rule::catch_all(schema, kDiscard)});
+  const Fdd fdd = build_fdd(p);
+  fdd.validate();
+  EXPECT_EQ(fdd.evaluate({2, 0}), kAccept);
+  EXPECT_EQ(fdd.evaluate({4, 7}), kAccept);
+  EXPECT_EQ(fdd.evaluate({5, 0}), kDiscard);
+}
+
+TEST(FddConstruct, AppendRuleMatchesBatchConstruction) {
+  std::mt19937_64 rng(7);
+  const Schema schema = tiny3();
+  const Policy p = test::random_policy(schema, 6, rng);
+  Fdd incremental = build_partial_fdd(p, 1);
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    append_rule(incremental, p.rule(i));
+  }
+  const Fdd batch = build_fdd(p);
+  EXPECT_TRUE(structurally_equal(incremental, batch));
+}
+
+TEST(FddConstruct, NonComprehensivePolicyYieldsIncompleteFdd) {
+  const Schema schema = tiny2();
+  const Policy p(
+      schema, {make_rule(schema, {Interval(0, 3), Interval(0, 7)}, kAccept)});
+  const Fdd fdd = build_fdd(p);
+  EXPECT_THROW(fdd.validate(), std::logic_error);
+  fdd.validate(/*require_complete=*/false);
+}
+
+TEST(FddConstruct, MultiIntervalConjunctsAreSupported) {
+  const Schema schema = tiny2();
+  IntervalSet holes;
+  holes.add(Interval(0, 1));
+  holes.add(Interval(6, 7));
+  const Policy p(schema,
+                 {make_rule(schema, {holes, IntervalSet(Interval(0, 7))},
+                            kDiscard),
+                  Rule::catch_all(schema, kAccept)});
+  const Fdd fdd = build_fdd(p);
+  fdd.validate();
+  EXPECT_EQ(fdd.evaluate({0, 0}), kDiscard);
+  EXPECT_EQ(fdd.evaluate({7, 0}), kDiscard);
+  EXPECT_EQ(fdd.evaluate({3, 0}), kAccept);
+}
+
+TEST(FddConstruct, IdenticalRulesDoNotGrowTheDiagram) {
+  const Schema schema = tiny2();
+  const Rule r = make_rule(schema, {Interval(1, 3), Interval(2, 5)}, kAccept);
+  const Policy once(schema, {r, Rule::catch_all(schema, kDiscard)});
+  const Policy thrice(schema, {r, r, r, Rule::catch_all(schema, kDiscard)});
+  EXPECT_EQ(build_fdd(once).node_count(), build_fdd(thrice).node_count());
+}
+
+TEST(FddConstruct, ShadowedRuleLeavesSemanticsUnchanged) {
+  const Schema schema = tiny2();
+  const Policy base(schema,
+                    {make_rule(schema, {Interval(0, 7), Interval(0, 7)},
+                               kAccept)});
+  const Policy shadowed(
+      schema, {make_rule(schema, {Interval(0, 7), Interval(0, 7)}, kAccept),
+               make_rule(schema, {Interval(2, 3), Interval(2, 3)}, kDiscard)});
+  EXPECT_TRUE(test::fdd_matches_policy(build_fdd(shadowed), base));
+}
+
+TEST(FddConstruct, DecisionPathEnumerationCoversTheSpace) {
+  std::mt19937_64 rng(21);
+  const Policy p = test::random_policy(tiny2(), 5, rng);
+  const Fdd fdd = build_fdd(p);
+  fdd.validate();
+  // Sum of |path predicate| over all paths equals |packet space| because
+  // paths partition the space (consistency + completeness).
+  Value total = 0;
+  fdd.for_each_path(
+      [&](const std::vector<IntervalSet>& conjuncts, Decision) {
+        Value n = 1;
+        for (const IntervalSet& s : conjuncts) {
+          n *= s.size();
+        }
+        total += n;
+      });
+  EXPECT_EQ(total, p.schema().packet_space_size());
+}
+
+}  // namespace
+}  // namespace dfw

@@ -1,0 +1,90 @@
+// Reduction tests: reduce() must shrink (or keep) the diagram, preserve
+// semantics, merge identical siblings, and splice out trivial nodes.
+
+#include <gtest/gtest.h>
+
+#include "fdd/construct.hpp"
+#include "fdd/reduce.hpp"
+#include "fdd/simplify.hpp"
+#include "test_util.hpp"
+
+namespace dfw {
+namespace {
+
+using test::tiny2;
+using test::tiny3;
+
+TEST(FddReduce, MergesSiblingsWithIdenticalSubtrees) {
+  auto root = FddNode::make_internal(0);
+  root->edges.emplace_back(IntervalSet(Interval(0, 3)),
+                           FddNode::make_terminal(kAccept));
+  root->edges.emplace_back(IntervalSet(Interval(4, 7)),
+                           FddNode::make_terminal(kAccept));
+  Fdd fdd(Schema({{"x", Interval(0, 7), FieldKind::kInteger}}),
+          std::move(root));
+  reduce(fdd);
+  // Both edges merge into a full-domain edge; the node is then spliced
+  // out, leaving a constant diagram.
+  EXPECT_TRUE(fdd.root().is_terminal());
+  EXPECT_EQ(fdd.evaluate({5}), kAccept);
+}
+
+TEST(FddReduce, SplicesOutSingleFullDomainEdges) {
+  auto leafy = FddNode::make_internal(1);
+  leafy->edges.emplace_back(IntervalSet(Interval(0, 7)),
+                            FddNode::make_terminal(kDiscard));
+  auto root = FddNode::make_internal(0);
+  root->edges.emplace_back(IntervalSet(Interval(0, 7)), std::move(leafy));
+  Fdd fdd(tiny2(), std::move(root));
+  reduce(fdd);
+  EXPECT_TRUE(fdd.root().is_terminal());
+}
+
+TEST(FddReduce, PreservesSemanticsOnRandomPolicies) {
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Policy p = test::random_policy(tiny3(), 5, rng);
+    Fdd fdd = build_fdd(p);
+    reduce(fdd);
+    fdd.validate();
+    EXPECT_TRUE(test::fdd_matches_policy(fdd, p));
+  }
+}
+
+TEST(FddReduce, NeverGrowsTheDiagram) {
+  std::mt19937_64 rng(12);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Policy p = test::random_policy(tiny3(), 6, rng);
+    Fdd fdd = build_fdd(p);
+    const std::size_t before = fdd.node_count();
+    reduce(fdd);
+    EXPECT_LE(fdd.node_count(), before);
+  }
+}
+
+TEST(FddReduce, UndoesSimplificationBlowup) {
+  // Simplifying then reducing a diagram returns to (at most) the size of
+  // reducing directly: reduction merges the edges splitting created.
+  std::mt19937_64 rng(13);
+  const Policy p = test::random_policy(tiny3(), 5, rng);
+  Fdd direct = build_fdd(p);
+  reduce(direct);
+  Fdd roundtrip = build_fdd(p);
+  make_simple(roundtrip);
+  reduce(roundtrip);
+  EXPECT_LE(roundtrip.node_count(), direct.node_count());
+  EXPECT_TRUE(test::fdd_matches_policy(roundtrip, p));
+}
+
+TEST(FddReduce, IdempotentOnReducedDiagrams) {
+  std::mt19937_64 rng(14);
+  const Policy p = test::random_policy(tiny3(), 5, rng);
+  Fdd fdd = build_fdd(p);
+  reduce(fdd);
+  const Fdd snapshot = fdd.clone();
+  reduce(fdd);
+  EXPECT_TRUE(structurally_equal(snapshot, fdd));
+}
+
+}  // namespace
+}  // namespace dfw

@@ -1,0 +1,179 @@
+// Shaping algorithm tests (Figs. 10-11): semi-isomorphism is established,
+// semantics of *both* diagrams are untouched, and the N-way extension makes
+// all diagrams pairwise semi-isomorphic.
+
+#include <gtest/gtest.h>
+
+#include "fdd/construct.hpp"
+#include "fdd/shape.hpp"
+#include "test_util.hpp"
+
+namespace dfw {
+namespace {
+
+using test::tiny2;
+using test::tiny3;
+
+TEST(FddShape, MakesPairSemiIsomorphic) {
+  std::mt19937_64 rng(42);
+  const Policy pa = test::random_policy(tiny3(), 5, rng);
+  const Policy pb = test::random_policy(tiny3(), 5, rng);
+  Fdd fa = build_fdd(pa);
+  Fdd fb = build_fdd(pb);
+  shape_pair(fa, fb);
+  EXPECT_TRUE(semi_isomorphic(fa, fb));
+  fa.validate();
+  fb.validate();
+}
+
+TEST(FddShape, PreservesSemanticsOfBothDiagrams) {
+  std::mt19937_64 rng(43);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Policy pa = test::random_policy(tiny3(), 5, rng);
+    const Policy pb = test::random_policy(tiny3(), 5, rng);
+    Fdd fa = build_fdd(pa);
+    Fdd fb = build_fdd(pb);
+    shape_pair(fa, fb);
+    EXPECT_TRUE(test::fdd_matches_policy(fa, pa));
+    EXPECT_TRUE(test::fdd_matches_policy(fb, pb));
+  }
+}
+
+TEST(FddShape, AlreadyIsomorphicPairIsUntouched) {
+  std::mt19937_64 rng(44);
+  const Policy p = test::random_policy(tiny2(), 4, rng);
+  Fdd fa = build_fdd(p);
+  Fdd fb = build_fdd(p);
+  shape_pair(fa, fb);
+  const Fdd snapshot_a = fa.clone();
+  const Fdd snapshot_b = fb.clone();
+  shape_pair(fa, fb);  // second run must be a no-op
+  EXPECT_TRUE(structurally_equal(snapshot_a, fa));
+  EXPECT_TRUE(structurally_equal(snapshot_b, fb));
+}
+
+TEST(FddShape, HandlesConstantVersusDeepDiagram) {
+  std::mt19937_64 rng(45);
+  const Policy deep = test::random_policy(tiny3(), 6, rng);
+  Fdd fa = Fdd::constant(tiny3(), kAccept);
+  Fdd fb = build_fdd(deep);
+  shape_pair(fa, fb);
+  EXPECT_TRUE(semi_isomorphic(fa, fb));
+  for (const Packet& p : test::all_packets(tiny3())) {
+    EXPECT_EQ(fa.evaluate(p), kAccept);
+    EXPECT_EQ(fb.evaluate(p), deep.evaluate(p));
+  }
+}
+
+TEST(FddShape, RejectsSchemaMismatch) {
+  Fdd fa = Fdd::constant(tiny2(), kAccept);
+  Fdd fb = Fdd::constant(tiny3(), kAccept);
+  EXPECT_THROW(shape_pair(fa, fb), std::invalid_argument);
+}
+
+TEST(FddShape, ShapeAllMakesAllPairsSemiIsomorphic) {
+  std::mt19937_64 rng(46);
+  std::vector<Fdd> fdds;
+  std::vector<Policy> policies;
+  for (int i = 0; i < 4; ++i) {
+    policies.push_back(test::random_policy(tiny3(), 4, rng));
+    fdds.push_back(build_fdd(policies.back()));
+  }
+  shape_all(fdds);
+  for (std::size_t i = 0; i < fdds.size(); ++i) {
+    for (std::size_t j = i + 1; j < fdds.size(); ++j) {
+      EXPECT_TRUE(semi_isomorphic(fdds[i], fdds[j]))
+          << "pair " << i << "," << j;
+    }
+  }
+  for (std::size_t i = 0; i < fdds.size(); ++i) {
+    EXPECT_TRUE(test::fdd_matches_policy(fdds[i], policies[i]));
+  }
+}
+
+TEST(FddShape, ShapeAllSingleDiagramJustSimplifies) {
+  std::vector<Fdd> fdds;
+  fdds.push_back(Fdd::constant(tiny2(), kDiscard));
+  shape_all(fdds);
+  EXPECT_TRUE(fdds[0].is_simple());
+}
+
+TEST(FddShape, ShapeAllEmptyRejected) {
+  std::vector<Fdd> none;
+  EXPECT_THROW(shape_all(none), std::invalid_argument);
+}
+
+// The paper's Figs. 8-9 scenario: same field, different cut points. After
+// shaping, both nodes carry the union of the cut points.
+TEST(FddShape, EdgeCutPointsAreUnified) {
+  const Schema schema({{"x", Interval(0, 9), FieldKind::kInteger}});
+  auto build = [&](Value split, Decision lo_d, Decision hi_d) {
+    auto root = FddNode::make_internal(0);
+    root->edges.emplace_back(IntervalSet(Interval(0, split)),
+                             FddNode::make_terminal(lo_d));
+    root->edges.emplace_back(IntervalSet(Interval(split + 1, 9)),
+                             FddNode::make_terminal(hi_d));
+    return Fdd(schema, std::move(root));
+  };
+  Fdd fa = build(4, kAccept, kDiscard);
+  Fdd fb = build(6, kAccept, kDiscard);
+  shape_pair(fa, fb);
+  EXPECT_TRUE(semi_isomorphic(fa, fb));
+  ASSERT_EQ(fa.root().edges.size(), 3u);  // cuts at 4 and 6
+  EXPECT_EQ(fa.root().edges[0].label, IntervalSet(Interval(0, 4)));
+  EXPECT_EQ(fa.root().edges[1].label, IntervalSet(Interval(5, 6)));
+  EXPECT_EQ(fa.root().edges[2].label, IntervalSet(Interval(7, 9)));
+}
+
+TEST(FddShapeSimple, ProducesSimpleSemiIsomorphicFdds) {
+  std::mt19937_64 rng(47);
+  const Policy pa = test::random_policy(tiny3(), 5, rng);
+  const Policy pb = test::random_policy(tiny3(), 5, rng);
+  Fdd fa = build_fdd(pa);
+  Fdd fb = build_fdd(pb);
+  shape_pair_simple(fa, fb);
+  EXPECT_TRUE(fa.is_simple());
+  EXPECT_TRUE(fb.is_simple());
+  EXPECT_TRUE(semi_isomorphic(fa, fb));
+  EXPECT_TRUE(test::fdd_matches_policy(fa, pa));
+  EXPECT_TRUE(test::fdd_matches_policy(fb, pb));
+}
+
+TEST(FddShapeSimple, AgreesWithProductionShaping) {
+  // Both shapings must expose the same disagreement set; only the edge
+  // granularity differs. Verify via exhaustive packet semantics.
+  std::mt19937_64 rng(48);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Policy pa = test::random_policy(tiny3(), 5, rng);
+    const Policy pb = test::random_policy(tiny3(), 5, rng);
+    Fdd sa = build_fdd(pa);
+    Fdd sb = build_fdd(pb);
+    shape_pair_simple(sa, sb);
+    Fdd ma = build_fdd(pa);
+    Fdd mb = build_fdd(pb);
+    shape_pair(ma, mb);
+    for (const Packet& pkt : test::all_packets(tiny3())) {
+      EXPECT_EQ(sa.evaluate(pkt), ma.evaluate(pkt));
+      EXPECT_EQ(sb.evaluate(pkt), mb.evaluate(pkt));
+      EXPECT_EQ(sa.evaluate(pkt) != sb.evaluate(pkt),
+                ma.evaluate(pkt) != mb.evaluate(pkt));
+    }
+  }
+}
+
+TEST(FddShapeSimple, NeverProducesFewerEdgesThanProduction) {
+  std::mt19937_64 rng(49);
+  const Policy pa = test::random_policy(tiny3(), 6, rng);
+  const Policy pb = test::random_policy(tiny3(), 6, rng);
+  Fdd sa = build_fdd(pa);
+  Fdd sb = build_fdd(pb);
+  shape_pair_simple(sa, sb);
+  Fdd ma = build_fdd(pa);
+  Fdd mb = build_fdd(pb);
+  shape_pair(ma, mb);
+  EXPECT_GE(sa.node_count(), ma.node_count());
+  EXPECT_GE(sb.node_count(), mb.node_count());
+}
+
+}  // namespace
+}  // namespace dfw

@@ -1,0 +1,98 @@
+// Simplification tests: make_simple must produce single-interval, sorted,
+// all-fields-on-every-path diagrams while preserving semantics exactly.
+
+#include <gtest/gtest.h>
+
+#include "fdd/construct.hpp"
+#include "fdd/simplify.hpp"
+#include "test_util.hpp"
+
+namespace dfw {
+namespace {
+
+using test::tiny2;
+using test::tiny3;
+
+TEST(FddSimplify, SplitsMultiIntervalEdges) {
+  const Schema schema = tiny2();
+  IntervalSet two_runs;
+  two_runs.add(Interval(0, 1));
+  two_runs.add(Interval(5, 7));
+  const Policy p(schema,
+                 {Rule(schema, {two_runs, IntervalSet(Interval(0, 7))},
+                       kDiscard),
+                  Rule::catch_all(schema, kAccept)});
+  Fdd fdd = build_fdd(p);
+  EXPECT_FALSE(fdd.is_simple());
+  make_simple(fdd);
+  EXPECT_TRUE(fdd.is_simple());
+  fdd.validate();
+  EXPECT_TRUE(test::fdd_matches_policy(fdd, p));
+}
+
+TEST(FddSimplify, InsertsSkippedFieldNodes) {
+  // A hand-built diagram that decides on x alone; simplification must give
+  // every path an explicit y node (node insertion, Section 4 operation 1).
+  auto root = FddNode::make_internal(0);
+  root->edges.emplace_back(IntervalSet(Interval(0, 3)),
+                           FddNode::make_terminal(kAccept));
+  root->edges.emplace_back(IntervalSet(Interval(4, 7)),
+                           FddNode::make_terminal(kDiscard));
+  Fdd fdd(tiny2(), std::move(root));
+  fdd.validate();
+  EXPECT_FALSE(fdd.is_simple());
+  make_simple(fdd);
+  EXPECT_TRUE(fdd.is_simple());
+  fdd.validate();
+  EXPECT_EQ(fdd.evaluate({2, 5}), kAccept);
+  EXPECT_EQ(fdd.evaluate({5, 5}), kDiscard);
+}
+
+TEST(FddSimplify, ConstantFddBecomesFullTree) {
+  Fdd fdd = Fdd::constant(tiny3(), kAccept);
+  make_simple(fdd);
+  EXPECT_TRUE(fdd.is_simple());
+  fdd.validate();
+  // One full-domain node per field, one terminal.
+  EXPECT_EQ(fdd.node_count(), 4u);
+  EXPECT_EQ(fdd.evaluate({0, 0, 0}), kAccept);
+}
+
+TEST(FddSimplify, SortsEdges) {
+  auto root = FddNode::make_internal(0);
+  root->edges.emplace_back(IntervalSet(Interval(4, 7)),
+                           FddNode::make_terminal(kDiscard));
+  root->edges.emplace_back(IntervalSet(Interval(0, 3)),
+                           FddNode::make_terminal(kAccept));
+  Fdd fdd(Schema({{"x", Interval(0, 7), FieldKind::kInteger}}),
+          std::move(root));
+  make_simple(fdd);
+  EXPECT_TRUE(fdd.is_simple());
+  EXPECT_EQ(fdd.root().edges[0].label.min(), 0u);
+  EXPECT_EQ(fdd.root().edges[1].label.min(), 4u);
+}
+
+TEST(FddSimplify, PreservesSemanticsOnRandomPolicies) {
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Policy p = test::random_policy(tiny3(), 5, rng);
+    Fdd fdd = build_fdd(p);
+    make_simple(fdd);
+    EXPECT_TRUE(fdd.is_simple());
+    fdd.validate();
+    EXPECT_TRUE(test::fdd_matches_policy(fdd, p));
+  }
+}
+
+TEST(FddSimplify, IdempotentOnSimpleFdds) {
+  std::mt19937_64 rng(5);
+  const Policy p = test::random_policy(tiny2(), 4, rng);
+  Fdd fdd = build_fdd(p);
+  make_simple(fdd);
+  const Fdd snapshot = fdd.clone();
+  make_simple(fdd);
+  EXPECT_TRUE(structurally_equal(snapshot, fdd));
+}
+
+}  // namespace
+}  // namespace dfw

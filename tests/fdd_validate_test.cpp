@@ -1,0 +1,124 @@
+// FDD invariant checking: validate() must pinpoint each violated property
+// (consistency, completeness, ordering, domain containment), and accept
+// hand-built diagrams that satisfy all of them.
+
+#include <gtest/gtest.h>
+
+#include "fdd/fdd.hpp"
+#include "test_util.hpp"
+
+namespace dfw {
+namespace {
+
+using test::tiny2;
+
+std::unique_ptr<FddNode> leaf(Decision d) {
+  return FddNode::make_terminal(d);
+}
+
+TEST(FddValidate, AcceptsWellFormedDiagram) {
+  auto root = FddNode::make_internal(0);
+  auto y0 = FddNode::make_internal(1);
+  y0->edges.emplace_back(IntervalSet(Interval(0, 7)), leaf(kAccept));
+  root->edges.emplace_back(IntervalSet(Interval(0, 3)), std::move(y0));
+  auto y1 = FddNode::make_internal(1);
+  y1->edges.emplace_back(IntervalSet(Interval(0, 2)), leaf(kDiscard));
+  y1->edges.emplace_back(IntervalSet(Interval(3, 7)), leaf(kAccept));
+  root->edges.emplace_back(IntervalSet(Interval(4, 7)), std::move(y1));
+  const Fdd fdd(tiny2(), std::move(root));
+  fdd.validate();
+  EXPECT_EQ(fdd.evaluate({5, 1}), kDiscard);
+}
+
+TEST(FddValidate, DetectsConsistencyViolation) {
+  auto root = FddNode::make_internal(0);
+  root->edges.emplace_back(IntervalSet(Interval(0, 4)), leaf(kAccept));
+  root->edges.emplace_back(IntervalSet(Interval(4, 7)), leaf(kDiscard));
+  const Fdd fdd(Schema({{"x", Interval(0, 7), FieldKind::kInteger}}),
+                std::move(root));
+  EXPECT_THROW(fdd.validate(), std::logic_error);
+}
+
+TEST(FddValidate, DetectsCompletenessViolation) {
+  auto root = FddNode::make_internal(0);
+  root->edges.emplace_back(IntervalSet(Interval(0, 4)), leaf(kAccept));
+  const Fdd fdd(Schema({{"x", Interval(0, 7), FieldKind::kInteger}}),
+                std::move(root));
+  EXPECT_THROW(fdd.validate(), std::logic_error);
+  fdd.validate(/*require_complete=*/false);
+}
+
+TEST(FddValidate, DetectsFieldOrderViolation) {
+  // y above x violates the schema's total order (Definition 4.1).
+  auto root = FddNode::make_internal(1);
+  auto child = FddNode::make_internal(0);
+  child->edges.emplace_back(IntervalSet(Interval(0, 7)), leaf(kAccept));
+  root->edges.emplace_back(IntervalSet(Interval(0, 7)), std::move(child));
+  const Fdd fdd(tiny2(), std::move(root));
+  EXPECT_THROW(fdd.validate(), std::logic_error);
+}
+
+TEST(FddValidate, DetectsRepeatedFieldOnPath) {
+  auto root = FddNode::make_internal(0);
+  auto child = FddNode::make_internal(0);  // same field again
+  child->edges.emplace_back(IntervalSet(Interval(0, 7)), leaf(kAccept));
+  root->edges.emplace_back(IntervalSet(Interval(0, 7)), std::move(child));
+  const Fdd fdd(tiny2(), std::move(root));
+  EXPECT_THROW(fdd.validate(), std::logic_error);
+}
+
+TEST(FddValidate, DetectsDomainEscape) {
+  auto root = FddNode::make_internal(0);
+  root->edges.emplace_back(IntervalSet(Interval(0, 9)), leaf(kAccept));
+  const Fdd fdd(Schema({{"x", Interval(0, 7), FieldKind::kInteger}}),
+                std::move(root));
+  EXPECT_THROW(fdd.validate(), std::logic_error);
+}
+
+TEST(FddValidate, DetectsEmptyNonterminal) {
+  auto root = FddNode::make_internal(0);
+  const Fdd fdd(tiny2(), std::move(root));
+  EXPECT_THROW(fdd.validate(), std::logic_error);
+}
+
+TEST(FddValidate, DetectsUnknownFieldIndex) {
+  auto root = FddNode::make_internal(5);
+  root->edges.emplace_back(IntervalSet(Interval(0, 7)), leaf(kAccept));
+  const Fdd fdd(tiny2(), std::move(root));
+  EXPECT_THROW(fdd.validate(), std::logic_error);
+}
+
+TEST(FddValidate, ConstantFddIsValid) {
+  const Fdd fdd = Fdd::constant(tiny2(), kDiscard);
+  fdd.validate();
+  EXPECT_EQ(fdd.evaluate({0, 0}), kDiscard);
+  EXPECT_EQ(fdd.path_count(), 1u);
+}
+
+TEST(FddValidate, NullRootRejected) {
+  EXPECT_THROW(Fdd(tiny2(), nullptr), std::invalid_argument);
+}
+
+TEST(FddValidate, EvaluateRejectsWrongArity) {
+  const Fdd fdd = Fdd::constant(tiny2(), kAccept);
+  EXPECT_THROW(fdd.evaluate({1}), std::invalid_argument);
+}
+
+TEST(FddValidate, SemiIsomorphismIgnoresDecisionsOnly) {
+  auto make = [](Decision left, Decision right) {
+    auto root = FddNode::make_internal(0);
+    root->edges.emplace_back(IntervalSet(Interval(0, 3)), leaf(left));
+    root->edges.emplace_back(IntervalSet(Interval(4, 7)), leaf(right));
+    return Fdd(Schema({{"x", Interval(0, 7), FieldKind::kInteger}}),
+               std::move(root));
+  };
+  EXPECT_TRUE(semi_isomorphic(make(kAccept, kAccept),
+                              make(kDiscard, kAccept)));
+  EXPECT_TRUE(structurally_equal(make(kAccept, kDiscard),
+                                 make(kAccept, kDiscard)));
+  EXPECT_FALSE(structurally_equal(make(kAccept, kDiscard),
+                                  make(kDiscard, kDiscard)));
+}
+
+}  // namespace
+}  // namespace dfw

@@ -1,0 +1,107 @@
+// Formatter tests: field-aware rendering (CIDR, mnemonics, ranges) and the
+// parser round-trip guarantee the discrepancy reports depend on.
+
+#include <gtest/gtest.h>
+
+#include "fw/format.hpp"
+#include "fw/parser.hpp"
+#include "net/ipv4.hpp"
+
+namespace dfw {
+namespace {
+
+const Schema kSchema = five_tuple_schema();
+const DecisionSet& kDecisions = default_decisions();
+
+TEST(Format, WildcardRendersAsStar) {
+  EXPECT_EQ(format_spec(kSchema.field(0), IntervalSet(kSchema.domain(0))),
+            "*");
+}
+
+TEST(Format, CidrAlignedIntervalRendersAsPrefix) {
+  const IntervalSet s(Interval(*parse_ipv4("224.168.0.0"),
+                               *parse_ipv4("224.168.255.255")));
+  EXPECT_EQ(format_spec(kSchema.field(0), s), "224.168.0.0/16");
+}
+
+TEST(Format, HostRendersAsSlash32) {
+  const IntervalSet s(Interval::point(*parse_ipv4("192.168.0.1")));
+  EXPECT_EQ(format_spec(kSchema.field(1), s), "192.168.0.1/32");
+}
+
+TEST(Format, NonAlignedIpIntervalRendersAsRange) {
+  const IntervalSet s(
+      Interval(*parse_ipv4("10.0.0.1"), *parse_ipv4("10.0.0.9")));
+  EXPECT_EQ(format_spec(kSchema.field(0), s), "10.0.0.1-10.0.0.9");
+}
+
+TEST(Format, PortsAndRanges) {
+  EXPECT_EQ(format_spec(kSchema.field(3), IntervalSet(Interval::point(25))),
+            "25");
+  EXPECT_EQ(format_spec(kSchema.field(3), IntervalSet(Interval(0, 1023))),
+            "0-1023");
+  IntervalSet multi;
+  multi.add(Interval::point(25));
+  multi.add(Interval(80, 81));
+  EXPECT_EQ(format_spec(kSchema.field(3), multi), "25,80-81");
+}
+
+TEST(Format, ProtocolMnemonics) {
+  EXPECT_EQ(format_spec(kSchema.field(4), IntervalSet(Interval::point(6))),
+            "tcp");
+  EXPECT_EQ(format_spec(kSchema.field(4), IntervalSet(Interval::point(17))),
+            "udp");
+  EXPECT_EQ(format_spec(kSchema.field(4), IntervalSet(Interval::point(1))),
+            "icmp");
+  EXPECT_EQ(format_spec(kSchema.field(4), IntervalSet(Interval::point(47))),
+            "47");
+  // Binary protocol domain (paper example schema).
+  const Schema ex = example_schema();
+  EXPECT_EQ(format_spec(ex.field(4), IntervalSet(Interval::point(0))),
+            "tcp");
+  EXPECT_EQ(format_spec(ex.field(4), IntervalSet(Interval::point(1))),
+            "udp");
+}
+
+TEST(Format, RuleOmitsWildcards) {
+  const Rule r = parse_rule(kSchema, kDecisions,
+                            "discard sip=224.168.0.0/16 dport=25");
+  EXPECT_EQ(format_rule(kSchema, kDecisions, r),
+            "discard sip=224.168.0.0/16 dport=25");
+}
+
+TEST(Format, CatchAllRendersBareDecision) {
+  EXPECT_EQ(format_rule(kSchema, kDecisions,
+                        Rule::catch_all(kSchema, kAccept)),
+            "accept");
+}
+
+TEST(Format, PolicyRoundTripsThroughParser) {
+  const std::string text =
+      "discard sip=224.168.0.0/16\n"
+      "accept dip=192.168.0.1/32 dport=25 proto=tcp\n"
+      "discard dip=192.168.0.1/32\n"
+      "accept\n";
+  const Policy p = parse_policy(kSchema, kDecisions, text);
+  const std::string rendered = format_policy(p, kDecisions);
+  EXPECT_EQ(rendered, text);
+  // And parsing the rendering yields the same rules.
+  const Policy reparsed = parse_policy(kSchema, kDecisions, rendered);
+  ASSERT_EQ(reparsed.size(), p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(reparsed.rule(i), p.rule(i));
+  }
+}
+
+TEST(Format, TableStyleRendering) {
+  const Policy p =
+      parse_policy(kSchema, kDecisions, "discard dport=25\naccept\n");
+  const std::string table = format_policy_table(p, kDecisions);
+  EXPECT_NE(table.find("r1: "), std::string::npos);
+  EXPECT_NE(table.find("dport in 25"), std::string::npos);
+  EXPECT_NE(table.find("-> discard"), std::string::npos);
+  EXPECT_NE(table.find("r2: "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfw

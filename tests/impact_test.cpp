@@ -1,0 +1,142 @@
+// Change-impact analysis tests (Sections 1.3, 8.1): edits produce exactly
+// the expected impacted traffic classes with the right classification.
+
+#include <gtest/gtest.h>
+
+#include "impact/impact.hpp"
+#include "test_util.hpp"
+
+namespace dfw {
+namespace {
+
+using test::tiny2;
+using test::tiny3;
+
+Rule rule(const Schema& s, Interval x, Interval y, Decision d) {
+  return Rule(s, {IntervalSet(x), IntervalSet(y)}, d);
+}
+
+TEST(Impact, Classification) {
+  EXPECT_EQ(classify_impact(kDiscard, kAccept), ImpactKind::kNowAccepted);
+  EXPECT_EQ(classify_impact(kAccept, kDiscard), ImpactKind::kNowDiscarded);
+  EXPECT_EQ(classify_impact(kAccept, 2), ImpactKind::kOtherChange);
+  EXPECT_EQ(classify_impact(2, 3), ImpactKind::kOtherChange);
+}
+
+TEST(Impact, NoChangeMeansNoImpact) {
+  std::mt19937_64 rng(71);
+  const Policy p = test::random_policy(tiny3(), 5, rng);
+  EXPECT_TRUE(change_impact(p, p).empty());
+  EXPECT_TRUE(is_semantics_preserving(p, p));
+}
+
+TEST(Impact, HeadInsertionImpactIsExactlyTheNewlyShadowedTraffic) {
+  const Schema s = tiny2();
+  const Policy before(s, {Rule::catch_all(s, kAccept)});
+  Policy after = before;
+  after.insert(0, rule(s, Interval(2, 3), Interval(4, 5), kDiscard));
+  const std::vector<Impact> impacts = change_impact(before, after);
+  ASSERT_EQ(impacts.size(), 1u);
+  EXPECT_EQ(impacts[0].kind, ImpactKind::kNowDiscarded);
+  EXPECT_EQ(impacts[0].packet_count, 4u);
+  EXPECT_EQ(impacts[0].discrepancy.conjuncts[0],
+            IntervalSet(Interval(2, 3)));
+  EXPECT_EQ(impacts[0].discrepancy.conjuncts[1],
+            IntervalSet(Interval(4, 5)));
+}
+
+TEST(Impact, ShadowedInsertionHasNoImpact) {
+  const Schema s = tiny2();
+  const Policy before(s, {rule(s, Interval(0, 7), Interval(0, 7), kDiscard),
+                          Rule::catch_all(s, kAccept)});
+  Policy after = before;
+  // Inserting below a full-cover rule can never fire.
+  after.insert(1, rule(s, Interval(1, 1), Interval(1, 1), kAccept));
+  EXPECT_TRUE(is_semantics_preserving(before, after));
+}
+
+TEST(Impact, ReorderOfConflictingRulesIsDetected) {
+  const Schema s = tiny2();
+  const Policy before(s,
+                      {rule(s, Interval(0, 4), Interval(0, 7), kAccept),
+                       rule(s, Interval(2, 7), Interval(0, 7), kDiscard),
+                       Rule::catch_all(s, kDiscard)});
+  Policy after = before;
+  after.move(0, 1);
+  const std::vector<Impact> impacts = change_impact(before, after);
+  ASSERT_FALSE(impacts.empty());
+  // The overlap [2,4] x [0,7] flips accept -> discard.
+  Value affected = 0;
+  for (const Impact& impact : impacts) {
+    EXPECT_EQ(impact.kind, ImpactKind::kNowDiscarded);
+    affected += impact.packet_count;
+  }
+  EXPECT_EQ(affected, 3u * 8u);
+}
+
+TEST(Impact, ResultsSortedByBlastRadius) {
+  const Schema s = tiny2();
+  const Policy before(s, {Rule::catch_all(s, kAccept)});
+  Policy after = before;
+  after.insert(0, rule(s, Interval(0, 0), Interval(0, 0), kDiscard));
+  after.insert(0, rule(s, Interval(4, 7), Interval(0, 7), kDiscard));
+  const std::vector<Impact> impacts = change_impact(before, after);
+  ASSERT_GE(impacts.size(), 2u);
+  for (std::size_t i = 0; i + 1 < impacts.size(); ++i) {
+    EXPECT_GE(impacts[i].packet_count, impacts[i + 1].packet_count);
+  }
+}
+
+TEST(Impact, ImpactEqualsBruteForceDiff) {
+  std::mt19937_64 rng(72);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Policy before = test::random_policy(tiny3(), 5, rng);
+    const Policy after = test::random_policy(tiny3(), 5, rng);
+    const std::vector<Impact> impacts = change_impact(before, after);
+    Value covered = 0;
+    for (const Impact& impact : impacts) {
+      covered += impact.packet_count;
+    }
+    Value expected = 0;
+    for (const Packet& pkt : test::all_packets(tiny3())) {
+      if (before.evaluate(pkt) != after.evaluate(pkt)) {
+        ++expected;
+      }
+    }
+    EXPECT_EQ(covered, expected);
+  }
+}
+
+TEST(Impact, LoggingChangesClassifyAsOtherChange) {
+  // Switching accept -> accept_log is a functional discrepancy (Section 2
+  // supports any decision set) but not a security-direction change.
+  DecisionSet ds;
+  const Decision accept_log = ds.add("accept_log");
+  const Schema s = tiny2();
+  const Policy before(s, {Rule::catch_all(s, kAccept)});
+  const Policy after(s, {Rule::catch_all(s, accept_log)});
+  const std::vector<Impact> impacts = change_impact(before, after);
+  ASSERT_EQ(impacts.size(), 1u);
+  EXPECT_EQ(impacts[0].kind, ImpactKind::kOtherChange);
+  const std::string report = format_impact_report(s, ds, impacts);
+  EXPECT_NE(report.find("[changed,"), std::string::npos);
+  EXPECT_NE(report.find("accept_log"), std::string::npos);
+}
+
+TEST(Impact, ReportNamesDirections) {
+  const Schema s = tiny2();
+  const Policy before(s, {Rule::catch_all(s, kAccept)});
+  Policy after = before;
+  after.insert(0, rule(s, Interval(0, 1), Interval(0, 7), kDiscard));
+  const std::string report = format_impact_report(
+      s, default_decisions(), change_impact(before, after));
+  EXPECT_NE(report.find("NOW-DISCARDED"), std::string::npos);
+  EXPECT_NE(report.find("newly discarded"), std::string::npos);
+  EXPECT_NE(report.find("before=accept"), std::string::npos);
+  const std::string empty_report =
+      format_impact_report(s, default_decisions(), {});
+  EXPECT_NE(empty_report.find("none"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfw

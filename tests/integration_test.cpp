@@ -1,0 +1,178 @@
+// Cross-module integration tests: realistic five-tuple policies flowing
+// through parse -> construct -> shape -> compare -> resolve -> generate ->
+// redundancy-removal, plus the change-impact wrapper, at sizes where no
+// brute force is possible — correctness is asserted through packet probes
+// and pipeline cross-checks.
+
+#include <gtest/gtest.h>
+
+#include "diverse/workflow.hpp"
+#include "fdd/construct.hpp"
+#include "fdd/dot.hpp"
+#include "fdd/stats.hpp"
+#include "fw/format.hpp"
+#include "fw/parser.hpp"
+#include "gen/generate.hpp"
+#include "gen/redundancy.hpp"
+#include "impact/impact.hpp"
+#include "net/ipv4.hpp"
+#include "synth/synth.hpp"
+
+namespace dfw {
+namespace {
+
+const DecisionSet& kDecisions = default_decisions();
+
+// A mid-size corporate-style policy exercising every atom kind.
+Policy corporate() {
+  return parse_policy(five_tuple_schema(), kDecisions,
+                      "# DMZ web servers\n"
+                      "accept dip=10.1.0.0/24 dport=80,443 proto=tcp\n"
+                      "# mail\n"
+                      "accept dip=10.1.1.25/32 dport=25 proto=tcp\n"
+                      "# dns\n"
+                      "accept dip=10.1.1.53/32 dport=53\n"
+                      "# management from the ops subnet only\n"
+                      "accept sip=10.9.0.0/16 dport=22 proto=tcp\n"
+                      "discard dport=22\n"
+                      "# known-bad source\n"
+                      "discard sip=203.0.113.0/24\n"
+                      "# internal chatter\n"
+                      "accept sip=10.0.0.0/8 dip=10.0.0.0/8\n"
+                      "discard\n");
+}
+
+TEST(Integration, RegenerationRoundTripIsEquivalent) {
+  const Policy p = corporate();
+  const Fdd fdd = build_fdd(p);
+  fdd.validate();
+  const Policy regenerated = generate_policy(fdd);
+  EXPECT_TRUE(equivalent(p, regenerated));
+  // Rendering the regenerated policy re-parses to the same semantics.
+  const Policy reparsed = parse_policy(
+      p.schema(), kDecisions, format_policy(regenerated, kDecisions));
+  EXPECT_TRUE(equivalent(p, reparsed));
+}
+
+TEST(Integration, SelfComparisonOfLargeSynthetic) {
+  SynthConfig config;
+  config.num_rules = 200;
+  Rng rng(404);
+  const Policy p = synth_policy(config, rng);
+  EXPECT_TRUE(equivalent(p, p));
+}
+
+TEST(Integration, PerturbedPolicyDiscrepanciesAreConsistent) {
+  SynthConfig config;
+  config.num_rules = 150;
+  Rng rng(405);
+  const Policy original = synth_policy(config, rng);
+  const Policy perturbed = perturb_policy(original, 20.0, rng);
+  const std::vector<Discrepancy> diffs = discrepancies(original, perturbed);
+  // Probe three packets per class (min corner, max corner, mixed).
+  for (const Discrepancy& d : diffs) {
+    Packet lo_corner;
+    Packet hi_corner;
+    Packet mixed;
+    for (std::size_t f = 0; f < d.conjuncts.size(); ++f) {
+      lo_corner.push_back(d.conjuncts[f].min());
+      hi_corner.push_back(d.conjuncts[f].max());
+      mixed.push_back(f % 2 == 0 ? d.conjuncts[f].min()
+                                 : d.conjuncts[f].max());
+    }
+    for (const Packet& pkt : {lo_corner, hi_corner, mixed}) {
+      EXPECT_EQ(original.evaluate(pkt), d.decisions[0]);
+      EXPECT_EQ(perturbed.evaluate(pkt), d.decisions[1]);
+    }
+  }
+}
+
+TEST(Integration, ChangeImpactOfRealisticEdit) {
+  Policy before = corporate();
+  Policy after = before;
+  // The classic head-insertion mistake: a broad block rule on top.
+  after.insert(0, parse_rule(after.schema(), kDecisions,
+                             "discard sip=10.0.0.0/8 dport=22"));
+  const std::vector<Impact> impacts = change_impact(before, after);
+  ASSERT_FALSE(impacts.empty());
+  // The ops subnet's ssh is collateral damage: 10.9.x.x was accepted.
+  const Packet ops_ssh = {*parse_ipv4("10.9.1.1"), *parse_ipv4("10.1.0.5"),
+                          40000, 22, 6};
+  EXPECT_EQ(before.evaluate(ops_ssh), kAccept);
+  EXPECT_EQ(after.evaluate(ops_ssh), kDiscard);
+  bool covered = false;
+  for (const Impact& impact : impacts) {
+    bool inside = true;
+    for (std::size_t f = 0; f < ops_ssh.size(); ++f) {
+      inside = inside && impact.discrepancy.conjuncts[f].contains(ops_ssh[f]);
+    }
+    if (inside) {
+      covered = true;
+      EXPECT_EQ(impact.kind, ImpactKind::kNowDiscarded);
+    }
+  }
+  EXPECT_TRUE(covered);
+}
+
+TEST(Integration, ThreeTeamSessionEndToEnd) {
+  SynthConfig config;
+  config.num_rules = 40;
+  Rng rng(406);
+  const Policy base = synth_policy(config, rng);
+  DiverseDesign session((DecisionSet()));
+  session.submit("alpha", base);
+  session.submit("bravo", perturb_policy(base, 15.0, rng));
+  session.submit("charlie", perturb_policy(base, 15.0, rng));
+  const std::vector<Discrepancy> diffs = session.compare();
+  ResolutionPlan plan;
+  for (std::size_t i = 0; i < diffs.size(); ++i) {
+    plan.push_back(adopt(i, diffs[i], 0));  // alpha arbitrates
+  }
+  const Policy final_policy =
+      session.resolve(plan, ResolutionMethod::kCorrectedFdd, 2);
+  EXPECT_TRUE(equivalent(final_policy, base));
+}
+
+TEST(Integration, RedundancyRemovalOnGeneratedOutput) {
+  const Policy p = corporate();
+  const Policy regenerated = generate_policy(build_fdd(p));
+  const Policy trimmed = remove_redundant(regenerated);
+  EXPECT_LE(trimmed.size(), regenerated.size());
+  EXPECT_TRUE(equivalent(p, trimmed));
+}
+
+TEST(Integration, StatsAndDotExport) {
+  const Fdd fdd = build_fdd(corporate());
+  const FddStats stats = compute_stats(fdd);
+  EXPECT_GT(stats.nodes, 0u);
+  EXPECT_EQ(stats.paths, fdd.path_count());
+  EXPECT_LE(stats.depth, corporate().schema().field_count() + 1);
+  EXPECT_NE(to_string(stats).find("paths="), std::string::npos);
+  const std::string dot = to_dot(fdd, kDecisions);
+  EXPECT_NE(dot.find("digraph fdd {"), std::string::npos);
+  EXPECT_NE(dot.find("accept"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(Integration, PaperScaleComparisonCompletesQuickly) {
+  // A smoke-level version of Fig. 13's headline claim: comparing two
+  // independently generated mid-size firewalls terminates and reports
+  // sound discrepancies.
+  SynthConfig config;
+  config.num_rules = 100;
+  Rng rng(407);
+  const Policy a = synth_policy(config, rng);
+  const Policy b = synth_policy(config, rng);
+  const std::vector<Discrepancy> diffs = discrepancies(a, b);
+  for (const Discrepancy& d : diffs) {
+    Packet probe;
+    for (const IntervalSet& s : d.conjuncts) {
+      probe.push_back(s.min());
+    }
+    EXPECT_EQ(a.evaluate(probe), d.decisions[0]);
+    EXPECT_EQ(b.evaluate(probe), d.decisions[1]);
+  }
+}
+
+}  // namespace
+}  // namespace dfw

@@ -1,0 +1,179 @@
+// IntervalSet unit tests: canonical form, set algebra against brute force,
+// and the edge cases (adjacency coalescing, empty results, saturation).
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "net/interval_set.hpp"
+
+namespace dfw {
+namespace {
+
+// Brute-force model over a small universe for randomized algebra checks.
+std::set<Value> model(const IntervalSet& s, Value universe_hi) {
+  std::set<Value> values;
+  for (Value v = 0; v <= universe_hi; ++v) {
+    if (s.contains(v)) {
+      values.insert(v);
+    }
+  }
+  return values;
+}
+
+IntervalSet random_small_set(std::mt19937_64& rng, Value universe_hi) {
+  IntervalSet s;
+  std::uniform_int_distribution<int> count(0, 4);
+  std::uniform_int_distribution<Value> point(0, universe_hi);
+  const int n = count(rng);
+  for (int i = 0; i < n; ++i) {
+    const Value a = point(rng);
+    const Value b = point(rng);
+    s.add(Interval(std::min(a, b), std::max(a, b)));
+  }
+  return s;
+}
+
+TEST(IntervalSet, EmptyByDefault) {
+  const IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains(0));
+}
+
+TEST(IntervalSet, AddCoalescesAdjacentRuns) {
+  IntervalSet s;
+  s.add(Interval(0, 4));
+  s.add(Interval(5, 9));  // adjacent: must merge into one run
+  EXPECT_EQ(s.run_count(), 1u);
+  EXPECT_EQ(s.intervals().front(), Interval(0, 9));
+}
+
+TEST(IntervalSet, AddKeepsDisjointRunsSorted) {
+  IntervalSet s;
+  s.add(Interval(10, 20));
+  s.add(Interval(0, 3));
+  s.add(Interval(30, 35));
+  ASSERT_EQ(s.run_count(), 3u);
+  EXPECT_EQ(s.intervals()[0], Interval(0, 3));
+  EXPECT_EQ(s.intervals()[1], Interval(10, 20));
+  EXPECT_EQ(s.intervals()[2], Interval(30, 35));
+  EXPECT_EQ(s.min(), 0u);
+  EXPECT_EQ(s.max(), 35u);
+}
+
+TEST(IntervalSet, AddBridgingRunCollapsesNeighbours) {
+  IntervalSet s;
+  s.add(Interval(0, 3));
+  s.add(Interval(8, 10));
+  s.add(Interval(2, 9));  // bridges both runs
+  EXPECT_EQ(s.run_count(), 1u);
+  EXPECT_EQ(s.intervals().front(), Interval(0, 10));
+}
+
+TEST(IntervalSet, InitializerListAndEquality) {
+  const IntervalSet a{Interval(0, 3), Interval(5, 9)};
+  IntervalSet b;
+  b.add(Interval(5, 9));
+  b.add(Interval(0, 3));
+  EXPECT_EQ(a, b);
+}
+
+TEST(IntervalSet, SizeSumsRuns) {
+  const IntervalSet s{Interval(0, 3), Interval(10, 11)};
+  EXPECT_EQ(s.size(), 6u);
+}
+
+TEST(IntervalSet, SizeSaturates) {
+  const IntervalSet s{Interval(0, UINT64_MAX)};
+  EXPECT_EQ(s.size(), UINT64_MAX);
+}
+
+TEST(IntervalSet, ContainsUsesBinarySearch) {
+  IntervalSet s;
+  for (Value base = 0; base < 1000; base += 10) {
+    s.add(Interval(base, base + 4));
+  }
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(994));
+  EXPECT_FALSE(s.contains(995));
+  EXPECT_FALSE(s.contains(7));
+}
+
+TEST(IntervalSet, SubsetContainment) {
+  const IntervalSet big{Interval(0, 100)};
+  const IntervalSet small{Interval(5, 6), Interval(50, 60)};
+  EXPECT_TRUE(big.contains(small));
+  EXPECT_FALSE(small.contains(big));
+  EXPECT_TRUE(small.contains(IntervalSet{}));
+}
+
+TEST(IntervalSet, MinMaxOnEmptyThrow) {
+  const IntervalSet s;
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.max(), std::logic_error);
+}
+
+TEST(IntervalSet, UniteIntersectSubtractAgainstBruteForce) {
+  std::mt19937_64 rng(77);
+  constexpr Value kUniverse = 40;
+  for (int trial = 0; trial < 200; ++trial) {
+    const IntervalSet a = random_small_set(rng, kUniverse);
+    const IntervalSet b = random_small_set(rng, kUniverse);
+    const auto ma = model(a, kUniverse);
+    const auto mb = model(b, kUniverse);
+
+    const auto mu = model(a.unite(b), kUniverse);
+    const auto mi = model(a.intersect(b), kUniverse);
+    const auto md = model(a.subtract(b), kUniverse);
+
+    for (Value v = 0; v <= kUniverse; ++v) {
+      const bool in_a = ma.count(v) > 0;
+      const bool in_b = mb.count(v) > 0;
+      EXPECT_EQ(mu.count(v) > 0, in_a || in_b) << "unite at " << v;
+      EXPECT_EQ(mi.count(v) > 0, in_a && in_b) << "intersect at " << v;
+      EXPECT_EQ(md.count(v) > 0, in_a && !in_b) << "subtract at " << v;
+    }
+  }
+}
+
+TEST(IntervalSet, ResultsAreCanonical) {
+  std::mt19937_64 rng(78);
+  for (int trial = 0; trial < 100; ++trial) {
+    const IntervalSet a = random_small_set(rng, 30);
+    const IntervalSet b = random_small_set(rng, 30);
+    for (const IntervalSet& s :
+         {a.unite(b), a.intersect(b), a.subtract(b)}) {
+      // Canonical: sorted, disjoint, non-adjacent runs.
+      for (std::size_t i = 0; i + 1 < s.intervals().size(); ++i) {
+        EXPECT_LT(s.intervals()[i].hi() + 1, s.intervals()[i + 1].lo());
+      }
+    }
+  }
+}
+
+TEST(IntervalSet, SubtractSplitsAroundHole) {
+  const IntervalSet a{Interval(0, 10)};
+  const IntervalSet hole{Interval(4, 6)};
+  const IntervalSet diff = a.subtract(hole);
+  ASSERT_EQ(diff.run_count(), 2u);
+  EXPECT_EQ(diff.intervals()[0], Interval(0, 3));
+  EXPECT_EQ(diff.intervals()[1], Interval(7, 10));
+}
+
+TEST(IntervalSet, OverlapsDetectsSharedValues) {
+  const IntervalSet a{Interval(0, 4), Interval(10, 14)};
+  EXPECT_TRUE(a.overlaps(IntervalSet{Interval(4, 5)}));
+  EXPECT_FALSE(a.overlaps(IntervalSet{Interval(5, 9)}));
+  EXPECT_FALSE(a.overlaps(IntervalSet{}));
+}
+
+TEST(IntervalSet, ToString) {
+  const IntervalSet s{Interval(0, 3), Interval::point(9)};
+  EXPECT_EQ(s.to_string(), "{[0, 3], [9]}");
+  EXPECT_EQ(IntervalSet{}.to_string(), "{}");
+}
+
+}  // namespace
+}  // namespace dfw

@@ -1,0 +1,97 @@
+// Interval unit tests: invariants, containment, intersection, merging, and
+// the 64-bit boundary behaviour the whole library leans on.
+
+#include <gtest/gtest.h>
+
+#include "net/interval.hpp"
+
+namespace dfw {
+namespace {
+
+TEST(Interval, ConstructionAndAccessors) {
+  const Interval iv(3, 9);
+  EXPECT_EQ(iv.lo(), 3u);
+  EXPECT_EQ(iv.hi(), 9u);
+  EXPECT_EQ(iv.size(), 7u);
+}
+
+TEST(Interval, RejectsInvertedBounds) {
+  EXPECT_THROW(Interval(5, 4), std::invalid_argument);
+}
+
+TEST(Interval, PointInterval) {
+  const Interval p = Interval::point(42);
+  EXPECT_EQ(p.lo(), 42u);
+  EXPECT_EQ(p.hi(), 42u);
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(Interval, FullDomainSizeSaturates) {
+  const Interval full(0, UINT64_MAX);
+  EXPECT_EQ(full.size(), UINT64_MAX);
+}
+
+TEST(Interval, ContainsValue) {
+  const Interval iv(10, 20);
+  EXPECT_TRUE(iv.contains(10));
+  EXPECT_TRUE(iv.contains(15));
+  EXPECT_TRUE(iv.contains(20));
+  EXPECT_FALSE(iv.contains(9));
+  EXPECT_FALSE(iv.contains(21));
+}
+
+TEST(Interval, ContainsInterval) {
+  const Interval outer(0, 100);
+  EXPECT_TRUE(outer.contains(Interval(0, 100)));
+  EXPECT_TRUE(outer.contains(Interval(50, 60)));
+  EXPECT_FALSE(outer.contains(Interval(50, 101)));
+  EXPECT_FALSE(Interval(50, 60).contains(outer));
+}
+
+TEST(Interval, Overlaps) {
+  EXPECT_TRUE(Interval(0, 5).overlaps(Interval(5, 9)));
+  EXPECT_TRUE(Interval(0, 9).overlaps(Interval(3, 4)));
+  EXPECT_FALSE(Interval(0, 4).overlaps(Interval(5, 9)));
+}
+
+TEST(Interval, Intersect) {
+  const auto common = Interval(0, 10).intersect(Interval(5, 20));
+  ASSERT_TRUE(common.has_value());
+  EXPECT_EQ(*common, Interval(5, 10));
+  EXPECT_FALSE(Interval(0, 4).intersect(Interval(5, 9)).has_value());
+}
+
+TEST(Interval, MergeableAdjacentAndOverlapping) {
+  EXPECT_TRUE(Interval(0, 4).mergeable(Interval(5, 9)));   // adjacent
+  EXPECT_TRUE(Interval(5, 9).mergeable(Interval(0, 4)));   // symmetric
+  EXPECT_TRUE(Interval(0, 6).mergeable(Interval(5, 9)));   // overlapping
+  EXPECT_FALSE(Interval(0, 3).mergeable(Interval(5, 9)));  // gap at 4
+}
+
+TEST(Interval, MergeableAtUint64Boundary) {
+  // hi + 1 overflow must not wrap: [max, max] vs [0, 0] are not adjacent.
+  EXPECT_FALSE(
+      Interval(UINT64_MAX, UINT64_MAX).mergeable(Interval(0, 0)));
+  EXPECT_TRUE(Interval(UINT64_MAX - 1, UINT64_MAX - 1)
+                  .mergeable(Interval(UINT64_MAX, UINT64_MAX)));
+}
+
+TEST(Interval, MergeProducesUnion) {
+  EXPECT_EQ(Interval(0, 4).merge(Interval(5, 9)), Interval(0, 9));
+  EXPECT_EQ(Interval(3, 8).merge(Interval(5, 12)), Interval(3, 12));
+  EXPECT_THROW(Interval(0, 3).merge(Interval(5, 9)), std::invalid_argument);
+}
+
+TEST(Interval, OrderingByLoThenHi) {
+  EXPECT_LT(Interval(0, 5), Interval(1, 2));
+  EXPECT_LT(Interval(1, 2), Interval(1, 3));
+  EXPECT_FALSE(Interval(1, 3) < Interval(1, 3));
+}
+
+TEST(Interval, ToString) {
+  EXPECT_EQ(Interval(3, 9).to_string(), "[3, 9]");
+  EXPECT_EQ(Interval::point(7).to_string(), "[7]");
+}
+
+}  // namespace
+}  // namespace dfw

@@ -1,0 +1,51 @@
+// IPv4 parsing/formatting unit tests, including a round-trip sweep and the
+// malformed-input rejections a policy parser depends on.
+
+#include <gtest/gtest.h>
+
+#include "net/ipv4.hpp"
+
+namespace dfw {
+namespace {
+
+TEST(Ipv4, ParsesDottedQuad) {
+  EXPECT_EQ(parse_ipv4("0.0.0.0"), 0u);
+  EXPECT_EQ(parse_ipv4("255.255.255.255"), UINT32_MAX);
+  EXPECT_EQ(parse_ipv4("192.168.0.1"), 0xC0A80001u);
+  EXPECT_EQ(parse_ipv4("224.168.0.0"), 0xE0A80000u);
+  EXPECT_EQ(parse_ipv4("10.0.0.1"), 0x0A000001u);
+}
+
+TEST(Ipv4, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_ipv4(""));
+  EXPECT_FALSE(parse_ipv4("1.2.3"));
+  EXPECT_FALSE(parse_ipv4("1.2.3.4.5"));
+  EXPECT_FALSE(parse_ipv4("256.0.0.1"));
+  EXPECT_FALSE(parse_ipv4("1.2.3.999"));
+  EXPECT_FALSE(parse_ipv4("1..2.3"));
+  EXPECT_FALSE(parse_ipv4("a.b.c.d"));
+  EXPECT_FALSE(parse_ipv4("1.2.3.4 "));
+  EXPECT_FALSE(parse_ipv4(" 1.2.3.4"));
+  EXPECT_FALSE(parse_ipv4("1.2.3.4x"));
+  EXPECT_FALSE(parse_ipv4("1.2.3."));
+  EXPECT_FALSE(parse_ipv4("1.2.3.0004"));  // more than 3 digits
+}
+
+TEST(Ipv4, FormatsDottedQuad) {
+  EXPECT_EQ(format_ipv4(0), "0.0.0.0");
+  EXPECT_EQ(format_ipv4(UINT32_MAX), "255.255.255.255");
+  EXPECT_EQ(format_ipv4(0xC0A80001u), "192.168.0.1");
+}
+
+TEST(Ipv4, RoundTripSweep) {
+  // Cover all octet boundary patterns without iterating 2^32 addresses.
+  for (std::uint32_t hi : {0u, 1u, 127u, 128u, 255u}) {
+    for (std::uint32_t lo : {0u, 1u, 254u, 255u}) {
+      const std::uint32_t addr = (hi << 24) | (lo << 16) | (hi << 8) | lo;
+      EXPECT_EQ(parse_ipv4(format_ipv4(addr)), addr);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dfw

@@ -1,0 +1,182 @@
+// IPv6 tests: RFC 4291 parsing / RFC 5952 formatting, prefix-to-conjunct
+// conversion, the paired-field schema, and the end-to-end pipeline over
+// IPv6 policies.
+
+#include <gtest/gtest.h>
+
+#include "fdd/compare.hpp"
+#include "fw/format.hpp"
+#include "fw/parser.hpp"
+#include "net/ipv6.hpp"
+
+namespace dfw {
+namespace {
+
+TEST(Ipv6, ParsesFullForm) {
+  const auto a = parse_ipv6("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->hi, 0x20010db800000000ull);
+  EXPECT_EQ(a->lo, 0x0000000000000001ull);
+}
+
+TEST(Ipv6, ParsesCompressedForms) {
+  EXPECT_EQ(parse_ipv6("::"), (Ipv6{0, 0}));
+  EXPECT_EQ(parse_ipv6("::1"), (Ipv6{0, 1}));
+  EXPECT_EQ(parse_ipv6("2001:db8::"), (Ipv6{0x20010db800000000ull, 0}));
+  EXPECT_EQ(parse_ipv6("2001:db8::1"),
+            (Ipv6{0x20010db800000000ull, 1}));
+  EXPECT_EQ(parse_ipv6("fe80::a:b"),
+            (Ipv6{0xfe80000000000000ull, 0x00000000000a000bull}));
+  EXPECT_EQ(parse_ipv6("1:2:3:4:5:6:7:8"),
+            (Ipv6{0x0001000200030004ull, 0x0005000600070008ull}));
+}
+
+TEST(Ipv6, RejectsMalformed) {
+  EXPECT_FALSE(parse_ipv6(""));
+  EXPECT_FALSE(parse_ipv6("1:2:3"));
+  EXPECT_FALSE(parse_ipv6("1:2:3:4:5:6:7:8:9"));
+  EXPECT_FALSE(parse_ipv6("::1::2"));
+  EXPECT_FALSE(parse_ipv6("1:2:3:4:5:6:7::8"));  // :: must hide >= 1 group
+  EXPECT_FALSE(parse_ipv6("12345::"));
+  EXPECT_FALSE(parse_ipv6("g::1"));
+  EXPECT_FALSE(parse_ipv6("2001:db8"));
+}
+
+TEST(Ipv6, FormatsWithCompression) {
+  EXPECT_EQ(format_ipv6({0, 0}), "::");
+  EXPECT_EQ(format_ipv6({0, 1}), "::1");
+  EXPECT_EQ(format_ipv6({0x20010db800000000ull, 0}), "2001:db8::");
+  EXPECT_EQ(format_ipv6({0x20010db800000000ull, 1}), "2001:db8::1");
+  EXPECT_EQ(format_ipv6({0x0001000000000000ull, 1}), "1::1");
+  EXPECT_EQ(format_ipv6({0x0001000200030004ull, 0x0005000600070008ull}),
+            "1:2:3:4:5:6:7:8");
+  // A single zero group is not compressed (RFC 5952).
+  EXPECT_EQ(format_ipv6({0x0001000000020003ull, 0x0004000500060007ull}),
+            "1:0:2:3:4:5:6:7");
+}
+
+TEST(Ipv6, RoundTrips) {
+  for (const char* text :
+       {"::", "::1", "2001:db8::", "2001:db8::1", "fe80::a:b",
+        "1:2:3:4:5:6:7:8", "ff02::1:ff00:42"}) {
+    const auto addr = parse_ipv6(text);
+    ASSERT_TRUE(addr.has_value()) << text;
+    EXPECT_EQ(format_ipv6(*addr), text);
+  }
+}
+
+TEST(Ipv6, PrefixToIntervals) {
+  // /32: hi constrained to an aligned block, lo free.
+  const auto p32 = parse_ipv6_prefix("2001:db8::/32");
+  ASSERT_TRUE(p32.has_value());
+  const auto [hi32, lo32] = p32->to_intervals();
+  EXPECT_EQ(hi32.lo(), 0x20010db800000000ull);
+  EXPECT_EQ(hi32.hi(), 0x20010db8ffffffffull);
+  EXPECT_EQ(lo32, Interval(0, UINT64_MAX));
+  // /96: hi pinned, lo constrained.
+  const auto p96 = parse_ipv6_prefix("2001:db8::1:0:0/96");
+  ASSERT_TRUE(p96.has_value());
+  const auto [hi96, lo96] = p96->to_intervals();
+  EXPECT_EQ(hi96.lo(), hi96.hi());
+  EXPECT_EQ(lo96.hi() - lo96.lo(), 0xffffffffull);
+  // /128: both pinned.
+  const auto p128 = parse_ipv6_prefix("::1");
+  ASSERT_TRUE(p128.has_value());
+  EXPECT_EQ(p128->length, 128);
+  const auto [hi128, lo128] = p128->to_intervals();
+  EXPECT_EQ(hi128, Interval::point(0));
+  EXPECT_EQ(lo128, Interval::point(1));
+  // /0: everything.
+  const auto p0 = parse_ipv6_prefix("::/0");
+  ASSERT_TRUE(p0.has_value());
+  const auto [hi0, lo0] = p0->to_intervals();
+  EXPECT_EQ(hi0, Interval(0, UINT64_MAX));
+  EXPECT_EQ(lo0, Interval(0, UINT64_MAX));
+}
+
+TEST(Ipv6, PrefixRejectsHostBitsAndBadLengths) {
+  EXPECT_FALSE(parse_ipv6_prefix("2001:db8::1/32"));  // host bits set
+  EXPECT_FALSE(parse_ipv6_prefix("2001:db8::/129"));
+  EXPECT_FALSE(parse_ipv6_prefix("2001:db8::/"));
+  EXPECT_FALSE(parse_ipv6_prefix("bogus/32"));
+  EXPECT_EQ(parse_ipv6_prefix("2001:db8::/32")->to_string(),
+            "2001:db8::/32");
+}
+
+TEST(Ipv6, SchemaEnforcesPairing) {
+  EXPECT_NO_THROW(five_tuple_v6_schema());
+  // kIpv6Hi without its lo half.
+  EXPECT_THROW(
+      Schema({{"a", Interval(0, UINT64_MAX), FieldKind::kIpv6Hi}}),
+      std::invalid_argument);
+  // lo half without hi.
+  EXPECT_THROW(
+      Schema({{"a", Interval(0, UINT64_MAX), FieldKind::kIpv6Lo}}),
+      std::invalid_argument);
+  // hi with a truncated domain.
+  EXPECT_THROW(
+      Schema({{"a", Interval(0, 100), FieldKind::kIpv6Hi},
+              {"b", Interval(0, UINT64_MAX), FieldKind::kIpv6Lo}}),
+      std::invalid_argument);
+}
+
+TEST(Ipv6, ParserHandlesPrefixSpecs) {
+  const Schema schema = five_tuple_v6_schema();
+  const Rule r = parse_rule(schema, default_decisions(),
+                            "discard sip=2001:db8::/32 dport=25");
+  EXPECT_EQ(r.conjunct(0),
+            IntervalSet(Interval(0x20010db800000000ull,
+                                 0x20010db8ffffffffull)));
+  EXPECT_EQ(r.conjunct(1), IntervalSet(Interval(0, UINT64_MAX)));
+  EXPECT_EQ(r.conjunct(5), IntervalSet(Interval::point(25)));
+  // Setting the lo half directly is rejected.
+  EXPECT_THROW(parse_rule(schema, default_decisions(), "accept sip.lo=5"),
+               ParseError);
+  EXPECT_THROW(
+      parse_rule(schema, default_decisions(), "accept sip=2001:db8::1/32"),
+      ParseError);
+}
+
+TEST(Ipv6, RuleFormatterEmitsCidr) {
+  const Schema schema = five_tuple_v6_schema();
+  const DecisionSet& ds = default_decisions();
+  for (const char* text :
+       {"discard sip=2001:db8::/32", "accept dip=::1/128 dport=443 proto=tcp",
+        "accept sip=fe80::/10 dip=ff02::/16", "discard"}) {
+    const Rule r = parse_rule(schema, ds, text);
+    EXPECT_EQ(format_rule(schema, ds, r), text);
+  }
+}
+
+TEST(Ipv6, EndToEndComparisonOverV6Policies) {
+  const Schema schema = five_tuple_v6_schema();
+  const DecisionSet& ds = default_decisions();
+  const Policy a = parse_policy(schema, ds,
+                                "accept dip=2001:db8::25 dport=25 proto=tcp\n"
+                                "discard sip=2001:db8:bad::/48\n"
+                                "accept\n");
+  const Policy b = parse_policy(schema, ds,
+                                "discard sip=2001:db8:bad::/48\n"
+                                "accept dip=2001:db8::25 dport=25 proto=tcp\n"
+                                "accept\n");
+  const std::vector<Discrepancy> diffs = discrepancies(a, b);
+  ASSERT_FALSE(diffs.empty());
+  // The disagreement is exactly mail from the bad /48 to the server.
+  for (const Discrepancy& d : diffs) {
+    EXPECT_EQ(d.decisions[0], kAccept);
+    EXPECT_EQ(d.decisions[1], kDiscard);
+    EXPECT_TRUE(d.conjuncts[0].contains(0x20010db80bad0000ull));
+    EXPECT_TRUE(d.conjuncts[5].contains(25));
+  }
+  // And the two firewalls agree everywhere else (probe a few corners).
+  const auto bad_hi = parse_ipv6("2001:db8:bad::")->hi;
+  const Packet bad_web = {bad_hi, 0, 1, 2, 40000, 443, 6};
+  EXPECT_EQ(a.evaluate(bad_web), b.evaluate(bad_web));
+  const Packet good_mail = {1, 2, parse_ipv6("2001:db8::25")->hi,
+                            parse_ipv6("2001:db8::25")->lo, 40000, 25, 6};
+  EXPECT_EQ(a.evaluate(good_mail), kAccept);
+  EXPECT_EQ(b.evaluate(good_mail), kAccept);
+}
+
+}  // namespace
+}  // namespace dfw

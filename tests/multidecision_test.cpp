@@ -1,0 +1,135 @@
+// Multi-decision support (Section 2: "Our diverse firewall design method
+// can support any number of decisions"): the whole pipeline — construct,
+// shape, compare, resolve, generate — over the four-decision vocabulary
+// accept / discard / accept_log / discard_log.
+
+#include <gtest/gtest.h>
+
+#include "diverse/discrepancy.hpp"
+#include "diverse/workflow.hpp"
+#include "fdd/compare.hpp"
+#include "fdd/construct.hpp"
+#include "gen/generate.hpp"
+#include "test_util.hpp"
+
+namespace dfw {
+namespace {
+
+using test::tiny3;
+
+struct FourDecisions {
+  DecisionSet set;
+  Decision accept_log;
+  Decision discard_log;
+
+  FourDecisions() {
+    accept_log = set.add("accept_log");
+    discard_log = set.add("discard_log");
+  }
+};
+
+Policy random_policy4(const Schema& schema, std::size_t n,
+                      std::mt19937_64& rng) {
+  std::vector<Rule> rules;
+  std::uniform_int_distribution<Decision> pick(0, 3);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    std::vector<IntervalSet> conjuncts;
+    for (std::size_t f = 0; f < schema.field_count(); ++f) {
+      conjuncts.push_back(test::random_set(schema.domain(f), rng));
+    }
+    rules.emplace_back(schema, std::move(conjuncts), pick(rng));
+  }
+  rules.push_back(Rule::catch_all(schema, pick(rng)));
+  return Policy(schema, std::move(rules));
+}
+
+TEST(MultiDecision, PipelineIsExactOverFourDecisions) {
+  std::mt19937_64 rng(61);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Policy a = random_policy4(tiny3(), 5, rng);
+    const Policy b = random_policy4(tiny3(), 5, rng);
+    const std::vector<Discrepancy> diffs = discrepancies(a, b);
+    for (const Packet& pkt : test::all_packets(tiny3())) {
+      bool covered = false;
+      for (const Discrepancy& d : diffs) {
+        bool inside = true;
+        for (std::size_t f = 0; f < pkt.size(); ++f) {
+          inside = inside && d.conjuncts[f].contains(pkt[f]);
+        }
+        covered = covered || inside;
+      }
+      EXPECT_EQ(covered, a.evaluate(pkt) != b.evaluate(pkt));
+    }
+  }
+}
+
+TEST(MultiDecision, GenerationRoundTripsAllDecisions) {
+  std::mt19937_64 rng(62);
+  const Policy p = random_policy4(tiny3(), 6, rng);
+  const Policy regenerated = generate_policy(build_reduced_fdd(p));
+  for (const Packet& pkt : test::all_packets(tiny3())) {
+    EXPECT_EQ(regenerated.evaluate(pkt), p.evaluate(pkt));
+  }
+}
+
+TEST(MultiDecision, LoggingVariantIsAFunctionalDiscrepancy) {
+  // accept vs accept_log must be reported: the packet sets are identical
+  // but the decisions differ (the paper's notion of discrepancy is over
+  // the full decision set, not just accept/discard).
+  const FourDecisions four;
+  const Schema schema = tiny3();
+  const Policy plain(schema, {Rule::catch_all(schema, kAccept)});
+  const Policy logged(schema, {Rule::catch_all(schema, four.accept_log)});
+  const std::vector<Discrepancy> diffs = discrepancies(plain, logged);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_EQ(diffs[0].decisions[0], kAccept);
+  EXPECT_EQ(diffs[0].decisions[1], four.accept_log);
+}
+
+TEST(MultiDecision, WorkflowResolvesAcrossFourDecisions) {
+  const FourDecisions four;
+  std::mt19937_64 rng(63);
+  DiverseDesign session(four.set);
+  session.submit("a", random_policy4(tiny3(), 5, rng));
+  session.submit("b", random_policy4(tiny3(), 5, rng));
+  const std::vector<Discrepancy> diffs = session.compare();
+  ResolutionPlan plan;
+  for (std::size_t i = 0; i < diffs.size(); ++i) {
+    // Resolve everything to the logging flavour of team a's decision.
+    const Decision base = diffs[i].decisions[0];
+    const Decision logged = (base == kAccept || base == four.accept_log)
+                                ? four.accept_log
+                                : four.discard_log;
+    plan.push_back({i, logged});
+  }
+  const Policy final_policy =
+      session.resolve(plan, ResolutionMethod::kCorrectedFdd, 1);
+  // Where the teams disagreed, the final policy logs; elsewhere it matches
+  // team a exactly.
+  for (const Packet& pkt : test::all_packets(tiny3())) {
+    const Decision da = session.policy(0).evaluate(pkt);
+    const Decision db = session.policy(1).evaluate(pkt);
+    const Decision df = final_policy.evaluate(pkt);
+    if (da == db) {
+      EXPECT_EQ(df, da);
+    } else {
+      EXPECT_TRUE(df == four.accept_log || df == four.discard_log);
+    }
+  }
+}
+
+TEST(MultiDecision, ReportNamesCustomDecisions) {
+  const FourDecisions four;
+  const Schema schema = tiny3();
+  Discrepancy d;
+  for (std::size_t f = 0; f < schema.field_count(); ++f) {
+    d.conjuncts.emplace_back(schema.domain(f));
+  }
+  d.decisions = {four.accept_log, four.discard_log};
+  const std::string line = format_discrepancy(schema, four.set, d);
+  EXPECT_NE(line.find("accept_log"), std::string::npos);
+  EXPECT_NE(line.find("discard_log"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfw

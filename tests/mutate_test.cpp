@@ -1,0 +1,146 @@
+// Mutation-operator tests for the effectiveness study (Section 8.1).
+
+#include <gtest/gtest.h>
+
+#include "fdd/compare.hpp"
+#include "fdd/construct.hpp"
+#include "synth/mutate.hpp"
+#include "test_util.hpp"
+
+namespace dfw {
+namespace {
+
+Policy small_synth(Rng& rng, std::size_t n = 20) {
+  SynthConfig config;
+  config.num_rules = n;
+  return synth_policy(config, rng);
+}
+
+TEST(Mutate, InsertAtHeadGrowsPolicyByOne) {
+  Rng rng(1);
+  const Policy p = small_synth(rng);
+  const auto mutant = mutate_policy(p, MutationKind::kInsertAtHead, rng);
+  ASSERT_TRUE(mutant.has_value());
+  EXPECT_EQ(mutant->size(), p.size() + 1);
+  // The original rules follow unchanged.
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(mutant->rule(i + 1), p.rule(i));
+  }
+}
+
+TEST(Mutate, DeleteRuleShrinksPolicyByOne) {
+  Rng rng(2);
+  const Policy p = small_synth(rng);
+  const auto mutant = mutate_policy(p, MutationKind::kDeleteRule, rng);
+  ASSERT_TRUE(mutant.has_value());
+  EXPECT_EQ(mutant->size(), p.size() - 1);
+  EXPECT_TRUE(mutant->last_rule_is_catch_all());
+}
+
+TEST(Mutate, FlipDecisionTouchesExactlyOneRule) {
+  Rng rng(3);
+  const Policy p = small_synth(rng);
+  const auto mutant = mutate_policy(p, MutationKind::kFlipDecision, rng);
+  ASSERT_TRUE(mutant.has_value());
+  ASSERT_EQ(mutant->size(), p.size());
+  std::size_t flipped = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (!(mutant->rule(i) == p.rule(i))) {
+      ++flipped;
+      EXPECT_EQ(mutant->rule(i).conjuncts(), p.rule(i).conjuncts());
+      EXPECT_NE(mutant->rule(i).decision(), p.rule(i).decision());
+    }
+  }
+  EXPECT_EQ(flipped, 1u);
+}
+
+TEST(Mutate, SwapAdjacentPreservesMultiset) {
+  Rng rng(4);
+  const Policy p = small_synth(rng);
+  const auto mutant = mutate_policy(p, MutationKind::kSwapAdjacent, rng);
+  ASSERT_TRUE(mutant.has_value());
+  EXPECT_EQ(mutant->size(), p.size());
+  // Same rules, possibly different order; catch-all stays last.
+  EXPECT_TRUE(mutant->last_rule_is_catch_all());
+}
+
+TEST(Mutate, WidenConjunctOnlyWidens) {
+  Rng rng(5);
+  const Policy p = small_synth(rng);
+  const auto mutant = mutate_policy(p, MutationKind::kWidenConjunct, rng);
+  if (!mutant.has_value()) {
+    GTEST_SKIP() << "all sampled rules were wildcards";
+  }
+  ASSERT_EQ(mutant->size(), p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (!(mutant->rule(i) == p.rule(i))) {
+      for (std::size_t f = 0; f < p.schema().field_count(); ++f) {
+        EXPECT_TRUE(
+            mutant->rule(i).conjunct(f).contains(p.rule(i).conjunct(f)));
+      }
+    }
+  }
+}
+
+TEST(Mutate, MutantsStayComprehensive) {
+  Rng rng(6);
+  const Policy p = small_synth(rng);
+  for (const MutationKind kind :
+       {MutationKind::kInsertAtHead, MutationKind::kDeleteRule,
+        MutationKind::kFlipDecision, MutationKind::kSwapAdjacent,
+        MutationKind::kWidenConjunct}) {
+    const auto mutant = mutate_policy(p, kind, rng);
+    if (mutant.has_value()) {
+      Fdd fdd = build_fdd(*mutant);
+      EXPECT_NO_THROW(fdd.validate()) << to_string(kind);
+    }
+  }
+}
+
+TEST(Mutate, ComparisonPipelineDetectsSemanticMutants) {
+  // The core effectiveness claim: every semantics-changing mutation shows
+  // up as at least one discrepancy, and every discrepancy is genuine.
+  Rng rng(7);
+  const Policy p = small_synth(rng, 15);
+  int semantic = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto kind = static_cast<MutationKind>(trial % 5);
+    const auto mutant = mutate_policy(p, kind, rng);
+    if (!mutant.has_value()) {
+      continue;
+    }
+    const std::vector<Discrepancy> diffs = discrepancies(p, *mutant);
+    for (const Discrepancy& d : diffs) {
+      EXPECT_NE(d.decisions[0], d.decisions[1]);
+    }
+    if (!diffs.empty()) {
+      ++semantic;
+    }
+  }
+  EXPECT_GT(semantic, 0);
+}
+
+TEST(Mutate, InapplicableKindsReturnNullopt) {
+  const Schema s = five_tuple_schema();
+  const Policy one_rule(s, {Rule::catch_all(s, kAccept)});
+  Rng rng(8);
+  EXPECT_FALSE(
+      mutate_policy(one_rule, MutationKind::kDeleteRule, rng).has_value());
+  EXPECT_FALSE(
+      mutate_policy(one_rule, MutationKind::kFlipDecision, rng).has_value());
+  EXPECT_FALSE(
+      mutate_policy(one_rule, MutationKind::kSwapAdjacent, rng).has_value());
+  EXPECT_FALSE(
+      mutate_policy(one_rule, MutationKind::kWidenConjunct, rng).has_value());
+}
+
+TEST(Mutate, KindNames) {
+  EXPECT_STREQ(to_string(MutationKind::kInsertAtHead), "insert-at-head");
+  EXPECT_STREQ(to_string(MutationKind::kDeleteRule), "delete-rule");
+  EXPECT_STREQ(to_string(MutationKind::kFlipDecision), "flip-decision");
+  EXPECT_STREQ(to_string(MutationKind::kSwapAdjacent), "swap-adjacent");
+  EXPECT_STREQ(to_string(MutationKind::kWidenConjunct), "widen-conjunct");
+}
+
+}  // namespace
+}  // namespace dfw

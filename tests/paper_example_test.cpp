@@ -1,0 +1,209 @@
+// End-to-end reproduction of the paper's running example: the firewalls of
+// Teams A and B (Tables 1-2), their FDDs (Figs. 2-5), the three functional
+// discrepancies (Table 3), the resolution (Table 4), and the final
+// firewalls of both resolution methods (Tables 5-7).
+
+#include <gtest/gtest.h>
+
+#include "diverse/discrepancy.hpp"
+#include "diverse/workflow.hpp"
+#include "fdd/compare.hpp"
+#include "fdd/construct.hpp"
+#include "fdd/shape.hpp"
+#include "fw/parser.hpp"
+#include "net/ipv4.hpp"
+
+namespace dfw {
+namespace {
+
+// Shorthand from Section 2: alpha/beta bound the malicious /16; gamma is
+// the mail server.
+const std::uint32_t kAlpha = *parse_ipv4("224.168.0.0");
+const std::uint32_t kBeta = *parse_ipv4("224.168.255.255");
+const std::uint32_t kGamma = *parse_ipv4("192.168.0.1");
+
+// Table 1: Team A. r1 accepts mail to the server, r2 discards the
+// malicious domain, r3 accepts the rest.
+Policy team_a() {
+  return parse_policy(example_schema(), default_decisions(),
+                      "accept  I=0 D=192.168.0.1 N=25 P=tcp\n"
+                      "discard I=0 S=224.168.0.0/16\n"
+                      "accept\n");
+}
+
+// Table 2: Team B. r1 discards the malicious domain first, r2 accepts mail
+// to the server, r3 discards other traffic to the server, r4 accepts rest.
+Policy team_b() {
+  return parse_policy(example_schema(), default_decisions(),
+                      "discard I=0 S=224.168.0.0/16\n"
+                      "accept  I=0 D=192.168.0.1 N=25 P=tcp\n"
+                      "discard I=0 D=192.168.0.1\n"
+                      "accept\n");
+}
+
+TEST(PaperExample, PoliciesParseAsInTables1And2) {
+  const Policy a = team_a();
+  const Policy b = team_b();
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(a.rule(0).conjunct(2), IntervalSet(Interval::point(kGamma)));
+  EXPECT_EQ(a.rule(1).conjunct(1), IntervalSet(Interval(kAlpha, kBeta)));
+  EXPECT_TRUE(a.last_rule_is_catch_all());
+  EXPECT_TRUE(b.last_rule_is_catch_all());
+}
+
+TEST(PaperExample, ConstructedFddsAreValidAndEquivalentToPolicies) {
+  for (const Policy& p : {team_a(), team_b()}) {
+    const Fdd fdd = build_fdd(p);
+    fdd.validate();
+    // Spot-check representative packets rather than the 2^70 space.
+    const Packet mail_from_bad = {0, kAlpha + 5, kGamma, 25, 0};
+    const Packet mail_from_good = {0, 1, kGamma, 25, 0};
+    const Packet udp_to_server = {0, 1, kGamma, 25, 1};
+    const Packet other_to_server = {0, 1, kGamma, 80, 0};
+    const Packet unrelated = {1, 1, 2, 80, 0};
+    for (const Packet& pkt :
+         {mail_from_bad, mail_from_good, udp_to_server, other_to_server,
+          unrelated}) {
+      EXPECT_EQ(fdd.evaluate(pkt), p.evaluate(pkt));
+    }
+  }
+}
+
+TEST(PaperExample, ShapingProducesSemiIsomorphicFdds) {
+  Fdd fa = build_fdd(team_a());
+  Fdd fb = build_fdd(team_b());
+  EXPECT_FALSE(semi_isomorphic(fa, fb));
+  shape_pair(fa, fb);
+  EXPECT_TRUE(semi_isomorphic(fa, fb));
+  fa.validate();
+  fb.validate();
+}
+
+// Table 3's three discrepancies, expressed as packet probes:
+//   1. mail from the malicious domain to the server: A accepts, B discards
+//   2. non-TCP port-25 traffic to the server from good hosts: A accepts,
+//      B discards
+//   3. non-mail traffic to the server from good hosts: A accepts,
+//      B discards
+TEST(PaperExample, Table3DiscrepancyDecisions) {
+  const Policy a = team_a();
+  const Policy b = team_b();
+  const Packet d1 = {0, kAlpha + 1, kGamma, 25, 0};
+  const Packet d2 = {0, 1, kGamma, 25, 1};
+  const Packet d3 = {0, 1, kGamma, 80, 0};
+  for (const Packet& pkt : {d1, d2, d3}) {
+    EXPECT_EQ(a.evaluate(pkt), kAccept);
+    EXPECT_EQ(b.evaluate(pkt), kDiscard);
+  }
+  // Agreements stay agreements.
+  const Packet agreed1 = {0, kAlpha + 1, 7, 80, 0};  // malicious, not mail
+  const Packet agreed2 = {1, 1, 2, 80, 0};           // inside interface
+  for (const Packet& pkt : {agreed1, agreed2}) {
+    EXPECT_EQ(a.evaluate(pkt), b.evaluate(pkt));
+  }
+}
+
+TEST(PaperExample, ComparisonFindsExactlyTheTable3Classes) {
+  const std::vector<Discrepancy> diffs = discrepancies(team_a(), team_b());
+  ASSERT_FALSE(diffs.empty());
+  // Every reported class must be a genuine disagreement.
+  for (const Discrepancy& d : diffs) {
+    ASSERT_EQ(d.decisions.size(), 2u);
+    EXPECT_NE(d.decisions[0], d.decisions[1]);
+    // Probe one packet in the class.
+    Packet probe;
+    for (const IntervalSet& s : d.conjuncts) {
+      probe.push_back(s.min());
+    }
+    EXPECT_EQ(team_a().evaluate(probe), d.decisions[0]);
+    EXPECT_EQ(team_b().evaluate(probe), d.decisions[1]);
+  }
+  // The three Table 3 classes are all present (by probing their packets
+  // against the reported conjuncts).
+  const std::vector<Packet> table3 = {
+      {0, kAlpha + 1, kGamma, 25, 0},
+      {0, 1, kGamma, 25, 1},
+      {0, 1, kGamma, 80, 0},
+  };
+  for (const Packet& pkt : table3) {
+    bool found = false;
+    for (const Discrepancy& d : diffs) {
+      bool inside = true;
+      for (std::size_t f = 0; f < pkt.size(); ++f) {
+        inside = inside && d.conjuncts[f].contains(pkt[f]);
+      }
+      found = found || inside;
+    }
+    EXPECT_TRUE(found) << "Table 3 packet not covered by any discrepancy";
+  }
+}
+
+// Table 4 resolves the discrepancies: mail from the malicious domain is
+// discarded (B wins); non-TCP port-25 to the server is discarded (B wins);
+// other traffic to the server is accepted (A wins). Both resolution
+// methods must produce the same mapping — the corrected firewall of
+// Tables 5, 6, and 7.
+TEST(PaperExample, ResolutionMethodsAgreeWithTable4) {
+  DiverseDesign session((DecisionSet()));
+  session.submit("Team A", team_a());
+  session.submit("Team B", team_b());
+  const std::vector<Discrepancy> diffs = session.compare();
+
+  ResolutionPlan plan;
+  for (std::size_t i = 0; i < diffs.size(); ++i) {
+    // Identify the class by its predicate geometry. All discrepancies here
+    // concern traffic to the mail server or from the malicious domain; the
+    // shaped FDDs cut N exactly at 25 and P at tcp/udp, so each class is
+    // entirely inside one Table 4 row.
+    const bool from_malicious = diffs[i].conjuncts[1].contains(kAlpha + 1);
+    const bool mail_port = diffs[i].conjuncts[3].contains(25);
+    const bool tcp = diffs[i].conjuncts[4].contains(0);
+    Decision agreed;
+    if (from_malicious) {
+      agreed = kDiscard;  // Table 4 row 1: malicious domain stays blocked
+    } else if (mail_port && !tcp) {
+      agreed = kDiscard;  // Table 4 row 2: non-TCP port 25 to the server
+    } else {
+      agreed = kAccept;  // Table 4 row 3: other traffic to the server
+    }
+    plan.push_back({i, agreed});
+  }
+
+  const Policy via_fdd =
+      session.resolve(plan, ResolutionMethod::kCorrectedFdd, 0);
+  const Policy via_corrections_a =
+      session.resolve(plan, ResolutionMethod::kPrependAndTrim, 0);
+  const Policy via_corrections_b =
+      session.resolve(plan, ResolutionMethod::kPrependAndTrim, 1);
+
+  EXPECT_TRUE(equivalent(via_fdd, via_corrections_a));
+  EXPECT_TRUE(equivalent(via_fdd, via_corrections_b));
+
+  // The agreed decisions hold on the Table 4 packets.
+  const Packet mail_from_bad = {0, kAlpha + 1, kGamma, 25, 0};
+  const Packet udp_25_to_server = {0, 1, kGamma, 25, 1};
+  const Packet web_to_server = {0, 1, kGamma, 80, 0};
+  for (const Policy& final_policy :
+       {via_fdd, via_corrections_a, via_corrections_b}) {
+    EXPECT_EQ(final_policy.evaluate(mail_from_bad), kDiscard);
+    EXPECT_EQ(final_policy.evaluate(udp_25_to_server), kDiscard);
+    EXPECT_EQ(final_policy.evaluate(web_to_server), kAccept);
+    // Untouched classes keep their agreed-on behaviour.
+    EXPECT_EQ(final_policy.evaluate({0, kAlpha + 1, 7, 80, 0}), kDiscard);
+    EXPECT_EQ(final_policy.evaluate({1, 1, 2, 80, 0}), kAccept);
+  }
+}
+
+TEST(PaperExample, ReportMentionsBothTeams) {
+  DiverseDesign session((DecisionSet()));
+  session.submit("Team A", team_a());
+  session.submit("Team B", team_b());
+  const std::string report = session.report();
+  EXPECT_NE(report.find("Team A=accept"), std::string::npos);
+  EXPECT_NE(report.find("Team B=discard"), std::string::npos);
+  EXPECT_NE(report.find("functional discrepancies"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfw

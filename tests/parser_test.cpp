@@ -1,0 +1,135 @@
+// Policy text-format parser tests: atoms of every kind, defaults, comments,
+// and precise error reporting.
+
+#include <gtest/gtest.h>
+
+#include "fw/parser.hpp"
+#include "net/ipv4.hpp"
+
+namespace dfw {
+namespace {
+
+const Schema kSchema = five_tuple_schema();
+const DecisionSet& kDecisions = default_decisions();
+
+TEST(Parser, SingleRuleAllDefaults) {
+  const Rule r = parse_rule(kSchema, kDecisions, "accept");
+  EXPECT_EQ(r.decision(), kAccept);
+  for (std::size_t i = 0; i < kSchema.field_count(); ++i) {
+    EXPECT_EQ(r.conjunct(i), IntervalSet(kSchema.domain(i)));
+  }
+}
+
+TEST(Parser, CidrAndHostAtoms) {
+  const Rule r = parse_rule(kSchema, kDecisions,
+                            "discard sip=224.168.0.0/16 dip=192.168.0.1");
+  EXPECT_EQ(r.conjunct(0),
+            IntervalSet(Interval(*parse_ipv4("224.168.0.0"),
+                                 *parse_ipv4("224.168.255.255"))));
+  EXPECT_EQ(r.conjunct(1),
+            IntervalSet(Interval::point(*parse_ipv4("192.168.0.1"))));
+}
+
+TEST(Parser, IntegerRangeAndList) {
+  const Rule r =
+      parse_rule(kSchema, kDecisions, "accept dport=25,80,1024-2047");
+  IntervalSet expected;
+  expected.add(Interval::point(25));
+  expected.add(Interval::point(80));
+  expected.add(Interval(1024, 2047));
+  EXPECT_EQ(r.conjunct(3), expected);
+}
+
+TEST(Parser, ProtocolMnemonics) {
+  EXPECT_EQ(parse_rule(kSchema, kDecisions, "accept proto=tcp").conjunct(4),
+            IntervalSet(Interval::point(6)));
+  EXPECT_EQ(parse_rule(kSchema, kDecisions, "accept proto=udp").conjunct(4),
+            IntervalSet(Interval::point(17)));
+  EXPECT_EQ(parse_rule(kSchema, kDecisions, "accept proto=icmp").conjunct(4),
+            IntervalSet(Interval::point(1)));
+  EXPECT_EQ(parse_rule(kSchema, kDecisions, "accept proto=47").conjunct(4),
+            IntervalSet(Interval::point(47)));
+}
+
+TEST(Parser, BinaryProtocolDomainUsesPaperEncoding) {
+  // On the example schema's {0 = TCP, 1 = UDP} domain the mnemonics map to
+  // the paper's encoding rather than the IANA numbers.
+  const Schema s = example_schema();
+  EXPECT_EQ(parse_rule(s, kDecisions, "accept P=tcp").conjunct(4),
+            IntervalSet(Interval::point(0)));
+  EXPECT_EQ(parse_rule(s, kDecisions, "accept P=udp").conjunct(4),
+            IntervalSet(Interval::point(1)));
+}
+
+TEST(Parser, Ipv4Range) {
+  const Rule r = parse_rule(kSchema, kDecisions,
+                            "accept sip=10.0.0.0-10.0.0.255");
+  EXPECT_EQ(r.conjunct(0), IntervalSet(Interval(*parse_ipv4("10.0.0.0"),
+                                                *parse_ipv4("10.0.0.255"))));
+}
+
+TEST(Parser, StarAndAllSpecs) {
+  const Rule r = parse_rule(kSchema, kDecisions, "accept sip=* dport=all");
+  EXPECT_EQ(r.conjunct(0), IntervalSet(kSchema.domain(0)));
+  EXPECT_EQ(r.conjunct(3), IntervalSet(kSchema.domain(3)));
+}
+
+TEST(Parser, WholePolicyWithCommentsAndBlanks) {
+  const Policy p = parse_policy(kSchema, kDecisions,
+                                "# head comment\n"
+                                "\n"
+                                "discard sip=224.168.0.0/16  # inline\n"
+                                "accept\n");
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_TRUE(p.last_rule_is_catch_all());
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_policy(kSchema, kDecisions, "accept\nbogus dport=25\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("unknown decision"),
+              std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsUnknownField) {
+  EXPECT_THROW(parse_rule(kSchema, kDecisions, "accept nosuch=5"),
+               ParseError);
+}
+
+TEST(Parser, RejectsRepeatedField) {
+  EXPECT_THROW(parse_rule(kSchema, kDecisions, "accept dport=1 dport=2"),
+               ParseError);
+}
+
+TEST(Parser, RejectsDomainEscape) {
+  EXPECT_THROW(parse_rule(kSchema, kDecisions, "accept dport=70000"),
+               ParseError);
+  EXPECT_THROW(parse_rule(kSchema, kDecisions, "accept proto=300"),
+               ParseError);
+}
+
+TEST(Parser, RejectsBadSyntax) {
+  EXPECT_THROW(parse_rule(kSchema, kDecisions, "accept dport"), ParseError);
+  EXPECT_THROW(parse_rule(kSchema, kDecisions, "accept dport=5-2"),
+               ParseError);
+  EXPECT_THROW(parse_rule(kSchema, kDecisions, "accept dport=,"),
+               ParseError);
+  EXPECT_THROW(parse_rule(kSchema, kDecisions, "accept sip=1.2.3.4/40"),
+               ParseError);
+  EXPECT_THROW(parse_policy(kSchema, kDecisions, "# only comments\n"),
+               ParseError);
+}
+
+TEST(Parser, CustomDecisions) {
+  DecisionSet ds;
+  const Decision accept_log = ds.add("accept_log");
+  const Rule r = parse_rule(kSchema, ds, "accept_log dport=22");
+  EXPECT_EQ(r.decision(), accept_log);
+}
+
+}  // namespace
+}  // namespace dfw

@@ -1,0 +1,105 @@
+// Policy unit tests: first-match evaluation, comprehensiveness detection,
+// and the rule-edit operations change-impact analysis builds on.
+
+#include <gtest/gtest.h>
+
+#include "fw/policy.hpp"
+
+namespace dfw {
+namespace {
+
+Schema two_fields() {
+  return Schema({{"x", Interval(0, 15), FieldKind::kInteger},
+                 {"y", Interval(0, 7), FieldKind::kInteger}});
+}
+
+Rule rule(const Schema& s, Interval x, Interval y, Decision d) {
+  return Rule(s, {IntervalSet(x), IntervalSet(y)}, d);
+}
+
+Policy sample() {
+  const Schema s = two_fields();
+  return Policy(s, {rule(s, Interval(0, 5), Interval(0, 7), kAccept),
+                    rule(s, Interval(3, 10), Interval(0, 3), kDiscard),
+                    Rule::catch_all(s, kAccept)});
+}
+
+TEST(Policy, FirstMatchEvaluation) {
+  const Policy p = sample();
+  EXPECT_EQ(p.evaluate({4, 2}), kAccept);   // rules 1 and 2 match; 1 wins
+  EXPECT_EQ(p.evaluate({8, 2}), kDiscard);  // only rule 2
+  EXPECT_EQ(p.evaluate({12, 7}), kAccept);  // catch-all
+  EXPECT_EQ(p.first_match({4, 2}), 0u);
+  EXPECT_EQ(p.first_match({8, 2}), 1u);
+  EXPECT_EQ(p.first_match({12, 7}), 2u);
+}
+
+TEST(Policy, RejectsEmptyRuleList) {
+  EXPECT_THROW(Policy(two_fields(), {}), std::invalid_argument);
+}
+
+TEST(Policy, EvaluateThrowsOnFallThrough) {
+  const Schema s = two_fields();
+  const Policy p(s, {rule(s, Interval(0, 5), Interval(0, 7), kAccept)});
+  EXPECT_FALSE(p.first_match({9, 0}).has_value());
+  EXPECT_THROW(p.evaluate({9, 0}), std::logic_error);
+}
+
+TEST(Policy, CatchAllDetection) {
+  EXPECT_TRUE(sample().last_rule_is_catch_all());
+  const Schema s = two_fields();
+  const Policy no_catch_all(
+      s, {rule(s, Interval(0, 15), Interval(0, 6), kAccept)});
+  EXPECT_FALSE(no_catch_all.last_rule_is_catch_all());
+}
+
+TEST(Policy, InsertShiftsRules) {
+  Policy p = sample();
+  const Schema s = p.schema();
+  p.insert(0, rule(s, Interval(4, 4), Interval(4, 4), kDiscard));
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.evaluate({4, 4}), kDiscard);  // new head rule wins
+  EXPECT_THROW(p.insert(9, Rule::catch_all(s, kAccept)), std::out_of_range);
+}
+
+TEST(Policy, EraseRule) {
+  Policy p = sample();
+  p.erase(0);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.evaluate({4, 2}), kDiscard);  // rule 2 now first
+  EXPECT_THROW(p.erase(5), std::out_of_range);
+}
+
+TEST(Policy, EraseLastRuleForbidden) {
+  const Schema s = two_fields();
+  Policy p(s, {Rule::catch_all(s, kAccept)});
+  EXPECT_THROW(p.erase(0), std::logic_error);
+}
+
+TEST(Policy, ReplaceRule) {
+  Policy p = sample();
+  const Schema s = p.schema();
+  p.replace(0, rule(s, Interval(0, 5), Interval(0, 7), kDiscard));
+  EXPECT_EQ(p.evaluate({4, 2}), kDiscard);
+  EXPECT_THROW(p.replace(5, Rule::catch_all(s, kAccept)),
+               std::out_of_range);
+}
+
+TEST(Policy, MoveReordersRules) {
+  Policy p = sample();
+  p.move(0, 1);  // demote the accept rule below the discard rule
+  EXPECT_EQ(p.evaluate({4, 2}), kDiscard);
+  p.move(1, 0);  // and back
+  EXPECT_EQ(p.evaluate({4, 2}), kAccept);
+  EXPECT_THROW(p.move(0, 9), std::out_of_range);
+}
+
+TEST(Policy, MoveToSamePositionIsNoop) {
+  Policy p = sample();
+  p.move(1, 1);
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.evaluate({8, 2}), kDiscard);
+}
+
+}  // namespace
+}  // namespace dfw

@@ -1,0 +1,127 @@
+// Prefix unit tests: CIDR parsing, prefix/interval bijection, and the
+// minimal-cover conversion with its 2w-2 bound (paper, Section 7.1).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+
+namespace dfw {
+namespace {
+
+TEST(Prefix, ConstructionValidation) {
+  EXPECT_NO_THROW(Prefix(0xC0A80000u, 16));
+  EXPECT_THROW(Prefix(0xC0A80001u, 16), std::invalid_argument);  // host bits
+  EXPECT_THROW(Prefix(0, 33), std::invalid_argument);
+  EXPECT_THROW(Prefix(0, -1), std::invalid_argument);
+  EXPECT_THROW(Prefix(0, 0, 0), std::invalid_argument);   // width too small
+  EXPECT_THROW(Prefix(0, 0, 33), std::invalid_argument);  // width too big
+  EXPECT_THROW(Prefix(16, 4, 4), std::invalid_argument);  // bits > domain
+}
+
+TEST(Prefix, ToIntervalMatchesCidrSemantics) {
+  const Prefix p(*parse_ipv4("224.168.0.0"), 16);
+  const Interval iv = p.to_interval();
+  EXPECT_EQ(iv.lo(), *parse_ipv4("224.168.0.0"));
+  EXPECT_EQ(iv.hi(), *parse_ipv4("224.168.255.255"));
+  EXPECT_EQ(Prefix(0, 0).to_interval(), Interval(0, UINT32_MAX));
+  EXPECT_EQ(Prefix(7, 32).to_interval(), Interval(7, 7));
+}
+
+TEST(Prefix, ContainsValue) {
+  const Prefix p(*parse_ipv4("10.0.0.0"), 8);
+  EXPECT_TRUE(p.contains(*parse_ipv4("10.1.2.3")));
+  EXPECT_FALSE(p.contains(*parse_ipv4("11.0.0.0")));
+}
+
+TEST(Prefix, ParseCidr) {
+  const auto p = parse_prefix("224.168.0.0/16");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 16);
+  EXPECT_EQ(p->bits(), *parse_ipv4("224.168.0.0"));
+  // Bare address = /32.
+  const auto host = parse_prefix("192.168.0.1");
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(host->length(), 32);
+}
+
+TEST(Prefix, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_prefix("224.168.0.0/33"));
+  EXPECT_FALSE(parse_prefix("224.168.0.0/"));
+  EXPECT_FALSE(parse_prefix("224.168.0.0/1x"));
+  EXPECT_FALSE(parse_prefix("224.168.0.1/16"));  // host bits set
+  EXPECT_FALSE(parse_prefix("notanip/8"));
+}
+
+TEST(Prefix, ToStringCidr) {
+  EXPECT_EQ(Prefix(*parse_ipv4("224.168.0.0"), 16).to_string(),
+            "224.168.0.0/16");
+  EXPECT_EQ(Prefix(4, 3, 4).to_string(), "4/3");  // narrow width form
+}
+
+TEST(Prefix, IntervalToPrefixesSinglePrefix) {
+  const auto cover =
+      interval_to_prefixes(Prefix(*parse_ipv4("10.0.0.0"), 8).to_interval());
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].to_string(), "10.0.0.0/8");
+}
+
+TEST(Prefix, IntervalToPrefixesKnownExample) {
+  // The paper's example: [2, 8] over small width -> 001*, 01*, 1000.
+  const auto cover = interval_to_prefixes(Interval(2, 8), 4);
+  ASSERT_EQ(cover.size(), 3u);
+  EXPECT_EQ(cover[0].bits(), 2u);
+  EXPECT_EQ(cover[0].length(), 3);
+  EXPECT_EQ(cover[1].bits(), 4u);
+  EXPECT_EQ(cover[1].length(), 2);
+  EXPECT_EQ(cover[2].bits(), 8u);
+  EXPECT_EQ(cover[2].length(), 4);
+}
+
+TEST(Prefix, IntervalToPrefixesFullDomain) {
+  const auto cover = interval_to_prefixes(Interval(0, UINT32_MAX), 32);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].length(), 0);
+}
+
+TEST(Prefix, CoverIsExactDisjointAndOrdered) {
+  std::mt19937_64 rng(123);
+  constexpr int kWidth = 10;
+  std::uniform_int_distribution<Value> point(0, (1u << kWidth) - 1);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Value a = point(rng);
+    const Value b = point(rng);
+    const Interval iv(std::min(a, b), std::max(a, b));
+    const auto cover = interval_to_prefixes(iv, kWidth);
+    // Bound from Section 7.1: at most 2w-2 prefixes.
+    EXPECT_LE(cover.size(), static_cast<std::size_t>(2 * kWidth - 2));
+    // Exactness: union of covers == interval, pairwise disjoint, ordered.
+    Value expected_next = iv.lo();
+    for (const Prefix& p : cover) {
+      const Interval piece = p.to_interval();
+      EXPECT_EQ(piece.lo(), expected_next);
+      expected_next = piece.hi() + 1;
+    }
+    EXPECT_EQ(expected_next, iv.hi() + 1);
+  }
+}
+
+TEST(Prefix, WorstCaseCoverSizeIsReachable) {
+  // [1, 2^w - 2] needs 2w-2 prefixes — the classic worst case.
+  constexpr int kWidth = 8;
+  const auto cover =
+      interval_to_prefixes(Interval(1, (1u << kWidth) - 2), kWidth);
+  EXPECT_EQ(cover.size(), static_cast<std::size_t>(2 * kWidth - 2));
+}
+
+TEST(Prefix, RejectsOutOfDomainInterval) {
+  EXPECT_THROW(interval_to_prefixes(Interval(0, 16), 4),
+               std::invalid_argument);
+  EXPECT_THROW(interval_to_prefixes(Interval(0, 1), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dfw

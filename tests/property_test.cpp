@@ -1,0 +1,158 @@
+// Property-checking tests: forall/exists semantics against brute force,
+// exact counterexamples, batch checking, and the requirement-spec use
+// case (encoding the paper's Section 2 specification as properties).
+
+#include <gtest/gtest.h>
+
+#include "analysis/property.hpp"
+#include "fw/parser.hpp"
+#include "net/ipv4.hpp"
+#include "test_util.hpp"
+
+namespace dfw {
+namespace {
+
+using test::all_packets;
+using test::tiny3;
+
+TEST(Property, ForAllAgainstBruteForce) {
+  std::mt19937_64 rng(141);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Policy p = test::random_policy(tiny3(), 5, rng);
+    Property prop;
+    prop.name = "x in [0,2] always accepted";
+    prop.scope = Query::any(p.schema());
+    prop.scope.constraints[0] = IntervalSet(Interval(0, 2));
+    prop.scope.decision = kAccept;
+    const PropertyResult result = check_property(p, prop);
+    bool expected = true;
+    for (const Packet& pkt : all_packets(tiny3())) {
+      if (pkt[0] <= 2 && p.evaluate(pkt) != kAccept) {
+        expected = false;
+      }
+    }
+    EXPECT_EQ(result.holds, expected) << "trial " << trial;
+    // Counterexamples cover exactly the violating packets.
+    for (const Packet& pkt : all_packets(tiny3())) {
+      bool covered = false;
+      for (const QueryResult& cx : result.counterexamples) {
+        bool inside = true;
+        for (std::size_t f = 0; f < pkt.size(); ++f) {
+          inside = inside && cx.conjuncts[f].contains(pkt[f]);
+        }
+        covered = covered || inside;
+      }
+      const bool violating = pkt[0] <= 2 && p.evaluate(pkt) != kAccept;
+      EXPECT_EQ(covered, violating);
+    }
+  }
+}
+
+TEST(Property, ExistsAgainstBruteForce) {
+  std::mt19937_64 rng(142);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Policy p = test::random_policy(tiny3(), 5, rng);
+    Property prop;
+    prop.name = "some y=3 packet is discarded";
+    prop.scope = Query::any(p.schema());
+    prop.scope.constraints[1] = IntervalSet(Interval::point(3));
+    prop.scope.decision = kDiscard;
+    prop.mode = PropertyMode::kExists;
+    bool expected = false;
+    for (const Packet& pkt : all_packets(tiny3())) {
+      if (pkt[1] == 3 && p.evaluate(pkt) == kDiscard) {
+        expected = true;
+      }
+    }
+    EXPECT_EQ(check_property(p, prop).holds, expected);
+  }
+}
+
+TEST(Property, RequiresDecision) {
+  const Schema s = tiny3();
+  const Policy p(s, {Rule::catch_all(s, kAccept)});
+  Property prop;
+  prop.scope = Query::any(s);  // no decision set
+  EXPECT_THROW(check_property(p, prop), std::invalid_argument);
+}
+
+// The paper's Section 2 requirement specification as properties over the
+// example firewall of Team B (Table 2).
+TEST(Property, PaperSpecificationAsProperties) {
+  const Schema schema = example_schema();
+  const Policy team_b =
+      parse_policy(schema, default_decisions(),
+                   "discard I=0 S=224.168.0.0/16\n"
+                   "accept  I=0 D=192.168.0.1 N=25 P=tcp\n"
+                   "discard I=0 D=192.168.0.1\n"
+                   "accept\n");
+  const Value gamma = *parse_ipv4("192.168.0.1");
+  const Value alpha = *parse_ipv4("224.168.0.0");
+  const Value beta = *parse_ipv4("224.168.255.255");
+
+  Property mail_reachable;
+  mail_reachable.name = "mail server can receive SMTP from good hosts";
+  mail_reachable.scope = Query::any(schema);
+  mail_reachable.scope.constraints[2] = IntervalSet(Interval::point(gamma));
+  mail_reachable.scope.constraints[3] = IntervalSet(Interval::point(25));
+  mail_reachable.scope.constraints[4] = IntervalSet(Interval::point(0));
+  mail_reachable.scope.decision = kAccept;
+  mail_reachable.mode = PropertyMode::kExists;
+
+  Property malicious_blocked;
+  malicious_blocked.name = "the malicious domain is always blocked";
+  malicious_blocked.scope = Query::any(schema);
+  malicious_blocked.scope.constraints[0] = IntervalSet(Interval::point(0));
+  malicious_blocked.scope.constraints[1] =
+      IntervalSet(Interval(alpha, beta));
+  malicious_blocked.scope.decision = kDiscard;
+
+  const std::vector<PropertyResult> results =
+      check_properties(team_b, {mail_reachable, malicious_blocked});
+  EXPECT_TRUE(results[0].holds);
+  // Team B accepts malicious mail to the server? No — B discards the
+  // domain first, so the blanket block DOES hold for B.
+  EXPECT_TRUE(results[1].holds);
+
+  // Team A (Table 1) accepts mail before blocking the domain, so the
+  // blanket block fails for A, with the mail-server class as the
+  // counterexample.
+  const Policy team_a =
+      parse_policy(schema, default_decisions(),
+                   "accept  I=0 D=192.168.0.1 N=25 P=tcp\n"
+                   "discard I=0 S=224.168.0.0/16\n"
+                   "accept\n");
+  const PropertyResult on_a = check_property(team_a, malicious_blocked);
+  EXPECT_FALSE(on_a.holds);
+  ASSERT_FALSE(on_a.counterexamples.empty());
+  for (const QueryResult& cx : on_a.counterexamples) {
+    EXPECT_EQ(cx.decision, kAccept);
+    EXPECT_TRUE(cx.conjuncts[2].contains(gamma));
+    EXPECT_TRUE(cx.conjuncts[3].contains(25));
+  }
+}
+
+TEST(Property, ReportFormatsPassAndFail) {
+  const Schema s = tiny3();
+  const Policy p(s, {Rule::catch_all(s, kAccept)});
+  Property good;
+  good.name = "everything accepted";
+  good.scope = Query::any(s);
+  good.scope.decision = kAccept;
+  Property bad;
+  bad.name = "everything discarded";
+  bad.scope = Query::any(s);
+  bad.scope.decision = kDiscard;
+  const std::vector<Property> props = {good, bad};
+  const std::vector<PropertyResult> results = check_properties(p, props);
+  const std::string report =
+      format_property_report(s, default_decisions(), props, results);
+  EXPECT_NE(report.find("PASS everything accepted"), std::string::npos);
+  EXPECT_NE(report.find("FAIL everything discarded"), std::string::npos);
+  EXPECT_NE(report.find("counterexample:"), std::string::npos);
+  EXPECT_THROW(format_property_report(s, default_decisions(), props, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dfw

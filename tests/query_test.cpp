@@ -1,0 +1,122 @@
+// Firewall query tests: answers must partition exactly the queried packet
+// set, respect decision filters, and match brute-force evaluation.
+
+#include <gtest/gtest.h>
+
+#include "fw/parser.hpp"
+#include "net/ipv4.hpp"
+#include "query/query.hpp"
+#include "test_util.hpp"
+
+namespace dfw {
+namespace {
+
+using test::all_packets;
+using test::tiny3;
+
+bool result_contains(const QueryResult& r, const Packet& pkt) {
+  for (std::size_t f = 0; f < pkt.size(); ++f) {
+    if (!r.conjuncts[f].contains(pkt[f])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(Query, UnconstrainedQueryDescribesWholePolicy) {
+  std::mt19937_64 rng(81);
+  const Policy p = test::random_policy(tiny3(), 5, rng);
+  const std::vector<QueryResult> results =
+      run_query(p, Query::any(p.schema()));
+  for (const Packet& pkt : all_packets(tiny3())) {
+    int hits = 0;
+    for (const QueryResult& r : results) {
+      if (result_contains(r, pkt)) {
+        ++hits;
+        EXPECT_EQ(r.decision, p.evaluate(pkt));
+      }
+    }
+    EXPECT_EQ(hits, 1) << "answers must partition the packet space";
+  }
+}
+
+TEST(Query, FieldConstraintRestrictsAnswers) {
+  std::mt19937_64 rng(82);
+  const Policy p = test::random_policy(tiny3(), 5, rng);
+  Query q = Query::any(p.schema());
+  q.constraints[0] = IntervalSet(Interval(2, 3));
+  const std::vector<QueryResult> results = run_query(p, q);
+  for (const Packet& pkt : all_packets(tiny3())) {
+    const bool in_scope = pkt[0] >= 2 && pkt[0] <= 3;
+    int hits = 0;
+    for (const QueryResult& r : results) {
+      if (result_contains(r, pkt)) {
+        ++hits;
+        EXPECT_EQ(r.decision, p.evaluate(pkt));
+      }
+    }
+    EXPECT_EQ(hits, in_scope ? 1 : 0);
+  }
+}
+
+TEST(Query, DecisionFilterSelectsExactlyThatTraffic) {
+  std::mt19937_64 rng(83);
+  const Policy p = test::random_policy(tiny3(), 5, rng);
+  Query q = Query::any(p.schema());
+  q.decision = kDiscard;
+  const std::vector<QueryResult> results = run_query(p, q);
+  for (const Packet& pkt : all_packets(tiny3())) {
+    bool covered = false;
+    for (const QueryResult& r : results) {
+      covered = covered || result_contains(r, pkt);
+    }
+    EXPECT_EQ(covered, p.evaluate(pkt) == kDiscard);
+  }
+}
+
+TEST(Query, RealisticFiveTupleQuestion) {
+  // "Which packets may reach the mail server's port 25?"
+  const Schema schema = five_tuple_schema();
+  const DecisionSet& ds = default_decisions();
+  const Policy p = parse_policy(schema, ds,
+                                "discard sip=224.168.0.0/16\n"
+                                "accept dip=192.168.0.1 dport=25 proto=tcp\n"
+                                "discard\n");
+  Query q = Query::any(schema);
+  q.constraints[1] = IntervalSet(Interval::point(*parse_ipv4("192.168.0.1")));
+  q.constraints[3] = IntervalSet(Interval::point(25));
+  q.decision = kAccept;
+  const std::vector<QueryResult> results = run_query(p, q);
+  ASSERT_EQ(results.size(), 1u);
+  // Accepted: TCP only, and never from the malicious /16.
+  EXPECT_EQ(results[0].conjuncts[4], IntervalSet(Interval::point(6)));
+  EXPECT_FALSE(results[0].conjuncts[0].contains(*parse_ipv4("224.168.0.1")));
+  const std::string report = format_query_results(schema, ds, results);
+  EXPECT_NE(report.find("-> accept"), std::string::npos);
+  EXPECT_NE(report.find("dport in 25"), std::string::npos);
+}
+
+TEST(Query, EmptyAnswerForContradiction) {
+  const Schema schema = tiny3();
+  const Policy p(schema, {Rule::catch_all(schema, kAccept)});
+  Query q = Query::any(schema);
+  q.decision = kDiscard;  // nothing is discarded
+  EXPECT_TRUE(run_query(p, q).empty());
+  EXPECT_NE(format_query_results(schema, default_decisions(), {})
+                .find("no packets"),
+            std::string::npos);
+}
+
+TEST(Query, ValidatesArityAndDomains) {
+  const Schema schema = tiny3();
+  const Policy p(schema, {Rule::catch_all(schema, kAccept)});
+  Query bad_arity;
+  bad_arity.constraints.resize(2);
+  EXPECT_THROW(run_query(p, bad_arity), std::invalid_argument);
+  Query bad_domain = Query::any(schema);
+  bad_domain.constraints[0] = IntervalSet(Interval(0, 99));
+  EXPECT_THROW(run_query(p, bad_domain), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dfw

@@ -1,0 +1,93 @@
+// Redundancy detection/removal tests (resolution method 2's engine).
+
+#include <gtest/gtest.h>
+
+#include "fdd/compare.hpp"
+#include "gen/redundancy.hpp"
+#include "test_util.hpp"
+
+namespace dfw {
+namespace {
+
+using test::tiny2;
+using test::tiny3;
+
+Rule rule(const Schema& s, Interval x, Interval y, Decision d) {
+  return Rule(s, {IntervalSet(x), IntervalSet(y)}, d);
+}
+
+TEST(Redundancy, DetectsShadowedRule) {
+  const Schema s = tiny2();
+  // Rule 2 is fully shadowed by rule 1 (upward redundancy).
+  const Policy p(s, {rule(s, Interval(0, 5), Interval(0, 7), kAccept),
+                     rule(s, Interval(2, 4), Interval(1, 3), kDiscard),
+                     Rule::catch_all(s, kDiscard)});
+  EXPECT_FALSE(is_redundant(p, 0));
+  EXPECT_TRUE(is_redundant(p, 1));
+  EXPECT_FALSE(is_redundant(p, 2));
+}
+
+TEST(Redundancy, DetectsDownwardRedundantRule) {
+  const Schema s = tiny2();
+  // Rule 1 decides like the catch-all and nothing between them differs.
+  const Policy p(s, {rule(s, Interval(0, 3), Interval(0, 7), kAccept),
+                     Rule::catch_all(s, kAccept)});
+  EXPECT_TRUE(is_redundant(p, 0));
+}
+
+TEST(Redundancy, CatchAllIsNotRedundantWhenItDecidesTraffic) {
+  const Schema s = tiny2();
+  const Policy p(s, {rule(s, Interval(0, 3), Interval(0, 7), kAccept),
+                     Rule::catch_all(s, kDiscard)});
+  EXPECT_FALSE(is_redundant(p, 0));
+  EXPECT_FALSE(is_redundant(p, 1));
+}
+
+TEST(Redundancy, RedundantRulesListsOriginalIndices) {
+  const Schema s = tiny2();
+  const Policy p(s, {rule(s, Interval(0, 7), Interval(0, 7), kAccept),
+                     rule(s, Interval(1, 2), Interval(1, 2), kDiscard),
+                     rule(s, Interval(3, 4), Interval(3, 4), kDiscard),
+                     Rule::catch_all(s, kAccept)});
+  const std::vector<std::size_t> redundant = redundant_rules(p);
+  // Rules 2 and 3 are shadowed; the catch-all duplicates rule 1's
+  // decision, so removing *either* one alone preserves semantics.
+  EXPECT_EQ(redundant, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(Redundancy, RemoveRedundantPreservesSemantics) {
+  std::mt19937_64 rng(55);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Policy p = test::random_policy(tiny3(), 6, rng);
+    const Policy trimmed = remove_redundant(p);
+    EXPECT_LE(trimmed.size(), p.size());
+    EXPECT_TRUE(equivalent(p, trimmed));
+    // Nothing left to remove.
+    EXPECT_TRUE(redundant_rules(trimmed).empty());
+  }
+}
+
+TEST(Redundancy, DuplicateRulesCollapse) {
+  const Schema s = tiny2();
+  const Rule r = rule(s, Interval(0, 3), Interval(0, 3), kDiscard);
+  const Policy p(s, {r, r, r, Rule::catch_all(s, kAccept)});
+  const Policy trimmed = remove_redundant(p);
+  EXPECT_EQ(trimmed.size(), 2u);
+  EXPECT_TRUE(equivalent(p, trimmed));
+}
+
+TEST(Redundancy, SingleRulePolicyUntouched) {
+  const Schema s = tiny2();
+  const Policy p(s, {Rule::catch_all(s, kAccept)});
+  EXPECT_FALSE(is_redundant(p, 0));
+  EXPECT_EQ(remove_redundant(p).size(), 1u);
+}
+
+TEST(Redundancy, IndexOutOfRangeRejected) {
+  const Schema s = tiny2();
+  const Policy p(s, {Rule::catch_all(s, kAccept)});
+  EXPECT_THROW(is_redundant(p, 1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dfw

@@ -1,0 +1,145 @@
+// Rule-level edit-script tests: LCS minimality on hand-built cases,
+// structural invariants on random pairs, and the textual-vs-semantic
+// contrast (reorders are edits with zero impact).
+
+#include <gtest/gtest.h>
+
+#include "impact/impact.hpp"
+#include "impact/rule_diff.hpp"
+#include "test_util.hpp"
+
+namespace dfw {
+namespace {
+
+using test::tiny2;
+
+Rule rule(const Schema& s, Interval x, Interval y, Decision d) {
+  return Rule(s, {IntervalSet(x), IntervalSet(y)}, d);
+}
+
+Policy base() {
+  const Schema s = tiny2();
+  return Policy(s, {rule(s, Interval(0, 1), Interval(0, 7), kAccept),
+                    rule(s, Interval(2, 3), Interval(0, 7), kDiscard),
+                    rule(s, Interval(4, 5), Interval(0, 7), kAccept),
+                    Rule::catch_all(s, kDiscard)});
+}
+
+TEST(RuleDiff, IdenticalPoliciesAllKeep) {
+  const Policy p = base();
+  const std::vector<RuleEdit> edits = rule_diff(p, p);
+  ASSERT_EQ(edits.size(), p.size());
+  for (std::size_t i = 0; i < edits.size(); ++i) {
+    EXPECT_EQ(edits[i].kind, EditKind::kKeep);
+    EXPECT_EQ(edits[i].before_index, i);
+    EXPECT_EQ(edits[i].after_index, i);
+  }
+}
+
+TEST(RuleDiff, SingleInsertionDetected) {
+  const Policy before = base();
+  Policy after = before;
+  const Schema s = before.schema();
+  after.insert(1, rule(s, Interval(6, 6), Interval(1, 1), kDiscard));
+  const std::vector<RuleEdit> edits = rule_diff(before, after);
+  const EditSummary summary = summarize_edits(edits);
+  EXPECT_EQ(summary.inserted, 1u);
+  EXPECT_EQ(summary.deleted, 0u);
+  EXPECT_EQ(summary.kept, before.size());
+}
+
+TEST(RuleDiff, SingleDeletionDetected) {
+  const Policy before = base();
+  Policy after = before;
+  after.erase(2);
+  const EditSummary summary = summarize_edits(rule_diff(before, after));
+  EXPECT_EQ(summary.deleted, 1u);
+  EXPECT_EQ(summary.inserted, 0u);
+}
+
+TEST(RuleDiff, ModificationIsDeletePlusInsert) {
+  const Policy before = base();
+  Policy after = before;
+  const Schema s = before.schema();
+  after.replace(1, rule(s, Interval(2, 3), Interval(0, 7), kAccept));
+  const EditSummary summary = summarize_edits(rule_diff(before, after));
+  EXPECT_EQ(summary.deleted, 1u);
+  EXPECT_EQ(summary.inserted, 1u);
+  EXPECT_EQ(summary.kept, before.size() - 1);
+}
+
+TEST(RuleDiff, ReorderIsTwoEditsButMayHaveNoImpact) {
+  const Policy before = base();
+  Policy after = before;
+  after.move(0, 2);  // rules 0..2 are disjoint: semantics unchanged
+  const EditSummary summary = summarize_edits(rule_diff(before, after));
+  EXPECT_EQ(summary.deleted + summary.inserted, 2u);
+  EXPECT_TRUE(is_semantics_preserving(before, after));
+}
+
+TEST(RuleDiff, ScriptReconstructsBothSequences) {
+  std::mt19937_64 rng(121);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Policy before = test::random_policy(tiny2(), 6, rng);
+    const Policy after = test::random_policy(tiny2(), 6, rng);
+    const std::vector<RuleEdit> edits = rule_diff(before, after);
+    // Replaying keeps+deletes yields `before`; keeps+inserts yields
+    // `after`, each in order.
+    std::size_t bi = 0;
+    std::size_t ai = 0;
+    for (const RuleEdit& e : edits) {
+      switch (e.kind) {
+        case EditKind::kKeep:
+          EXPECT_EQ(e.before_index, bi++);
+          EXPECT_EQ(e.after_index, ai++);
+          EXPECT_EQ(before.rule(e.before_index), after.rule(e.after_index));
+          break;
+        case EditKind::kDelete:
+          EXPECT_EQ(e.before_index, bi++);
+          break;
+        case EditKind::kInsert:
+          EXPECT_EQ(e.after_index, ai++);
+          break;
+      }
+    }
+    EXPECT_EQ(bi, before.size());
+    EXPECT_EQ(ai, after.size());
+  }
+}
+
+TEST(RuleDiff, EditCountIsMinimal) {
+  std::mt19937_64 rng(122);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Policy before = test::random_policy(tiny2(), 5, rng);
+    Policy after = before;
+    after.erase(1);
+    const EditSummary summary = summarize_edits(rule_diff(before, after));
+    // One deletion suffices; LCS must not do worse.
+    EXPECT_EQ(summary.deleted, 1u);
+    EXPECT_EQ(summary.inserted, 0u);
+  }
+}
+
+TEST(RuleDiff, RejectsSchemaMismatch) {
+  const Schema other({{"z", Interval(0, 3), FieldKind::kInteger}});
+  const Policy a = base();
+  const Policy b(other, {Rule::catch_all(other, kAccept)});
+  EXPECT_THROW(rule_diff(a, b), std::invalid_argument);
+}
+
+TEST(RuleDiff, FormatsUnifiedStyle) {
+  const Policy before = base();
+  Policy after = before;
+  const Schema s = before.schema();
+  after.insert(0, rule(s, Interval(7, 7), Interval(7, 7), kDiscard));
+  after.erase(2);
+  const std::string text = format_edit_script(
+      before, after, default_decisions(), rule_diff(before, after));
+  EXPECT_NE(text.find("rule edits: 1 inserted, 1 deleted"),
+            std::string::npos);
+  EXPECT_NE(text.find("\n+ "), std::string::npos);
+  EXPECT_NE(text.find("\n- "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfw

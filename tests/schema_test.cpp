@@ -1,0 +1,83 @@
+// Schema unit tests: validation of field definitions, lookup, packet-space
+// sizing, and the two stock schemas.
+
+#include <gtest/gtest.h>
+
+#include "fw/schema.hpp"
+
+namespace dfw {
+namespace {
+
+TEST(Schema, BasicAccessors) {
+  const Schema s({{"a", Interval(0, 7), FieldKind::kInteger},
+                  {"b", Interval(0, 15), FieldKind::kInteger}});
+  EXPECT_EQ(s.field_count(), 2u);
+  EXPECT_EQ(s.field(0).name, "a");
+  EXPECT_EQ(s.domain(1), Interval(0, 15));
+  EXPECT_EQ(s.index_of("b"), 1u);
+  EXPECT_FALSE(s.index_of("c").has_value());
+  EXPECT_THROW(s.field(2), std::out_of_range);
+}
+
+TEST(Schema, RejectsEmptyFieldList) {
+  EXPECT_THROW(Schema({}), std::invalid_argument);
+}
+
+TEST(Schema, RejectsDuplicateNames) {
+  EXPECT_THROW(Schema({{"a", Interval(0, 7), FieldKind::kInteger},
+                       {"a", Interval(0, 3), FieldKind::kInteger}}),
+               std::invalid_argument);
+}
+
+TEST(Schema, RejectsNonZeroBasedDomains) {
+  EXPECT_THROW(Schema({{"a", Interval(1, 7), FieldKind::kInteger}}),
+               std::invalid_argument);
+}
+
+TEST(Schema, RejectsEmptyName) {
+  EXPECT_THROW(Schema({{"", Interval(0, 7), FieldKind::kInteger}}),
+               std::invalid_argument);
+}
+
+TEST(Schema, PacketSpaceSize) {
+  const Schema s({{"a", Interval(0, 7), FieldKind::kInteger},
+                  {"b", Interval(0, 3), FieldKind::kInteger}});
+  EXPECT_EQ(s.packet_space_size(), 32u);
+}
+
+TEST(Schema, PacketSpaceSizeSaturates) {
+  // Two 32-bit and one 16-bit field: 2^80 saturates.
+  const Schema s({{"a", Interval(0, UINT32_MAX), FieldKind::kIpv4},
+                  {"b", Interval(0, UINT32_MAX), FieldKind::kIpv4},
+                  {"c", Interval(0, 65535), FieldKind::kInteger}});
+  EXPECT_EQ(s.packet_space_size(), UINT64_MAX);
+}
+
+TEST(Schema, Equality) {
+  const Schema a({{"x", Interval(0, 7), FieldKind::kInteger}});
+  const Schema b({{"x", Interval(0, 7), FieldKind::kInteger}});
+  const Schema c({{"x", Interval(0, 3), FieldKind::kInteger}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Schema, ExampleSchemaMatchesPaper) {
+  const Schema s = example_schema();
+  EXPECT_EQ(s.field_count(), 5u);
+  EXPECT_EQ(s.field(0).name, "I");
+  EXPECT_EQ(s.domain(0), Interval(0, 1));
+  EXPECT_EQ(s.domain(1), Interval(0, UINT32_MAX));
+  EXPECT_EQ(s.domain(3), Interval(0, 65535));
+  EXPECT_EQ(s.domain(4), Interval(0, 1));  // {0 = TCP, 1 = UDP}
+}
+
+TEST(Schema, FiveTupleSchemaMatchesSection71) {
+  const Schema s = five_tuple_schema();
+  EXPECT_EQ(s.field_count(), 5u);
+  EXPECT_EQ(s.field(0).kind, FieldKind::kIpv4);
+  EXPECT_EQ(s.field(4).kind, FieldKind::kProtocol);
+  EXPECT_EQ(s.domain(4), Interval(0, 255));
+}
+
+}  // namespace
+}  // namespace dfw

@@ -1,0 +1,96 @@
+// FDD serialization tests: deterministic round-trips, schema validation
+// on load, and rejection of malformed or corrupted input.
+
+#include <gtest/gtest.h>
+
+#include "fdd/construct.hpp"
+#include "fdd/serialize.hpp"
+#include "test_util.hpp"
+
+namespace dfw {
+namespace {
+
+using test::tiny2;
+using test::tiny3;
+
+TEST(Serialize, RoundTripsRandomDiagrams) {
+  std::mt19937_64 rng(101);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Policy p = test::random_policy(tiny3(), 5, rng);
+    const Fdd original = build_reduced_fdd(p);
+    const std::string text = serialize_fdd(original);
+    const Fdd loaded = deserialize_fdd(tiny3(), text);
+    EXPECT_TRUE(structurally_equal(original, loaded));
+    EXPECT_TRUE(test::fdd_matches_policy(loaded, p));
+  }
+}
+
+TEST(Serialize, DeterministicOutput) {
+  std::mt19937_64 rng(102);
+  const Policy p = test::random_policy(tiny2(), 4, rng);
+  const Fdd fdd = build_reduced_fdd(p);
+  EXPECT_EQ(serialize_fdd(fdd), serialize_fdd(fdd.clone()));
+}
+
+TEST(Serialize, ConstantDiagram) {
+  const Fdd fdd = Fdd::constant(tiny2(), kDiscard);
+  const std::string text = serialize_fdd(fdd);
+  EXPECT_EQ(text, "dfdd 1\nschema 2\nT 1\n");
+  const Fdd loaded = deserialize_fdd(tiny2(), text);
+  EXPECT_TRUE(structurally_equal(fdd, loaded));
+}
+
+TEST(Serialize, PartialDiagramsAllowed) {
+  const Schema s = tiny2();
+  const Policy p(
+      s, {Rule(s, {IntervalSet(Interval(0, 3)), IntervalSet(Interval(0, 7))},
+               kAccept)});
+  const Fdd partial = build_fdd(p);
+  const Fdd loaded = deserialize_fdd(s, serialize_fdd(partial));
+  EXPECT_TRUE(structurally_equal(partial, loaded));
+}
+
+TEST(Serialize, RejectsBadHeader) {
+  EXPECT_THROW(deserialize_fdd(tiny2(), "dfdd 2\nschema 2\nT 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(deserialize_fdd(tiny2(), ""), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsSchemaMismatch) {
+  const std::string text = serialize_fdd(Fdd::constant(tiny3(), kAccept));
+  EXPECT_THROW(deserialize_fdd(tiny2(), text), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsMalformedBodies) {
+  const char* cases[] = {
+      "dfdd 1\nschema 2\n",                       // missing node
+      "dfdd 1\nschema 2\nX 0\n",                  // unknown tag
+      "dfdd 1\nschema 2\nN 0\n",                  // node without edge count
+      "dfdd 1\nschema 2\nN 0 1\nT 0\n",           // edge line missing
+      "dfdd 1\nschema 2\nN 0 1\nE 5:2\nT 0\n",    // inverted interval
+      "dfdd 1\nschema 2\nN 0 0\n",                // zero edges
+      "dfdd 1\nschema 2\nT 0\nT 0\n",             // trailing content
+      "dfdd 1\nschema 2\nT 99999\n",              // decision out of range
+      "dfdd 1\nschema 2\nN 0 1\nE 0-7\nT 0\n",    // wrong separator
+  };
+  for (const char* text : cases) {
+    EXPECT_THROW(deserialize_fdd(tiny2(), text), std::invalid_argument)
+        << text;
+  }
+}
+
+TEST(Serialize, RejectsSemanticViolations) {
+  // Structurally well-formed but violates FDD invariants for the schema.
+  const char* overlapping =
+      "dfdd 1\nschema 2\nN 0 2\nE 0:4\nT 0\nE 4:7\nT 1\n";  // overlap at 4
+  EXPECT_THROW(deserialize_fdd(tiny2(), overlapping), std::logic_error);
+  const char* bad_field =
+      "dfdd 1\nschema 2\nN 5 1\nE 0:7\nT 0\n";  // field index out of range
+  EXPECT_THROW(deserialize_fdd(tiny2(), bad_field), std::logic_error);
+  const char* domain_escape =
+      "dfdd 1\nschema 2\nN 0 1\nE 0:99\nT 0\n";  // label exceeds domain
+  EXPECT_THROW(deserialize_fdd(tiny2(), domain_escape), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dfw

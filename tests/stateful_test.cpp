@@ -1,0 +1,139 @@
+// Stateful-firewall model tests (companion ref [11]): return traffic
+// admitted via state, non-established traffic filtered by the core,
+// FIFO eviction, and diverse-design comparison of stateful cores.
+
+#include <gtest/gtest.h>
+
+#include "fdd/compare.hpp"
+#include "fw/parser.hpp"
+#include "net/ipv4.hpp"
+#include "stateful/stateful.hpp"
+
+namespace dfw {
+namespace {
+
+const Schema kSchema = five_tuple_schema();
+const DecisionSet& kDecisions = default_decisions();
+
+// Outbound-only policy: inside (10/8) may open TCP connections to
+// anywhere; nothing else enters.
+StatefulFirewall outbound_only(std::size_t capacity = 4096) {
+  Policy core = parse_policy(kSchema, kDecisions,
+                             "accept sip=10.0.0.0/8 proto=tcp\n"
+                             "discard\n");
+  return StatefulFirewall(std::move(core), {true, false}, capacity);
+}
+
+Packet outbound(Value sport = 40000) {
+  return {*parse_ipv4("10.1.2.3"), *parse_ipv4("93.184.216.34"), sport, 443,
+          6};
+}
+
+Packet reply(Value dport = 40000) {
+  return {*parse_ipv4("93.184.216.34"), *parse_ipv4("10.1.2.3"), 443, dport,
+          6};
+}
+
+TEST(Stateful, EstablishedReturnTrafficIsAccepted) {
+  StatefulFirewall fw = outbound_only();
+  // The naked reply is discarded by the core.
+  EXPECT_EQ(fw.process(reply()).decision, kDiscard);
+  // The outbound packet opens state...
+  const StatefulVerdict out = fw.process(outbound());
+  EXPECT_EQ(out.decision, kAccept);
+  EXPECT_TRUE(out.tracked_new);
+  EXPECT_FALSE(out.via_state);
+  EXPECT_EQ(fw.state_size(), 1u);
+  // ...and now the reply sails through the state section.
+  const StatefulVerdict in = fw.process(reply());
+  EXPECT_EQ(in.decision, kAccept);
+  EXPECT_TRUE(in.via_state);
+  EXPECT_FALSE(in.tracked_new);
+}
+
+TEST(Stateful, SameDirectionRetransmissionUsesState) {
+  StatefulFirewall fw = outbound_only();
+  fw.process(outbound());
+  const StatefulVerdict again = fw.process(outbound());
+  EXPECT_TRUE(again.via_state);
+  EXPECT_EQ(fw.state_size(), 1u);  // no duplicate entry
+}
+
+TEST(Stateful, UnrelatedReplyIsNotAdmitted) {
+  StatefulFirewall fw = outbound_only();
+  fw.process(outbound(40000));
+  // A reply to a *different* client port is not part of the flow.
+  EXPECT_EQ(fw.process(reply(40001)).decision, kDiscard);
+}
+
+TEST(Stateful, UntrackedAcceptInsertsNoState) {
+  Policy core = parse_policy(kSchema, kDecisions,
+                             "accept sip=10.0.0.0/8 proto=tcp\n"
+                             "discard\n");
+  StatefulFirewall fw(std::move(core), {false, false});
+  EXPECT_EQ(fw.process(outbound()).decision, kAccept);
+  EXPECT_EQ(fw.state_size(), 0u);
+  EXPECT_EQ(fw.process(reply()).decision, kDiscard);
+}
+
+TEST(Stateful, FifoEvictionBoundsTheTable) {
+  StatefulFirewall fw = outbound_only(/*capacity=*/2);
+  fw.process(outbound(40000));
+  fw.process(outbound(40001));
+  fw.process(outbound(40002));  // evicts the 40000 flow
+  EXPECT_EQ(fw.state_size(), 2u);
+  EXPECT_EQ(fw.process(reply(40000)).decision, kDiscard);
+  EXPECT_EQ(fw.process(reply(40002)).decision, kAccept);
+}
+
+TEST(Stateful, ClearStateDropsEstablishedFlows) {
+  StatefulFirewall fw = outbound_only();
+  fw.process(outbound());
+  fw.clear_state();
+  EXPECT_EQ(fw.state_size(), 0u);
+  EXPECT_EQ(fw.process(reply()).decision, kDiscard);
+}
+
+TEST(Stateful, FlowHelpers) {
+  const Packet p = outbound(1234);
+  const Flow f = Flow::of(p);
+  EXPECT_EQ(f.sport, 1234u);
+  EXPECT_EQ(f.reversed().dport, 1234u);
+  EXPECT_EQ(f.reversed().reversed(), f);
+}
+
+TEST(Stateful, ConstructorValidation) {
+  Policy core = parse_policy(kSchema, kDecisions, "discard\n");
+  EXPECT_THROW(StatefulFirewall(core, {true, false}),
+               std::invalid_argument);  // flag arity
+  EXPECT_THROW(StatefulFirewall(core, {true}, 0),
+               std::invalid_argument);  // zero capacity
+  const Schema tiny({{"x", Interval(0, 7), FieldKind::kInteger}});
+  EXPECT_THROW(
+      StatefulFirewall(Policy(tiny, {Rule::catch_all(tiny, kAccept)}),
+                       {true}),
+      std::invalid_argument);  // wrong schema
+}
+
+// Diverse design applies to the stateless cores: two teams writing
+// "outbound-only" differently are compared exactly as in the stateless
+// case.
+TEST(Stateful, CoresCompareThroughThePipeline) {
+  const StatefulFirewall team_a = outbound_only();
+  Policy team_b_core = parse_policy(kSchema, kDecisions,
+                                    "accept sip=10.0.0.0/8\n"  // forgot tcp
+                                    "discard\n");
+  const StatefulFirewall team_b(std::move(team_b_core), {true, false});
+  const std::vector<Discrepancy> diffs =
+      discrepancies(team_a.core(), team_b.core());
+  ASSERT_FALSE(diffs.empty());
+  for (const Discrepancy& d : diffs) {
+    // Exactly the non-TCP outbound traffic separates the designs.
+    EXPECT_FALSE(d.conjuncts[4].contains(6));
+    EXPECT_EQ(d.decisions[0], kDiscard);
+    EXPECT_EQ(d.decisions[1], kAccept);
+  }
+}
+
+}  // namespace
+}  // namespace dfw

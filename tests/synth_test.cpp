@@ -1,0 +1,145 @@
+// Synthetic generator tests: determinism, comprehensiveness, the rule-
+// geometry distributions of Section 8.2.2, and the perturbation model of
+// Section 8.2.1.
+
+#include <gtest/gtest.h>
+
+#include "fdd/compare.hpp"
+#include "fdd/construct.hpp"
+#include "synth/synth.hpp"
+
+namespace dfw {
+namespace {
+
+TEST(Synth, DeterministicInSeed) {
+  SynthConfig config;
+  config.num_rules = 50;
+  Rng rng1(12345);
+  Rng rng2(12345);
+  const Policy a = synth_policy(config, rng1);
+  const Policy b = synth_policy(config, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.rule(i), b.rule(i));
+  }
+}
+
+TEST(Synth, ProducesRequestedSizeWithCatchAll) {
+  SynthConfig config;
+  config.num_rules = 87;
+  Rng rng(1);
+  const Policy p = synth_policy(config, rng);
+  EXPECT_EQ(p.size(), 87u);
+  EXPECT_TRUE(p.last_rule_is_catch_all());
+  EXPECT_EQ(p.rules().back().decision(), kDiscard);
+}
+
+TEST(Synth, GeneratedPoliciesAreComprehensive) {
+  SynthConfig config;
+  config.num_rules = 30;
+  Rng rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Policy p = synth_policy(config, rng);
+    Fdd fdd = build_fdd(p);
+    EXPECT_NO_THROW(fdd.validate());
+  }
+}
+
+TEST(Synth, RespectsSingleRuleMinimum) {
+  SynthConfig config;
+  config.num_rules = 1;
+  Rng rng(3);
+  const Policy p = synth_policy(config, rng);
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_TRUE(p.last_rule_is_catch_all());
+  config.num_rules = 0;
+  EXPECT_THROW(synth_policy(config, rng), std::invalid_argument);
+}
+
+TEST(Synth, IpConjunctsAreCidrShaped) {
+  SynthConfig config;
+  config.num_rules = 300;
+  Rng rng(4);
+  const Policy p = synth_policy(config, rng);
+  std::size_t wildcard = 0;
+  std::size_t shaped = 0;
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    const IntervalSet& sip = p.rule(i).conjunct(0);
+    ASSERT_EQ(sip.run_count(), 1u);
+    const Interval iv = sip.intervals().front();
+    if (iv == Interval(0, UINT32_MAX)) {
+      ++wildcard;
+      continue;
+    }
+    ++shaped;
+    // CIDR-shaped: size is a power of two and lo is aligned to it.
+    const Value size = iv.size();
+    EXPECT_EQ(size & (size - 1), 0u) << "non power-of-two block";
+    EXPECT_EQ(iv.lo() % size, 0u) << "unaligned block";
+  }
+  EXPECT_GT(wildcard, 0u);
+  EXPECT_GT(shaped, 0u);
+}
+
+TEST(Synth, DecisionMixFollowsWeights) {
+  SynthConfig config;
+  config.num_rules = 400;
+  config.accept_weight = 100;  // all accepts
+  Rng rng(5);
+  const Policy p = synth_policy(config, rng);
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    EXPECT_EQ(p.rule(i).decision(), kAccept);
+  }
+}
+
+TEST(Synth, PerturbationKeepsComprehensiveness) {
+  SynthConfig config;
+  config.num_rules = 60;
+  Rng rng(6);
+  const Policy original = synth_policy(config, rng);
+  for (double x : {5.0, 25.0, 50.0}) {
+    const Policy perturbed = perturb_policy(original, x, rng);
+    Fdd fdd = build_fdd(perturbed);
+    EXPECT_NO_THROW(fdd.validate());
+    EXPECT_LE(perturbed.size(), original.size());
+    EXPECT_GE(perturbed.size(),
+              original.size() -
+                  static_cast<std::size_t>(original.size() * x / 100.0) - 1);
+  }
+}
+
+TEST(Synth, ZeroPerturbationIsIdentity) {
+  SynthConfig config;
+  config.num_rules = 20;
+  Rng rng(7);
+  const Policy original = synth_policy(config, rng);
+  const Policy same = perturb_policy(original, 0.0, rng);
+  EXPECT_TRUE(equivalent(original, same));
+}
+
+TEST(Synth, PerturbationValidatesRange) {
+  SynthConfig config;
+  config.num_rules = 5;
+  Rng rng(8);
+  const Policy p = synth_policy(config, rng);
+  EXPECT_THROW(perturb_policy(p, -1.0, rng), std::invalid_argument);
+  EXPECT_THROW(perturb_policy(p, 101.0, rng), std::invalid_argument);
+}
+
+TEST(Synth, PerturbationUsuallyChangesSemantics) {
+  SynthConfig config;
+  config.num_rules = 60;
+  Rng rng(9);
+  int changed = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const Policy original = synth_policy(config, rng);
+    const Policy perturbed = perturb_policy(original, 40.0, rng);
+    if (!equivalent(original, perturbed)) {
+      ++changed;
+    }
+  }
+  EXPECT_GE(changed, 3);
+}
+
+}  // namespace
+}  // namespace dfw

@@ -1,0 +1,46 @@
+// Umbrella-header smoke test: one include pulls the whole API, and the
+// headline pipeline runs. Also pins down cross-header consistency (the
+// shape_all refinement property the N-way comparison relies on).
+
+#include <gtest/gtest.h>
+
+#include "dfw.hpp"
+#include "test_util.hpp"
+
+namespace dfw {
+namespace {
+
+TEST(Umbrella, HeadlinePipelineCompilesAndRuns) {
+  const Schema schema = five_tuple_schema();
+  const Policy a = parse_policy(schema, default_decisions(),
+                                "discard sip=203.0.113.0/24\naccept\n");
+  const Policy b = parse_policy(schema, default_decisions(),
+                                "accept\n");
+  const std::vector<Discrepancy> diffs = discrepancies(a, b);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_EQ(diffs[0].decisions[0], kDiscard);
+  EXPECT_EQ(diffs[0].decisions[1], kAccept);
+}
+
+TEST(Umbrella, ShapeAllSecondPassLeavesTheAnchorUntouched) {
+  // The direct N-way comparison depends on pass 2 of shape_all never
+  // modifying fdds[0] (the common refinement). Verify structurally.
+  std::mt19937_64 rng(161);
+  std::vector<Fdd> fdds;
+  for (int i = 0; i < 4; ++i) {
+    fdds.push_back(
+        build_reduced_fdd(test::random_policy(test::tiny3(), 5, rng)));
+  }
+  shape_all(fdds);
+  const Fdd anchor = fdds[0].clone();
+  for (std::size_t i = 1; i < fdds.size(); ++i) {
+    Fdd lhs = fdds[0].clone();
+    Fdd rhs = fdds[i].clone();
+    shape_pair(lhs, rhs);  // must be a no-op on both
+    EXPECT_TRUE(structurally_equal(lhs, anchor));
+    EXPECT_TRUE(structurally_equal(rhs, fdds[i]));
+  }
+}
+
+}  // namespace
+}  // namespace dfw

@@ -1,0 +1,133 @@
+// DiverseDesign session tests: submission gating, comparison phases, and
+// end-to-end resolution.
+
+#include <gtest/gtest.h>
+
+#include "diverse/workflow.hpp"
+#include "test_util.hpp"
+
+namespace dfw {
+namespace {
+
+using test::tiny2;
+using test::tiny3;
+
+TEST(Workflow, SubmitValidatesComprehensiveness) {
+  DiverseDesign session((DecisionSet()));
+  const Schema s = tiny2();
+  const Policy partial(
+      s, {Rule(s, {IntervalSet(Interval(0, 3)), IntervalSet(Interval(0, 7))},
+               kAccept)});
+  EXPECT_THROW(session.submit("team", partial), std::logic_error);
+  EXPECT_EQ(session.team_count(), 0u);
+}
+
+TEST(Workflow, SubmitRejectsSchemaMismatch) {
+  std::mt19937_64 rng(1);
+  DiverseDesign session((DecisionSet()));
+  session.submit("a", test::random_policy(tiny2(), 3, rng));
+  EXPECT_THROW(session.submit("b", test::random_policy(tiny3(), 3, rng)),
+               std::invalid_argument);
+}
+
+TEST(Workflow, CompareNeedsTwoTeams) {
+  std::mt19937_64 rng(2);
+  DiverseDesign session((DecisionSet()));
+  EXPECT_THROW(session.compare(), std::logic_error);
+  session.submit("a", test::random_policy(tiny2(), 3, rng));
+  EXPECT_THROW(session.compare(), std::logic_error);
+  EXPECT_THROW(session.cross_compare(), std::logic_error);
+}
+
+TEST(Workflow, CrossCompareCoversAllPairs) {
+  std::mt19937_64 rng(3);
+  DiverseDesign session((DecisionSet()));
+  for (int i = 0; i < 3; ++i) {
+    session.submit("t" + std::to_string(i),
+                   test::random_policy(tiny3(), 4, rng));
+  }
+  const std::vector<PairwiseReport> reports = session.cross_compare();
+  ASSERT_EQ(reports.size(), 3u);  // (0,1), (0,2), (1,2)
+  EXPECT_EQ(reports[0].team_a, 0u);
+  EXPECT_EQ(reports[0].team_b, 1u);
+  EXPECT_EQ(reports[2].team_a, 1u);
+  EXPECT_EQ(reports[2].team_b, 2u);
+}
+
+TEST(Workflow, PairwiseUnionMatchesDirectComparison) {
+  std::mt19937_64 rng(4);
+  DiverseDesign session((DecisionSet()));
+  for (int i = 0; i < 3; ++i) {
+    session.submit("t" + std::to_string(i),
+                   test::random_policy(tiny3(), 4, rng));
+  }
+  const std::vector<Discrepancy> direct = session.compare();
+  const std::vector<PairwiseReport> pairs = session.cross_compare();
+  // A packet is in some direct discrepancy iff it is in some pairwise one.
+  for (const Packet& pkt : test::all_packets(tiny3())) {
+    const auto in_any = [&](const std::vector<Discrepancy>& diffs) {
+      for (const Discrepancy& d : diffs) {
+        bool inside = true;
+        for (std::size_t f = 0; f < pkt.size(); ++f) {
+          inside = inside && d.conjuncts[f].contains(pkt[f]);
+        }
+        if (inside) {
+          return true;
+        }
+      }
+      return false;
+    };
+    bool in_pairwise = false;
+    for (const PairwiseReport& r : pairs) {
+      in_pairwise = in_pairwise || in_any(r.discrepancies);
+    }
+    EXPECT_EQ(in_any(direct), in_pairwise);
+  }
+}
+
+TEST(Workflow, ResolveInFavourOfWinnerIsEquivalentToWinner) {
+  std::mt19937_64 rng(5);
+  DiverseDesign session((DecisionSet()));
+  session.submit("a", test::random_policy(tiny3(), 5, rng));
+  session.submit("b", test::random_policy(tiny3(), 5, rng));
+  for (const ResolutionMethod method :
+       {ResolutionMethod::kCorrectedFdd, ResolutionMethod::kPrependAndTrim}) {
+    const Policy final_policy = session.resolve_in_favour_of(1, method, 0);
+    EXPECT_TRUE(equivalent(final_policy, session.policy(1)));
+  }
+}
+
+TEST(Workflow, MajorityVoteThroughTheSession) {
+  // Two of three teams share a design; majority resolution reproduces it
+  // through either method regardless of the base team.
+  std::mt19937_64 rng(7);
+  const Policy consensus = test::random_policy(tiny3(), 4, rng);
+  const Policy outlier = test::random_policy(tiny3(), 4, rng);
+  DiverseDesign session((DecisionSet()));
+  session.submit("a", consensus);
+  session.submit("b", outlier);
+  session.submit("c", consensus);
+  const ResolutionPlan plan = plan_by_majority(session.compare(), 0);
+  for (const ResolutionMethod method :
+       {ResolutionMethod::kCorrectedFdd, ResolutionMethod::kPrependAndTrim}) {
+    const Policy final_policy = session.resolve(plan, method, 1);
+    EXPECT_TRUE(equivalent(final_policy, consensus));
+  }
+}
+
+TEST(Workflow, PolicyAccessorBounds) {
+  DiverseDesign session((DecisionSet()));
+  EXPECT_THROW(session.policy(0), std::out_of_range);
+}
+
+TEST(Workflow, ReportOnEquivalentTeamsSaysSo) {
+  std::mt19937_64 rng(6);
+  DiverseDesign session((DecisionSet()));
+  const Policy p = test::random_policy(tiny2(), 4, rng);
+  session.submit("a", p);
+  session.submit("b", p);
+  EXPECT_NE(session.report().find("equivalent"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfw
