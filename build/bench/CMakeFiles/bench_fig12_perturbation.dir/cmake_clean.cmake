@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_perturbation.dir/bench_fig12_perturbation.cpp.o"
+  "CMakeFiles/bench_fig12_perturbation.dir/bench_fig12_perturbation.cpp.o.d"
+  "bench_fig12_perturbation"
+  "bench_fig12_perturbation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

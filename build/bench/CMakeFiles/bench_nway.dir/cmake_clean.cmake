@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nway.dir/bench_nway.cpp.o"
+  "CMakeFiles/bench_nway.dir/bench_nway.cpp.o.d"
+  "bench_nway"
+  "bench_nway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

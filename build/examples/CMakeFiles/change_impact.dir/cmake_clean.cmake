@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/change_impact.dir/change_impact.cpp.o"
+  "CMakeFiles/change_impact.dir/change_impact.cpp.o.d"
+  "change_impact"
+  "change_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/change_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diverse_design.dir/diverse_design.cpp.o"
+  "CMakeFiles/diverse_design.dir/diverse_design.cpp.o.d"
+  "diverse_design"
+  "diverse_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diverse_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

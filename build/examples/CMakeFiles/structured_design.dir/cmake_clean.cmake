@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structured_design.dir/structured_design.cpp.o"
+  "CMakeFiles/structured_design.dir/structured_design.cpp.o.d"
+  "structured_design"
+  "structured_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structured_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adapters/cisco.cpp" "src/CMakeFiles/dfw.dir/adapters/cisco.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/adapters/cisco.cpp.o.d"
+  "/root/repo/src/adapters/emit.cpp" "src/CMakeFiles/dfw.dir/adapters/emit.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/adapters/emit.cpp.o.d"
+  "/root/repo/src/adapters/iptables.cpp" "src/CMakeFiles/dfw.dir/adapters/iptables.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/adapters/iptables.cpp.o.d"
+  "/root/repo/src/analysis/anomaly.cpp" "src/CMakeFiles/dfw.dir/analysis/anomaly.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/analysis/anomaly.cpp.o.d"
+  "/root/repo/src/analysis/property.cpp" "src/CMakeFiles/dfw.dir/analysis/property.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/analysis/property.cpp.o.d"
+  "/root/repo/src/bdd/bdd.cpp" "src/CMakeFiles/dfw.dir/bdd/bdd.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/bdd/bdd.cpp.o.d"
+  "/root/repo/src/bdd/packet_encode.cpp" "src/CMakeFiles/dfw.dir/bdd/packet_encode.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/bdd/packet_encode.cpp.o.d"
+  "/root/repo/src/diverse/discrepancy.cpp" "src/CMakeFiles/dfw.dir/diverse/discrepancy.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/diverse/discrepancy.cpp.o.d"
+  "/root/repo/src/diverse/resolve.cpp" "src/CMakeFiles/dfw.dir/diverse/resolve.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/diverse/resolve.cpp.o.d"
+  "/root/repo/src/diverse/workflow.cpp" "src/CMakeFiles/dfw.dir/diverse/workflow.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/diverse/workflow.cpp.o.d"
+  "/root/repo/src/engine/classifier.cpp" "src/CMakeFiles/dfw.dir/engine/classifier.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/engine/classifier.cpp.o.d"
+  "/root/repo/src/engine/trace.cpp" "src/CMakeFiles/dfw.dir/engine/trace.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/engine/trace.cpp.o.d"
+  "/root/repo/src/fdd/builder.cpp" "src/CMakeFiles/dfw.dir/fdd/builder.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/fdd/builder.cpp.o.d"
+  "/root/repo/src/fdd/compare.cpp" "src/CMakeFiles/dfw.dir/fdd/compare.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/fdd/compare.cpp.o.d"
+  "/root/repo/src/fdd/construct.cpp" "src/CMakeFiles/dfw.dir/fdd/construct.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/fdd/construct.cpp.o.d"
+  "/root/repo/src/fdd/dot.cpp" "src/CMakeFiles/dfw.dir/fdd/dot.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/fdd/dot.cpp.o.d"
+  "/root/repo/src/fdd/fdd.cpp" "src/CMakeFiles/dfw.dir/fdd/fdd.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/fdd/fdd.cpp.o.d"
+  "/root/repo/src/fdd/node.cpp" "src/CMakeFiles/dfw.dir/fdd/node.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/fdd/node.cpp.o.d"
+  "/root/repo/src/fdd/reduce.cpp" "src/CMakeFiles/dfw.dir/fdd/reduce.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/fdd/reduce.cpp.o.d"
+  "/root/repo/src/fdd/serialize.cpp" "src/CMakeFiles/dfw.dir/fdd/serialize.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/fdd/serialize.cpp.o.d"
+  "/root/repo/src/fdd/shape.cpp" "src/CMakeFiles/dfw.dir/fdd/shape.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/fdd/shape.cpp.o.d"
+  "/root/repo/src/fdd/simplify.cpp" "src/CMakeFiles/dfw.dir/fdd/simplify.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/fdd/simplify.cpp.o.d"
+  "/root/repo/src/fdd/stats.cpp" "src/CMakeFiles/dfw.dir/fdd/stats.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/fdd/stats.cpp.o.d"
+  "/root/repo/src/fw/decision.cpp" "src/CMakeFiles/dfw.dir/fw/decision.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/fw/decision.cpp.o.d"
+  "/root/repo/src/fw/format.cpp" "src/CMakeFiles/dfw.dir/fw/format.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/fw/format.cpp.o.d"
+  "/root/repo/src/fw/parser.cpp" "src/CMakeFiles/dfw.dir/fw/parser.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/fw/parser.cpp.o.d"
+  "/root/repo/src/fw/permute.cpp" "src/CMakeFiles/dfw.dir/fw/permute.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/fw/permute.cpp.o.d"
+  "/root/repo/src/fw/policy.cpp" "src/CMakeFiles/dfw.dir/fw/policy.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/fw/policy.cpp.o.d"
+  "/root/repo/src/fw/rule.cpp" "src/CMakeFiles/dfw.dir/fw/rule.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/fw/rule.cpp.o.d"
+  "/root/repo/src/fw/schema.cpp" "src/CMakeFiles/dfw.dir/fw/schema.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/fw/schema.cpp.o.d"
+  "/root/repo/src/gen/generate.cpp" "src/CMakeFiles/dfw.dir/gen/generate.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/gen/generate.cpp.o.d"
+  "/root/repo/src/gen/redundancy.cpp" "src/CMakeFiles/dfw.dir/gen/redundancy.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/gen/redundancy.cpp.o.d"
+  "/root/repo/src/impact/impact.cpp" "src/CMakeFiles/dfw.dir/impact/impact.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/impact/impact.cpp.o.d"
+  "/root/repo/src/impact/rule_diff.cpp" "src/CMakeFiles/dfw.dir/impact/rule_diff.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/impact/rule_diff.cpp.o.d"
+  "/root/repo/src/net/interval.cpp" "src/CMakeFiles/dfw.dir/net/interval.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/net/interval.cpp.o.d"
+  "/root/repo/src/net/interval_set.cpp" "src/CMakeFiles/dfw.dir/net/interval_set.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/net/interval_set.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/CMakeFiles/dfw.dir/net/ipv4.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/net/ipv4.cpp.o.d"
+  "/root/repo/src/net/ipv6.cpp" "src/CMakeFiles/dfw.dir/net/ipv6.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/net/ipv6.cpp.o.d"
+  "/root/repo/src/net/prefix.cpp" "src/CMakeFiles/dfw.dir/net/prefix.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/net/prefix.cpp.o.d"
+  "/root/repo/src/query/query.cpp" "src/CMakeFiles/dfw.dir/query/query.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/query/query.cpp.o.d"
+  "/root/repo/src/stateful/stateful.cpp" "src/CMakeFiles/dfw.dir/stateful/stateful.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/stateful/stateful.cpp.o.d"
+  "/root/repo/src/synth/mutate.cpp" "src/CMakeFiles/dfw.dir/synth/mutate.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/synth/mutate.cpp.o.d"
+  "/root/repo/src/synth/synth.cpp" "src/CMakeFiles/dfw.dir/synth/synth.cpp.o" "gcc" "src/CMakeFiles/dfw.dir/synth/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

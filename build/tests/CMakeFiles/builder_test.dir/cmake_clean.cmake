@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/builder_test.dir/builder_test.cpp.o"
+  "CMakeFiles/builder_test.dir/builder_test.cpp.o.d"
+  "builder_test"
+  "builder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

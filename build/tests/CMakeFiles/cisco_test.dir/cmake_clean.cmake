@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisco_test.dir/cisco_test.cpp.o"
+  "CMakeFiles/cisco_test.dir/cisco_test.cpp.o.d"
+  "cisco_test"
+  "cisco_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisco_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discrepancy_test.dir/discrepancy_test.cpp.o"
+  "CMakeFiles/discrepancy_test.dir/discrepancy_test.cpp.o.d"
+  "discrepancy_test"
+  "discrepancy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discrepancy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_stats_test.dir/dot_stats_test.cpp.o"
+  "CMakeFiles/dot_stats_test.dir/dot_stats_test.cpp.o.d"
+  "dot_stats_test"
+  "dot_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

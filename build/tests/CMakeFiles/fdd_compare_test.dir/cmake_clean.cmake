@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdd_compare_test.dir/fdd_compare_test.cpp.o"
+  "CMakeFiles/fdd_compare_test.dir/fdd_compare_test.cpp.o.d"
+  "fdd_compare_test"
+  "fdd_compare_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdd_compare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdd_construct_test.dir/fdd_construct_test.cpp.o"
+  "CMakeFiles/fdd_construct_test.dir/fdd_construct_test.cpp.o.d"
+  "fdd_construct_test"
+  "fdd_construct_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdd_construct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

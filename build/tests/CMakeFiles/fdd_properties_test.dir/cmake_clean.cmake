@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdd_properties_test.dir/fdd_properties_test.cpp.o"
+  "CMakeFiles/fdd_properties_test.dir/fdd_properties_test.cpp.o.d"
+  "fdd_properties_test"
+  "fdd_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdd_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdd_reduce_test.dir/fdd_reduce_test.cpp.o"
+  "CMakeFiles/fdd_reduce_test.dir/fdd_reduce_test.cpp.o.d"
+  "fdd_reduce_test"
+  "fdd_reduce_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdd_reduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

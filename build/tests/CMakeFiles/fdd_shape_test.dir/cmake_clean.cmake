@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdd_shape_test.dir/fdd_shape_test.cpp.o"
+  "CMakeFiles/fdd_shape_test.dir/fdd_shape_test.cpp.o.d"
+  "fdd_shape_test"
+  "fdd_shape_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdd_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdd_simplify_test.dir/fdd_simplify_test.cpp.o"
+  "CMakeFiles/fdd_simplify_test.dir/fdd_simplify_test.cpp.o.d"
+  "fdd_simplify_test"
+  "fdd_simplify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdd_simplify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

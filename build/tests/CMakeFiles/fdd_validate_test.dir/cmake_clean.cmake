@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdd_validate_test.dir/fdd_validate_test.cpp.o"
+  "CMakeFiles/fdd_validate_test.dir/fdd_validate_test.cpp.o.d"
+  "fdd_validate_test"
+  "fdd_validate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdd_validate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iptables_test.dir/iptables_test.cpp.o"
+  "CMakeFiles/iptables_test.dir/iptables_test.cpp.o.d"
+  "iptables_test"
+  "iptables_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iptables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multidecision_test.dir/multidecision_test.cpp.o"
+  "CMakeFiles/multidecision_test.dir/multidecision_test.cpp.o.d"
+  "multidecision_test"
+  "multidecision_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multidecision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

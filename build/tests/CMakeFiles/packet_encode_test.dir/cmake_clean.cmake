@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_encode_test.dir/packet_encode_test.cpp.o"
+  "CMakeFiles/packet_encode_test.dir/packet_encode_test.cpp.o.d"
+  "packet_encode_test"
+  "packet_encode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_encode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

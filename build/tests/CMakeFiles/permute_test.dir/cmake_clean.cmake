@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/permute_test.dir/permute_test.cpp.o"
+  "CMakeFiles/permute_test.dir/permute_test.cpp.o.d"
+  "permute_test"
+  "permute_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/permute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

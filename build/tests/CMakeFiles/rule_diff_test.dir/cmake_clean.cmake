@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_diff_test.dir/rule_diff_test.cpp.o"
+  "CMakeFiles/rule_diff_test.dir/rule_diff_test.cpp.o.d"
+  "rule_diff_test"
+  "rule_diff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

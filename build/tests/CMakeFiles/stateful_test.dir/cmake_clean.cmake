@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stateful_test.dir/stateful_test.cpp.o"
+  "CMakeFiles/stateful_test.dir/stateful_test.cpp.o.d"
+  "stateful_test"
+  "stateful_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stateful_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
