@@ -7,18 +7,102 @@
 // Expected shape: cross comparison pays the construction cost per pair
 // and grows quadratically in N; direct comparison constructs each diagram
 // once and grows near-linearly, winning clearly by N = 4.
+//
+// The second half is the thread-scaling sweep: the same K-team session run
+// on Executor pools of 1/2/4/8 workers, verified bit-identical to the
+// serial result, with per-configuration wall times written to
+// BENCH_parallel.json. Cross comparison is K(K-1)/2 independent pipelines,
+// so on idle multicore hardware it should approach linear speedup until
+// the pair count stops covering the workers.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "diverse/workflow.hpp"
+#include "rt/executor.hpp"
 #include "synth/synth.hpp"
 
-int main() {
-  using namespace dfw;
-  using bench::time_ms;
+namespace {
 
+using namespace dfw;
+using bench::time_ms;
+
+DiverseDesign make_session(std::size_t teams, std::size_t rules,
+                           const WorkflowOptions& options) {
+  SynthConfig config;
+  config.num_rules = rules;
+  Rng rng(teams);
+  DiverseDesign session(DecisionSet(), options);
+  const Policy base = synth_policy(config, rng);
+  session.submit("t0", base);
+  for (std::size_t i = 1; i < teams; ++i) {
+    session.submit("t" + std::to_string(i), perturb_policy(base, 15.0, rng));
+  }
+  return session;
+}
+
+void sweep_threads(std::FILE* json) {
+  constexpr std::size_t kTeams = 6;
+  constexpr std::size_t kRules = 200;
+  std::printf(
+      "\nthread scaling — %zu teams, %zu-rule policies, cross + direct\n",
+      kTeams, kRules);
+  std::printf("%8s %12s %12s %10s %10s\n", "threads", "cross(ms)",
+              "direct(ms)", "speedup", "identical");
+
+  const DiverseDesign serial_session =
+      make_session(kTeams, kRules, WorkflowOptions{});
+  std::vector<PairwiseReport> serial_cross;
+  const double serial_cross_ms =
+      time_ms([&] { serial_cross = serial_session.cross_compare(); });
+  std::vector<Discrepancy> serial_direct;
+  const double serial_direct_ms =
+      time_ms([&] { serial_direct = serial_session.compare(); });
+  std::printf("%8s %12.1f %12.1f %10s %10s\n", "serial", serial_cross_ms,
+              serial_direct_ms, "1.00x", "-");
+
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"nway_parallel\",\n"
+               "  \"teams\": %zu,\n"
+               "  \"rules\": %zu,\n"
+               "  \"hardware_threads\": %zu,\n"
+               "  \"serial\": {\"cross_ms\": %.3f, \"direct_ms\": %.3f},\n"
+               "  \"sweep\": [",
+               kTeams, kRules, Executor::hardware_threads(), serial_cross_ms,
+               serial_direct_ms);
+
+  bool first = true;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    Executor pool(threads);
+    WorkflowOptions options;
+    options.executor = &pool;
+    const DiverseDesign session = make_session(kTeams, kRules, options);
+    std::vector<PairwiseReport> cross;
+    const double cross_ms = time_ms([&] { cross = session.cross_compare(); });
+    std::vector<Discrepancy> direct;
+    const double direct_ms = time_ms([&] { direct = session.compare(); });
+    const bool identical = cross == serial_cross && direct == serial_direct;
+    std::printf("%8zu %12.1f %12.1f %9.2fx %10s\n", threads, cross_ms,
+                direct_ms, serial_cross_ms / cross_ms,
+                identical ? "yes" : "NO");
+    std::fflush(stdout);
+    std::fprintf(json,
+                 "%s\n    {\"threads\": %zu, \"cross_ms\": %.3f, "
+                 "\"direct_ms\": %.3f, \"speedup_cross\": %.3f, "
+                 "\"identical\": %s}",
+                 first ? "" : ",", threads, cross_ms, direct_ms,
+                 serial_cross_ms / cross_ms, identical ? "true" : "false");
+    first = false;
+  }
+  std::fprintf(json, "\n  ]\n}\n");
+}
+
+}  // namespace
+
+int main() {
   constexpr std::size_t kRules = 200;
   std::printf("Section 7.3 — N-team comparison, %zu-rule policies\n",
               kRules);
@@ -26,16 +110,8 @@ int main() {
               "cross(ms)", "direct-diffs", "cross-pairs");
 
   for (const std::size_t teams : {2u, 3u, 4u, 6u, 8u}) {
-    SynthConfig config;
-    config.num_rules = kRules;
-    Rng rng(teams);
-    const Policy base = synth_policy(config, rng);
-    DiverseDesign session((DecisionSet()));
-    session.submit("t0", base);
-    for (std::size_t i = 1; i < teams; ++i) {
-      session.submit("t" + std::to_string(i),
-                     perturb_policy(base, 15.0, rng));
-    }
+    const DiverseDesign session =
+        make_session(teams, kRules, WorkflowOptions{});
     std::vector<Discrepancy> direct;
     const double direct_ms = time_ms([&] { direct = session.compare(); });
     std::vector<PairwiseReport> cross;
@@ -44,9 +120,20 @@ int main() {
                 cross_ms, direct.size(), cross.size());
     std::fflush(stdout);
   }
+
+  std::FILE* json = std::fopen("BENCH_parallel.json", "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot open BENCH_parallel.json for writing\n");
+    return 1;
+  }
+  sweep_threads(json);
+  std::fclose(json);
   std::printf(
-      "\nexpectation (paper): direct N-way comparison amortises the\n"
+      "\nwrote BENCH_parallel.json\n"
+      "expectation (paper): direct N-way comparison amortises the\n"
       "construction cost; cross comparison repeats it per pair and falls\n"
-      "behind as N grows.\n");
+      "behind as N grows. expectation (runtime): cross comparison is\n"
+      "K(K-1)/2 independent pipelines and scales with the pool until the\n"
+      "pair count stops covering the workers.\n");
   return 0;
 }

@@ -8,13 +8,22 @@
 #include "diverse/workflow.hpp"
 #include "fw/format.hpp"
 #include "fw/parser.hpp"
+#include "rt/executor.hpp"
 
 int main() {
   using namespace dfw;
   const Schema schema = five_tuple_schema();
   DecisionSet decisions;  // accept/discard
 
-  DiverseDesign session(decisions);
+  // Session options: method-1 resolution seeded from green's rules, and a
+  // worker pool for the comparison phase (results are identical to
+  // serial; drop the executor field to run on the calling thread only).
+  Executor pool(Executor::hardware_threads());
+  WorkflowOptions options;
+  options.resolution = ResolutionMethod::kCorrectedFdd;
+  options.base_team = 1;
+  options.executor = &pool;
+  DiverseDesign session(decisions, options);
 
   // Phase 1 — design. The spec: web (80/443, TCP) to 10.1.0.0/24 is open;
   // ssh only from the ops net 10.9.0.0/16; the scanner net 198.51.100.0/24
@@ -57,8 +66,8 @@ int main() {
     plan.push_back(adopt(i, diffs[i], /*winner_team=*/0));
   }
 
-  const Policy via_fdd =
-      session.resolve(plan, ResolutionMethod::kCorrectedFdd, /*base_team=*/1);
+  // Method 1 comes from the session options; method 2 overrides per call.
+  const Policy via_fdd = session.resolve(plan);
   const Policy via_corrections =
       session.resolve(plan, ResolutionMethod::kPrependAndTrim,
                       /*base_team=*/2);

@@ -14,10 +14,16 @@
 #include "adapters/iptables.hpp"
 #include "diverse/discrepancy.hpp"
 #include "fdd/compare.hpp"
+#include "rt/executor.hpp"
 
 int main() {
   using namespace dfw;
   const DecisionSet& decisions = default_decisions();
+
+  // Audits share one two-worker pool: each pairwise pipeline builds its
+  // FDDs concurrently (output is identical to serial).
+  Executor pool(2);
+  const CompareOptions compare_options{&pool, /*fork_threshold=*/4};
 
   // The router configuration being retired.
   const Policy router = parse_cisco_acl(
@@ -40,7 +46,8 @@ int main() {
       "INPUT");
 
   std::cout << "== Faithful translation ==\n";
-  const std::vector<Discrepancy> clean = discrepancies(router, faithful);
+  const std::vector<Discrepancy> clean =
+      discrepancies(router, faithful, compare_options);
   std::cout << format_discrepancy_report(router.schema(), decisions, clean,
                                          {"cisco", "iptables"})
             << "\n";
@@ -60,7 +67,8 @@ int main() {
       "INPUT");
 
   std::cout << "== Buggy translation ==\n";
-  const std::vector<Discrepancy> diffs = discrepancies(router, buggy);
+  const std::vector<Discrepancy> diffs =
+      discrepancies(router, buggy, compare_options);
   std::cout << format_discrepancy_report(router.schema(), decisions, diffs,
                                          {"cisco", "iptables"});
   std::cout << "\nverdict: "

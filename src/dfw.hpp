@@ -37,6 +37,8 @@
 #include "impact/rule_diff.hpp"   // IWYU pragma: export
 #include "net/prefix.hpp"         // IWYU pragma: export
 #include "query/query.hpp"        // IWYU pragma: export
+#include "rt/executor.hpp"        // IWYU pragma: export
+#include "rt/parallel.hpp"        // IWYU pragma: export
 #include "stateful/stateful.hpp"  // IWYU pragma: export
 #include "synth/mutate.hpp"       // IWYU pragma: export
 #include "synth/synth.hpp"        // IWYU pragma: export

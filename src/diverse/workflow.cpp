@@ -4,11 +4,20 @@
 
 #include "diverse/discrepancy.hpp"
 #include "fdd/construct.hpp"
+#include "rt/executor.hpp"
+#include "rt/parallel.hpp"
 
 namespace dfw {
 
 DiverseDesign::DiverseDesign(DecisionSet decisions)
-    : decisions_(std::move(decisions)) {}
+    : DiverseDesign(std::move(decisions), WorkflowOptions{}) {}
+
+DiverseDesign::DiverseDesign(DecisionSet decisions, WorkflowOptions options)
+    : decisions_(std::move(decisions)), options_(options) {}
+
+CompareOptions DiverseDesign::compare_options() const {
+  return CompareOptions{options_.executor, options_.fork_threshold};
+}
 
 std::size_t DiverseDesign::submit(std::string team_name, Policy policy) {
   if (!policies_.empty() && !(policy.schema() == policies_[0].schema())) {
@@ -34,26 +43,50 @@ std::vector<Discrepancy> DiverseDesign::compare() const {
   if (policies_.size() < 2) {
     throw std::logic_error("compare: need at least two teams");
   }
-  return discrepancies_many(policies_);
+  return discrepancies_many(policies_, compare_options());
 }
 
 std::vector<PairwiseReport> DiverseDesign::cross_compare() const {
   if (policies_.size() < 2) {
     throw std::logic_error("cross_compare: need at least two teams");
   }
-  std::vector<PairwiseReport> reports;
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(policies_.size() * (policies_.size() - 1) / 2);
   for (std::size_t a = 0; a < policies_.size(); ++a) {
     for (std::size_t b = a + 1; b < policies_.size(); ++b) {
-      reports.push_back(
-          {a, b, discrepancies(policies_[a], policies_[b])});
+      pairs.emplace_back(a, b);
     }
   }
-  return reports;
+  // Each pair is an independent construct->shape->compare pipeline; run
+  // them as pool tasks. The pair pipelines get a serial CompareOptions so
+  // the pool's threads each own one whole pipeline instead of contending
+  // over intra-pair subtasks.
+  Executor& ex =
+      options_.executor ? *options_.executor : Executor::inline_executor();
+  return parallel_map<PairwiseReport>(ex, pairs.size(), [&](std::size_t i) {
+    const auto [a, b] = pairs[i];
+    return PairwiseReport{a, b, discrepancies(policies_[a], policies_[b])};
+  });
 }
 
 std::string DiverseDesign::report() const {
+  if (options_.comparison == ComparisonMode::kCross) {
+    std::string out;
+    for (const PairwiseReport& pair : cross_compare()) {
+      out += "== " + names_[pair.team_a] + " vs " + names_[pair.team_b] +
+             " ==\n";
+      out += format_discrepancy_report(
+          policies_[0].schema(), decisions_, pair.discrepancies,
+          {names_[pair.team_a], names_[pair.team_b]});
+    }
+    return out;
+  }
   return format_discrepancy_report(policies_[0].schema(), decisions_,
                                    compare(), names_);
+}
+
+Policy DiverseDesign::resolve(const ResolutionPlan& plan) const {
+  return resolve(plan, options_.resolution, options_.base_team);
 }
 
 Policy DiverseDesign::resolve(const ResolutionPlan& plan,
@@ -66,6 +99,11 @@ Policy DiverseDesign::resolve(const ResolutionPlan& plan,
       return resolve_via_corrections(policies_, plan, base_team);
   }
   throw std::invalid_argument("resolve: unknown method");
+}
+
+Policy DiverseDesign::resolve_in_favour_of(std::size_t winner) const {
+  return resolve_in_favour_of(winner, options_.resolution,
+                              options_.base_team);
 }
 
 Policy DiverseDesign::resolve_in_favour_of(std::size_t winner,

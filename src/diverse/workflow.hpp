@@ -5,6 +5,13 @@
 // drives the resolution phase to a final, unanimously agreed firewall.
 // Cross comparison of all pairs (Section 7.3) is offered alongside the
 // direct N-way comparison.
+//
+// Session-wide knobs travel in WorkflowOptions: the resolution method and
+// base team, the comparison mode the report uses, and the executor the
+// comparison phase runs on. The executor default is serial
+// (Executor::inline_executor()); with a pool, cross comparison runs its
+// K(K-1)/2 pairs as independent tasks and direct comparison constructs
+// the K diagrams concurrently — with output identical to serial.
 
 #pragma once
 
@@ -19,10 +26,31 @@
 
 namespace dfw {
 
+class Executor;
+
 /// Which resolution method generates the final firewall (Section 6).
 enum class ResolutionMethod {
   kCorrectedFdd,   ///< method 1: correct an FDD, regenerate rules
   kPrependAndTrim, ///< method 2: prepend corrections, remove redundancy
+};
+
+/// How the comparison phase reports (Section 7.3): one direct N-way pass
+/// over all teams, or every unordered pair separately.
+enum class ComparisonMode {
+  kDirect,
+  kCross,
+};
+
+/// Session-wide options for a DiverseDesign run.
+struct WorkflowOptions {
+  ResolutionMethod resolution = ResolutionMethod::kCorrectedFdd;
+  /// Team whose rule sequence seeds the resolution phase.
+  std::size_t base_team = 0;
+  ComparisonMode comparison = ComparisonMode::kDirect;
+  /// Borrowed executor for the comparison phase; null means serial.
+  Executor* executor = nullptr;
+  /// Forwarded to the comparison pipeline (see CompareOptions).
+  std::size_t fork_threshold = 4;
 };
 
 /// One pairwise comparison result from cross comparison.
@@ -30,12 +58,18 @@ struct PairwiseReport {
   std::size_t team_a = 0;
   std::size_t team_b = 0;
   std::vector<Discrepancy> discrepancies;
+
+  friend bool operator==(const PairwiseReport&,
+                         const PairwiseReport&) = default;
 };
 
 class DiverseDesign {
  public:
   /// Starts a session over the given decision vocabulary.
   explicit DiverseDesign(DecisionSet decisions);
+  DiverseDesign(DecisionSet decisions, WorkflowOptions options);
+
+  const WorkflowOptions& options() const { return options_; }
 
   /// Design phase: registers one team's firewall. All firewalls must share
   /// a schema and be comprehensive (validated on submit). Returns the team
@@ -50,28 +84,37 @@ class DiverseDesign {
   /// Comparison phase, direct N-way (Section 7.3). Requires >= 2 teams.
   std::vector<Discrepancy> compare() const;
 
-  /// Comparison phase, cross comparison: one report per unordered pair.
+  /// Comparison phase, cross comparison: one report per unordered pair,
+  /// ordered (0,1), (0,2), ..., (K-2,K-1). With a pool executor the pairs
+  /// run as independent tasks; the order and contents never change.
   std::vector<PairwiseReport> cross_compare() const;
 
-  /// Human-readable report of compare(), Table-3 style.
+  /// Human-readable report, Table-3 style, honouring
+  /// options().comparison: one table for kDirect, one per pair for kCross.
   std::string report() const;
 
   /// Resolution phase: given an agreed decision per discrepancy (indices
-  /// into compare()'s result), produce the final firewall.
-  Policy resolve(const ResolutionPlan& plan,
-                 ResolutionMethod method = ResolutionMethod::kCorrectedFdd,
+  /// into compare()'s result), produce the final firewall using
+  /// options().resolution and options().base_team.
+  Policy resolve(const ResolutionPlan& plan) const;
+  /// Same, with the session options overridden per call.
+  Policy resolve(const ResolutionPlan& plan, ResolutionMethod method,
                  std::size_t base_team = 0) const;
 
   /// Shortcut: resolve every discrepancy in favour of team `winner`.
   /// The result is then equivalent to `policy(winner)` but expressed
   /// through the chosen method — useful for testing and for adopting a
   /// reference team wholesale.
+  Policy resolve_in_favour_of(std::size_t winner) const;
   Policy resolve_in_favour_of(std::size_t winner,
                               ResolutionMethod method,
                               std::size_t base_team) const;
 
  private:
+  CompareOptions compare_options() const;
+
   DecisionSet decisions_;
+  WorkflowOptions options_;
   std::vector<std::string> names_;
   std::vector<Policy> policies_;
 };

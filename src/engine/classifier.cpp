@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "fdd/construct.hpp"
+#include "rt/executor.hpp"
 
 namespace dfw {
 
@@ -33,16 +34,26 @@ std::uint32_t Classifier::compile_node(const FddNode& node) {
   return index;
 }
 
-Classifier Classifier::compile(const Fdd& fdd) {
+Classifier Classifier::compile(const Fdd& fdd, const CompileOptions& options) {
   fdd.validate();  // completeness makes every lookup land in a slab
   Classifier c;
   c.field_count_ = fdd.schema().field_count();
   c.root_ = c.compile_node(fdd.root());
+  c.options_ = options;
   return c;
 }
 
+Classifier Classifier::compile(const Fdd& fdd) {
+  return compile(fdd, CompileOptions{});
+}
+
+Classifier Classifier::compile(const Policy& policy,
+                               const CompileOptions& options) {
+  return compile(build_reduced_fdd(policy), options);
+}
+
 Classifier Classifier::compile(const Policy& policy) {
-  return compile(build_reduced_fdd(policy));
+  return compile(policy, CompileOptions{});
 }
 
 Decision Classifier::classify(const Packet& p) const {
@@ -62,6 +73,26 @@ Decision Classifier::classify(const Packet& p) const {
     current = hit->next;
   }
   return static_cast<Decision>(current & ~kDecisionBit);
+}
+
+std::vector<Decision> Classifier::classify_batch(
+    std::span<const Packet> packets, Executor& executor) const {
+  std::vector<Decision> out(packets.size());
+  executor.parallel_for_chunked(
+      packets.size(), std::max<std::size_t>(1, options_.batch_grain),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          out[i] = classify(packets[i]);
+        }
+      });
+  return out;
+}
+
+std::vector<Decision> Classifier::classify_batch(
+    std::span<const Packet> packets) const {
+  return classify_batch(packets, options_.executor
+                                     ? *options_.executor
+                                     : Executor::inline_executor());
 }
 
 }  // namespace dfw

@@ -10,11 +10,15 @@
 //
 // The classifier is the deployment-side counterpart of the comparison
 // pipeline: resolve the teams' discrepancies, compile the agreed policy
-// once, and classify packets at line rate.
+// once, and classify packets at line rate. classify_batch shards a packet
+// batch across an Executor's workers; lookups are independent and the
+// result vector is indexed by input position, so batch output is
+// identical to a serial classify loop.
 
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "fdd/fdd.hpp"
@@ -22,18 +26,41 @@
 
 namespace dfw {
 
+class Executor;
+
+/// Compile- and batch-execution options. The executor is borrowed, not
+/// owned, and must outlive the classifier; null means serial
+/// (Executor::inline_executor()).
+struct CompileOptions {
+  /// Default executor for classify_batch calls on this classifier.
+  Executor* executor = nullptr;
+  /// Packets per pool task in classify_batch; tune upward for tiny
+  /// per-packet cost, downward for very skewed batches.
+  std::size_t batch_grain = 512;
+};
+
 /// An immutable compiled classifier. Copyable; internally a few flat
 /// vectors.
 class Classifier {
  public:
   /// Compiles a comprehensive policy (via its reduced FDD).
   static Classifier compile(const Policy& policy);
+  static Classifier compile(const Policy& policy,
+                            const CompileOptions& options);
 
   /// Compiles an already-built complete FDD.
   static Classifier compile(const Fdd& fdd);
+  static Classifier compile(const Fdd& fdd, const CompileOptions& options);
 
   /// The decision for packet p. O(sum over path fields of log(edges)).
   Decision classify(const Packet& p) const;
+
+  /// Decisions for a whole batch, indexed like `packets`, sharded over
+  /// the compile-time executor (serial when none was given).
+  std::vector<Decision> classify_batch(std::span<const Packet> packets) const;
+  /// Same, on an explicit executor.
+  std::vector<Decision> classify_batch(std::span<const Packet> packets,
+                                       Executor& executor) const;
 
   /// Number of compiled nodes (terminals excluded).
   std::size_t node_count() const { return nodes_.size(); }
@@ -63,6 +90,7 @@ class Classifier {
   std::vector<Slab> slabs_;
   std::uint32_t root_ = 0;
   std::size_t field_count_ = 0;
+  CompileOptions options_{};
 };
 
 }  // namespace dfw

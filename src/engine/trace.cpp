@@ -15,7 +15,7 @@ std::vector<std::size_t> TraceStats::unexercised() const {
 }
 
 TraceStats evaluate_trace(const Policy& policy,
-                          const std::vector<Packet>& trace) {
+                          std::span<const Packet> trace) {
   TraceStats stats;
   stats.rule_hits.assign(policy.size(), 0);
   for (const Packet& p : trace) {

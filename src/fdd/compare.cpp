@@ -1,14 +1,20 @@
 #include "fdd/compare.hpp"
 
 #include <algorithm>
-#include <future>
 #include <stdexcept>
+#include <utility>
 
 #include "fdd/construct.hpp"
 #include "fdd/shape.hpp"
+#include "rt/executor.hpp"
+#include "rt/parallel.hpp"
 
 namespace dfw {
 namespace {
+
+Executor& resolve_executor(const CompareOptions& options) {
+  return options.executor ? *options.executor : Executor::inline_executor();
+}
 
 // Lockstep walk over N semi-isomorphic subtrees accumulating the common
 // path predicate; emits a record at terminals with disagreeing decisions.
@@ -45,11 +51,39 @@ void walk(const Schema& schema, const std::vector<const FddNode*>& nodes,
 }
 
 std::vector<Discrepancy> compare_impl(const Schema& schema,
-                                      std::vector<const FddNode*> roots) {
+                                      std::vector<const FddNode*> roots,
+                                      const CompareOptions& options) {
   std::vector<IntervalSet> conjuncts;
   conjuncts.reserve(schema.field_count());
   for (std::size_t i = 0; i < schema.field_count(); ++i) {
     conjuncts.emplace_back(schema.domain(i));
+  }
+  Executor& ex = resolve_executor(options);
+  const FddNode* first = roots.front();
+  if (!ex.is_inline() && !first->is_terminal() &&
+      first->edges.size() >= std::max<std::size_t>(1, options.fork_threshold)) {
+    // Fork the root's subtree recursions as independent tasks. Each task
+    // walks with its own conjunct stack; concatenating the per-edge output
+    // in edge order reproduces the serial depth-first order exactly.
+    auto parts = parallel_map<std::vector<Discrepancy>>(
+        ex, first->edges.size(), [&](std::size_t e) {
+          std::vector<IntervalSet> local = conjuncts;
+          local[first->field] = first->edges[e].label;
+          std::vector<const FddNode*> children;
+          children.reserve(roots.size());
+          for (const FddNode* n : roots) {
+            children.push_back(n->edges[e].target.get());
+          }
+          std::vector<Discrepancy> out;
+          walk(schema, children, local, out);
+          return out;
+        });
+    std::vector<Discrepancy> out;
+    for (std::vector<Discrepancy>& part : parts) {
+      out.insert(out.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
+    }
+    return out;
   }
   std::vector<Discrepancy> out;
   walk(schema, roots, conjuncts, out);
@@ -58,14 +92,20 @@ std::vector<Discrepancy> compare_impl(const Schema& schema,
 
 }  // namespace
 
-std::vector<Discrepancy> compare_fdds(const Fdd& a, const Fdd& b) {
+std::vector<Discrepancy> compare_fdds(const Fdd& a, const Fdd& b,
+                                      const CompareOptions& options) {
   if (!semi_isomorphic(a, b)) {
     throw std::invalid_argument("compare_fdds: FDDs are not semi-isomorphic");
   }
-  return compare_impl(a.schema(), {&a.root(), &b.root()});
+  return compare_impl(a.schema(), {&a.root(), &b.root()}, options);
 }
 
-std::vector<Discrepancy> compare_fdds_many(const std::vector<Fdd>& fdds) {
+std::vector<Discrepancy> compare_fdds(const Fdd& a, const Fdd& b) {
+  return compare_fdds(a, b, CompareOptions{});
+}
+
+std::vector<Discrepancy> compare_fdds_many(const std::vector<Fdd>& fdds,
+                                           const CompareOptions& options) {
   if (fdds.empty()) {
     throw std::invalid_argument("compare_fdds_many: no FDDs");
   }
@@ -80,41 +120,50 @@ std::vector<Discrepancy> compare_fdds_many(const std::vector<Fdd>& fdds) {
   for (const Fdd& f : fdds) {
     roots.push_back(&f.root());
   }
-  return compare_impl(fdds[0].schema(), std::move(roots));
+  return compare_impl(fdds[0].schema(), std::move(roots), options);
+}
+
+std::vector<Discrepancy> compare_fdds_many(const std::vector<Fdd>& fdds) {
+  return compare_fdds_many(fdds, CompareOptions{});
+}
+
+std::vector<Discrepancy> discrepancies(const Policy& a, const Policy& b,
+                                       const CompareOptions& options) {
+  // Construction dominates the pipeline (Fig. 13) and the two diagrams
+  // are independent until shaping — with a pool executor they build as
+  // two concurrent tasks.
+  const Policy* inputs[2] = {&a, &b};
+  std::vector<Fdd> fdds = parallel_map<Fdd>(
+      resolve_executor(options), 2,
+      [&](std::size_t i) { return build_reduced_fdd(*inputs[i]); });
+  fdds[0].validate();  // rejects non-comprehensive inputs up front
+  fdds[1].validate();
+  shape_pair(fdds[0], fdds[1]);
+  return compare_fdds(fdds[0], fdds[1], options);
 }
 
 std::vector<Discrepancy> discrepancies(const Policy& a, const Policy& b) {
-  // Construction dominates the pipeline (Fig. 13) and the two diagrams
-  // are independent until shaping — build them concurrently.
-  std::future<Fdd> fb_future = std::async(
-      std::launch::async, [&b] { return build_reduced_fdd(b); });
-  Fdd fa = build_reduced_fdd(a);
-  Fdd fb = fb_future.get();
-  fa.validate();  // rejects non-comprehensive inputs up front
-  fb.validate();
-  shape_pair(fa, fb);
-  return compare_fdds(fa, fb);
+  return discrepancies(a, b, CompareOptions{});
+}
+
+std::vector<Discrepancy> discrepancies_many(
+    const std::vector<Policy>& policies, const CompareOptions& options) {
+  if (policies.empty()) {
+    throw std::invalid_argument("discrepancies_many: no policies");
+  }
+  std::vector<Fdd> fdds = parallel_map<Fdd>(
+      resolve_executor(options), policies.size(),
+      [&](std::size_t i) { return build_reduced_fdd(policies[i]); });
+  for (Fdd& f : fdds) {
+    f.validate();
+  }
+  shape_all(fdds);
+  return compare_fdds_many(fdds, options);
 }
 
 std::vector<Discrepancy> discrepancies_many(
     const std::vector<Policy>& policies) {
-  if (policies.empty()) {
-    throw std::invalid_argument("discrepancies_many: no policies");
-  }
-  std::vector<std::future<Fdd>> futures;
-  futures.reserve(policies.size());
-  for (const Policy& p : policies) {
-    futures.push_back(std::async(std::launch::async,
-                                 [&p] { return build_reduced_fdd(p); }));
-  }
-  std::vector<Fdd> fdds;
-  fdds.reserve(policies.size());
-  for (std::future<Fdd>& f : futures) {
-    fdds.push_back(f.get());
-    fdds.back().validate();
-  }
-  shape_all(fdds);
-  return compare_fdds_many(fdds);
+  return discrepancies_many(policies, CompareOptions{});
 }
 
 bool equivalent(const Policy& a, const Policy& b) {

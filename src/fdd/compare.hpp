@@ -11,12 +11,15 @@
 
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "fdd/fdd.hpp"
 #include "fw/policy.hpp"
 
 namespace dfw {
+
+class Executor;
 
 /// One functional discrepancy: a predicate (one value set per schema
 /// field) plus the decision each compared firewall assigns to packets
@@ -25,22 +28,45 @@ namespace dfw {
 struct Discrepancy {
   std::vector<IntervalSet> conjuncts;
   std::vector<Decision> decisions;
+
+  friend bool operator==(const Discrepancy&, const Discrepancy&) = default;
+};
+
+/// Options threaded through the comparison pipeline. The executor is
+/// borrowed, not owned; null means Executor::inline_executor() (serial).
+/// Results are identical for every executor — parallelism only reorders
+/// the work, never the output.
+struct CompareOptions {
+  Executor* executor = nullptr;
+  /// Minimum outgoing edges at an FDD root before the comparison walk
+  /// forks its top-level subtrees as independent pool tasks.
+  std::size_t fork_threshold = 4;
 };
 
 /// Compares two semi-isomorphic FDDs; requires semi_isomorphic(a, b).
 /// Returns one Discrepancy per differing companion-rule pair, in decision-
 /// path (depth-first) order.
+std::vector<Discrepancy> compare_fdds(const Fdd& a, const Fdd& b,
+                                      const CompareOptions& options);
 std::vector<Discrepancy> compare_fdds(const Fdd& a, const Fdd& b);
 
 /// N-way comparison of pairwise semi-isomorphic FDDs (e.g. from
 /// shape_all). A path is reported when not all N decisions agree.
+std::vector<Discrepancy> compare_fdds_many(const std::vector<Fdd>& fdds,
+                                           const CompareOptions& options);
 std::vector<Discrepancy> compare_fdds_many(const std::vector<Fdd>& fdds);
 
 /// Full pipeline on policies: construct, shape, compare. Policies must be
-/// comprehensive and share a schema.
+/// comprehensive and share a schema. With a pool executor the two FDDs
+/// are constructed concurrently and the comparison walk forks.
+std::vector<Discrepancy> discrepancies(const Policy& a, const Policy& b,
+                                       const CompareOptions& options);
 std::vector<Discrepancy> discrepancies(const Policy& a, const Policy& b);
 
-/// N-way full pipeline using direct comparison (Section 7.3).
+/// N-way full pipeline using direct comparison (Section 7.3). With a pool
+/// executor the N constructions run as independent pool tasks.
+std::vector<Discrepancy> discrepancies_many(
+    const std::vector<Policy>& policies, const CompareOptions& options);
 std::vector<Discrepancy> discrepancies_many(
     const std::vector<Policy>& policies);
 

@@ -1,0 +1,34 @@
+// parallel_map: fork-join mapping with deterministic result ordering.
+//
+// Results land in their index slot regardless of which worker computes
+// them, so the returned vector is identical to the serial
+// `for (i) out.push_back(fn(i))` — the property the comparison pipeline's
+// "parallel output is bit-identical to serial" guarantee rests on.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "rt/executor.hpp"
+
+namespace dfw {
+
+/// Returns {fn(0), fn(1), ..., fn(n-1)} computed on `ex`. T needs only a
+/// move constructor (results are staged in optionals, so no default
+/// construction happens on any worker).
+template <typename T, typename F>
+std::vector<T> parallel_map(Executor& ex, std::size_t n, F&& fn) {
+  std::vector<std::optional<T>> staged(n);
+  ex.parallel_for(n, [&](std::size_t i) { staged[i].emplace(fn(i)); });
+  std::vector<T> out;
+  out.reserve(n);
+  for (std::optional<T>& slot : staged) {
+    out.push_back(std::move(*slot));
+  }
+  return out;
+}
+
+}  // namespace dfw

@@ -1,0 +1,132 @@
+// Determinism guarantees of the parallel runtime: for every executor
+// width (serial, 1, 2, 8 threads), N-way direct comparison, cross
+// comparison, batch classification, and the forked comparison walk must
+// return results *identical* to the serial path — same discrepancies, in
+// the same order, with the same counts.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "diverse/workflow.hpp"
+#include "engine/classifier.hpp"
+#include "engine/trace.hpp"
+#include "fdd/compare.hpp"
+#include "rt/executor.hpp"
+#include "synth/synth.hpp"
+
+namespace dfw {
+namespace {
+
+constexpr std::size_t kThreadWidths[] = {1, 2, 8};
+
+std::vector<Policy> make_teams(std::size_t teams, std::size_t rules,
+                               std::uint64_t seed) {
+  SynthConfig config;
+  config.num_rules = rules;
+  Rng rng(seed);
+  std::vector<Policy> policies;
+  policies.push_back(synth_policy(config, rng));
+  for (std::size_t i = 1; i < teams; ++i) {
+    policies.push_back(perturb_policy(policies.front(), 15.0, rng));
+  }
+  return policies;
+}
+
+DiverseDesign make_session(const std::vector<Policy>& teams,
+                           const WorkflowOptions& options) {
+  DiverseDesign session(DecisionSet(), options);
+  for (std::size_t i = 0; i < teams.size(); ++i) {
+    session.submit("t" + std::to_string(i), teams[i]);
+  }
+  return session;
+}
+
+TEST(ParallelDeterminismTest, DirectNWayComparisonMatchesSerial) {
+  const std::vector<Policy> teams = make_teams(6, 60, 7);
+  const std::vector<Discrepancy> serial =
+      make_session(teams, WorkflowOptions{}).compare();
+  ASSERT_FALSE(serial.empty());
+  for (const std::size_t width : kThreadWidths) {
+    Executor pool(width);
+    WorkflowOptions options;
+    options.executor = &pool;
+    options.fork_threshold = 1;  // force the forked walk even at tiny roots
+    EXPECT_EQ(make_session(teams, options).compare(), serial)
+        << "width " << width;
+  }
+}
+
+TEST(ParallelDeterminismTest, CrossComparisonMatchesSerial) {
+  const std::vector<Policy> teams = make_teams(6, 50, 11);
+  const std::vector<PairwiseReport> serial =
+      make_session(teams, WorkflowOptions{}).cross_compare();
+  ASSERT_EQ(serial.size(), 6u * 5u / 2u);
+  for (const std::size_t width : kThreadWidths) {
+    Executor pool(width);
+    WorkflowOptions options;
+    options.executor = &pool;
+    EXPECT_EQ(make_session(teams, options).cross_compare(), serial)
+        << "width " << width;
+  }
+}
+
+TEST(ParallelDeterminismTest, PairwisePipelineMatchesSerial) {
+  const std::vector<Policy> teams = make_teams(2, 80, 23);
+  const std::vector<Discrepancy> serial =
+      discrepancies(teams[0], teams[1]);
+  for (const std::size_t width : kThreadWidths) {
+    Executor pool(width);
+    CompareOptions options;
+    options.executor = &pool;
+    options.fork_threshold = 1;
+    EXPECT_EQ(discrepancies(teams[0], teams[1], options), serial)
+        << "width " << width;
+  }
+}
+
+TEST(ParallelDeterminismTest, ClassifyBatchMatchesSerialLoop) {
+  const std::vector<Policy> teams = make_teams(1, 80, 42);
+  const Policy& policy = teams.front();
+  Rng rng(99);
+  const std::vector<Packet> trace = synth_trace(policy, 4000, rng);
+
+  const Classifier serial_classifier = Classifier::compile(policy);
+  std::vector<Decision> expected;
+  expected.reserve(trace.size());
+  for (const Packet& p : trace) {
+    expected.push_back(serial_classifier.classify(p));
+  }
+  // Serial batch (no executor configured) equals the classify loop.
+  EXPECT_EQ(serial_classifier.classify_batch(trace), expected);
+
+  for (const std::size_t width : kThreadWidths) {
+    Executor pool(width);
+    CompileOptions options;
+    options.executor = &pool;
+    options.batch_grain = 128;  // several chunks per worker
+    const Classifier c = Classifier::compile(policy, options);
+    EXPECT_EQ(c.classify_batch(trace), expected) << "width " << width;
+    // The explicit-executor overload on a serially-compiled classifier.
+    EXPECT_EQ(serial_classifier.classify_batch(trace, pool), expected)
+        << "width " << width;
+  }
+}
+
+TEST(ParallelDeterminismTest, EvaluateTraceSpanShimsAgree) {
+  const std::vector<Policy> teams = make_teams(1, 40, 5);
+  const Policy& policy = teams.front();
+  Rng rng(6);
+  const std::vector<Packet> trace = synth_trace(policy, 1000, rng);
+  const TraceStats from_vector = evaluate_trace(policy, trace);
+  const TraceStats from_span =
+      evaluate_trace(policy, std::span<const Packet>(trace));
+  EXPECT_EQ(from_vector.rule_hits, from_span.rule_hits);
+  EXPECT_EQ(from_vector.decision_hits, from_span.decision_hits);
+  EXPECT_EQ(from_vector.packets, from_span.packets);
+}
+
+}  // namespace
+}  // namespace dfw
