@@ -16,7 +16,8 @@ DiverseDesign::DiverseDesign(DecisionSet decisions, WorkflowOptions options)
     : decisions_(std::move(decisions)), options_(options) {}
 
 CompareOptions DiverseDesign::compare_options() const {
-  return CompareOptions{options_.executor, options_.fork_threshold};
+  return CompareOptions{options_.executor, options_.fork_threshold,
+                        options_.use_arena};
 }
 
 std::size_t DiverseDesign::submit(std::string team_name, Policy policy) {
@@ -63,9 +64,14 @@ std::vector<PairwiseReport> DiverseDesign::cross_compare() const {
   // over intra-pair subtasks.
   Executor& ex =
       options_.executor ? *options_.executor : Executor::inline_executor();
+  // A serial pipeline per pair keeps each task on one thread; use_arena
+  // then gives every task its own task-local arena.
+  const CompareOptions pair_options{nullptr, options_.fork_threshold,
+                                    options_.use_arena};
   return parallel_map<PairwiseReport>(ex, pairs.size(), [&](std::size_t i) {
     const auto [a, b] = pairs[i];
-    return PairwiseReport{a, b, discrepancies(policies_[a], policies_[b])};
+    return PairwiseReport{
+        a, b, discrepancies(policies_[a], policies_[b], pair_options)};
   });
 }
 

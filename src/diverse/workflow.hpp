@@ -51,6 +51,9 @@ struct WorkflowOptions {
   Executor* executor = nullptr;
   /// Forwarded to the comparison pipeline (see CompareOptions).
   std::size_t fork_threshold = 4;
+  /// Forwarded to the comparison pipeline: run serial comparisons
+  /// arena-native (see CompareOptions::use_arena).
+  bool use_arena = true;
 };
 
 /// One pairwise comparison result from cross comparison.

@@ -1,0 +1,732 @@
+#include "fdd/arena.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace dfw {
+namespace {
+
+constexpr ArenaNodeId kNoNode = static_cast<ArenaNodeId>(-1);
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t hash_label(const IntervalSet& s) {
+  std::uint64_t h = 0x243f6a8885a308d3ull;
+  for (const Interval& iv : s.intervals()) {
+    h = mix(h, iv.lo());
+    h = mix(h, iv.hi());
+  }
+  return h;
+}
+
+std::uint64_t pack_pair(ArenaNodeId a, ArenaNodeId b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+struct IdVectorHash {
+  std::size_t operator()(const std::vector<ArenaNodeId>& v) const {
+    std::uint64_t h = 0xb7e151628aed2a6bull;
+    for (const ArenaNodeId id : v) {
+      h = mix(h, id);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+bool wildcard(const Schema& schema, const Rule& rule, std::size_t field) {
+  return rule.conjunct(field) == schema.domain_set(field);
+}
+
+}  // namespace
+
+FddArena::FddArena(Schema schema) : schema_(std::move(schema)) {}
+
+ArenaLabelId FddArena::intern(const IntervalSet& label) {
+  ++stats_.label_queries;
+  const std::uint64_t h = hash_label(label);
+  std::vector<ArenaLabelId>& bucket = label_buckets_[h];
+  for (const ArenaLabelId id : bucket) {
+    if (labels_[id] == label) {
+      ++stats_.label_hits;
+      return id;
+    }
+  }
+  const ArenaLabelId id = static_cast<ArenaLabelId>(labels_.size());
+  labels_.push_back(label);
+  bucket.push_back(id);
+  stats_.unique_labels = labels_.size();
+  return id;
+}
+
+bool FddArena::record_equals(const NodeRecord& r, std::uint32_t field,
+                             Decision decision,
+                             const std::vector<ArenaEdge>& edges) const {
+  if (r.field != field || r.decision != decision ||
+      r.edge_count != edges.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (!(edge_pool_[r.edge_begin + i] == edges[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ArenaNodeId FddArena::intern_node(std::uint32_t field, Decision decision,
+                                  std::vector<ArenaEdge> edges) {
+  ++stats_.node_queries;
+  std::uint64_t h = mix(0x13198a2e03707344ull, field);
+  h = mix(h, decision);
+  for (const ArenaEdge& e : edges) {
+    h = mix(h, e.label);
+    h = mix(h, e.target);
+  }
+  std::vector<ArenaNodeId>& bucket = node_buckets_[h];
+  for (const ArenaNodeId id : bucket) {
+    if (record_equals(nodes_[id], field, decision, edges)) {
+      ++stats_.node_hits;
+      return id;
+    }
+  }
+  const ArenaNodeId id = static_cast<ArenaNodeId>(nodes_.size());
+  NodeRecord record;
+  record.field = field;
+  record.decision = decision;
+  record.edge_begin = static_cast<std::uint32_t>(edge_pool_.size());
+  record.edge_count = static_cast<std::uint32_t>(edges.size());
+  edge_pool_.insert(edge_pool_.end(), edges.begin(), edges.end());
+  nodes_.push_back(record);
+  bucket.push_back(id);
+  stats_.unique_nodes = nodes_.size();
+  return id;
+}
+
+ArenaNodeId FddArena::terminal(Decision d) {
+  return intern_node(kArenaTerminalField, d, {});
+}
+
+ArenaNodeId FddArena::internal(std::size_t field,
+                               std::vector<ArenaEdge> edges) {
+  if (field >= schema_.field_count()) {
+    throw std::invalid_argument("FddArena::internal: unknown field index");
+  }
+  if (edges.empty()) {
+    throw std::invalid_argument("FddArena::internal: node needs an edge");
+  }
+  std::sort(edges.begin(), edges.end(),
+            [this](const ArenaEdge& a, const ArenaEdge& b) {
+              return labels_[a.label].min() < labels_[b.label].min();
+            });
+  return intern_node(static_cast<std::uint32_t>(field), kAccept,
+                     std::move(edges));
+}
+
+ArenaNodeId FddArena::canonical(std::size_t field,
+                                std::vector<ArenaEdge> edges) {
+  // Sibling merge: children are canonical, so id equality is semantic
+  // equality, and edges pointing at the same child unite their labels.
+  bool any_shared = false;
+  for (std::size_t i = 1; i < edges.size() && !any_shared; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (edges[i].target == edges[j].target) {
+        any_shared = true;
+        break;
+      }
+    }
+  }
+  if (any_shared) {
+    std::vector<ArenaNodeId> targets;
+    std::vector<IntervalSet> merged;
+    for (const ArenaEdge& e : edges) {
+      const auto it = std::find(targets.begin(), targets.end(), e.target);
+      if (it == targets.end()) {
+        targets.push_back(e.target);
+        merged.push_back(labels_[e.label]);
+      } else {
+        const std::size_t k =
+            static_cast<std::size_t>(it - targets.begin());
+        merged[k] = merged[k].unite(labels_[e.label]);
+      }
+    }
+    edges.clear();
+    for (std::size_t k = 0; k < targets.size(); ++k) {
+      edges.push_back({intern(merged[k]), targets[k]});
+    }
+  }
+  // Splice: a single edge spanning the whole domain decides nothing.
+  if (edges.size() == 1 &&
+      labels_[edges[0].label] == schema_.domain_set(field)) {
+    return edges[0].target;
+  }
+  return internal(field, std::move(edges));
+}
+
+std::size_t FddArena::reachable_node_count(ArenaNodeId root) const {
+  std::vector<ArenaNodeId> stack{root};
+  std::unordered_map<ArenaNodeId, bool> seen;
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const ArenaNodeId id = stack.back();
+    stack.pop_back();
+    if (seen[id]) {
+      continue;
+    }
+    seen[id] = true;
+    ++count;
+    for (const ArenaEdge& e : edges(id)) {
+      stack.push_back(e.target);
+    }
+  }
+  return count;
+}
+
+std::size_t FddArena::expanded_node_count(ArenaNodeId root) const {
+  std::unordered_map<ArenaNodeId, std::size_t> memo;
+  const auto visit = [&](auto&& self, ArenaNodeId id) -> std::size_t {
+    const auto it = memo.find(id);
+    if (it != memo.end()) {
+      return it->second;
+    }
+    std::size_t total = 1;
+    for (const ArenaEdge& e : edges(id)) {
+      const std::size_t sub = self(self, e.target);
+      total = (total > SIZE_MAX - sub) ? SIZE_MAX : total + sub;
+    }
+    memo.emplace(id, total);
+    return total;
+  };
+  return visit(visit, root);
+}
+
+ArenaNodeId FddArena::from_tree_impl(const FddNode& node, bool canonicalize) {
+  if (node.is_terminal()) {
+    return terminal(node.decision);
+  }
+  std::vector<ArenaEdge> out;
+  out.reserve(node.edges.size());
+  for (const FddEdge& e : node.edges) {
+    const ArenaNodeId child = from_tree_impl(*e.target, canonicalize);
+    out.push_back({intern(e.label), child});
+  }
+  return canonicalize ? canonical(node.field, std::move(out))
+                      : internal(node.field, std::move(out));
+}
+
+ArenaNodeId FddArena::from_tree(const FddNode& node) {
+  return from_tree_impl(node, false);
+}
+
+ArenaNodeId FddArena::from_tree_canonical(const FddNode& node) {
+  return from_tree_impl(node, true);
+}
+
+std::unique_ptr<FddNode> FddArena::to_tree(ArenaNodeId root) const {
+  if (is_terminal(root)) {
+    return FddNode::make_terminal(decision(root));
+  }
+  auto node = FddNode::make_internal(field(root));
+  const std::span<const ArenaEdge> out = edges(root);
+  node->edges.reserve(out.size());
+  for (const ArenaEdge& e : out) {
+    node->edges.emplace_back(labels_[e.label], to_tree(e.target));
+  }
+  return node;
+}
+
+Fdd FddArena::to_fdd(ArenaNodeId root) const {
+  return Fdd(schema_, to_tree(root));
+}
+
+// ---------------------------------------------------------------------------
+// Construction (Fig. 7) with copy-on-write appends.
+
+namespace {
+
+/// Per-rule state for one append pass: the memo makes appending the same
+/// rule to a shared subdiagram an O(1) lookup, and the path cache builds
+/// the rule's decision path once per suffix instead of once per branch.
+struct AppendCtx {
+  const Rule& rule;
+  std::unordered_map<std::uint64_t, ArenaNodeId> memo;  // (node, field) keys
+  std::vector<ArenaNodeId> path;                        // per-field suffix
+};
+
+}  // namespace
+
+ArenaNodeId FddArena::append_rule(ArenaNodeId root, const Rule& rule) {
+  if (rule.conjuncts().size() != schema_.field_count()) {
+    throw std::invalid_argument("append_rule: rule arity mismatch");
+  }
+  AppendCtx ctx{rule, {}, std::vector<ArenaNodeId>(
+                              schema_.field_count() + 1, kNoNode)};
+
+  // Decision path for conjuncts[field..d-1] -> decision, wildcards skipped
+  // (the canonical form would splice them out anyway).
+  const auto build_path = [&](auto&& self, std::size_t f) -> ArenaNodeId {
+    if (ctx.path[f] != kNoNode) {
+      return ctx.path[f];
+    }
+    ArenaNodeId result;
+    if (f == schema_.field_count()) {
+      result = terminal(rule.decision());
+    } else if (wildcard(schema_, rule, f)) {
+      result = self(self, f + 1);
+    } else {
+      const ArenaNodeId child = self(self, f + 1);
+      result = canonical(f, {{intern(rule.conjunct(f)), child}});
+    }
+    ctx.path[f] = result;
+    return result;
+  };
+
+  // APPEND(v, rule) of Fig. 7 on ids: instead of cloning the subdiagram a
+  // case-3 split copies, both halves reference it by id and only the half
+  // the rule reaches is rebuilt (copy-on-write).
+  const auto append = [&](auto&& self, ArenaNodeId v,
+                          std::size_t from) -> ArenaNodeId {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(v) << 32) | from;
+    if (const auto it = ctx.memo.find(key); it != ctx.memo.end()) {
+      ++stats_.append_cache_hits;
+      return it->second;
+    }
+    ++stats_.append_cache_misses;
+    const std::size_t rank =
+        is_terminal(v) ? schema_.field_count() : field(v);
+    std::size_t g = from;
+    while (g < rank && wildcard(schema_, rule, g)) {
+      ++g;
+    }
+    ArenaNodeId result;
+    if (g < rank) {
+      // Node insertion: the diagram skipped field g but the rule
+      // constrains it. A full-domain node is materialised and immediately
+      // split against the conjunct; the off-conjunct half keeps `v` by
+      // reference.
+      const ArenaNodeId tail = self(self, v, g + 1);
+      const IntervalSet& s = rule.conjunct(g);
+      const IntervalSet outside = schema_.domain_set(g).subtract(s);
+      result = canonical(
+          g, {{intern(s), tail}, {intern(outside), v}});
+    } else if (is_terminal(v)) {
+      // A packet reaching a terminal was decided by an earlier (higher
+      // priority) rule; the appended rule never applies there.
+      result = v;
+    } else {
+      const std::size_t f = field(v);
+      const IntervalSet& s = rule.conjunct(f);
+      const std::span<const ArenaEdge> view = edges(v);
+      const std::vector<ArenaEdge> old(view.begin(), view.end());
+      IntervalSet covered;
+      for (const ArenaEdge& e : old) {
+        covered = covered.unite(labels_[e.label]);
+      }
+      const IntervalSet uncovered = s.subtract(covered);
+      std::vector<ArenaEdge> out;
+      out.reserve(old.size() + 2);
+      for (const ArenaEdge& e : old) {
+        const IntervalSet lab = labels_[e.label];
+        const IntervalSet common = lab.intersect(s);
+        if (common.empty()) {
+          out.push_back(e);  // case (1): untouched branch, shared by id
+        } else if (common == lab) {
+          // case (2): edge fully inside S — recurse.
+          out.push_back({e.label, self(self, e.target, f + 1)});
+        } else {
+          // case (3): split; the outside half shares the old subdiagram.
+          out.push_back({intern(lab.subtract(common)), e.target});
+          out.push_back({intern(common), self(self, e.target, f + 1)});
+        }
+      }
+      if (!uncovered.empty()) {
+        out.push_back({intern(uncovered), build_path(build_path, f + 1)});
+      }
+      result = canonical(f, std::move(out));
+    }
+    ctx.memo.emplace(key, result);
+    return result;
+  };
+
+  return append(append, root, 0);
+}
+
+ArenaNodeId FddArena::build_reduced(const Policy& policy) {
+  if (!(policy.schema() == schema_)) {
+    throw std::invalid_argument("FddArena::build_reduced: schema mismatch");
+  }
+  // The partial FDD of the first rule is its lone decision path (Fig. 6),
+  // built bottom-up with wildcard fields skipped; every further rule is
+  // appended at the root. Canonical node creation keeps each intermediate
+  // maximally reduced, so no interleaved reduce passes (and none of their
+  // re-hashing) are needed.
+  const Rule& r0 = policy.rule(0);
+  ArenaNodeId root = terminal(r0.decision());
+  for (std::size_t f = schema_.field_count(); f-- > 0;) {
+    if (!wildcard(schema_, r0, f)) {
+      root = canonical(f, {{intern(r0.conjunct(f)), root}});
+    }
+  }
+  for (std::size_t i = 1; i < policy.size(); ++i) {
+    root = append_rule(root, policy.rule(i));
+  }
+  return root;
+}
+
+// ---------------------------------------------------------------------------
+// Shaping (Fig. 10) memoised on node-id pairs.
+
+std::pair<ArenaNodeId, ArenaNodeId> FddArena::shape_pair(ArenaNodeId a,
+                                                         ArenaNodeId b) {
+  if (a == b) {
+    // Identical subdiagrams are already semi-isomorphic and aligned.
+    return {a, b};
+  }
+  const std::uint64_t key = pack_pair(a, b);
+  if (const auto it = shape_cache_.find(key); it != shape_cache_.end()) {
+    ++stats_.shape_cache_hits;
+    return it->second;
+  }
+  ++stats_.shape_cache_misses;
+  // Step 1 (label alignment by node insertion): terminals rank after every
+  // field, the earlier label absorbs the other under a full-domain edge.
+  const auto rank = [this](ArenaNodeId n) {
+    return is_terminal(n) ? std::numeric_limits<std::uint64_t>::max()
+                          : static_cast<std::uint64_t>(field(n));
+  };
+  ArenaNodeId x = a;
+  ArenaNodeId y = b;
+  while (rank(x) != rank(y)) {
+    if (rank(x) < rank(y)) {
+      const std::size_t f = field(x);
+      y = internal(f, {{intern(schema_.domain_set(f)), y}});
+    } else {
+      const std::size_t f = field(y);
+      x = internal(f, {{intern(schema_.domain_set(f)), x}});
+    }
+  }
+  std::pair<ArenaNodeId, ArenaNodeId> result;
+  if (is_terminal(x)) {
+    result = {x, y};
+  } else {
+    // Step 2: common refinement of the two edge partitions, fragments of
+    // one edge *pair* kept merged (same optimisation as the tree path).
+    // Where the tree version clones the source subtree for every fragment
+    // but the last, ids are simply referenced again.
+    struct Fragment {
+      IntervalSet label;
+      ArenaNodeId a_child;
+      ArenaNodeId b_child;
+    };
+    const std::span<const ArenaEdge> xv = edges(x);
+    const std::span<const ArenaEdge> yv = edges(y);
+    const std::vector<ArenaEdge> xe(xv.begin(), xv.end());
+    const std::vector<ArenaEdge> ye(yv.begin(), yv.end());
+    std::vector<Fragment> fragments;
+    for (const ArenaEdge& ea : xe) {
+      for (const ArenaEdge& eb : ye) {
+        IntervalSet common = labels_[ea.label].intersect(labels_[eb.label]);
+        if (!common.empty()) {
+          fragments.push_back({std::move(common), ea.target, eb.target});
+        }
+      }
+    }
+    std::sort(fragments.begin(), fragments.end(),
+              [](const Fragment& p, const Fragment& q) {
+                return p.label.min() < q.label.min();
+              });
+    std::vector<ArenaEdge> a_edges;
+    std::vector<ArenaEdge> b_edges;
+    a_edges.reserve(fragments.size());
+    b_edges.reserve(fragments.size());
+    const std::size_t f = field(x);
+    for (const Fragment& frag : fragments) {
+      const auto [ca, cb] = shape_pair(frag.a_child, frag.b_child);
+      const ArenaLabelId lid = intern(frag.label);
+      a_edges.push_back({lid, ca});
+      b_edges.push_back({lid, cb});
+    }
+    result = {internal(f, std::move(a_edges)),
+              internal(f, std::move(b_edges))};
+  }
+  shape_cache_.emplace(key, result);
+  return result;
+}
+
+void FddArena::shape_all(std::vector<ArenaNodeId>& roots) {
+  if (roots.empty()) {
+    throw std::invalid_argument("shape_all: no FDDs");
+  }
+  // Pass 1: funnel every refinement into roots[0]. Pass 2: roots[0] is now
+  // the common refinement; re-aligning the others splits only their edges.
+  for (std::size_t i = 1; i < roots.size(); ++i) {
+    std::tie(roots[0], roots[i]) = shape_pair(roots[0], roots[i]);
+  }
+  for (std::size_t i = 1; i + 1 < roots.size(); ++i) {
+    std::tie(roots[0], roots[i]) = shape_pair(roots[0], roots[i]);
+  }
+}
+
+bool FddArena::semi_isomorphic(ArenaNodeId a, ArenaNodeId b) {
+  if (a == b) {
+    return true;
+  }
+  const std::uint64_t key = pack_pair(a, b);
+  if (const auto it = equiv_cache_.find(key); it != equiv_cache_.end()) {
+    ++stats_.equiv_cache_hits;
+    return it->second;
+  }
+  ++stats_.equiv_cache_misses;
+  bool result = true;
+  if (is_terminal(a) != is_terminal(b)) {
+    result = false;
+  } else if (is_terminal(a)) {
+    result = true;  // decisions may differ
+  } else if (field(a) != field(b) ||
+             edges(a).size() != edges(b).size()) {
+    result = false;
+  } else {
+    const std::span<const ArenaEdge> ea = edges(a);
+    const std::span<const ArenaEdge> eb = edges(b);
+    for (std::size_t i = 0; i < ea.size() && result; ++i) {
+      // Interned labels: id equality is set equality.
+      result = ea[i].label == eb[i].label &&
+               semi_isomorphic(ea[i].target, eb[i].target);
+    }
+  }
+  equiv_cache_.emplace(key, result);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Comparison (Section 5) with identical-subdiagram pruning.
+
+std::vector<Discrepancy> FddArena::compare(
+    const std::vector<ArenaNodeId>& roots) {
+  if (roots.empty()) {
+    throw std::invalid_argument("FddArena::compare: no roots");
+  }
+  for (std::size_t i = 1; i < roots.size(); ++i) {
+    if (!semi_isomorphic(roots[0], roots[i])) {
+      throw std::invalid_argument(
+          "FddArena::compare: diagrams are not pairwise semi-isomorphic");
+    }
+  }
+  std::vector<IntervalSet> conjuncts;
+  conjuncts.reserve(schema_.field_count());
+  for (std::size_t i = 0; i < schema_.field_count(); ++i) {
+    conjuncts.emplace_back(schema_.domain(i));
+  }
+  std::vector<Discrepancy> out;
+  // Memo: an id tuple whose subdiagrams agree everywhere contributes no
+  // discrepancy from any path prefix, so it is walked once and pruned on
+  // every later encounter. Tuples that do disagree must be re-walked (the
+  // records carry the path predicate), but those are exactly the regions
+  // the output has to spell out anyway.
+  std::unordered_map<std::vector<ArenaNodeId>, bool, IdVectorHash> memo;
+  const auto walk = [&](auto&& self,
+                        const std::vector<ArenaNodeId>& nodes) -> bool {
+    const ArenaNodeId first = nodes.front();
+    if (std::all_of(nodes.begin(), nodes.end(),
+                    [&](ArenaNodeId n) { return n == first; })) {
+      return false;  // one shared subdiagram: trivially no disagreement
+    }
+    if (is_terminal(first)) {
+      // Terminals are hash-consed per decision, so unequal ids mean the
+      // decisions are not all equal.
+      Discrepancy d;
+      d.conjuncts = conjuncts;
+      d.decisions.reserve(nodes.size());
+      for (const ArenaNodeId n : nodes) {
+        d.decisions.push_back(decision(n));
+      }
+      out.push_back(std::move(d));
+      return true;
+    }
+    if (const auto it = memo.find(nodes); it != memo.end()) {
+      ++stats_.compare_cache_hits;
+      if (!it->second) {
+        return false;
+      }
+    } else {
+      ++stats_.compare_cache_misses;
+    }
+    const std::size_t f = field(first);
+    const std::size_t edge_count = edges(first).size();
+    bool found = false;
+    std::vector<ArenaNodeId> children(nodes.size());
+    for (std::size_t e = 0; e < edge_count; ++e) {
+      conjuncts[f] = labels_[edges(first)[e].label];
+      for (std::size_t k = 0; k < nodes.size(); ++k) {
+        children[k] = edges(nodes[k])[e].target;
+      }
+      found |= self(self, children);
+    }
+    conjuncts[f] = schema_.domain_set(f);
+    memo.insert_or_assign(nodes, found);
+    return found;
+  };
+  walk(walk, roots);
+  return out;
+}
+
+Decision FddArena::evaluate(ArenaNodeId root, const Packet& p) const {
+  if (p.size() != schema_.field_count()) {
+    throw std::invalid_argument("FddArena::evaluate: packet arity mismatch");
+  }
+  ArenaNodeId node = root;
+  while (!is_terminal(node)) {
+    ArenaNodeId next = kNoNode;
+    for (const ArenaEdge& e : edges(node)) {
+      if (labels_[e.label].contains(p[field(node)])) {
+        next = e.target;
+        break;
+      }
+    }
+    if (next == kNoNode) {
+      throw std::logic_error(
+          "FddArena::evaluate: packet falls off a partial FDD");
+    }
+    node = next;
+  }
+  return decision(node);
+}
+
+void FddArena::validate(ArenaNodeId root, bool require_complete) const {
+  // Consistency, completeness, domain, and emptiness are per-node facts;
+  // ordering reduces to the per-edge check field(target) > field(node).
+  // All are checked once per unique reachable node.
+  std::unordered_map<ArenaNodeId, bool> seen;
+  const auto visit = [&](auto&& self, ArenaNodeId id) -> void {
+    if (seen[id]) {
+      return;
+    }
+    seen[id] = true;
+    if (is_terminal(id)) {
+      return;
+    }
+    const std::size_t f = field(id);
+    const IntervalSet& domain = schema_.domain_set(f);
+    IntervalSet covered;
+    for (const ArenaEdge& e : edges(id)) {
+      const IntervalSet& lab = labels_[e.label];
+      if (lab.empty()) {
+        throw std::logic_error("FDD: empty edge label");
+      }
+      if (!domain.contains(lab)) {
+        throw std::logic_error("FDD: edge label exceeds domain of field " +
+                               schema_.field(f).name);
+      }
+      if (covered.overlaps(lab)) {
+        throw std::logic_error("FDD: consistency violated at field " +
+                               schema_.field(f).name);
+      }
+      covered = covered.unite(lab);
+      if (!is_terminal(e.target) && field(e.target) <= f) {
+        throw std::logic_error(
+            "FDD: field order violated on a path (field " +
+            schema_.field(field(e.target)).name + ")");
+      }
+      self(self, e.target);
+    }
+    if (require_complete && !(covered == domain)) {
+      throw std::logic_error("FDD: completeness violated at field " +
+                             schema_.field(f).name);
+    }
+  };
+  visit(visit, root);
+}
+
+void FddArena::for_each_path(
+    ArenaNodeId root,
+    const std::function<void(const std::vector<IntervalSet>&, Decision)>& fn)
+    const {
+  std::vector<IntervalSet> conjuncts;
+  conjuncts.reserve(schema_.field_count());
+  for (std::size_t i = 0; i < schema_.field_count(); ++i) {
+    conjuncts.emplace_back(schema_.domain(i));
+  }
+  const auto visit = [&](auto&& self, ArenaNodeId id) -> void {
+    if (is_terminal(id)) {
+      fn(conjuncts, decision(id));
+      return;
+    }
+    const std::size_t f = field(id);
+    for (const ArenaEdge& e : edges(id)) {
+      conjuncts[f] = labels_[e.label];
+      self(self, e.target);
+    }
+    conjuncts[f] = schema_.domain_set(f);
+  };
+  visit(visit, root);
+}
+
+// ---------------------------------------------------------------------------
+// Generation (gen/generate.hpp semantics) off the DAG.
+
+Policy FddArena::generate(ArenaNodeId root) {
+  // Number of rules gen would emit for a subdiagram — the election metric.
+  // On trees this recomputation is O(nodes * depth); memoised by id it is
+  // O(unique nodes) for the whole walk.
+  const auto rule_cost = [&](auto&& self, ArenaNodeId id) -> std::size_t {
+    if (is_terminal(id)) {
+      return 1;
+    }
+    if (const auto it = rule_cost_cache_.find(id);
+        it != rule_cost_cache_.end()) {
+      return it->second;
+    }
+    std::size_t total = 0;
+    for (const ArenaEdge& e : edges(id)) {
+      total += self(self, e.target);
+    }
+    rule_cost_cache_.emplace(id, total);
+    return total;
+  };
+
+  std::vector<IntervalSet> conjuncts;
+  conjuncts.reserve(schema_.field_count());
+  for (std::size_t i = 0; i < schema_.field_count(); ++i) {
+    conjuncts.emplace_back(schema_.domain(i));
+  }
+  std::vector<Rule> rules;
+  const auto gen = [&](auto&& self, ArenaNodeId id) -> void {
+    if (is_terminal(id)) {
+      rules.emplace_back(schema_, conjuncts, decision(id));
+      return;
+    }
+    // Elect the default branch: highest rule cost, ties broken toward the
+    // larger value region (mirrors the tree generator exactly).
+    const std::span<const ArenaEdge> out = edges(id);
+    std::size_t default_edge = 0;
+    std::size_t best_cost = 0;
+    Value best_width = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const std::size_t cost = rule_cost(rule_cost, out[i].target);
+      const Value width = labels_[out[i].label].size();
+      if (cost > best_cost || (cost == best_cost && width > best_width)) {
+        best_cost = cost;
+        best_width = width;
+        default_edge = i;
+      }
+    }
+    const std::size_t f = field(id);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (i == default_edge) {
+        continue;
+      }
+      conjuncts[f] = labels_[out[i].label];
+      self(self, out[i].target);
+    }
+    conjuncts[f] = schema_.domain_set(f);
+    self(self, out[default_edge].target);
+  };
+  gen(gen, root);
+  return Policy(schema_, std::move(rules));
+}
+
+}  // namespace dfw

@@ -1,0 +1,212 @@
+// FddArena: hash-consed FDD storage with structural sharing.
+//
+// The tree representation (fdd/node.hpp) owns every child through a
+// unique_ptr, so the construction algorithm's "subgraph replication"
+// (Section 4, operation 3) is a literal deep copy and structurally
+// identical subtrees exist once per occurrence. The arena instead interns
+// every node in a unique table — keyed on (field, decision, edge list) and
+// collision-checked with full equality, never trusted blindly — and interns
+// every edge label in a side table, so nodes are referenced by 32-bit ids
+// and an identical subdiagram exists exactly once. Two consequences drive
+// the whole design (the classic BDD recipe, cf. Hazelhurst's firewall-BDD
+// work):
+//
+//   * id equality IS semantic equality for canonically built diagrams, so
+//     "clone subtree" becomes "copy an id" (copy-on-write appends) and
+//     sibling-merge reduction happens at node-creation time — a diagram
+//     built through canonical() is reduced by construction, no post-pass.
+//   * operations on ids are pure functions of their arguments, so shaping,
+//     comparison pruning, and semi-isomorphism memoise on node-id pairs.
+//
+// The tree Fdd remains the public/serialization format; to_tree/from_tree
+// are the lossless bridges. An arena is single-threaded and append-only:
+// ids stay valid for the arena's lifetime and memo caches never need
+// invalidation.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "fdd/compare.hpp"
+#include "fdd/fdd.hpp"
+#include "fdd/stats.hpp"
+#include "fw/policy.hpp"
+
+namespace dfw {
+
+/// Index of a node in an FddArena. Stable for the arena's lifetime.
+using ArenaNodeId = std::uint32_t;
+/// Index of an interned edge label in an FddArena.
+using ArenaLabelId = std::uint32_t;
+
+/// Sentinel field value marking arena terminal nodes.
+inline constexpr std::uint32_t kArenaTerminalField =
+    static_cast<std::uint32_t>(-1);
+
+/// One outgoing edge: an interned label and a target node id.
+struct ArenaEdge {
+  ArenaLabelId label;
+  ArenaNodeId target;
+
+  friend bool operator==(const ArenaEdge&, const ArenaEdge&) = default;
+};
+
+class FddArena {
+ public:
+  explicit FddArena(Schema schema);
+
+  FddArena(const FddArena&) = delete;
+  FddArena& operator=(const FddArena&) = delete;
+
+  const Schema& schema() const { return schema_; }
+
+  // -- Node interning ------------------------------------------------------
+
+  /// The unique terminal deciding `d`.
+  ArenaNodeId terminal(Decision d);
+
+  /// Interns a nonterminal exactly as given (edges are sorted by label
+  /// minimum; labels must be disjoint and nonempty). No sibling merging or
+  /// splicing — shaping needs to represent aligned, non-canonical
+  /// partitions faithfully.
+  ArenaNodeId internal(std::size_t field, std::vector<ArenaEdge> edges);
+
+  /// Interns a nonterminal in *canonical* (reduced) form: edges whose
+  /// targets are identical are merged (their labels united), and a node
+  /// whose single edge spans the field's whole domain is spliced — the
+  /// target id is returned instead. Equivalent to running reduce() at every
+  /// node, made O(1) amortised by children already being canonical.
+  ArenaNodeId canonical(std::size_t field, std::vector<ArenaEdge> edges);
+
+  /// Interns an edge label, returning the shared id for equal sets.
+  ArenaLabelId intern(const IntervalSet& label);
+
+  // -- Accessors -----------------------------------------------------------
+
+  const IntervalSet& label(ArenaLabelId id) const { return labels_[id]; }
+  bool is_terminal(ArenaNodeId id) const {
+    return nodes_[id].field == kArenaTerminalField;
+  }
+  /// Field index of a nonterminal, or kArenaTerminalField.
+  std::uint32_t field(ArenaNodeId id) const { return nodes_[id].field; }
+  Decision decision(ArenaNodeId id) const { return nodes_[id].decision; }
+  std::span<const ArenaEdge> edges(ArenaNodeId id) const {
+    const NodeRecord& n = nodes_[id];
+    return {edge_pool_.data() + n.edge_begin, n.edge_count};
+  }
+
+  std::size_t unique_node_count() const { return nodes_.size(); }
+
+  /// Number of distinct nodes reachable from `root` (DAG size).
+  std::size_t reachable_node_count(ArenaNodeId root) const;
+
+  /// Size of the tree to_tree(root) would build (shared subdiagrams counted
+  /// once per reference), saturating at SIZE_MAX.
+  std::size_t expanded_node_count(ArenaNodeId root) const;
+
+  // -- Bridges to the tree representation ----------------------------------
+
+  /// Interns a tree verbatim (structure-preserving; to_tree(from_tree(n))
+  /// reproduces n exactly up to edge order, which both keep sorted).
+  ArenaNodeId from_tree(const FddNode& node);
+
+  /// Interns a tree through canonical(), i.e. the arena image of
+  /// reduce()-ing the tree.
+  ArenaNodeId from_tree_canonical(const FddNode& node);
+
+  /// Expands the diagram under `root` into an owning tree.
+  std::unique_ptr<FddNode> to_tree(ArenaNodeId root) const;
+  /// Same, wrapped in an Fdd over this arena's schema.
+  Fdd to_fdd(ArenaNodeId root) const;
+
+  // -- Semantic operations (all memoised inside the arena) -----------------
+
+  /// Fig. 7 construction with copy-on-write appends: case-3 splits share
+  /// the untouched subdiagram by id instead of cloning it. The result is
+  /// canonical (reduced) by construction. Throws std::invalid_argument on
+  /// an arity mismatch and std::logic_error via validate() misuse, exactly
+  /// like the tree path.
+  ArenaNodeId build_reduced(const Policy& policy);
+
+  /// Appends one rule (lowest priority) to a diagram, returning the new
+  /// root. The input diagram is unchanged (ids are immutable).
+  ArenaNodeId append_rule(ArenaNodeId root, const Rule& rule);
+
+  /// NODE_SHAPING (Fig. 10) over ids: returns the semi-isomorphic pair.
+  /// Memoised on (a, b); shape_pair(x, x) is O(1).
+  std::pair<ArenaNodeId, ArenaNodeId> shape_pair(ArenaNodeId a,
+                                                 ArenaNodeId b);
+
+  /// N-way shaping mirroring the tree shape_all: funnel every refinement
+  /// into roots[0], then re-align the others against it.
+  void shape_all(std::vector<ArenaNodeId>& roots);
+
+  /// Semi-isomorphism (Definition 4.2), memoised on (a, b).
+  bool semi_isomorphic(ArenaNodeId a, ArenaNodeId b);
+
+  /// Lockstep N-way comparison of pairwise semi-isomorphic diagrams.
+  /// Identical-id subdiagrams are pruned in O(1); subdiagram tuples proven
+  /// discrepancy-free are pruned via a memo keyed on the id tuple. Output
+  /// order and contents match the tree compare exactly.
+  std::vector<Discrepancy> compare(const std::vector<ArenaNodeId>& roots);
+
+  /// The decision assigned to packet p; throws std::logic_error if p falls
+  /// off a partial diagram.
+  Decision evaluate(ArenaNodeId root, const Packet& p) const;
+
+  /// Tree-validate() semantics on the DAG: consistency, completeness,
+  /// ordering, and domain containment, checked once per unique node.
+  void validate(ArenaNodeId root, bool require_complete = true) const;
+
+  /// Calls `fn(conjuncts, decision)` once per decision path, in the same
+  /// order as Fdd::for_each_path on the expanded tree.
+  void for_each_path(
+      ArenaNodeId root,
+      const std::function<void(const std::vector<IntervalSet>&, Decision)>&
+          fn) const;
+
+  /// Firewall generation (gen/generate.hpp semantics) straight off the
+  /// DAG, with the per-subtree rule-cost election memoised by node id.
+  Policy generate(ArenaNodeId root);
+
+  const ArenaStats& stats() const { return stats_; }
+
+ private:
+  struct NodeRecord {
+    std::uint32_t field;       // kArenaTerminalField for terminals
+    Decision decision;         // meaningful for terminals only
+    std::uint32_t edge_begin;  // span into edge_pool_
+    std::uint32_t edge_count;
+  };
+
+  ArenaNodeId intern_node(std::uint32_t field, Decision decision,
+                          std::vector<ArenaEdge> edges);
+  bool record_equals(const NodeRecord& r, std::uint32_t field,
+                     Decision decision,
+                     const std::vector<ArenaEdge>& edges) const;
+  ArenaNodeId from_tree_impl(const FddNode& node, bool canonicalize);
+
+  Schema schema_;
+  std::vector<NodeRecord> nodes_;
+  std::vector<ArenaEdge> edge_pool_;
+  std::vector<IntervalSet> labels_;
+  // Hash buckets for the unique/label tables; hashes bucket candidates,
+  // full equality decides.
+  std::unordered_map<std::uint64_t, std::vector<ArenaNodeId>> node_buckets_;
+  std::unordered_map<std::uint64_t, std::vector<ArenaLabelId>> label_buckets_;
+  // Memo caches, keyed on packed id pairs / id tuples. Ids are immutable,
+  // so entries stay valid for the arena's lifetime.
+  std::unordered_map<std::uint64_t, std::pair<ArenaNodeId, ArenaNodeId>>
+      shape_cache_;
+  std::unordered_map<std::uint64_t, bool> equiv_cache_;
+  std::unordered_map<ArenaNodeId, std::size_t> rule_cost_cache_;
+  ArenaStats stats_;
+};
+
+}  // namespace dfw

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fdd/arena.hpp"
 #include "fdd/construct.hpp"
 #include "fdd/shape.hpp"
 #include "rt/executor.hpp"
@@ -90,6 +91,24 @@ std::vector<Discrepancy> compare_impl(const Schema& schema,
   return out;
 }
 
+// Whole pipeline on ids: build canonical diagrams, validate, shape, and
+// compare without ever expanding a tree. Canonical construction makes the
+// diagrams reduced; shaping and comparison memoise inside the arena.
+std::vector<Discrepancy> arena_discrepancies(
+    const std::vector<const Policy*>& policies) {
+  FddArena arena(policies.front()->schema());
+  std::vector<ArenaNodeId> roots;
+  roots.reserve(policies.size());
+  for (const Policy* p : policies) {
+    roots.push_back(arena.build_reduced(*p));
+  }
+  for (const ArenaNodeId root : roots) {
+    arena.validate(root);  // rejects non-comprehensive inputs up front
+  }
+  arena.shape_all(roots);
+  return arena.compare(roots);
+}
+
 }  // namespace
 
 std::vector<Discrepancy> compare_fdds(const Fdd& a, const Fdd& b,
@@ -129,13 +148,19 @@ std::vector<Discrepancy> compare_fdds_many(const std::vector<Fdd>& fdds) {
 
 std::vector<Discrepancy> discrepancies(const Policy& a, const Policy& b,
                                        const CompareOptions& options) {
+  if (options.use_arena && resolve_executor(options).is_inline()) {
+    return arena_discrepancies({&a, &b});
+  }
   // Construction dominates the pipeline (Fig. 13) and the two diagrams
   // are independent until shaping — with a pool executor they build as
-  // two concurrent tasks.
+  // two concurrent tasks. use_arena still applies to construction here:
+  // each task builds through its own task-local arena and expands the
+  // result, which threads fine; only shaping/comparison need the tree.
+  const ConstructOptions construct{options.use_arena};
   const Policy* inputs[2] = {&a, &b};
   std::vector<Fdd> fdds = parallel_map<Fdd>(
       resolve_executor(options), 2,
-      [&](std::size_t i) { return build_reduced_fdd(*inputs[i]); });
+      [&](std::size_t i) { return build_reduced_fdd(*inputs[i], construct); });
   fdds[0].validate();  // rejects non-comprehensive inputs up front
   fdds[1].validate();
   shape_pair(fdds[0], fdds[1]);
@@ -151,9 +176,20 @@ std::vector<Discrepancy> discrepancies_many(
   if (policies.empty()) {
     throw std::invalid_argument("discrepancies_many: no policies");
   }
+  if (options.use_arena && resolve_executor(options).is_inline()) {
+    std::vector<const Policy*> inputs;
+    inputs.reserve(policies.size());
+    for (const Policy& p : policies) {
+      inputs.push_back(&p);
+    }
+    return arena_discrepancies(inputs);
+  }
+  const ConstructOptions construct{options.use_arena};
   std::vector<Fdd> fdds = parallel_map<Fdd>(
       resolve_executor(options), policies.size(),
-      [&](std::size_t i) { return build_reduced_fdd(policies[i]); });
+      [&](std::size_t i) {
+        return build_reduced_fdd(policies[i], construct);
+      });
   for (Fdd& f : fdds) {
     f.validate();
   }

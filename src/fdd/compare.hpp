@@ -41,6 +41,12 @@ struct CompareOptions {
   /// Minimum outgoing edges at an FDD root before the comparison walk
   /// forks its top-level subtrees as independent pool tasks.
   std::size_t fork_threshold = 4;
+  /// Run the discrepancies pipelines arena-native (fdd/arena.hpp):
+  /// construct, shape, and compare on hash-consed node ids, with memoised
+  /// shaping and identical-subdiagram pruning, never expanding a tree.
+  /// Output is identical either way. An arena is single-threaded, so a
+  /// pool executor always takes the tree path regardless of this flag.
+  bool use_arena = true;
 };
 
 /// Compares two semi-isomorphic FDDs; requires semi_isomorphic(a, b).

@@ -2,13 +2,14 @@
 
 #include <stdexcept>
 
+#include "fdd/arena.hpp"
 #include "fdd/reduce.hpp"
 
 namespace dfw {
 namespace {
 
 bool is_wildcard(const Schema& schema, const Rule& rule, std::size_t field) {
-  return rule.conjunct(field) == IntervalSet(schema.domain(field));
+  return rule.conjunct(field) == schema.domain_set(field);
 }
 
 // Builds the decision path for conjuncts[field..d-1] -> decision: a chain
@@ -119,6 +120,15 @@ Fdd build_fdd(const Policy& policy) {
 }
 
 Fdd build_reduced_fdd(const Policy& policy) {
+  return build_reduced_fdd(policy, ConstructOptions{});
+}
+
+Fdd build_reduced_fdd(const Policy& policy,
+                      const ConstructOptions& options) {
+  if (options.use_arena) {
+    FddArena arena(policy.schema());
+    return arena.to_fdd(arena.build_reduced(policy));
+  }
   Fdd fdd(policy.schema(), build_path(policy.schema(), policy.rule(0), 0));
   // Reduce whenever the diagram outgrows a budget proportional to the
   // rules consumed: appends then always run against a near-minimal tree,

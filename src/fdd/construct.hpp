@@ -30,6 +30,17 @@ void append_rule(Fdd& fdd, const Rule& rule);
 /// intermediate diagrams). count >= 1.
 Fdd build_partial_fdd(const Policy& policy, std::size_t count);
 
+/// Knobs for the production construction entry point.
+struct ConstructOptions {
+  /// Build through the hash-consed FddArena (fdd/arena.hpp): canonical by
+  /// construction, with copy-on-write appends instead of subtree clones.
+  /// The result, expanded back into the tree representation, is
+  /// structurally identical to the tree path's reduced output — the
+  /// reduced ordered FDD of a policy is unique. Off restores the pure
+  /// tree pipeline (append + interleaved reduce).
+  bool use_arena = true;
+};
+
 /// Construction with interleaved reduction: equivalent to
 /// reduce(build_fdd(policy)) but never materialises the unreduced
 /// intermediate tree, whose size — not the reduced result's — is what
@@ -37,5 +48,6 @@ Fdd build_partial_fdd(const Policy& policy, std::size_t count);
 /// comparison pipeline uses; build_fdd remains the paper-faithful
 /// reference implementation of Fig. 7.
 Fdd build_reduced_fdd(const Policy& policy);
+Fdd build_reduced_fdd(const Policy& policy, const ConstructOptions& options);
 
 }  // namespace dfw

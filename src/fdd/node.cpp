@@ -1,24 +1,39 @@
 #include "fdd/node.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace dfw {
+namespace {
+
+std::atomic<std::size_t> g_node_allocations{0};
+
+std::unique_ptr<FddNode> allocate_node() {
+  g_node_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<FddNode>();
+}
+
+}  // namespace
+
+std::size_t fdd_node_allocations() {
+  return g_node_allocations.load(std::memory_order_relaxed);
+}
 
 std::unique_ptr<FddNode> FddNode::make_terminal(Decision d) {
-  auto node = std::make_unique<FddNode>();
+  auto node = allocate_node();
   node->field = kTerminalField;
   node->decision = d;
   return node;
 }
 
 std::unique_ptr<FddNode> FddNode::make_internal(std::size_t field) {
-  auto node = std::make_unique<FddNode>();
+  auto node = allocate_node();
   node->field = field;
   return node;
 }
 
 std::unique_ptr<FddNode> FddNode::clone() const {
-  auto copy = std::make_unique<FddNode>();
+  auto copy = allocate_node();
   copy->field = field;
   copy->decision = decision;
   copy->edges.reserve(edges.size());

@@ -69,4 +69,10 @@ std::size_t subtree_node_count(const FddNode& n);
 /// Number of root-to-terminal paths in the subtree rooted at `n`.
 std::size_t subtree_path_count(const FddNode& n);
 
+/// Process-wide, monotonic count of tree nodes created through the FddNode
+/// factories (make_terminal, make_internal, clone). Benchmarks take deltas
+/// around a pipeline to report how many nodes the tree representation
+/// allocates versus the arena's unique-node count (the sharing factor).
+std::size_t fdd_node_allocations();
+
 }  // namespace dfw

@@ -56,12 +56,12 @@ std::uint64_t reduce_node(const Schema& schema,
     }
   }
   std::vector<FddEdge> kept;
-  std::vector<std::uint64_t> kept_hashes;
+  std::unordered_map<const FddNode*, std::uint64_t> hash_of;
   kept.reserve(node.edges.size());
   for (std::size_t i = 0; i < node.edges.size(); ++i) {
     if (!dead[i]) {
+      hash_of.emplace(node.edges[i].target.get(), child_hashes[i]);
       kept.push_back(std::move(node.edges[i]));
-      kept_hashes.push_back(child_hashes[i]);
     }
   }
   node.edges = std::move(kept);
@@ -69,24 +69,19 @@ std::uint64_t reduce_node(const Schema& schema,
   // Splice out a node whose single edge covers the entire domain: every
   // packet passes through it unconditionally.
   if (node.edges.size() == 1 &&
-      node.edges[0].label == IntervalSet(schema.domain(node.field))) {
-    const std::uint64_t child_hash = kept_hashes.front();
+      node.edges[0].label == schema.domain_set(node.field)) {
+    const std::uint64_t child_hash = hash_of.begin()->second;
     slot = std::move(node.edges[0].target);
     return child_hash;
   }
-  // Hash after sorting so structurally equal nodes hash equally. Labels
-  // and child hashes together determine the subtree.
+  // Hash after sorting so structurally equal nodes hash equally: labels and
+  // child hashes interleaved in sorted edge order determine the subtree.
+  // sort_edges permuted the edges, so pair each edge with its child hash
+  // through pointer identity.
   std::uint64_t h = mix(0x13198a2e03707344ull, node.field);
   for (const FddEdge& e : slot->edges) {
     h = mix(h, hash_set(e.label));
-  }
-  // kept_hashes is aligned with pre-sort order; recompute child hashes in
-  // sorted order by pairing through the edge vector. Sorting permuted the
-  // edges, so rebuild the aligned list.
-  // (Cheap: hashes were already computed; find by pointer identity.)
-  // Simpler and still collision-safe: mix child hashes unordered.
-  for (const std::uint64_t ch : kept_hashes) {
-    h += ch * 0x9e3779b97f4a7c15ull;  // order-insensitive accumulation
+    h = mix(h, hash_of.at(e.target.get()));
   }
   return h;
 }

@@ -47,4 +47,32 @@ std::string to_string(const FddStats& s) {
          " depth=" + std::to_string(s.depth);
 }
 
+namespace {
+
+std::string rate(std::size_t hits, std::size_t queries) {
+  if (queries == 0) {
+    return "-";
+  }
+  return std::to_string(hits * 100 / queries) + "%";
+}
+
+}  // namespace
+
+std::string to_string(const ArenaStats& s) {
+  return "unique_nodes=" + std::to_string(s.unique_nodes) +
+         " unique_labels=" + std::to_string(s.unique_labels) +
+         " node_hit=" + rate(s.node_hits, s.node_queries) +
+         " label_hit=" + rate(s.label_hits, s.label_queries) +
+         " append_hit=" +
+         rate(s.append_cache_hits,
+              s.append_cache_hits + s.append_cache_misses) +
+         " shape_hit=" +
+         rate(s.shape_cache_hits, s.shape_cache_hits + s.shape_cache_misses) +
+         " compare_hit=" +
+         rate(s.compare_cache_hits,
+              s.compare_cache_hits + s.compare_cache_misses) +
+         " equiv_hit=" +
+         rate(s.equiv_cache_hits, s.equiv_cache_hits + s.equiv_cache_misses);
+}
+
 }  // namespace dfw

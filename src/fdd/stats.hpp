@@ -26,4 +26,29 @@ std::size_t theorem1_path_bound(std::size_t n_rules, std::size_t d_fields);
 
 std::string to_string(const FddStats& s);
 
+/// Counters an FddArena keeps over its lifetime: unique-table and label-
+/// table sizes and hit rates, plus per-operation memo-cache hit rates.
+/// Deterministic for a fixed operation sequence, so benchmarks can report
+/// sharing factors and tests can assert reproducibility.
+struct ArenaStats {
+  std::size_t unique_nodes = 0;    ///< nodes the arena materialised
+  std::size_t unique_labels = 0;   ///< interned edge labels
+  std::size_t node_queries = 0;    ///< unique-table lookups
+  std::size_t node_hits = 0;       ///< lookups resolved to an existing node
+  std::size_t label_queries = 0;   ///< label-table lookups
+  std::size_t label_hits = 0;      ///< lookups resolved to an existing label
+  std::size_t append_cache_hits = 0;    ///< COW-append memo hits
+  std::size_t append_cache_misses = 0;
+  std::size_t shape_cache_hits = 0;     ///< shaping-pair memo hits
+  std::size_t shape_cache_misses = 0;
+  std::size_t compare_cache_hits = 0;   ///< comparison-walk prune hits
+  std::size_t compare_cache_misses = 0;
+  std::size_t equiv_cache_hits = 0;     ///< semi-isomorphism memo hits
+  std::size_t equiv_cache_misses = 0;
+
+  friend bool operator==(const ArenaStats&, const ArenaStats&) = default;
+};
+
+std::string to_string(const ArenaStats& s);
+
 }  // namespace dfw

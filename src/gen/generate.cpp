@@ -1,6 +1,6 @@
 #include "gen/generate.hpp"
 
-#include "fdd/reduce.hpp"
+#include "fdd/arena.hpp"
 
 namespace dfw {
 namespace {
@@ -69,9 +69,18 @@ Policy generate_disjoint_policy(const Fdd& fdd, Decision fallback,
         });
   };
   if (reduce_first) {
-    Fdd reduced = fdd.clone();
-    reduce(reduced);
-    emit_paths(reduced);
+    // Interning through canonical() is the arena image of reduce(); the
+    // clone-and-reduce of the tree path is never materialised, and shared
+    // subdiagrams are expanded per path only while enumerating.
+    FddArena arena(schema);
+    const ArenaNodeId root = arena.from_tree_canonical(fdd.root());
+    arena.for_each_path(
+        root, [&](const std::vector<IntervalSet>& conjuncts,
+                  Decision decision) {
+          if (decision != fallback) {
+            rules.emplace_back(schema, conjuncts, decision);
+          }
+        });
   } else {
     emit_paths(fdd);
   }
@@ -81,19 +90,20 @@ Policy generate_disjoint_policy(const Fdd& fdd, Decision fallback,
 
 Policy generate_policy(const Fdd& fdd, bool reduce_first) {
   const Schema& schema = fdd.schema();
+  if (reduce_first) {
+    // Arena path: canonical interning is reduce(), and the default-branch
+    // election's rule-cost recursion — quadratic on trees — is memoised by
+    // node id, once per unique subdiagram.
+    FddArena arena(schema);
+    return arena.generate(arena.from_tree_canonical(fdd.root()));
+  }
   std::vector<IntervalSet> conjuncts;
   conjuncts.reserve(schema.field_count());
   for (std::size_t i = 0; i < schema.field_count(); ++i) {
     conjuncts.emplace_back(schema.domain(i));
   }
   std::vector<Rule> rules;
-  if (reduce_first) {
-    Fdd reduced = fdd.clone();
-    reduce(reduced);
-    gen(schema, reduced.root(), conjuncts, rules);
-  } else {
-    gen(schema, fdd.root(), conjuncts, rules);
-  }
+  gen(schema, fdd.root(), conjuncts, rules);
   return Policy(schema, std::move(rules));
 }
 

@@ -1,0 +1,310 @@
+// Tests for the hash-consed FDD arena (fdd/arena.hpp): interning
+// invariants, canonical-by-construction equality with the tree pipeline's
+// reduce(), lossless tree bridges, memoised semantic operations, and the
+// randomized equivalence harness the arena's correctness argument rests
+// on — arena and tree pipelines must be indistinguishable from outside.
+
+#include "fdd/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fdd/compare.hpp"
+#include "fdd/construct.hpp"
+#include "fdd/reduce.hpp"
+#include "fdd/shape.hpp"
+#include "gen/generate.hpp"
+#include "synth/synth.hpp"
+#include "test_util.hpp"
+
+namespace dfw {
+namespace {
+
+CompareOptions arena_options() {
+  CompareOptions o;
+  o.use_arena = true;
+  return o;
+}
+
+CompareOptions tree_options() {
+  CompareOptions o;
+  o.use_arena = false;
+  return o;
+}
+
+ConstructOptions tree_construct() {
+  ConstructOptions o;
+  o.use_arena = false;
+  return o;
+}
+
+Packet random_packet(const Schema& schema, std::mt19937_64& rng) {
+  Packet p(schema.field_count());
+  for (std::size_t f = 0; f < schema.field_count(); ++f) {
+    std::uniform_int_distribution<Value> pick(schema.domain(f).lo(),
+                                              schema.domain(f).hi());
+    p[f] = pick(rng);
+  }
+  return p;
+}
+
+TEST(FddArena, TerminalsAreInterned) {
+  FddArena arena(test::tiny2());
+  EXPECT_EQ(arena.terminal(kAccept), arena.terminal(kAccept));
+  EXPECT_EQ(arena.terminal(kDiscard), arena.terminal(kDiscard));
+  EXPECT_NE(arena.terminal(kAccept), arena.terminal(kDiscard));
+  EXPECT_EQ(arena.unique_node_count(), 2u);
+}
+
+TEST(FddArena, LabelsAreInterned) {
+  FddArena arena(test::tiny2());
+  const IntervalSet a({Interval(0, 3)});
+  const IntervalSet b({Interval(0, 3), Interval(5, 7)});
+  EXPECT_EQ(arena.intern(a), arena.intern(a));
+  EXPECT_NE(arena.intern(a), arena.intern(b));
+  EXPECT_EQ(arena.label(arena.intern(b)), b);
+  EXPECT_EQ(arena.stats().unique_labels, 2u);
+}
+
+TEST(FddArena, StructurallyIdenticalNodesShareAnId) {
+  FddArena arena(test::tiny2());
+  const ArenaNodeId acc = arena.terminal(kAccept);
+  const ArenaNodeId dis = arena.terminal(kDiscard);
+  const ArenaLabelId lo = arena.intern(IntervalSet(Interval(0, 3)));
+  const ArenaLabelId hi = arena.intern(IntervalSet(Interval(4, 7)));
+  const ArenaNodeId n1 = arena.internal(1, {{lo, acc}, {hi, dis}});
+  const ArenaNodeId n2 = arena.internal(1, {{hi, dis}, {lo, acc}});
+  EXPECT_EQ(n1, n2);  // edge order is normalised before interning
+  const ArenaNodeId n3 = arena.internal(1, {{lo, dis}, {hi, acc}});
+  EXPECT_NE(n1, n3);
+}
+
+TEST(FddArena, CanonicalMergesAndSplices) {
+  const Schema schema = test::tiny2();
+  FddArena arena(schema);
+  const ArenaNodeId acc = arena.terminal(kAccept);
+  const ArenaLabelId lo = arena.intern(IntervalSet(Interval(0, 3)));
+  const ArenaLabelId hi = arena.intern(IntervalSet(Interval(4, 7)));
+  // Both edges reach the same child: labels merge to the full domain, the
+  // resulting single-edge node is spliced away.
+  EXPECT_EQ(arena.canonical(1, {{lo, acc}, {hi, acc}}), acc);
+  // A genuine split is kept.
+  const ArenaNodeId dis = arena.terminal(kDiscard);
+  const ArenaNodeId split = arena.canonical(1, {{lo, acc}, {hi, dis}});
+  EXPECT_FALSE(arena.is_terminal(split));
+  EXPECT_EQ(arena.edges(split).size(), 2u);
+}
+
+TEST(FddArena, BuildReducedMatchesTreeReducedPipeline) {
+  // Canonical-by-construction must land on the same diagram as the tree
+  // pipeline's interleaved reduce: the reduced ordered FDD is unique.
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 40; ++round) {
+    const Schema schema = round % 2 == 0 ? test::tiny2() : test::tiny3();
+    const Policy policy = test::random_policy(schema, 8, rng);
+    const Fdd tree = build_reduced_fdd(policy, tree_construct());
+    FddArena arena(schema);
+    const ArenaNodeId root = arena.build_reduced(policy);
+    const Fdd expanded = arena.to_fdd(root);
+    EXPECT_TRUE(structurally_equal(expanded, tree));
+    EXPECT_TRUE(test::fdd_matches_policy(expanded, policy));
+    arena.validate(root);
+    for (const Packet& p : test::all_packets(schema)) {
+      EXPECT_EQ(arena.evaluate(root, p), policy.evaluate(p));
+    }
+  }
+}
+
+TEST(FddArena, DefaultBuildReducedFddUsesArenaAndMatchesTreePath) {
+  std::mt19937_64 rng(11);
+  for (int round = 0; round < 10; ++round) {
+    const Policy policy = test::random_policy(test::tiny3(), 10, rng);
+    EXPECT_TRUE(structurally_equal(build_reduced_fdd(policy),
+                                   build_reduced_fdd(policy,
+                                                     tree_construct())));
+  }
+}
+
+TEST(FddArena, TreeRoundTripIsLossless) {
+  std::mt19937_64 rng(3);
+  for (int round = 0; round < 20; ++round) {
+    const Policy policy = test::random_policy(test::tiny2(), 6, rng);
+    const Fdd tree = build_reduced_fdd(policy, tree_construct());
+    FddArena arena(tree.schema());
+    const ArenaNodeId root = arena.from_tree(tree.root());
+    EXPECT_TRUE(structurally_equal(arena.to_fdd(root), tree));
+  }
+}
+
+TEST(FddArena, FromTreeCanonicalIsReduce) {
+  std::mt19937_64 rng(5);
+  for (int round = 0; round < 20; ++round) {
+    const Policy policy = test::random_policy(test::tiny3(), 8, rng);
+    Fdd reduced = build_fdd(policy);
+    FddArena arena(reduced.schema());
+    const ArenaNodeId root = arena.from_tree_canonical(reduced.root());
+    reduce(reduced);
+    EXPECT_TRUE(structurally_equal(arena.to_fdd(root), reduced));
+  }
+}
+
+TEST(FddArena, AppendIsCopyOnWrite) {
+  // Appending never mutates existing ids: the old root keeps evaluating
+  // the old policy after the append.
+  const Schema schema = test::tiny2();
+  std::mt19937_64 rng(13);
+  const Policy policy = test::random_policy(schema, 6, rng);
+  FddArena arena(schema);
+  const ArenaNodeId root = arena.build_reduced(policy);
+  std::vector<IntervalSet> conjuncts{IntervalSet(Interval(1, 2)),
+                                     IntervalSet(Interval(0, 7))};
+  // The appended rule loses to every earlier rule (first-match), so the
+  // new root is the same function; the old root must be untouched too.
+  const ArenaNodeId appended = arena.append_rule(
+      root, Rule(schema, conjuncts, kAccept));
+  for (const Packet& p : test::all_packets(schema)) {
+    EXPECT_EQ(arena.evaluate(root, p), policy.evaluate(p));
+    EXPECT_EQ(arena.evaluate(appended, p), policy.evaluate(p));
+  }
+}
+
+TEST(FddArena, ShapePairProducesSemiIsomorphicEquivalents) {
+  std::mt19937_64 rng(17);
+  for (int round = 0; round < 20; ++round) {
+    const Schema schema = test::tiny3();
+    const Policy pa = test::random_policy(schema, 7, rng);
+    const Policy pb = test::random_policy(schema, 7, rng);
+    FddArena arena(schema);
+    const ArenaNodeId a = arena.build_reduced(pa);
+    const ArenaNodeId b = arena.build_reduced(pb);
+    const auto [sa, sb] = arena.shape_pair(a, b);
+    EXPECT_TRUE(arena.semi_isomorphic(sa, sb));
+    arena.validate(sa);
+    arena.validate(sb);
+    for (const Packet& p : test::all_packets(schema)) {
+      EXPECT_EQ(arena.evaluate(sa, p), pa.evaluate(p));
+      EXPECT_EQ(arena.evaluate(sb, p), pb.evaluate(p));
+    }
+    // Shaping a diagram against itself is the O(1) identity.
+    const auto [ta, tb] = arena.shape_pair(a, a);
+    EXPECT_EQ(ta, a);
+    EXPECT_EQ(tb, a);
+  }
+}
+
+TEST(FddArena, ValidateMatchesTreeMessages) {
+  const Schema schema = test::tiny2();
+  FddArena arena(schema);
+  // A partial diagram: field 0 only covers [0,3].
+  const ArenaNodeId acc = arena.terminal(kAccept);
+  const ArenaNodeId partial = arena.internal(
+      0, {{arena.intern(IntervalSet(Interval(0, 3))), acc}});
+  arena.validate(partial, /*require_complete=*/false);
+  try {
+    arena.validate(partial);
+    FAIL() << "expected completeness violation";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "FDD: completeness violated at field x");
+  }
+}
+
+// -- Randomized equivalence harness -----------------------------------------
+//
+// ~200 synthetic five-tuple policies (100 base/perturbed pairs): the arena
+// pipeline and the tree pipeline must agree decision-for-decision under
+// packet sampling and produce byte-identical discrepancy reports.
+
+TEST(FddArenaEquivalence, PairwiseDiscrepanciesMatchTreePipeline) {
+  Rng rng(2026);
+  std::mt19937_64 packet_rng(42);
+  for (int round = 0; round < 100; ++round) {
+    SynthConfig config;
+    config.num_rules = 20 + static_cast<std::size_t>(round % 30);
+    const Policy a = synth_policy(config, rng);
+    const Policy b = perturb_policy(a, 20.0, rng);
+    const std::vector<Discrepancy> via_arena =
+        discrepancies(a, b, arena_options());
+    const std::vector<Discrepancy> via_tree =
+        discrepancies(a, b, tree_options());
+    ASSERT_EQ(via_arena, via_tree) << "round " << round;
+
+    // Decision-for-decision agreement under packet sampling.
+    FddArena arena(a.schema());
+    const ArenaNodeId root = arena.build_reduced(a);
+    const Fdd tree = build_reduced_fdd(a, tree_construct());
+    for (int s = 0; s < 20; ++s) {
+      const Packet p = random_packet(a.schema(), packet_rng);
+      const Decision expected = a.evaluate(p);
+      EXPECT_EQ(arena.evaluate(root, p), expected);
+      EXPECT_EQ(tree.evaluate(p), expected);
+    }
+  }
+}
+
+TEST(FddArenaEquivalence, NWayDiscrepanciesMatchTreePipeline) {
+  Rng rng(99);
+  for (int round = 0; round < 25; ++round) {
+    SynthConfig config;
+    config.num_rules = 25;
+    const Policy a = synth_policy(config, rng);
+    std::vector<Policy> teams{a, perturb_policy(a, 15.0, rng),
+                              perturb_policy(a, 30.0, rng)};
+    EXPECT_EQ(discrepancies_many(teams, arena_options()),
+              discrepancies_many(teams, tree_options()))
+        << "round " << round;
+  }
+}
+
+TEST(FddArenaEquivalence, GeneratedPoliciesStayEquivalent) {
+  // gen off the DAG must produce exactly the tree generator's policy: the
+  // election metric and tie-breaks are the same, memoisation only changes
+  // the cost of computing them.
+  std::mt19937_64 rng(23);
+  for (int round = 0; round < 20; ++round) {
+    const Schema schema = test::tiny3();
+    const Policy policy = test::random_policy(schema, 9, rng);
+    const Fdd fdd = build_reduced_fdd(policy, tree_construct());
+    const Policy generated = generate_policy(fdd);
+    for (const Packet& p : test::all_packets(schema)) {
+      EXPECT_EQ(generated.evaluate(p), policy.evaluate(p));
+    }
+  }
+}
+
+TEST(FddArenaEquivalence, StatsAreDeterministicAcrossRuns) {
+  Rng rng_a(7);
+  Rng rng_b(7);
+  SynthConfig config;
+  config.num_rules = 60;
+  const Policy pa = synth_policy(config, rng_a);
+  const Policy pb = synth_policy(config, rng_b);
+
+  const auto run = [](const Policy& p) {
+    FddArena arena(p.schema());
+    const ArenaNodeId root = arena.build_reduced(p);
+    arena.validate(root);
+    return arena.stats();
+  };
+  const ArenaStats first = run(pa);
+  const ArenaStats second = run(pb);
+  EXPECT_EQ(first, second);
+  EXPECT_GT(first.unique_nodes, 0u);
+  EXPECT_FALSE(to_string(first).empty());
+}
+
+TEST(FddArenaEquivalence, SharingShrinksTheDiagram) {
+  // The whole point: on a nontrivial policy the hash-consed diagram holds
+  // far fewer nodes than its tree expansion.
+  Rng rng(1234);
+  SynthConfig config;
+  config.num_rules = 300;
+  const Policy policy = synth_policy(config, rng);
+  FddArena arena(policy.schema());
+  const ArenaNodeId root = arena.build_reduced(policy);
+  EXPECT_LT(arena.reachable_node_count(root),
+            arena.expanded_node_count(root));
+}
+
+}  // namespace
+}  // namespace dfw
