@@ -17,7 +17,7 @@ DiverseDesign::DiverseDesign(DecisionSet decisions, WorkflowOptions options)
 
 CompareOptions DiverseDesign::compare_options() const {
   return CompareOptions{options_.executor, options_.fork_threshold,
-                        options_.use_arena};
+                        options_.use_arena, options_.context};
 }
 
 std::size_t DiverseDesign::submit(std::string team_name, Policy policy) {
@@ -25,8 +25,10 @@ std::size_t DiverseDesign::submit(std::string team_name, Policy policy) {
     throw std::invalid_argument("submit: schema differs from earlier teams");
   }
   // Comprehensiveness gate: a rule sequence must cover every packet to
-  // serve as a firewall (Section 3.1).
-  Fdd fdd = build_reduced_fdd(policy);
+  // serve as a firewall (Section 3.1). Governed sessions bound this build
+  // too — a hostile submission must not hang the design phase.
+  Fdd fdd = build_reduced_fdd(policy,
+                              ConstructOptions{true, options_.context});
   fdd.validate();
   names_.push_back(std::move(team_name));
   policies_.push_back(std::move(policy));
@@ -45,6 +47,13 @@ std::vector<Discrepancy> DiverseDesign::compare() const {
     throw std::logic_error("compare: need at least two teams");
   }
   return discrepancies_many(policies_, compare_options());
+}
+
+CompareOutcome DiverseDesign::compare_governed() const {
+  if (policies_.size() < 2) {
+    throw std::logic_error("compare: need at least two teams");
+  }
+  return discrepancies_many_governed(policies_, compare_options());
 }
 
 std::vector<PairwiseReport> DiverseDesign::cross_compare() const {
@@ -67,11 +76,31 @@ std::vector<PairwiseReport> DiverseDesign::cross_compare() const {
   // A serial pipeline per pair keeps each task on one thread; use_arena
   // then gives every task its own task-local arena.
   const CompareOptions pair_options{nullptr, options_.fork_threshold,
-                                    options_.use_arena};
+                                    options_.use_arena, options_.context};
   return parallel_map<PairwiseReport>(ex, pairs.size(), [&](std::size_t i) {
     const auto [a, b] = pairs[i];
-    return PairwiseReport{
-        a, b, discrepancies(policies_[a], policies_[b], pair_options)};
+    if (options_.context == nullptr) {
+      return PairwiseReport{
+          a, b, discrepancies(policies_[a], policies_[b], pair_options)};
+    }
+    // Governed session: each pair absorbs its own governance cut into a
+    // per-pair status, so one breached pair never torpedoes the others'
+    // reports. A pair starting after the shared context already aborted
+    // is marked cancelled without doing any work.
+    PairwiseReport report;
+    report.team_a = a;
+    report.team_b = b;
+    if (options_.context->aborted()) {
+      report.complete = false;
+      report.status = options_.context->abort_code();
+      return report;
+    }
+    CompareOutcome outcome =
+        discrepancies_governed(policies_[a], policies_[b], pair_options);
+    report.discrepancies = std::move(outcome.discrepancies);
+    report.complete = outcome.complete;
+    report.status = outcome.status;
+    return report;
   });
 }
 

@@ -54,13 +54,25 @@ struct WorkflowOptions {
   /// Forwarded to the comparison pipeline: run serial comparisons
   /// arena-native (see CompareOptions::use_arena).
   bool use_arena = true;
+  /// Optional governance context (borrowed, nullable) shared by the whole
+  /// session: submission builds, comparison, and resolution all observe
+  /// its cancellation token, deadline, and budgets. With a context set,
+  /// cross_compare() reports per-pair status instead of throwing, and
+  /// compare_governed() returns partial results; the plain entry points
+  /// let the dfw::Error propagate. Null = ungoverned.
+  RunContext* context = nullptr;
 };
 
-/// One pairwise comparison result from cross comparison.
+/// One pairwise comparison result from cross comparison. In a governed
+/// session a pair cut short by cancellation/deadline/budget carries
+/// complete = false and the cause in `status`; its discrepancies are the
+/// partial findings up to the cut (empty when the pair never started).
 struct PairwiseReport {
   std::size_t team_a = 0;
   std::size_t team_b = 0;
   std::vector<Discrepancy> discrepancies;
+  bool complete = true;
+  ErrorCode status = ErrorCode::kOk;
 
   friend bool operator==(const PairwiseReport&,
                          const PairwiseReport&) = default;
@@ -86,6 +98,12 @@ class DiverseDesign {
 
   /// Comparison phase, direct N-way (Section 7.3). Requires >= 2 teams.
   std::vector<Discrepancy> compare() const;
+
+  /// Governed direct comparison: a breach of options().context becomes a
+  /// partial CompareOutcome (complete = false, discrepancies found so
+  /// far) instead of an exception. With a null context this is compare()
+  /// wrapped in an always-complete outcome.
+  CompareOutcome compare_governed() const;
 
   /// Comparison phase, cross comparison: one report per unordered pair,
   /// ordered (0,1), (0,2), ..., (K-2,K-1). With a pool executor the pairs

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "rt/govern.hpp"
+
 namespace dfw {
 namespace {
 
@@ -55,6 +57,9 @@ ArenaLabelId FddArena::intern(const IntervalSet& label) {
       return id;
     }
   }
+  // Charge before materialising: a breach leaves the tables untouched.
+  govern::charge_label_bytes(
+      govern_, label.intervals().size() * sizeof(Interval) + sizeof(label));
   const ArenaLabelId id = static_cast<ArenaLabelId>(labels_.size());
   labels_.push_back(label);
   bucket.push_back(id);
@@ -93,6 +98,11 @@ ArenaNodeId FddArena::intern_node(std::uint32_t field, Decision decision,
       return id;
     }
   }
+  // Node creation is the arena's unit of memory growth and of forward
+  // progress: charge the node budget and take the amortized cancellation/
+  // deadline checkpoint here, before the tables are touched.
+  govern::charge_nodes(govern_);
+  govern::checkpoint(govern_);
   const ArenaNodeId id = static_cast<ArenaNodeId>(nodes_.size());
   NodeRecord record;
   record.field = field;
@@ -226,6 +236,11 @@ ArenaNodeId FddArena::from_tree_canonical(const FddNode& node) {
 }
 
 std::unique_ptr<FddNode> FddArena::to_tree(ArenaNodeId root) const {
+  // Expansion un-shares the DAG, so a compact diagram can still explode
+  // here: every tree node built is charged, shared subdiagrams once per
+  // reference.
+  govern::charge_nodes(govern_);
+  govern::checkpoint(govern_);
   if (is_terminal(root)) {
     return FddNode::make_terminal(decision(root));
   }
@@ -296,6 +311,7 @@ ArenaNodeId FddArena::append_rule(ArenaNodeId root, const Rule& rule) {
       return it->second;
     }
     ++stats_.append_cache_misses;
+    govern::checkpoint(govern_);
     const std::size_t rank =
         is_terminal(v) ? schema_.field_count() : field(v);
     std::size_t g = from;
@@ -392,6 +408,7 @@ std::pair<ArenaNodeId, ArenaNodeId> FddArena::shape_pair(ArenaNodeId a,
     return it->second;
   }
   ++stats_.shape_cache_misses;
+  govern::checkpoint(govern_);
   // Step 1 (label alignment by node insertion): terminals rank after every
   // field, the earlier label absorbs the other under a full-domain edge.
   const auto rank = [this](ArenaNodeId n) {
@@ -481,6 +498,7 @@ bool FddArena::semi_isomorphic(ArenaNodeId a, ArenaNodeId b) {
     return it->second;
   }
   ++stats_.equiv_cache_misses;
+  govern::checkpoint(govern_);
   bool result = true;
   if (is_terminal(a) != is_terminal(b)) {
     result = false;
@@ -507,6 +525,13 @@ bool FddArena::semi_isomorphic(ArenaNodeId a, ArenaNodeId b) {
 
 std::vector<Discrepancy> FddArena::compare(
     const std::vector<ArenaNodeId>& roots) {
+  std::vector<Discrepancy> out;
+  compare_into(roots, out);
+  return out;
+}
+
+void FddArena::compare_into(const std::vector<ArenaNodeId>& roots,
+                            std::vector<Discrepancy>& out) {
   if (roots.empty()) {
     throw std::invalid_argument("FddArena::compare: no roots");
   }
@@ -521,7 +546,6 @@ std::vector<Discrepancy> FddArena::compare(
   for (std::size_t i = 0; i < schema_.field_count(); ++i) {
     conjuncts.emplace_back(schema_.domain(i));
   }
-  std::vector<Discrepancy> out;
   // Memo: an id tuple whose subdiagrams agree everywhere contributes no
   // discrepancy from any path prefix, so it is walked once and pruned on
   // every later encounter. Tuples that do disagree must be re-walked (the
@@ -530,6 +554,9 @@ std::vector<Discrepancy> FddArena::compare(
   std::unordered_map<std::vector<ArenaNodeId>, bool, IdVectorHash> memo;
   const auto walk = [&](auto&& self,
                         const std::vector<ArenaNodeId>& nodes) -> bool {
+    // The walk materialises no nodes, so it carries its own checkpoint;
+    // unwinding mid-walk leaves the discrepancies found so far in `out`.
+    govern::checkpoint(govern_);
     const ArenaNodeId first = nodes.front();
     if (std::all_of(nodes.begin(), nodes.end(),
                     [&](ArenaNodeId n) { return n == first; })) {
@@ -571,7 +598,6 @@ std::vector<Discrepancy> FddArena::compare(
     return found;
   };
   walk(walk, roots);
-  return out;
 }
 
 Decision FddArena::evaluate(ArenaNodeId root, const Packet& p) const {
@@ -606,6 +632,7 @@ void FddArena::validate(ArenaNodeId root, bool require_complete) const {
       return;
     }
     seen[id] = true;
+    govern::checkpoint(govern_);
     if (is_terminal(id)) {
       return;
     }
@@ -651,6 +678,7 @@ void FddArena::for_each_path(
     conjuncts.emplace_back(schema_.domain(i));
   }
   const auto visit = [&](auto&& self, ArenaNodeId id) -> void {
+    govern::checkpoint(govern_);
     if (is_terminal(id)) {
       fn(conjuncts, decision(id));
       return;
@@ -695,7 +723,11 @@ Policy FddArena::generate(ArenaNodeId root) {
   }
   std::vector<Rule> rules;
   const auto gen = [&](auto&& self, ArenaNodeId id) -> void {
+    govern::checkpoint(govern_);
     if (is_terminal(id)) {
+      // Every emitted rule is a unit of output growth: charge it so a
+      // rule-blowup budget caps generation from a pathological diagram.
+      govern::charge_rules(govern_);
       rules.emplace_back(schema_, conjuncts, decision(id));
       return;
     }

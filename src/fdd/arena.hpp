@@ -57,6 +57,8 @@ struct ArenaEdge {
   friend bool operator==(const ArenaEdge&, const ArenaEdge&) = default;
 };
 
+class RunContext;
+
 class FddArena {
  public:
   explicit FddArena(Schema schema);
@@ -65,6 +67,15 @@ class FddArena {
   FddArena& operator=(const FddArena&) = delete;
 
   const Schema& schema() const { return schema_; }
+
+  /// Attaches a governance context (borrowed, nullable): every node the
+  /// arena materialises is charged against its node budget, interned label
+  /// storage against its label budget, and the recursive operations call
+  /// amortized cancellation/deadline checkpoints. A breach throws
+  /// dfw::Error mid-operation; the arena stays valid (ids created before
+  /// the breach remain usable). Null detaches.
+  void set_context(RunContext* context) { govern_ = context; }
+  RunContext* context() const { return govern_; }
 
   // -- Node interning ------------------------------------------------------
 
@@ -156,6 +167,12 @@ class FddArena {
   /// order and contents match the tree compare exactly.
   std::vector<Discrepancy> compare(const std::vector<ArenaNodeId>& roots);
 
+  /// Same walk, appending into a caller-owned vector: when a governance
+  /// breach unwinds the walk, the discrepancies found before the breach
+  /// survive in `out` — the substrate of partial comparison reports.
+  void compare_into(const std::vector<ArenaNodeId>& roots,
+                    std::vector<Discrepancy>& out);
+
   /// The decision assigned to packet p; throws std::logic_error if p falls
   /// off a partial diagram.
   Decision evaluate(ArenaNodeId root, const Packet& p) const;
@@ -207,6 +224,7 @@ class FddArena {
   std::unordered_map<std::uint64_t, bool> equiv_cache_;
   std::unordered_map<ArenaNodeId, std::size_t> rule_cost_cache_;
   ArenaStats stats_;
+  RunContext* govern_ = nullptr;  // borrowed; null = ungoverned
 };
 
 }  // namespace dfw

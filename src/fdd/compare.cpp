@@ -1,6 +1,7 @@
 #include "fdd/compare.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <stdexcept>
 #include <utility>
 
@@ -19,9 +20,12 @@ Executor& resolve_executor(const CompareOptions& options) {
 
 // Lockstep walk over N semi-isomorphic subtrees accumulating the common
 // path predicate; emits a record at terminals with disagreeing decisions.
+// Governed walks checkpoint here; unwinding leaves the discrepancies found
+// so far in `out` (caller-owned), which is what partial reports surface.
 void walk(const Schema& schema, const std::vector<const FddNode*>& nodes,
-          std::vector<IntervalSet>& conjuncts,
-          std::vector<Discrepancy>& out) {
+          std::vector<IntervalSet>& conjuncts, std::vector<Discrepancy>& out,
+          RunContext* ctx) {
+  govern::checkpoint(ctx);
   const FddNode* first = nodes.front();
   if (first->is_terminal()) {
     const bool all_equal =
@@ -46,14 +50,14 @@ void walk(const Schema& schema, const std::vector<const FddNode*>& nodes,
     for (const FddNode* n : nodes) {
       children.push_back(n->edges[e].target.get());
     }
-    walk(schema, children, conjuncts, out);
+    walk(schema, children, conjuncts, out, ctx);
   }
   conjuncts[first->field] = IntervalSet(schema.domain(first->field));
 }
 
-std::vector<Discrepancy> compare_impl(const Schema& schema,
-                                      std::vector<const FddNode*> roots,
-                                      const CompareOptions& options) {
+void compare_impl(const Schema& schema, std::vector<const FddNode*> roots,
+                  const CompareOptions& options,
+                  std::vector<Discrepancy>& out) {
   std::vector<IntervalSet> conjuncts;
   conjuncts.reserve(schema.field_count());
   for (std::size_t i = 0; i < schema.field_count(); ++i) {
@@ -65,38 +69,47 @@ std::vector<Discrepancy> compare_impl(const Schema& schema,
       first->edges.size() >= std::max<std::size_t>(1, options.fork_threshold)) {
     // Fork the root's subtree recursions as independent tasks. Each task
     // walks with its own conjunct stack; concatenating the per-edge output
-    // in edge order reproduces the serial depth-first order exactly.
-    auto parts = parallel_map<std::vector<Discrepancy>>(
-        ex, first->edges.size(), [&](std::size_t e) {
-          std::vector<IntervalSet> local = conjuncts;
-          local[first->field] = first->edges[e].label;
-          std::vector<const FddNode*> children;
-          children.reserve(roots.size());
-          for (const FddNode* n : roots) {
-            children.push_back(n->edges[e].target.get());
-          }
-          std::vector<Discrepancy> out;
-          walk(schema, children, local, out);
-          return out;
-        });
-    std::vector<Discrepancy> out;
-    for (std::vector<Discrepancy>& part : parts) {
-      out.insert(out.end(), std::make_move_iterator(part.begin()),
-                 std::make_move_iterator(part.end()));
+    // in edge order reproduces the serial depth-first order exactly. The
+    // staging vector lives here, not in parallel_map, so a governed abort
+    // can still flush every completed task's findings into `out`.
+    std::vector<std::vector<Discrepancy>> parts(first->edges.size());
+    const auto flush = [&] {
+      for (std::vector<Discrepancy>& part : parts) {
+        out.insert(out.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+      }
+    };
+    try {
+      ex.parallel_for(
+          first->edges.size(),
+          [&](std::size_t e) {
+            std::vector<IntervalSet> local = conjuncts;
+            local[first->field] = first->edges[e].label;
+            std::vector<const FddNode*> children;
+            children.reserve(roots.size());
+            for (const FddNode* n : roots) {
+              children.push_back(n->edges[e].target.get());
+            }
+            walk(schema, children, local, parts[e], options.context);
+          },
+          options.context);
+    } catch (...) {
+      flush();
+      throw;
     }
-    return out;
+    flush();
+    return;
   }
-  std::vector<Discrepancy> out;
-  walk(schema, roots, conjuncts, out);
-  return out;
+  walk(schema, roots, conjuncts, out, options.context);
 }
 
 // Whole pipeline on ids: build canonical diagrams, validate, shape, and
 // compare without ever expanding a tree. Canonical construction makes the
 // diagrams reduced; shaping and comparison memoise inside the arena.
-std::vector<Discrepancy> arena_discrepancies(
-    const std::vector<const Policy*>& policies) {
+void arena_discrepancies(const std::vector<const Policy*>& policies,
+                         RunContext* ctx, std::vector<Discrepancy>& out) {
   FddArena arena(policies.front()->schema());
+  arena.set_context(ctx);
   std::vector<ArenaNodeId> roots;
   roots.reserve(policies.size());
   for (const Policy* p : policies) {
@@ -106,7 +119,7 @@ std::vector<Discrepancy> arena_discrepancies(
     arena.validate(root);  // rejects non-comprehensive inputs up front
   }
   arena.shape_all(roots);
-  return arena.compare(roots);
+  arena.compare_into(roots, out);
 }
 
 }  // namespace
@@ -116,7 +129,9 @@ std::vector<Discrepancy> compare_fdds(const Fdd& a, const Fdd& b,
   if (!semi_isomorphic(a, b)) {
     throw std::invalid_argument("compare_fdds: FDDs are not semi-isomorphic");
   }
-  return compare_impl(a.schema(), {&a.root(), &b.root()}, options);
+  std::vector<Discrepancy> out;
+  compare_impl(a.schema(), {&a.root(), &b.root()}, options, out);
+  return out;
 }
 
 std::vector<Discrepancy> compare_fdds(const Fdd& a, const Fdd& b) {
@@ -139,40 +154,48 @@ std::vector<Discrepancy> compare_fdds_many(const std::vector<Fdd>& fdds,
   for (const Fdd& f : fdds) {
     roots.push_back(&f.root());
   }
-  return compare_impl(fdds[0].schema(), std::move(roots), options);
+  std::vector<Discrepancy> out;
+  compare_impl(fdds[0].schema(), std::move(roots), options, out);
+  return out;
 }
 
 std::vector<Discrepancy> compare_fdds_many(const std::vector<Fdd>& fdds) {
   return compare_fdds_many(fdds, CompareOptions{});
 }
 
-std::vector<Discrepancy> discrepancies(const Policy& a, const Policy& b,
-                                       const CompareOptions& options) {
+namespace {
+
+void discrepancies_pair_into(const Policy& a, const Policy& b,
+                             const CompareOptions& options,
+                             std::vector<Discrepancy>& out) {
   if (options.use_arena && resolve_executor(options).is_inline()) {
-    return arena_discrepancies({&a, &b});
+    arena_discrepancies({&a, &b}, options.context, out);
+    return;
   }
   // Construction dominates the pipeline (Fig. 13) and the two diagrams
   // are independent until shaping — with a pool executor they build as
   // two concurrent tasks. use_arena still applies to construction here:
   // each task builds through its own task-local arena and expands the
   // result, which threads fine; only shaping/comparison need the tree.
-  const ConstructOptions construct{options.use_arena};
+  const ConstructOptions construct{options.use_arena, options.context};
   const Policy* inputs[2] = {&a, &b};
   std::vector<Fdd> fdds = parallel_map<Fdd>(
       resolve_executor(options), 2,
-      [&](std::size_t i) { return build_reduced_fdd(*inputs[i], construct); });
+      [&](std::size_t i) { return build_reduced_fdd(*inputs[i], construct); },
+      options.context);
   fdds[0].validate();  // rejects non-comprehensive inputs up front
   fdds[1].validate();
-  shape_pair(fdds[0], fdds[1]);
-  return compare_fdds(fdds[0], fdds[1], options);
+  shape_pair(fdds[0], fdds[1], options.context);
+  if (!semi_isomorphic(fdds[0], fdds[1])) {
+    throw std::invalid_argument("compare_fdds: FDDs are not semi-isomorphic");
+  }
+  compare_impl(fdds[0].schema(), {&fdds[0].root(), &fdds[1].root()}, options,
+               out);
 }
 
-std::vector<Discrepancy> discrepancies(const Policy& a, const Policy& b) {
-  return discrepancies(a, b, CompareOptions{});
-}
-
-std::vector<Discrepancy> discrepancies_many(
-    const std::vector<Policy>& policies, const CompareOptions& options) {
+void discrepancies_many_into(const std::vector<Policy>& policies,
+                             const CompareOptions& options,
+                             std::vector<Discrepancy>& out) {
   if (policies.empty()) {
     throw std::invalid_argument("discrepancies_many: no policies");
   }
@@ -182,24 +205,87 @@ std::vector<Discrepancy> discrepancies_many(
     for (const Policy& p : policies) {
       inputs.push_back(&p);
     }
-    return arena_discrepancies(inputs);
+    arena_discrepancies(inputs, options.context, out);
+    return;
   }
-  const ConstructOptions construct{options.use_arena};
+  const ConstructOptions construct{options.use_arena, options.context};
   std::vector<Fdd> fdds = parallel_map<Fdd>(
       resolve_executor(options), policies.size(),
       [&](std::size_t i) {
         return build_reduced_fdd(policies[i], construct);
-      });
+      },
+      options.context);
   for (Fdd& f : fdds) {
     f.validate();
   }
-  shape_all(fdds);
-  return compare_fdds_many(fdds, options);
+  shape_all(fdds, options.context);
+  std::vector<const FddNode*> roots;
+  roots.reserve(fdds.size());
+  for (std::size_t i = 1; i < fdds.size(); ++i) {
+    if (!semi_isomorphic(fdds[0], fdds[i])) {
+      throw std::invalid_argument(
+          "compare_fdds_many: FDDs are not pairwise semi-isomorphic");
+    }
+  }
+  for (const Fdd& f : fdds) {
+    roots.push_back(&f.root());
+  }
+  compare_impl(fdds[0].schema(), std::move(roots), options, out);
+}
+
+CompareOutcome run_governed(
+    const std::function<void(std::vector<Discrepancy>&)>& pipeline) {
+  CompareOutcome outcome;
+  try {
+    pipeline(outcome.discrepancies);
+  } catch (const Error& e) {
+    // Governance cuts (cancel/deadline/budget) become a partial report;
+    // anything else — bad inputs, internal faults — is a real error and
+    // keeps propagating.
+    outcome.complete = false;
+    outcome.status = e.code();
+    outcome.message = e.what();
+  }
+  return outcome;
+}
+
+}  // namespace
+
+std::vector<Discrepancy> discrepancies(const Policy& a, const Policy& b,
+                                       const CompareOptions& options) {
+  std::vector<Discrepancy> out;
+  discrepancies_pair_into(a, b, options, out);
+  return out;
+}
+
+std::vector<Discrepancy> discrepancies(const Policy& a, const Policy& b) {
+  return discrepancies(a, b, CompareOptions{});
+}
+
+std::vector<Discrepancy> discrepancies_many(
+    const std::vector<Policy>& policies, const CompareOptions& options) {
+  std::vector<Discrepancy> out;
+  discrepancies_many_into(policies, options, out);
+  return out;
 }
 
 std::vector<Discrepancy> discrepancies_many(
     const std::vector<Policy>& policies) {
   return discrepancies_many(policies, CompareOptions{});
+}
+
+CompareOutcome discrepancies_governed(const Policy& a, const Policy& b,
+                                      const CompareOptions& options) {
+  return run_governed([&](std::vector<Discrepancy>& out) {
+    discrepancies_pair_into(a, b, options, out);
+  });
+}
+
+CompareOutcome discrepancies_many_governed(
+    const std::vector<Policy>& policies, const CompareOptions& options) {
+  return run_governed([&](std::vector<Discrepancy>& out) {
+    discrepancies_many_into(policies, options, out);
+  });
 }
 
 bool equivalent(const Policy& a, const Policy& b) {

@@ -12,10 +12,12 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "fdd/fdd.hpp"
 #include "fw/policy.hpp"
+#include "rt/govern.hpp"
 
 namespace dfw {
 
@@ -47,6 +49,26 @@ struct CompareOptions {
   /// Output is identical either way. An arena is single-threaded, so a
   /// pool executor always takes the tree path regardless of this flag.
   bool use_arena = true;
+  /// Optional governance context (borrowed, nullable): cancellation,
+  /// deadline, and resource budgets observed throughout the pipeline —
+  /// construction charges nodes, shaping charges inserted/cloned nodes,
+  /// and the comparison walk takes amortized checkpoints. Null (the
+  /// default) runs ungoverned and byte-identical to pre-governance
+  /// builds. The vector-returning entry points let a breach propagate as
+  /// dfw::Error; the *_governed entry points catch it and return the
+  /// discrepancies found so far with complete=false.
+  RunContext* context = nullptr;
+};
+
+/// Result of a governed comparison. When `complete` is false the pipeline
+/// was cut short by `status` (cancellation, deadline, or a budget breach)
+/// and `discrepancies` holds only what was found before the cut — a
+/// partial, clearly-marked report rather than a silent truncation.
+struct CompareOutcome {
+  std::vector<Discrepancy> discrepancies;
+  bool complete = true;
+  ErrorCode status = ErrorCode::kOk;
+  std::string message;  ///< empty when complete; Error::what() otherwise
 };
 
 /// Compares two semi-isomorphic FDDs; requires semi_isomorphic(a, b).
@@ -75,6 +97,17 @@ std::vector<Discrepancy> discrepancies_many(
     const std::vector<Policy>& policies, const CompareOptions& options);
 std::vector<Discrepancy> discrepancies_many(
     const std::vector<Policy>& policies);
+
+/// Governed full pipeline: like discrepancies(), but a breach of
+/// options.context (cancellation, deadline, node/label/rule budget) is
+/// caught and reported as a partial CompareOutcome instead of propagating.
+/// Non-governance errors (invalid inputs, internal faults) still throw.
+CompareOutcome discrepancies_governed(const Policy& a, const Policy& b,
+                                      const CompareOptions& options);
+
+/// Governed N-way pipeline; see discrepancies_governed.
+CompareOutcome discrepancies_many_governed(
+    const std::vector<Policy>& policies, const CompareOptions& options);
 
 /// Two firewalls are equivalent iff they have no functional discrepancy
 /// (Section 3.1's f1 == f2 mapping equality).

@@ -15,6 +15,8 @@
 
 namespace dfw {
 
+class RunContext;
+
 /// Constructs an FDD equivalent to the policy. The result is ordered in
 /// schema field order, consistent, and complete iff the policy is
 /// comprehensive; validate() is the caller's tool for asserting that.
@@ -39,6 +41,15 @@ struct ConstructOptions {
   /// reduced ordered FDD of a policy is unique. Off restores the pure
   /// tree pipeline (append + interleaved reduce).
   bool use_arena = true;
+
+  /// Optional governance context (borrowed, nullable). When set, every node
+  /// the construction materialises — arena or tree, including case-3
+  /// subtree clones — is charged against the context's node budget, and the
+  /// recursion takes amortized cancellation/deadline checkpoints. A breach
+  /// throws dfw::Error; construction cannot return a partial diagram (a
+  /// half-appended rule has no policy semantics), so callers wanting
+  /// partial *reports* catch at the workflow layer.
+  RunContext* context = nullptr;
 };
 
 /// Construction with interleaved reduction: equivalent to

@@ -2,9 +2,20 @@
 
 #include <charconv>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "fdd/arena.hpp"
+#include "rt/govern.hpp"
 
 namespace dfw {
 namespace {
+
+// Expansion ceiling for ungoverned v2 loads: a DAG of a few hundred bytes
+// can describe a tree of 2^64 nodes, so expansion must be bounded even
+// when the caller did not pass a RunContext.
+constexpr std::size_t kDefaultExpansionCap = 1u << 22;  // ~4M nodes
 
 void emit(const FddNode& node, std::string& out) {
   if (node.is_terminal()) {
@@ -28,11 +39,25 @@ void emit(const FddNode& node, std::string& out) {
   }
 }
 
+void emit_label(const IntervalSet& label, std::string& out) {
+  const std::vector<Interval>& runs = label.intervals();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (i != 0) {
+      out += ",";
+    }
+    out += std::to_string(runs[i].lo()) + ":" + std::to_string(runs[i].hi());
+  }
+}
+
 // Line-cursor over the serialized text.
 struct Reader {
   std::string_view text;
   std::size_t pos = 0;
   std::size_t line_no = 0;
+
+  std::size_t remaining() const {
+    return pos >= text.size() ? 0 : text.size() - pos;
+  }
 
   std::string_view next_line() {
     if (pos > text.size()) {
@@ -96,7 +121,13 @@ IntervalSet parse_label(Reader& r, std::string_view s) {
   return set;
 }
 
-std::unique_ptr<FddNode> parse_node(Reader& r) {
+// v1 recursive-descent node parser. `min_field` enforces the FDD field
+// order *at parse time* — a nonterminal's field must be at least the
+// parent's field + 1 — which both reports violations with a line number
+// and bounds the recursion depth by the schema's field count, so hostile
+// deeply-nested input cannot overflow the stack before validate() runs.
+std::unique_ptr<FddNode> parse_node(Reader& r, const Schema& schema,
+                                    std::size_t min_field) {
   const std::string_view line = r.next_line();
   if (line.size() < 2 || line[1] != ' ') {
     r.fail("expected node line, got '" + std::string(line) + "'");
@@ -118,20 +149,225 @@ std::unique_ptr<FddNode> parse_node(Reader& r) {
   }
   const std::uint64_t field = parse_number(r, body.substr(0, space));
   const std::uint64_t edge_count = parse_number(r, body.substr(space + 1));
+  if (field >= schema.field_count()) {
+    r.fail("field index " + std::to_string(field) + " out of range (schema "
+           "has " + std::to_string(schema.field_count()) + " fields)");
+  }
+  if (field < min_field) {
+    r.fail("field order violated: field " + std::to_string(field) +
+           " under an ancestor with field >= " + std::to_string(min_field));
+  }
   if (edge_count == 0) {
     r.fail("nonterminal node with zero edges");
   }
+  // Every edge needs at least an 'E' line and a node line; bounding the
+  // count by the remaining input defuses reserve bombs ("N 0 9999999999").
+  if (edge_count > r.remaining()) {
+    r.fail("edge count " + std::to_string(edge_count) +
+           " exceeds the remaining input");
+  }
   auto node = FddNode::make_internal(static_cast<std::size_t>(field));
-  node->edges.reserve(edge_count);
+  node->edges.reserve(static_cast<std::size_t>(edge_count));
   for (std::uint64_t e = 0; e < edge_count; ++e) {
     const std::string_view edge_line = r.next_line();
     if (edge_line.size() < 2 || edge_line[0] != 'E' || edge_line[1] != ' ') {
       r.fail("expected edge line");
     }
     IntervalSet label = parse_label(r, edge_line.substr(2));
-    node->edges.emplace_back(std::move(label), parse_node(r));
+    node->edges.emplace_back(
+        std::move(label),
+        parse_node(r, schema, static_cast<std::size_t>(field) + 1));
   }
   return node;
+}
+
+// ---------------------------------------------------------------------------
+// v2: explicit-id DAG records.
+
+struct DagEdge {
+  std::uint32_t target;  // index into the record table
+  IntervalSet label;
+};
+
+struct DagRecord {
+  bool terminal = false;
+  Decision decision = 0;
+  std::uint32_t field = 0;
+  std::vector<DagEdge> edges;
+};
+
+// Expands one record into an owning tree, duplicating shared subdiagrams
+// (the tree representation owns every child). `created` counts every tree
+// node materialised; governed loads charge the context instead, making a
+// decompression bomb a NodeBudgetExceeded error rather than an OOM.
+std::unique_ptr<FddNode> expand_record(
+    const std::vector<DagRecord>& records, std::uint32_t index,
+    RunContext* ctx, std::size_t& created) {
+  if (ctx != nullptr) {
+    ctx->charge_nodes();
+    ctx->checkpoint();
+  } else if (++created > kDefaultExpansionCap) {
+    throw std::invalid_argument(
+        "deserialize_fdd: DAG expansion exceeds " +
+        std::to_string(kDefaultExpansionCap) +
+        " tree nodes; pass a RunContext to raise the limit");
+  }
+  const DagRecord& record = records[index];
+  if (record.terminal) {
+    return FddNode::make_terminal(record.decision);
+  }
+  auto node = FddNode::make_internal(record.field);
+  node->edges.reserve(record.edges.size());
+  for (const DagEdge& e : record.edges) {
+    node->edges.emplace_back(e.label,
+                             expand_record(records, e.target, ctx, created));
+  }
+  return node;
+}
+
+Fdd deserialize_dag(const Schema& schema, Reader& r, RunContext* ctx) {
+  const std::string_view nodes_line = r.next_line();
+  if (nodes_line.substr(0, 6) != "nodes ") {
+    r.fail("missing 'nodes' line");
+  }
+  const std::uint64_t count = parse_number(r, nodes_line.substr(6));
+  if (count == 0) {
+    r.fail("node count must be positive");
+  }
+  // Every record needs at least one line of input.
+  if (count > r.remaining()) {
+    r.fail("node count " + std::to_string(count) +
+           " exceeds the remaining input");
+  }
+
+  std::vector<DagRecord> records;
+  records.reserve(static_cast<std::size_t>(count));
+  std::unordered_map<std::uint64_t, std::uint32_t> index_of_id;
+  index_of_id.reserve(static_cast<std::size_t>(count));
+
+  // A target must name an id defined on an *earlier* line: that one rule
+  // rejects dangling ids, forward references, and cycles, and it proves
+  // the records arrive children-first, so the field-order check below can
+  // consult the target's already-parsed record.
+  const auto resolve_target = [&](Reader& reader,
+                                  std::uint64_t id) -> std::uint32_t {
+    const auto it = index_of_id.find(id);
+    if (it == index_of_id.end()) {
+      reader.fail("edge references undefined node id " + std::to_string(id) +
+                  " (dangling, forward, or cyclic)");
+    }
+    return it->second;
+  };
+
+  for (std::uint64_t n = 0; n < count; ++n) {
+    const std::string_view line = r.next_line();
+    if (line.size() < 2 || line[1] != ' ') {
+      r.fail("expected node record, got '" + std::string(line) + "'");
+    }
+    const std::string_view body = line.substr(2);
+    DagRecord record;
+    std::uint64_t id = 0;
+    if (line[0] == 'T') {
+      const std::size_t space = body.find(' ');
+      if (space == std::string_view::npos) {
+        r.fail("terminal record needs id and decision");
+      }
+      id = parse_number(r, body.substr(0, space));
+      const std::uint64_t decision = parse_number(r, body.substr(space + 1));
+      if (decision > UINT16_MAX) {
+        r.fail("decision id out of range");
+      }
+      record.terminal = true;
+      record.decision = static_cast<Decision>(decision);
+    } else if (line[0] == 'N') {
+      const std::size_t s1 = body.find(' ');
+      const std::size_t s2 =
+          s1 == std::string_view::npos ? s1 : body.find(' ', s1 + 1);
+      if (s1 == std::string_view::npos || s2 == std::string_view::npos) {
+        r.fail("nonterminal record needs id, field, and edge count");
+      }
+      id = parse_number(r, body.substr(0, s1));
+      const std::uint64_t field =
+          parse_number(r, body.substr(s1 + 1, s2 - s1 - 1));
+      const std::uint64_t edge_count = parse_number(r, body.substr(s2 + 1));
+      if (field >= schema.field_count()) {
+        r.fail("field index " + std::to_string(field) +
+               " out of range (schema has " +
+               std::to_string(schema.field_count()) + " fields)");
+      }
+      if (edge_count == 0) {
+        r.fail("nonterminal node with zero edges");
+      }
+      if (edge_count > r.remaining()) {
+        r.fail("edge count " + std::to_string(edge_count) +
+               " exceeds the remaining input");
+      }
+      record.field = static_cast<std::uint32_t>(field);
+      record.edges.reserve(static_cast<std::size_t>(edge_count));
+      for (std::uint64_t e = 0; e < edge_count; ++e) {
+        const std::string_view edge_line = r.next_line();
+        if (edge_line.size() < 2 || edge_line[0] != 'E' ||
+            edge_line[1] != ' ') {
+          r.fail("expected edge line");
+        }
+        const std::string_view edge_body = edge_line.substr(2);
+        const std::size_t space = edge_body.find(' ');
+        if (space == std::string_view::npos) {
+          r.fail("edge line needs target id and label");
+        }
+        const std::uint64_t target_id =
+            parse_number(r, edge_body.substr(0, space));
+        const std::uint32_t target = resolve_target(r, target_id);
+        const DagRecord& child = records[target];
+        // Parse-time field-order enforcement: bounds the later expansion
+        // recursion by the schema depth, exactly like the v1 parser.
+        if (!child.terminal && child.field <= record.field) {
+          r.fail("field order violated: child node id " +
+                 std::to_string(target_id) + " has field " +
+                 std::to_string(child.field) + " <= parent field " +
+                 std::to_string(record.field));
+        }
+        record.edges.push_back(
+            {target, parse_label(r, edge_body.substr(space + 1))});
+      }
+    } else {
+      r.fail("expected 'N' or 'T' record");
+    }
+    if (!index_of_id.emplace(id, static_cast<std::uint32_t>(records.size()))
+             .second) {
+      r.fail("duplicate node id " + std::to_string(id));
+    }
+    records.push_back(std::move(record));
+  }
+
+  const std::string_view root_line = r.next_line();
+  if (root_line.substr(0, 5) != "root ") {
+    r.fail("missing 'root' line");
+  }
+  const std::uint32_t root =
+      resolve_target(r, parse_number(r, root_line.substr(5)));
+
+  std::size_t created = 0;
+  return Fdd(schema, expand_record(records, root, ctx, created));
+}
+
+void emit_dag(const FddArena& arena, std::string& out) {
+  for (ArenaNodeId id = 0; id < arena.unique_node_count(); ++id) {
+    if (arena.is_terminal(id)) {
+      out += "T " + std::to_string(id) + " " +
+             std::to_string(arena.decision(id)) + "\n";
+      continue;
+    }
+    const auto edges = arena.edges(id);
+    out += "N " + std::to_string(id) + " " +
+           std::to_string(arena.field(id)) + " " +
+           std::to_string(edges.size()) + "\n";
+    for (const ArenaEdge& e : edges) {
+      out += "E " + std::to_string(e.target) + " ";
+      emit_label(arena.label(e.label), out);
+      out += "\n";
+    }
+  }
 }
 
 }  // namespace
@@ -143,10 +379,35 @@ std::string serialize_fdd(const Fdd& fdd) {
   return out;
 }
 
+std::string serialize_fdd_dag(const Fdd& fdd) {
+  // Interning through a fresh arena assigns ids bottom-up (children are
+  // interned before their parents), so emitting the records in id order
+  // satisfies the loader's children-first rule by construction.
+  FddArena arena(fdd.schema());
+  const ArenaNodeId root = arena.from_tree(fdd.root());
+  std::string out = "dfdd 2\n";
+  out += "schema " + std::to_string(fdd.schema().field_count()) + "\n";
+  out += "nodes " + std::to_string(arena.unique_node_count()) + "\n";
+  emit_dag(arena, out);
+  out += "root " + std::to_string(root) + "\n";
+  return out;
+}
+
 Fdd deserialize_fdd(const Schema& schema, std::string_view text) {
+  return deserialize_fdd(schema, text, nullptr);
+}
+
+Fdd deserialize_fdd(const Schema& schema, std::string_view text,
+                    RunContext* context) {
   Reader r{text};
-  if (r.next_line() != "dfdd 1") {
-    r.fail("missing 'dfdd 1' header");
+  const std::string_view header = r.next_line();
+  int version = 0;
+  if (header == "dfdd 1") {
+    version = 1;
+  } else if (header == "dfdd 2") {
+    version = 2;
+  } else {
+    r.fail("missing 'dfdd 1' or 'dfdd 2' header");
   }
   const std::string_view schema_line = r.next_line();
   if (schema_line.substr(0, 7) != "schema ") {
@@ -156,7 +417,8 @@ Fdd deserialize_fdd(const Schema& schema, std::string_view text) {
   if (d != schema.field_count()) {
     r.fail("schema field count mismatch");
   }
-  Fdd fdd(schema, parse_node(r));
+  Fdd fdd = version == 1 ? Fdd(schema, parse_node(r, schema, 0))
+                         : deserialize_dag(schema, r, context);
   // Trailing garbage (beyond a final newline) is an error.
   while (r.pos <= text.size()) {
     const std::string_view line = r.next_line();

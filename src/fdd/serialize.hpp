@@ -1,9 +1,12 @@
 // FDD serialization.
 //
-// A compact, line-based text format for saving shaped or reduced diagrams
-// and shipping them between tools (the comparison phase's artifacts —
-// shaped FDDs and corrected FDDs — are worth persisting across the
-// resolution phase). Format, preorder:
+// Two line-based text formats for saving shaped or reduced diagrams and
+// shipping them between tools (the comparison phase's artifacts — shaped
+// FDDs and corrected FDDs — are worth persisting across the resolution
+// phase).
+//
+// Version 1, preorder tree (one subtree per edge, shared subdiagrams
+// duplicated):
 //
 //   dfdd 1                      header: magic + version
 //   schema <d>                  field count (domains come from the caller)
@@ -11,9 +14,23 @@
 //   E <lo>:<hi>[,<lo>:<hi>...]  one edge label; its subtree follows
 //   T <decision>                terminal node
 //
-// The caller supplies the Schema on load; the format stores only the
-// structure, and load validates it against the schema (field indices,
-// domain containment, consistency, completeness when requested).
+// Version 2, explicit-id DAG (shared subdiagrams written once, bottom-up):
+//
+//   dfdd 2
+//   schema <d>
+//   nodes <count>               node records follow, children first
+//   T <id> <decision>           terminal record
+//   N <id> <field> <edge-count> nonterminal record; its E lines follow
+//   E <target-id> <lo>:<hi>[,...]
+//   root <id>
+//
+// The caller supplies the Schema on load; the formats store only the
+// structure, and load validates it against the schema. Both parsers are
+// hardened for untrusted input: every read is bounds-checked, recursion
+// depth is bounded by parse-time field-order enforcement, edge/node
+// counts are bounded by the input size (no reserve bombs), and the v2
+// loader rejects duplicate node ids and dangling (or forward, or cyclic)
+// child references with precise per-line errors.
 
 #pragma once
 
@@ -24,12 +41,29 @@
 
 namespace dfw {
 
-/// Serializes the diagram. Deterministic: equal FDDs produce equal text.
+class RunContext;
+
+/// Serializes the diagram in the v1 tree format. Deterministic: equal
+/// FDDs produce equal text.
 std::string serialize_fdd(const Fdd& fdd);
 
-/// Parses a serialized diagram and re-attaches the schema. Throws
-/// std::invalid_argument on syntax errors and std::logic_error when the
-/// structure violates the FDD invariants for this schema.
+/// Serializes the diagram in the v2 DAG format: structurally identical
+/// subtrees are interned and written once, so the output is at most — and
+/// often exponentially smaller than — the v1 text. Deterministic.
+std::string serialize_fdd_dag(const Fdd& fdd);
+
+/// Parses a serialized diagram (either version, dispatched on the header)
+/// and re-attaches the schema. Throws std::invalid_argument on syntax and
+/// structural errors (including id violations in v2) and std::logic_error
+/// when the parsed structure violates the FDD invariants for this schema.
 Fdd deserialize_fdd(const Schema& schema, std::string_view text);
+
+/// Governed deserialization: expanding a v2 DAG un-shares every node, so a
+/// few kilobytes of hostile text can describe an exponentially large tree
+/// (a decompression bomb). With a context, every materialised tree node is
+/// charged against its node budget and a breach throws dfw::Error; with a
+/// null context a built-in expansion cap applies instead.
+Fdd deserialize_fdd(const Schema& schema, std::string_view text,
+                    RunContext* context);
 
 }  // namespace dfw

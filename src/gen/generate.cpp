@@ -1,6 +1,7 @@
 #include "gen/generate.hpp"
 
 #include "fdd/arena.hpp"
+#include "rt/govern.hpp"
 
 namespace dfw {
 namespace {
@@ -22,8 +23,11 @@ std::size_t rule_cost(const FddNode& n) {
 // unconstrained; correctness rests on the earlier, explicitly-constrained
 // rules having carved out every other branch's packets.
 void gen(const Schema& schema, const FddNode& node,
-         std::vector<IntervalSet>& conjuncts, std::vector<Rule>& out) {
+         std::vector<IntervalSet>& conjuncts, std::vector<Rule>& out,
+         RunContext* ctx = nullptr) {
+  govern::checkpoint(ctx);
   if (node.is_terminal()) {
+    govern::charge_rules(ctx);
     out.emplace_back(schema, conjuncts, node.decision);
     return;
   }
@@ -48,53 +52,59 @@ void gen(const Schema& schema, const FddNode& node,
       continue;
     }
     conjuncts[node.field] = node.edges[i].label;
-    gen(schema, *node.edges[i].target, conjuncts, out);
+    gen(schema, *node.edges[i].target, conjuncts, out, ctx);
   }
   conjuncts[node.field] = IntervalSet(schema.domain(node.field));
-  gen(schema, *node.edges[default_edge].target, conjuncts, out);
+  gen(schema, *node.edges[default_edge].target, conjuncts, out, ctx);
 }
 
 }  // namespace
 
 Policy generate_disjoint_policy(const Fdd& fdd, Decision fallback,
                                 bool reduce_first) {
+  return generate_disjoint_policy(fdd, fallback, reduce_first, nullptr);
+}
+
+Policy generate_disjoint_policy(const Fdd& fdd, Decision fallback,
+                                bool reduce_first, RunContext* context) {
   const Schema& schema = fdd.schema();
   std::vector<Rule> rules;
-  const auto emit_paths = [&](const Fdd& diagram) {
-    diagram.for_each_path(
-        [&](const std::vector<IntervalSet>& conjuncts, Decision decision) {
-          if (decision != fallback) {
-            rules.emplace_back(schema, conjuncts, decision);
-          }
-        });
+  const auto emit = [&](const std::vector<IntervalSet>& conjuncts,
+                        Decision decision) {
+    govern::checkpoint(context);
+    if (decision != fallback) {
+      govern::charge_rules(context);
+      rules.emplace_back(schema, conjuncts, decision);
+    }
   };
   if (reduce_first) {
     // Interning through canonical() is the arena image of reduce(); the
     // clone-and-reduce of the tree path is never materialised, and shared
     // subdiagrams are expanded per path only while enumerating.
     FddArena arena(schema);
+    arena.set_context(context);
     const ArenaNodeId root = arena.from_tree_canonical(fdd.root());
-    arena.for_each_path(
-        root, [&](const std::vector<IntervalSet>& conjuncts,
-                  Decision decision) {
-          if (decision != fallback) {
-            rules.emplace_back(schema, conjuncts, decision);
-          }
-        });
+    arena.for_each_path(root, emit);
   } else {
-    emit_paths(fdd);
+    fdd.for_each_path(emit);
   }
   rules.push_back(Rule::catch_all(schema, fallback));
   return Policy(schema, std::move(rules));
 }
 
 Policy generate_policy(const Fdd& fdd, bool reduce_first) {
+  return generate_policy(fdd, reduce_first, nullptr);
+}
+
+Policy generate_policy(const Fdd& fdd, bool reduce_first,
+                       RunContext* context) {
   const Schema& schema = fdd.schema();
   if (reduce_first) {
     // Arena path: canonical interning is reduce(), and the default-branch
     // election's rule-cost recursion — quadratic on trees — is memoised by
     // node id, once per unique subdiagram.
     FddArena arena(schema);
+    arena.set_context(context);
     return arena.generate(arena.from_tree_canonical(fdd.root()));
   }
   std::vector<IntervalSet> conjuncts;
@@ -103,7 +113,7 @@ Policy generate_policy(const Fdd& fdd, bool reduce_first) {
     conjuncts.emplace_back(schema.domain(i));
   }
   std::vector<Rule> rules;
-  gen(schema, fdd.root(), conjuncts, rules);
+  gen(schema, fdd.root(), conjuncts, rules, context);
   return Policy(schema, std::move(rules));
 }
 

@@ -17,10 +17,22 @@
 
 namespace dfw {
 
+class RunContext;
+
 /// Generates a comprehensive policy equivalent to the FDD. Requires a
 /// valid, complete FDD. The FDD is reduced internally first; pass
 /// `reduce_first = false` to generate from the diagram exactly as given.
 Policy generate_policy(const Fdd& fdd, bool reduce_first = true);
+
+/// Governed generation: every emitted rule is charged against `context`'s
+/// rule budget (the rule-blowup guard — path enumeration over a shared
+/// diagram can be exponentially larger than the diagram), interned arena
+/// nodes against its node budget, and the recursion takes amortized
+/// cancellation/deadline checkpoints. Null context = ungoverned. A breach
+/// throws dfw::Error; a half-generated policy has no first-match
+/// semantics, so there is no partial-policy form.
+Policy generate_policy(const Fdd& fdd, bool reduce_first,
+                       RunContext* context);
 
 /// Alternative generation for deployment: one rule per decision path whose
 /// decision differs from `fallback`, followed by a catch-all deciding
@@ -32,5 +44,9 @@ Policy generate_policy(const Fdd& fdd, bool reduce_first = true);
 /// free of "negative space" rules.
 Policy generate_disjoint_policy(const Fdd& fdd, Decision fallback,
                                 bool reduce_first = true);
+
+/// Governed variant; see the governed generate_policy.
+Policy generate_disjoint_policy(const Fdd& fdd, Decision fallback,
+                                bool reduce_first, RunContext* context);
 
 }  // namespace dfw

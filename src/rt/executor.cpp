@@ -5,6 +5,8 @@
 #include <exception>
 #include <limits>
 
+#include "rt/govern.hpp"
+
 namespace dfw {
 
 // Workers hold plain pointers to batches, never ownership: a Batch lives
@@ -27,6 +29,7 @@ struct Executor::Batch {
   std::size_t grain = 1;
   std::size_t chunk_count = 0;
   const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  RunContext* ctx = nullptr;  ///< borrowed; aborted() skips unstarted chunks
 
   std::atomic<std::size_t> next{0};
   std::mutex mu;
@@ -170,21 +173,30 @@ void Executor::run_batch(Batch& batch) {
     if (chunk >= batch.chunk_count) {
       return;
     }
-    const std::size_t begin = chunk * batch.grain;
-    const std::size_t end = std::min(begin + batch.grain, batch.n);
     std::exception_ptr error;
-    const auto start = Clock::now();
-    try {
-      (*batch.fn)(begin, end);
-    } catch (...) {
-      error = std::current_exception();
+    if (batch.ctx != nullptr && batch.ctx->aborted()) {
+      // Governed batch, context already breached: cancel this not-yet-
+      // started chunk. The marker carries the original abort code; the
+      // smallest-index rule keeps the breaching chunk's own error (which
+      // precedes every skipped chunk in claim order) as the one rethrown.
+      error = std::make_exception_ptr(
+          Error(batch.ctx->abort_code(), "chunk cancelled before start"));
+    } else {
+      const std::size_t begin = chunk * batch.grain;
+      const std::size_t end = std::min(begin + batch.grain, batch.n);
+      const auto start = Clock::now();
+      try {
+        (*batch.fn)(begin, end);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      busy_ns_.fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               start)
+              .count(),
+          std::memory_order_relaxed);
+      tasks_run_.fetch_add(1, std::memory_order_relaxed);
     }
-    busy_ns_.fetch_add(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                             start)
-            .count(),
-        std::memory_order_relaxed);
-    tasks_run_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lk(batch.mu);
     if (error && chunk < batch.error_chunk) {
       batch.error = error;
@@ -200,15 +212,40 @@ void Executor::run_batch(Batch& batch) {
 void Executor::parallel_for_chunked(
     std::size_t n, std::size_t grain,
     const std::function<void(std::size_t, std::size_t)>& fn) {
+  parallel_for_chunked(n, grain, fn, nullptr);
+}
+
+void Executor::parallel_for_chunked(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    RunContext* context) {
   if (n == 0) {
     return;
+  }
+  if (context != nullptr && !context->aborted()) {
+    // Probe once at batch entry so a cancellation or deadline that fired
+    // before the batch started skips every chunk instead of running one
+    // grain of work first. The raise marks the context aborted; the skip
+    // markers below carry the code to the join point.
+    try {
+      context->check_now();
+    } catch (const Error&) {
+    }
   }
   grain = std::max<std::size_t>(1, grain);
   const std::size_t chunk_count = (n + grain - 1) / grain;
   if (is_inline() || chunk_count == 1) {
-    // Serial path: same chunk decomposition, same first-error rule.
+    // Serial path: same chunk decomposition, same first-error rule, same
+    // skip-after-abort behaviour as the pool path.
     std::exception_ptr error;
     for (std::size_t c = 0; c < chunk_count; ++c) {
+      if (context != nullptr && context->aborted()) {
+        if (!error) {
+          error = std::make_exception_ptr(
+              Error(context->abort_code(), "chunk cancelled before start"));
+        }
+        continue;
+      }
       try {
         fn(c * grain, std::min(c * grain + grain, n));
       } catch (...) {
@@ -229,6 +266,7 @@ void Executor::parallel_for_chunked(
   batch.grain = grain;
   batch.chunk_count = chunk_count;
   batch.fn = &fn;
+  batch.ctx = context;
 
   // One helper per worker, capped by the chunk count — the caller claims
   // chunks too, so more helpers than chunks would only churn.
@@ -251,8 +289,15 @@ void Executor::parallel_for_chunked(
 
 void Executor::parallel_for(std::size_t n,
                             const std::function<void(std::size_t)>& fn) {
-  parallel_for_chunked(n, 1,
-                       [&fn](std::size_t begin, std::size_t) { fn(begin); });
+  parallel_for_chunked(
+      n, 1, [&fn](std::size_t begin, std::size_t) { fn(begin); }, nullptr);
+}
+
+void Executor::parallel_for(std::size_t n,
+                            const std::function<void(std::size_t)>& fn,
+                            RunContext* context) {
+  parallel_for_chunked(
+      n, 1, [&fn](std::size_t begin, std::size_t) { fn(begin); }, context);
 }
 
 ExecutorMetrics Executor::metrics() const {

@@ -31,6 +31,8 @@
 
 namespace dfw {
 
+class RunContext;
+
 /// Counters accumulated since construction (or the last reset_metrics()).
 /// Queryable at any time; values are snapshots, not a consistent cut.
 struct ExecutorMetrics {
@@ -66,12 +68,25 @@ class Executor {
   /// the exception from the smallest throwing index is rethrown.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Governed variant: iterations additionally observe `context` (borrowed,
+  /// may be null). Once the context is aborted — by a breach inside an
+  /// iteration or from outside — iterations that have not started yet are
+  /// *skipped* instead of run, and the join point rethrows the governing
+  /// dfw::Error (the smallest-index rule still applies, so the breaching
+  /// iteration's own error wins over skip markers behind it).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    RunContext* context);
+
   /// Like parallel_for, but hands each task a contiguous index range
   /// fn(begin, end) of at most `grain` iterations — the right shape when
   /// per-iteration work is tiny (e.g. classifying one packet).
   void parallel_for_chunked(
       std::size_t n, std::size_t grain,
       const std::function<void(std::size_t, std::size_t)>& fn);
+  void parallel_for_chunked(
+      std::size_t n, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t)>& fn,
+      RunContext* context);
 
   ExecutorMetrics metrics() const;
   void reset_metrics();

@@ -1,0 +1,54 @@
+#include "rt/govern.hpp"
+
+namespace dfw {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "Ok";
+    case ErrorCode::kCancelled:
+      return "Cancelled";
+    case ErrorCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case ErrorCode::kNodeBudgetExceeded:
+      return "NodeBudgetExceeded";
+    case ErrorCode::kLabelBudgetExceeded:
+      return "LabelBudgetExceeded";
+    case ErrorCode::kRuleBudgetExceeded:
+      return "RuleBudgetExceeded";
+    case ErrorCode::kParseError:
+      return "ParseError";
+    case ErrorCode::kInvalidInput:
+      return "InvalidInput";
+    case ErrorCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+void RunContext::check_now() {
+  const ErrorCode sticky = abort_code();
+  if (sticky != ErrorCode::kOk) {
+    // A sibling task (or an earlier checkpoint) already breached: unwind
+    // with the original cause so the whole run reports one status.
+    raise(sticky, "run already aborted");
+  }
+  if (config_.cancel.cancel_requested()) {
+    raise(ErrorCode::kCancelled, "cancellation requested");
+  }
+  if (config_.deadline &&
+      std::chrono::steady_clock::now() > *config_.deadline) {
+    raise(ErrorCode::kDeadlineExceeded, "deadline passed");
+  }
+}
+
+void RunContext::raise(ErrorCode code, const std::string& message) {
+  // Keep the *first* breach code: concurrent raisers race benignly, and a
+  // sticky re-raise passes its own (already recorded) code through.
+  int expected = static_cast<int>(ErrorCode::kOk);
+  abort_code_.compare_exchange_strong(expected, static_cast<int>(code),
+                                      std::memory_order_relaxed);
+  throw Error(code, message);
+}
+
+}  // namespace dfw

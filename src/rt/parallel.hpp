@@ -18,11 +18,16 @@ namespace dfw {
 
 /// Returns {fn(0), fn(1), ..., fn(n-1)} computed on `ex`. T needs only a
 /// move constructor (results are staged in optionals, so no default
-/// construction happens on any worker).
+/// construction happens on any worker). With a non-null `context`, the
+/// batch is governed: once the context aborts, unstarted indices are
+/// skipped and the governing dfw::Error is rethrown here — a governed map
+/// either returns every result or throws, never a partial vector.
 template <typename T, typename F>
-std::vector<T> parallel_map(Executor& ex, std::size_t n, F&& fn) {
+std::vector<T> parallel_map(Executor& ex, std::size_t n, F&& fn,
+                            RunContext* context = nullptr) {
   std::vector<std::optional<T>> staged(n);
-  ex.parallel_for(n, [&](std::size_t i) { staged[i].emplace(fn(i)); });
+  ex.parallel_for(
+      n, [&](std::size_t i) { staged[i].emplace(fn(i)); }, context);
   std::vector<T> out;
   out.reserve(n);
   for (std::optional<T>& slot : staged) {

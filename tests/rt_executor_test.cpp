@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "rt/govern.hpp"
 #include "rt/parallel.hpp"
 
 namespace dfw {
@@ -153,6 +154,86 @@ TEST(ExecutorTest, InlineExceptionMatchesPoolSemantics) {
     EXPECT_STREQ(e.what(), "3");
   }
   EXPECT_EQ(ran, 10u);  // remaining iterations still run
+}
+
+TEST(ExecutorTest, ThrowingTaskPreservesErrorTypeAcrossThreadCounts) {
+  // A dfw::Error thrown inside a worker must arrive at the join point as
+  // a dfw::Error with its code intact — not sliced to runtime_error — at
+  // every pool width.
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    Executor pool(threads);
+    std::atomic<int> ran{0};
+    try {
+      pool.parallel_for(64, [&](std::size_t i) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        if (i == 7) {
+          throw Error(ErrorCode::kInternal, "task 7 failed");
+        }
+      });
+      FAIL() << "parallel_for should have rethrown (threads=" << threads
+             << ")";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kInternal);
+      EXPECT_NE(std::string(e.what()).find("task 7 failed"),
+                std::string::npos);
+    }
+    EXPECT_EQ(ran.load(), 64) << "threads=" << threads;
+  }
+}
+
+TEST(ExecutorTest, GovernedBatchSkipsEverythingWhenPreCancelled) {
+  CancelSource source;
+  source.cancel();
+  RunContext::Config config;
+  config.cancel = source.token();
+  RunContext ctx(std::move(config));
+
+  Executor pool(2);
+  std::atomic<int> ran{0};
+  for (Executor* ex : {&Executor::inline_executor(), &pool}) {
+    try {
+      ex->parallel_for(100, [&](std::size_t) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+      }, &ctx);
+      FAIL() << "governed batch over an aborted context should throw";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kCancelled);
+    }
+  }
+  EXPECT_EQ(ran.load(), 0) << "no chunk of a pre-cancelled batch may run";
+}
+
+TEST(ExecutorTest, GovernedBatchSkipsUnstartedAfterMidBatchBreach) {
+  // Every iteration charges one node against a tiny budget, so whichever
+  // iteration runs first breaches; iterations not yet started are skipped
+  // rather than run, and the breach error wins at the join.
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    RunContext ctx = RunContext::with_budgets({.max_nodes = 1});
+    ctx.charge_nodes(1);  // next charge breaches
+    Executor pool(threads);
+    std::atomic<int> ran{0};
+    try {
+      pool.parallel_for(10000, [&](std::size_t) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        ctx.charge_nodes(1);
+      }, &ctx);
+      FAIL() << "expected budget breach (threads=" << threads << ")";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kNodeBudgetExceeded);
+    }
+    // Only chunks already started before the first breach ran: far fewer
+    // than the full batch.
+    EXPECT_LT(ran.load(), 10000) << "threads=" << threads;
+  }
+}
+
+TEST(ExecutorTest, GovernedBatchWithNullContextMatchesUngoverned) {
+  Executor pool(2);
+  std::atomic<int> ran{0};
+  pool.parallel_for(128, [&](std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  }, nullptr);
+  EXPECT_EQ(ran.load(), 128);
 }
 
 TEST(ExecutorTest, MetricsCountTasksAndBatches) {

@@ -5,6 +5,7 @@
 
 #include "fdd/construct.hpp"
 #include "fdd/serialize.hpp"
+#include "rt/govern.hpp"
 #include "test_util.hpp"
 
 namespace dfw {
@@ -90,6 +91,106 @@ TEST(Serialize, RejectsSemanticViolations) {
   const char* domain_escape =
       "dfdd 1\nschema 2\nN 0 1\nE 0:99\nT 0\n";  // label exceeds domain
   EXPECT_THROW(deserialize_fdd(tiny2(), domain_escape), std::logic_error);
+}
+
+TEST(Serialize, RejectsHostileCounts) {
+  // Counts wildly larger than the input must fail fast (invalid_argument),
+  // not reserve gigabytes or throw length_error.
+  const char* reserve_bomb =
+      "dfdd 1\nschema 2\nN 0 18446744073709551615\nE 0:7\nT 0\n";
+  EXPECT_THROW(deserialize_fdd(tiny2(), reserve_bomb), std::invalid_argument);
+  const char* dag_bomb = "dfdd 2\nschema 2\nnodes 99999999999\nT 0 0\nroot 0\n";
+  EXPECT_THROW(deserialize_fdd(tiny2(), dag_bomb), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsDeepNesting) {
+  // Field order is enforced while parsing, so a deep stack of same-field
+  // nodes is rejected after two levels instead of recursing per line.
+  std::string text = "dfdd 1\nschema 2\n";
+  for (int i = 0; i < 200000; ++i) {
+    text += "N 0 1\nE 0:7\n";
+  }
+  text += "T 0\n";
+  EXPECT_THROW(deserialize_fdd(tiny2(), text), std::invalid_argument);
+}
+
+TEST(SerializeDag, RoundTripsRandomDiagrams) {
+  std::mt19937_64 rng(103);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Policy p = test::random_policy(tiny3(), 5, rng);
+    const Fdd original = build_reduced_fdd(p);
+    const std::string text = serialize_fdd_dag(original);
+    const Fdd loaded = deserialize_fdd(tiny3(), text);
+    EXPECT_TRUE(structurally_equal(original, loaded));
+    EXPECT_TRUE(test::fdd_matches_policy(loaded, p));
+  }
+}
+
+TEST(SerializeDag, DeterministicAndSharing) {
+  std::mt19937_64 rng(104);
+  const Policy p = test::random_policy(tiny3(), 6, rng);
+  const Fdd fdd = build_reduced_fdd(p);
+  EXPECT_EQ(serialize_fdd_dag(fdd), serialize_fdd_dag(fdd.clone()));
+  // Shared subdiagrams are written once, so the DAG text never exceeds the
+  // tree text (up to the fixed header difference).
+  EXPECT_LE(serialize_fdd_dag(fdd).size(),
+            serialize_fdd(fdd).size() + 64);
+}
+
+TEST(SerializeDag, RejectsIdViolations) {
+  // Duplicate node id.
+  EXPECT_THROW(
+      deserialize_fdd(tiny2(), "dfdd 2\nschema 2\nnodes 2\nT 0 0\nT 0 1\n"
+                               "root 0\n"),
+      std::invalid_argument);
+  // Dangling child id.
+  EXPECT_THROW(
+      deserialize_fdd(tiny2(), "dfdd 2\nschema 2\nnodes 2\nT 0 0\n"
+                               "N 1 0 1\nE 7 0:7\nroot 1\n"),
+      std::invalid_argument);
+  // Forward reference (child defined after its parent).
+  EXPECT_THROW(
+      deserialize_fdd(tiny2(), "dfdd 2\nschema 2\nnodes 2\n"
+                               "N 1 0 1\nE 0 0:7\nT 0 0\nroot 1\n"),
+      std::invalid_argument);
+  // Dangling root id.
+  EXPECT_THROW(
+      deserialize_fdd(tiny2(),
+                      "dfdd 2\nschema 2\nnodes 1\nT 0 0\nroot 5\n"),
+      std::invalid_argument);
+  // Field order violation between records.
+  EXPECT_THROW(
+      deserialize_fdd(tiny2(), "dfdd 2\nschema 2\nnodes 3\nT 0 0\n"
+                               "N 1 1 1\nE 0 0:7\n"
+                               "N 2 1 1\nE 1 0:7\nroot 2\n"),
+      std::invalid_argument);
+  // Header without the required sections (regression for RejectsBadHeader:
+  // "dfdd 2" alone is no longer an unknown version, but a v2 body is still
+  // required).
+  EXPECT_THROW(deserialize_fdd(tiny2(), "dfdd 2\nschema 2\nT 0\n"),
+               std::invalid_argument);
+}
+
+TEST(SerializeDag, GovernedExpansionBomb) {
+  // A 16-record DAG describing a 2^16-leaf tree: every nonterminal fans
+  // out twice to the same child. Ungoverned loads hit the built-in cap
+  // only far later, but a tight node budget cuts expansion off early with
+  // the structured error.
+  std::string text = "dfdd 2\nschema 2\nnodes 3\nT 0 0\n";
+  // tiny2 has 2 fields; keep the chain within the schema: field 0 -> 1.
+  text += "N 1 1 2\nE 0 0:3\nE 0 4:7\n";
+  text += "N 2 0 2\nE 1 0:3\nE 1 4:7\n";
+  text += "root 2\n";
+  const Fdd loaded = deserialize_fdd(tiny2(), text);  // small: expands fine
+  EXPECT_EQ(subtree_node_count(loaded.root()), 7u);
+
+  RunContext ctx = RunContext::with_budgets({.max_nodes = 3});
+  try {
+    deserialize_fdd(tiny2(), text, &ctx);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNodeBudgetExceeded);
+  }
 }
 
 }  // namespace
