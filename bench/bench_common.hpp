@@ -1,11 +1,32 @@
-// Shared helpers for the figure benchmarks: wall-clock timing and simple
-// aligned table printing so each binary can emit the paper's series as
-// plain text.
+// Shared helpers for the figure benchmarks: wall-clock timing, simple
+// aligned table printing, and the unified machine-readable result schema
+// every bench binary emits alongside its tables.
+//
+// Schema ("dfw-bench-obs-v1"): one JSON object per file,
+//
+//   {"schema": "dfw-bench-obs-v1",
+//    "bench": "<binary name>",
+//    "records": [
+//      {"name": "<measurement>",
+//       "params": {"<knob>": <integer>, ...},
+//       "wall_ns": <integer>,
+//       "metrics": {<MetricsSnapshot::to_json()>}},
+//      ...]}
+//
+// The metrics object carries the unified registry names (rt.executor.*,
+// fdd.arena.*, rt.govern.*, phase.*_ns, gen.*) so downstream tooling can
+// join per-phase timings with counter deltas without per-bench parsers.
 
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace dfw::bench {
 
@@ -22,5 +43,81 @@ double time_ms(F&& fn) {
   fn();
   return ms_between(start, Clock::now());
 }
+
+/// Times one call and returns nanoseconds (for the obs records).
+template <typename F>
+std::uint64_t time_ns(F&& fn) {
+  const auto start = Clock::now();
+  fn();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+/// Integer-valued parameters of one measurement, in insertion order.
+using ObsParams = std::vector<std::pair<std::string, std::uint64_t>>;
+
+/// Accumulates dfw-bench-obs-v1 records and writes the JSON document.
+class ObsReport {
+ public:
+  explicit ObsReport(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Appends one record. `metrics` is a registry snapshot taken after the
+  /// measured region (counters are cumulative; take per-record registries
+  /// or deltas upstream when isolation matters).
+  void add(std::string name, ObsParams params, std::uint64_t wall_ns,
+           const MetricsSnapshot& metrics) {
+    records_.push_back(Record{std::move(name), std::move(params), wall_ns,
+                              metrics.to_json()});
+  }
+
+  std::string json() const {
+    std::string out = "{\n  \"schema\": \"dfw-bench-obs-v1\",\n  \"bench\": \"";
+    out += bench_;
+    out += "\",\n  \"records\": [";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {\"name\": \"" + r.name + "\", \"params\": {";
+      for (std::size_t p = 0; p < r.params.size(); ++p) {
+        if (p != 0) {
+          out += ", ";
+        }
+        out += "\"" + r.params[p].first +
+               "\": " + std::to_string(r.params[p].second);
+      }
+      out += "}, \"wall_ns\": " + std::to_string(r.wall_ns) +
+             ", \"metrics\": " + r.metrics_json + "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+  }
+
+  /// Writes the document to `path`; returns false (with a message on
+  /// stderr) when the file cannot be written.
+  bool write(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path);
+      return false;
+    }
+    const std::string doc = json();
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    return ok;
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    ObsParams params;
+    std::uint64_t wall_ns;
+    std::string metrics_json;
+  };
+
+  std::string bench_;
+  std::vector<Record> records_;
+};
 
 }  // namespace dfw::bench

@@ -9,11 +9,18 @@
 // writes node counts, sharing factors, and wall times to
 // BENCH_fdd_arena.json, then hands over to google-benchmark. Pass
 // --skip-arena-sweep to go straight to the micro benchmarks.
+//
+// Pass --trace[=FILE] for the observability smoke session instead of
+// benchmarks: an instrumented end-to-end discrepancies + generate run that
+// writes a Chrome trace (default trace.json), self-validates it, checks
+// the instrumented outputs are byte-identical to uninstrumented runs, and
+// writes the per-phase timing records to BENCH_obs.json.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "bdd/packet_encode.hpp"
@@ -27,6 +34,7 @@
 #include "fdd/simplify.hpp"
 #include "engine/classifier.hpp"
 #include "gen/generate.hpp"
+#include "obs/obs.hpp"
 #include "synth/synth.hpp"
 
 namespace {
@@ -306,18 +314,113 @@ bool arena_sweep() {
   return all_identical;
 }
 
+// -- Observability smoke session ---------------------------------------------
+//
+// One instrumented end-to-end run of the library's two headline pipelines
+// (discrepancies on 200-rule seeds 7/8; generate on the seed-7 diagram),
+// exported as a Chrome trace and as dfw-bench-obs-v1 records. The session
+// is its own validator: the trace must round-trip through
+// validate_chrome_trace with every expected phase present, and the
+// instrumented outputs must be byte-identical to uninstrumented runs.
+bool obs_session(const char* trace_path) {
+  const Policy pa = cached_policy(200, 7);
+  const Policy pb = cached_policy(200, 8);
+
+  Tracer tracer;
+  MetricsRegistry registry;
+  CompareOptions options;
+  options.obs = ObsOptions{&tracer, &registry};
+  GenerateOptions gen_options;
+  gen_options.obs = options.obs;
+
+  std::vector<Discrepancy> diffs;
+  const std::uint64_t compare_ns =
+      bench::time_ns([&] { diffs = discrepancies(pa, pb, options); });
+  const Fdd fdd = build_reduced_fdd(pa);
+  const auto gen_start = bench::Clock::now();
+  const Policy regenerated = generate_policy(fdd, gen_options);
+  const std::uint64_t generate_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          bench::Clock::now() - gen_start)
+          .count());
+
+  // Null sink must not change any output.
+  if (diffs != discrepancies(pa, pb) ||
+      regenerated.rules() != generate_policy(fdd).rules()) {
+    std::fprintf(stderr, "FAIL: instrumented outputs differ from plain runs\n");
+    return false;
+  }
+
+  const std::string trace = tracer.chrome_trace_json();
+  std::FILE* f = std::fopen(trace_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", trace_path);
+    return false;
+  }
+  std::fwrite(trace.data(), 1, trace.size(), f);
+  std::fclose(f);
+
+  const TraceValidation validation = validate_chrome_trace(trace);
+  if (!validation.ok) {
+    std::fprintf(stderr, "FAIL: invalid trace: %s\n",
+                 validation.error.c_str());
+    return false;
+  }
+  for (const char* required :
+       {"construct", "validate", "shape", "compare", "generate",
+        "build_reduced_fdd"}) {
+    if (validation.name_counts.count(required) == 0) {
+      std::fprintf(stderr, "FAIL: trace has no \"%s\" span\n", required);
+      return false;
+    }
+  }
+
+  bench::ObsReport report("bench_micro");
+  const MetricsSnapshot snapshot = registry.snapshot();
+  report.add("discrepancies_traced",
+             {{"rules", 200}, {"seed_a", 7}, {"seed_b", 8}}, compare_ns,
+             snapshot);
+  report.add("generate_traced", {{"rules", 200}, {"seed", 7}}, generate_ns,
+             snapshot);
+  if (!report.write("BENCH_obs.json")) {
+    return false;
+  }
+
+  std::printf("obs smoke: %zu discrepancies, %zu rules regenerated\n",
+              diffs.size(), regenerated.size());
+  std::printf("%-28s %12s %8s\n", "phase", "total(ns)", "spans");
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (name.rfind("phase.", 0) == 0) {
+      std::printf("%-28s %12llu %8llu\n", name.c_str(),
+                  static_cast<unsigned long long>(hist.sum),
+                  static_cast<unsigned long long>(hist.count));
+    }
+  }
+  std::printf("wrote %s (%zu events, %zu threads) and BENCH_obs.json\n",
+              trace_path, validation.events, validation.threads);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool skip_sweep = false;
+  const char* trace_path = nullptr;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--skip-arena-sweep") == 0) {
       skip_sweep = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = "trace.json";
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
     } else {
       args.push_back(argv[i]);
     }
+  }
+  if (trace_path != nullptr) {
+    return obs_session(trace_path) ? 0 : 1;
   }
   if (!skip_sweep && !arena_sweep()) {
     return 1;

@@ -100,6 +100,41 @@ void sweep_threads(std::FILE* json) {
   std::fprintf(json, "\n  ]\n}\n");
 }
 
+// One instrumented cross + direct session per pool size, recorded in the
+// unified dfw-bench-obs-v1 schema: wall time plus the registry snapshot
+// (phase.*_ns, rt.executor.*, fdd.arena.*) for each configuration.
+void obs_sweep() {
+  constexpr std::size_t kTeams = 6;
+  constexpr std::size_t kRules = 200;
+  bench::ObsReport report("bench_nway");
+  for (const std::size_t threads : {0u, 2u, 8u}) {
+    Executor pool(threads == 0 ? 1 : threads);
+    MetricsRegistry registry;
+    WorkflowOptions options;
+    options.executor = threads == 0 ? nullptr : &pool;
+    options.obs.metrics = &registry;
+    const DiverseDesign session = make_session(kTeams, kRules, options);
+    std::vector<PairwiseReport> cross;
+    const std::uint64_t cross_ns =
+        bench::time_ns([&] { cross = session.cross_compare(); });
+    report.add("cross_compare", {{"teams", kTeams}, {"threads", threads}},
+               cross_ns, registry.snapshot());
+    MetricsRegistry direct_registry;
+    WorkflowOptions direct_options = options;
+    direct_options.obs.metrics = &direct_registry;
+    const DiverseDesign direct_session =
+        make_session(kTeams, kRules, direct_options);
+    std::vector<Discrepancy> direct;
+    const std::uint64_t direct_ns =
+        bench::time_ns([&] { direct = direct_session.compare(); });
+    report.add("direct_compare", {{"teams", kTeams}, {"threads", threads}},
+               direct_ns, direct_registry.snapshot());
+  }
+  if (report.write("BENCH_obs.json")) {
+    std::printf("wrote BENCH_obs.json\n");
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -128,6 +163,7 @@ int main() {
   }
   sweep_threads(json);
   std::fclose(json);
+  obs_sweep();
   std::printf(
       "\nwrote BENCH_parallel.json\n"
       "expectation (paper): direct N-way comparison amortises the\n"

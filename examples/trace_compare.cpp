@@ -1,0 +1,152 @@
+// End-to-end observability demo: run the full diverse-design pipeline on
+// two firewalls (the native test-corpus policies by default, or any two
+// policy files given on the command line) with both observability sinks
+// attached, then show where the time went.
+//
+//   trace_compare [--trace FILE] [--stats] [A.fw B.fw]
+//
+//   --trace FILE   write a Chrome trace_event JSON file (load it in
+//                  Perfetto / chrome://tracing) covering submit, compare,
+//                  and resolve, down to the per-phase spans
+//   --stats        print the unified metrics snapshot as JSON
+//
+// The phase-time breakdown table at the end is computed from the registry's
+// "phase.*_ns" histograms — the same numbers a trace viewer would show,
+// without leaving the terminal.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "diverse/workflow.hpp"
+#include "fw/parser.hpp"
+#include "obs/obs.hpp"
+
+namespace {
+
+// tests/corpus/native/basic.fw
+const char* kBasicFw =
+    "discard sip=224.168.0.0/16\n"
+    "accept dip=192.168.0.1 dport=25 proto=tcp\n"
+    "accept\n";
+
+// tests/corpus/native/multifield.fw
+const char* kMultifieldFw =
+    "accept sip=10.0.0.0/8 dip=10.1.0.0/16 sport=1024-65535 dport=443 "
+    "proto=tcp\n"
+    "discard sip=0.0.0.0/0 proto=udp dport=53\n"
+    "accept proto=icmp\n"
+    "discard\n";
+
+std::string read_file(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    std::exit(1);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dfw;
+
+  const char* trace_path = nullptr;
+  bool print_stats = false;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      print_stats = true;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (!files.empty() && files.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: %s [--trace FILE] [--stats] [A.fw B.fw]\n", argv[0]);
+    return 1;
+  }
+
+  const Schema schema = five_tuple_schema();
+  DecisionSet decisions;
+  const std::string text_a = files.empty() ? kBasicFw : read_file(files[0]);
+  const std::string text_b =
+      files.empty() ? kMultifieldFw : read_file(files[1]);
+
+  Tracer tracer;
+  MetricsRegistry registry;
+  WorkflowOptions options;
+  options.obs = ObsOptions{&tracer, &registry};
+  DiverseDesign session(decisions, options);
+
+  // The whole workflow runs instrumented: both submits, the comparison
+  // phase, and a method-1 resolution (which regenerates rules through the
+  // traced "generate" phase).
+  session.submit(files.empty() ? "basic" : files[0],
+                 parse_policy(schema, decisions, text_a));
+  session.submit(files.empty() ? "multifield" : files[1],
+                 parse_policy(schema, decisions, text_b));
+  const std::vector<Discrepancy> diffs = session.compare();
+  const Policy agreed = session.resolve_in_favour_of(0);
+
+  std::cout << session.report();
+  std::cout << "resolved in favour of team 0: " << agreed.size()
+            << " rules\n\n";
+
+  if (trace_path != nullptr) {
+    const std::string trace = tracer.chrome_trace_json();
+    std::ofstream out(trace_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path);
+      return 1;
+    }
+    out << trace;
+    const TraceValidation v = validate_chrome_trace(trace);
+    if (!v.ok) {
+      std::fprintf(stderr, "internal error: emitted invalid trace: %s\n",
+                   v.error.c_str());
+      return 1;
+    }
+    std::printf("wrote %s — %zu events, %zu threads; open in Perfetto or "
+                "chrome://tracing\n\n",
+                trace_path, v.events, v.threads);
+  }
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  std::uint64_t total_ns = 0;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (name.rfind("phase.", 0) == 0) {
+      total_ns += hist.sum;
+    }
+  }
+  std::printf("phase-time breakdown (%zu discrepancies found)\n",
+              diffs.size());
+  std::printf("%-24s %8s %14s %7s\n", "phase", "spans", "total(ns)", "share");
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (name.rfind("phase.", 0) != 0) {
+      continue;
+    }
+    // Strip the "phase." prefix and the "_ns" suffix for display.
+    const std::string label = name.substr(6, name.size() - 6 - 3);
+    std::printf("%-24s %8llu %14llu %6.1f%%\n", label.c_str(),
+                static_cast<unsigned long long>(hist.count),
+                static_cast<unsigned long long>(hist.sum),
+                total_ns == 0 ? 0.0
+                              : 100.0 * static_cast<double>(hist.sum) /
+                                    static_cast<double>(total_ns));
+  }
+
+  if (print_stats) {
+    std::printf("\nmetrics snapshot:\n%s\n", snapshot.to_json().c_str());
+  }
+  return 0;
+}

@@ -35,14 +35,15 @@ std::vector<Decision> agreed_by_index(
   return agreed;
 }
 
-std::vector<Fdd> build_shaped(const std::vector<Policy>& policies) {
+std::vector<Fdd> build_shaped(const std::vector<Policy>& policies,
+                              const ObsOptions& obs = {}) {
   if (policies.size() < 2) {
     throw std::invalid_argument("resolution: need at least two policies");
   }
   std::vector<Fdd> fdds;
   fdds.reserve(policies.size());
   for (const Policy& p : policies) {
-    fdds.push_back(build_reduced_fdd(p));
+    fdds.push_back(build_reduced_fdd(p, ConstructOptions{true, nullptr, obs}));
     fdds.back().validate();
   }
   shape_all(fdds);
@@ -118,10 +119,16 @@ ResolutionPlan plan_by_majority(
 
 Policy resolve_via_fdd(const std::vector<Policy>& policies,
                        const ResolutionPlan& plan, std::size_t base_team) {
+  return resolve_via_fdd(policies, plan, base_team, ObsOptions{});
+}
+
+Policy resolve_via_fdd(const std::vector<Policy>& policies,
+                       const ResolutionPlan& plan, std::size_t base_team,
+                       const ObsOptions& obs) {
   if (base_team >= policies.size()) {
     throw std::invalid_argument("resolve_via_fdd: no such team");
   }
-  std::vector<Fdd> fdds = build_shaped(policies);
+  std::vector<Fdd> fdds = build_shaped(policies, obs);
   const std::vector<Discrepancy> discrepancies = compare_fdds_many(fdds);
   const std::vector<Decision> agreed = agreed_by_index(discrepancies, plan);
 
@@ -135,16 +142,22 @@ Policy resolve_via_fdd(const std::vector<Policy>& policies,
   if (next != agreed.size()) {
     throw std::logic_error("resolve_via_fdd: correction walk out of sync");
   }
-  return generate_policy(fdds[base_team]);
+  return generate_policy(fdds[base_team], GenerateOptions{true, nullptr, obs});
 }
 
 Policy resolve_via_corrections(const std::vector<Policy>& policies,
                                const ResolutionPlan& plan,
                                std::size_t base_team) {
+  return resolve_via_corrections(policies, plan, base_team, ObsOptions{});
+}
+
+Policy resolve_via_corrections(const std::vector<Policy>& policies,
+                               const ResolutionPlan& plan,
+                               std::size_t base_team, const ObsOptions& obs) {
   if (base_team >= policies.size()) {
     throw std::invalid_argument("resolve_via_corrections: no such team");
   }
-  std::vector<Fdd> fdds = build_shaped(policies);
+  std::vector<Fdd> fdds = build_shaped(policies, obs);
   const std::vector<Discrepancy> discrepancies = compare_fdds_many(fdds);
   const std::vector<Decision> agreed = agreed_by_index(discrepancies, plan);
 

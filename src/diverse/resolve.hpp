@@ -46,11 +46,23 @@ ResolutionPlan plan_by_majority(const std::vector<Discrepancy>& discrepancies,
 Policy resolve_via_fdd(const std::vector<Policy>& policies,
                        const ResolutionPlan& plan, std::size_t base_team = 0);
 
+/// Observable variant: the internal rebuild/shape/compare walk runs with
+/// the given sinks (per-policy "build_reduced_fdd" spans) and the final
+/// regeneration emits its "generate" span and "gen.rules_emitted" count.
+Policy resolve_via_fdd(const std::vector<Policy>& policies,
+                       const ResolutionPlan& plan, std::size_t base_team,
+                       const ObsOptions& obs);
+
 /// Method 2 (Section 6.2): take team `base_team`'s original firewall,
 /// prepend (in plan order) the resolved rules on which that team's decision
 /// was wrong, and remove redundant rules from the result.
 Policy resolve_via_corrections(const std::vector<Policy>& policies,
                                const ResolutionPlan& plan,
                                std::size_t base_team);
+
+/// Observable variant; see the observable resolve_via_fdd.
+Policy resolve_via_corrections(const std::vector<Policy>& policies,
+                               const ResolutionPlan& plan,
+                               std::size_t base_team, const ObsOptions& obs);
 
 }  // namespace dfw

@@ -17,18 +17,20 @@ DiverseDesign::DiverseDesign(DecisionSet decisions, WorkflowOptions options)
 
 CompareOptions DiverseDesign::compare_options() const {
   return CompareOptions{options_.executor, options_.fork_threshold,
-                        options_.use_arena, options_.context};
+                        options_.use_arena, options_.context, options_.obs};
 }
 
 std::size_t DiverseDesign::submit(std::string team_name, Policy policy) {
+  ScopedSpan span(options_.obs.tracer, "workflow.submit", "team",
+                  policies_.size());
   if (!policies_.empty() && !(policy.schema() == policies_[0].schema())) {
     throw std::invalid_argument("submit: schema differs from earlier teams");
   }
   // Comprehensiveness gate: a rule sequence must cover every packet to
   // serve as a firewall (Section 3.1). Governed sessions bound this build
   // too — a hostile submission must not hang the design phase.
-  Fdd fdd = build_reduced_fdd(policy,
-                              ConstructOptions{true, options_.context});
+  Fdd fdd = build_reduced_fdd(
+      policy, ConstructOptions{true, options_.context, options_.obs});
   fdd.validate();
   names_.push_back(std::move(team_name));
   policies_.push_back(std::move(policy));
@@ -46,6 +48,8 @@ std::vector<Discrepancy> DiverseDesign::compare() const {
   if (policies_.size() < 2) {
     throw std::logic_error("compare: need at least two teams");
   }
+  ScopedSpan span(options_.obs.tracer, "workflow.compare", "teams",
+                  policies_.size());
   return discrepancies_many(policies_, compare_options());
 }
 
@@ -53,6 +57,8 @@ CompareOutcome DiverseDesign::compare_governed() const {
   if (policies_.size() < 2) {
     throw std::logic_error("compare: need at least two teams");
   }
+  ScopedSpan span(options_.obs.tracer, "workflow.compare", "teams",
+                  policies_.size());
   return discrepancies_many_governed(policies_, compare_options());
 }
 
@@ -60,6 +66,8 @@ std::vector<PairwiseReport> DiverseDesign::cross_compare() const {
   if (policies_.size() < 2) {
     throw std::logic_error("cross_compare: need at least two teams");
   }
+  ScopedSpan span(options_.obs.tracer, "workflow.cross_compare", "teams",
+                  policies_.size());
   std::vector<std::pair<std::size_t, std::size_t>> pairs;
   pairs.reserve(policies_.size() * (policies_.size() - 1) / 2);
   for (std::size_t a = 0; a < policies_.size(); ++a) {
@@ -76,9 +84,14 @@ std::vector<PairwiseReport> DiverseDesign::cross_compare() const {
   // A serial pipeline per pair keeps each task on one thread; use_arena
   // then gives every task its own task-local arena.
   const CompareOptions pair_options{nullptr, options_.fork_threshold,
-                                    options_.use_arena, options_.context};
-  return parallel_map<PairwiseReport>(ex, pairs.size(), [&](std::size_t i) {
+                                    options_.use_arena, options_.context,
+                                    options_.obs};
+  const auto run_pair = [&](std::size_t i) {
     const auto [a, b] = pairs[i];
+    // One span per unordered pair, on whichever pool thread runs it; the
+    // pair's construct/shape/compare phase spans nest inside.
+    ScopedSpan pair_span(options_.obs.tracer, "pair", "team_a", a, "team_b",
+                         b);
     if (options_.context == nullptr) {
       return PairwiseReport{
           a, b, discrepancies(policies_[a], policies_[b], pair_options)};
@@ -101,7 +114,9 @@ std::vector<PairwiseReport> DiverseDesign::cross_compare() const {
     report.complete = outcome.complete;
     report.status = outcome.status;
     return report;
-  });
+  };
+  return parallel_map<PairwiseReport>(ex, pairs.size(), run_pair, nullptr,
+                                      options_.obs);
 }
 
 std::string DiverseDesign::report() const {
@@ -127,11 +142,14 @@ Policy DiverseDesign::resolve(const ResolutionPlan& plan) const {
 Policy DiverseDesign::resolve(const ResolutionPlan& plan,
                               ResolutionMethod method,
                               std::size_t base_team) const {
+  ScopedSpan span(options_.obs.tracer, "workflow.resolve", "base_team",
+                  base_team);
   switch (method) {
     case ResolutionMethod::kCorrectedFdd:
-      return resolve_via_fdd(policies_, plan, base_team);
+      return resolve_via_fdd(policies_, plan, base_team, options_.obs);
     case ResolutionMethod::kPrependAndTrim:
-      return resolve_via_corrections(policies_, plan, base_team);
+      return resolve_via_corrections(policies_, plan, base_team,
+                                     options_.obs);
   }
   throw std::invalid_argument("resolve: unknown method");
 }

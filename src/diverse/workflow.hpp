@@ -61,6 +61,15 @@ struct WorkflowOptions {
   /// compare_governed() returns partial results; the plain entry points
   /// let the dfw::Error propagate. Null = ungoverned.
   RunContext* context = nullptr;
+  /// Observability sinks (borrowed, nullable; see obs/obs.hpp) shared by
+  /// the whole session: submissions run under "workflow.submit" spans, the
+  /// comparison phase under "workflow.compare"/"workflow.cross_compare"
+  /// with one "pair" span per unordered pair (team indices as args), and
+  /// resolution under "workflow.resolve" with the regeneration's
+  /// "generate" span nested inside. The underlying pipelines inherit the
+  /// sink through CompareOptions/ConstructOptions/GenerateOptions. Null
+  /// sinks are free and leave all outputs byte-identical.
+  ObsOptions obs = {};
 };
 
 /// One pairwise comparison result from cross comparison. In a governed

@@ -192,7 +192,16 @@ class FddArena {
   /// DAG, with the per-subtree rule-cost election memoised by node id.
   Policy generate(ArenaNodeId root);
 
+  /// The arena's lifetime counters. An arena is single-threaded, so any
+  /// read between operations is consistent; mirroring
+  /// Executor::metrics()/reset_metrics(), stats_snapshot() is the
+  /// by-value point-in-time read and reset_stats() rebases the counters
+  /// (call it only between operations — mid-operation the partial
+  /// operation's counts would be torn in half, exactly the hazard the
+  /// executor's reset guards against).
   const ArenaStats& stats() const { return stats_; }
+  ArenaStats stats_snapshot() const { return stats_; }
+  void reset_stats() { stats_ = ArenaStats{}; }
 
  private:
   struct NodeRecord {

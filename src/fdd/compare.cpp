@@ -92,7 +92,7 @@ void compare_impl(const Schema& schema, std::vector<const FddNode*> roots,
             }
             walk(schema, children, local, parts[e], options.context);
           },
-          options.context);
+          options.context, options.obs);
     } catch (...) {
       flush();
       throw;
@@ -105,20 +105,45 @@ void compare_impl(const Schema& schema, std::vector<const FddNode*> roots,
 
 // Whole pipeline on ids: build canonical diagrams, validate, shape, and
 // compare without ever expanding a tree. Canonical construction makes the
-// diagrams reduced; shaping and comparison memoise inside the arena.
+// diagrams reduced; shaping and comparison memoise inside the arena. The
+// obs sink sees the four phases plus one "build_reduced_fdd" span per
+// policy; the arena's lifetime stats land in the registry even when a
+// governance breach unwinds mid-phase.
 void arena_discrepancies(const std::vector<const Policy*>& policies,
-                         RunContext* ctx, std::vector<Discrepancy>& out) {
+                         RunContext* ctx, const ObsOptions& obs,
+                         std::vector<Discrepancy>& out) {
   FddArena arena(policies.front()->schema());
   arena.set_context(ctx);
+  struct StatsFlush {
+    const FddArena& arena;
+    MetricsRegistry* metrics;
+    ~StatsFlush() {
+      if (metrics != nullptr) {
+        absorb(*metrics, arena.stats());
+      }
+    }
+  } flush{arena, obs.metrics};
   std::vector<ArenaNodeId> roots;
   roots.reserve(policies.size());
-  for (const Policy* p : policies) {
-    roots.push_back(arena.build_reduced(*p));
+  {
+    PhaseSpan phase(obs, "construct");
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      ScopedSpan span(obs.tracer, "build_reduced_fdd", "rules",
+                      policies[i]->size(), "policy", i);
+      roots.push_back(arena.build_reduced(*policies[i]));
+    }
   }
-  for (const ArenaNodeId root : roots) {
-    arena.validate(root);  // rejects non-comprehensive inputs up front
+  {
+    PhaseSpan phase(obs, "validate");
+    for (const ArenaNodeId root : roots) {
+      arena.validate(root);  // rejects non-comprehensive inputs up front
+    }
   }
-  arena.shape_all(roots);
+  {
+    PhaseSpan phase(obs, "shape");
+    arena.shape_all(roots);
+  }
+  PhaseSpan phase(obs, "compare");
   arena.compare_into(roots, out);
 }
 
@@ -169,7 +194,7 @@ void discrepancies_pair_into(const Policy& a, const Policy& b,
                              const CompareOptions& options,
                              std::vector<Discrepancy>& out) {
   if (options.use_arena && resolve_executor(options).is_inline()) {
-    arena_discrepancies({&a, &b}, options.context, out);
+    arena_discrepancies({&a, &b}, options.context, options.obs, out);
     return;
   }
   // Construction dominates the pipeline (Fig. 13) and the two diagrams
@@ -177,18 +202,33 @@ void discrepancies_pair_into(const Policy& a, const Policy& b,
   // two concurrent tasks. use_arena still applies to construction here:
   // each task builds through its own task-local arena and expands the
   // result, which threads fine; only shaping/comparison need the tree.
-  const ConstructOptions construct{options.use_arena, options.context};
+  const ConstructOptions construct{options.use_arena, options.context,
+                                   options.obs};
   const Policy* inputs[2] = {&a, &b};
-  std::vector<Fdd> fdds = parallel_map<Fdd>(
-      resolve_executor(options), 2,
-      [&](std::size_t i) { return build_reduced_fdd(*inputs[i], construct); },
-      options.context);
-  fdds[0].validate();  // rejects non-comprehensive inputs up front
-  fdds[1].validate();
-  shape_pair(fdds[0], fdds[1], options.context);
-  if (!semi_isomorphic(fdds[0], fdds[1])) {
-    throw std::invalid_argument("compare_fdds: FDDs are not semi-isomorphic");
+  std::vector<Fdd> fdds;
+  {
+    PhaseSpan phase(options.obs, "construct");
+    fdds = parallel_map<Fdd>(
+        resolve_executor(options), 2,
+        [&](std::size_t i) {
+          return build_reduced_fdd(*inputs[i], construct);
+        },
+        options.context, options.obs);
   }
+  {
+    PhaseSpan phase(options.obs, "validate");
+    fdds[0].validate();  // rejects non-comprehensive inputs up front
+    fdds[1].validate();
+  }
+  {
+    PhaseSpan phase(options.obs, "shape");
+    shape_pair(fdds[0], fdds[1], options.context);
+    if (!semi_isomorphic(fdds[0], fdds[1])) {
+      throw std::invalid_argument(
+          "compare_fdds: FDDs are not semi-isomorphic");
+    }
+  }
+  PhaseSpan phase(options.obs, "compare");
   compare_impl(fdds[0].schema(), {&fdds[0].root(), &fdds[1].root()}, options,
                out);
 }
@@ -205,20 +245,31 @@ void discrepancies_many_into(const std::vector<Policy>& policies,
     for (const Policy& p : policies) {
       inputs.push_back(&p);
     }
-    arena_discrepancies(inputs, options.context, out);
+    arena_discrepancies(inputs, options.context, options.obs, out);
     return;
   }
-  const ConstructOptions construct{options.use_arena, options.context};
-  std::vector<Fdd> fdds = parallel_map<Fdd>(
-      resolve_executor(options), policies.size(),
-      [&](std::size_t i) {
-        return build_reduced_fdd(policies[i], construct);
-      },
-      options.context);
-  for (Fdd& f : fdds) {
-    f.validate();
+  const ConstructOptions construct{options.use_arena, options.context,
+                                   options.obs};
+  std::vector<Fdd> fdds;
+  {
+    PhaseSpan phase(options.obs, "construct");
+    fdds = parallel_map<Fdd>(
+        resolve_executor(options), policies.size(),
+        [&](std::size_t i) {
+          return build_reduced_fdd(policies[i], construct);
+        },
+        options.context, options.obs);
   }
-  shape_all(fdds, options.context);
+  {
+    PhaseSpan phase(options.obs, "validate");
+    for (Fdd& f : fdds) {
+      f.validate();
+    }
+  }
+  {
+    PhaseSpan phase(options.obs, "shape");
+    shape_all(fdds, options.context);
+  }
   std::vector<const FddNode*> roots;
   roots.reserve(fdds.size());
   for (std::size_t i = 1; i < fdds.size(); ++i) {
@@ -230,6 +281,7 @@ void discrepancies_many_into(const std::vector<Policy>& policies,
   for (const Fdd& f : fdds) {
     roots.push_back(&f.root());
   }
+  PhaseSpan phase(options.obs, "compare");
   compare_impl(fdds[0].schema(), std::move(roots), options, out);
 }
 

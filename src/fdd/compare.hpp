@@ -17,6 +17,7 @@
 
 #include "fdd/fdd.hpp"
 #include "fw/policy.hpp"
+#include "obs/obs.hpp"
 #include "rt/govern.hpp"
 
 namespace dfw {
@@ -58,6 +59,14 @@ struct CompareOptions {
   /// dfw::Error; the *_governed entry points catch it and return the
   /// discrepancies found so far with complete=false.
   RunContext* context = nullptr;
+  /// Observability sinks (borrowed, nullable; see obs/obs.hpp). The
+  /// pipelines emit phase spans — "construct", "validate", "shape",
+  /// "compare" — plus per-policy "build_reduced_fdd" spans and per-chunk
+  /// "chunk" spans under a pool executor, and record phase durations into
+  /// the registry ("phase.<name>_ns"). Arena pipelines absorb their
+  /// ArenaStats into the registry on completion. Null sinks are free and
+  /// leave every output byte-identical.
+  ObsOptions obs = {};
 };
 
 /// Result of a governed comparison. When `complete` is false the pipeline

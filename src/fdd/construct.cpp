@@ -138,10 +138,16 @@ Fdd build_reduced_fdd(const Policy& policy) {
 
 Fdd build_reduced_fdd(const Policy& policy,
                       const ConstructOptions& options) {
+  ScopedSpan span(options.obs.tracer, "build_reduced_fdd", "rules",
+                  policy.size());
   if (options.use_arena) {
     FddArena arena(policy.schema());
     arena.set_context(options.context);
-    return arena.to_fdd(arena.build_reduced(policy));
+    Fdd fdd = arena.to_fdd(arena.build_reduced(policy));
+    if (options.obs.metrics != nullptr) {
+      absorb(*options.obs.metrics, arena.stats());
+    }
+    return fdd;
   }
   Fdd fdd(policy.schema(),
           build_path(policy.schema(), policy.rule(0), 0, options.context));
@@ -153,11 +159,17 @@ Fdd build_reduced_fdd(const Policy& policy,
     append(policy.schema(), fdd.root_slot(), policy.rule(i), 0,
            options.context);
     if (fdd.node_count() > budget) {
+      ScopedSpan reduce_span(options.obs.tracer, "reduce", "nodes",
+                             fdd.node_count());
       reduce(fdd);
       budget = fdd.node_count() * 2 + 256;
     }
   }
-  reduce(fdd);
+  {
+    ScopedSpan reduce_span(options.obs.tracer, "reduce", "nodes",
+                           fdd.node_count());
+    reduce(fdd);
+  }
   return fdd;
 }
 

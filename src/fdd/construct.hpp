@@ -12,6 +12,7 @@
 
 #include "fdd/fdd.hpp"
 #include "fw/policy.hpp"
+#include "obs/obs.hpp"
 
 namespace dfw {
 
@@ -50,6 +51,11 @@ struct ConstructOptions {
   /// half-appended rule has no policy semantics), so callers wanting
   /// partial *reports* catch at the workflow layer.
   RunContext* context = nullptr;
+
+  /// Observability sinks (borrowed, nullable; see obs/obs.hpp). Each build
+  /// emits a "build_reduced_fdd" trace span; the tree path additionally
+  /// traces its interleaved "reduce" passes. Null sinks are free.
+  ObsOptions obs = {};
 };
 
 /// Construction with interleaved reduction: equivalent to

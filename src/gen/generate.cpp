@@ -62,12 +62,21 @@ void gen(const Schema& schema, const FddNode& node,
 
 Policy generate_disjoint_policy(const Fdd& fdd, Decision fallback,
                                 bool reduce_first) {
-  return generate_disjoint_policy(fdd, fallback, reduce_first, nullptr);
+  return generate_disjoint_policy(fdd, fallback,
+                                  GenerateOptions{reduce_first, nullptr, {}});
 }
 
 Policy generate_disjoint_policy(const Fdd& fdd, Decision fallback,
                                 bool reduce_first, RunContext* context) {
+  return generate_disjoint_policy(
+      fdd, fallback, GenerateOptions{reduce_first, context, {}});
+}
+
+Policy generate_disjoint_policy(const Fdd& fdd, Decision fallback,
+                                const GenerateOptions& options) {
+  PhaseSpan phase(options.obs, "generate");
   const Schema& schema = fdd.schema();
+  RunContext* context = options.context;
   std::vector<Rule> rules;
   const auto emit = [&](const std::vector<IntervalSet>& conjuncts,
                         Decision decision) {
@@ -77,7 +86,7 @@ Policy generate_disjoint_policy(const Fdd& fdd, Decision fallback,
       rules.emplace_back(schema, conjuncts, decision);
     }
   };
-  if (reduce_first) {
+  if (options.reduce_first) {
     // Interning through canonical() is the arena image of reduce(); the
     // clone-and-reduce of the tree path is never materialised, and shared
     // subdiagrams are expanded per path only while enumerating.
@@ -85,36 +94,57 @@ Policy generate_disjoint_policy(const Fdd& fdd, Decision fallback,
     arena.set_context(context);
     const ArenaNodeId root = arena.from_tree_canonical(fdd.root());
     arena.for_each_path(root, emit);
+    if (options.obs.metrics != nullptr) {
+      absorb(*options.obs.metrics, arena.stats());
+    }
   } else {
     fdd.for_each_path(emit);
   }
   rules.push_back(Rule::catch_all(schema, fallback));
+  if (options.obs.metrics != nullptr) {
+    options.obs.metrics->counter("gen.rules_emitted").add(rules.size());
+  }
   return Policy(schema, std::move(rules));
 }
 
 Policy generate_policy(const Fdd& fdd, bool reduce_first) {
-  return generate_policy(fdd, reduce_first, nullptr);
+  return generate_policy(fdd, GenerateOptions{reduce_first, nullptr, {}});
 }
 
 Policy generate_policy(const Fdd& fdd, bool reduce_first,
                        RunContext* context) {
+  return generate_policy(fdd, GenerateOptions{reduce_first, context, {}});
+}
+
+Policy generate_policy(const Fdd& fdd, const GenerateOptions& options) {
+  PhaseSpan phase(options.obs, "generate");
   const Schema& schema = fdd.schema();
-  if (reduce_first) {
-    // Arena path: canonical interning is reduce(), and the default-branch
-    // election's rule-cost recursion — quadratic on trees — is memoised by
-    // node id, once per unique subdiagram.
-    FddArena arena(schema);
-    arena.set_context(context);
-    return arena.generate(arena.from_tree_canonical(fdd.root()));
+  Policy out = [&] {
+    if (options.reduce_first) {
+      // Arena path: canonical interning is reduce(), and the default-branch
+      // election's rule-cost recursion — quadratic on trees — is memoised
+      // by node id, once per unique subdiagram.
+      FddArena arena(schema);
+      arena.set_context(options.context);
+      Policy p = arena.generate(arena.from_tree_canonical(fdd.root()));
+      if (options.obs.metrics != nullptr) {
+        absorb(*options.obs.metrics, arena.stats());
+      }
+      return p;
+    }
+    std::vector<IntervalSet> conjuncts;
+    conjuncts.reserve(schema.field_count());
+    for (std::size_t i = 0; i < schema.field_count(); ++i) {
+      conjuncts.emplace_back(schema.domain(i));
+    }
+    std::vector<Rule> rules;
+    gen(schema, fdd.root(), conjuncts, rules, options.context);
+    return Policy(schema, std::move(rules));
+  }();
+  if (options.obs.metrics != nullptr) {
+    options.obs.metrics->counter("gen.rules_emitted").add(out.size());
   }
-  std::vector<IntervalSet> conjuncts;
-  conjuncts.reserve(schema.field_count());
-  for (std::size_t i = 0; i < schema.field_count(); ++i) {
-    conjuncts.emplace_back(schema.domain(i));
-  }
-  std::vector<Rule> rules;
-  gen(schema, fdd.root(), conjuncts, rules, context);
-  return Policy(schema, std::move(rules));
+  return out;
 }
 
 }  // namespace dfw

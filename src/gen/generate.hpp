@@ -14,10 +14,27 @@
 
 #include "fdd/fdd.hpp"
 #include "fw/policy.hpp"
+#include "obs/obs.hpp"
 
 namespace dfw {
 
 class RunContext;
+
+/// Knobs for the generation entry points, in the same options-struct idiom
+/// as ConstructOptions/CompareOptions. The plain signatures below are
+/// shims over these.
+struct GenerateOptions {
+  /// Reduce the diagram first (through the arena's canonical interning);
+  /// false generates from the diagram exactly as given.
+  bool reduce_first = true;
+  /// Optional governance context (borrowed, nullable); see the governed
+  /// overloads below for what it bounds.
+  RunContext* context = nullptr;
+  /// Observability sinks (borrowed, nullable): generation runs under a
+  /// "generate" phase span/histogram and counts emitted rules into
+  /// "gen.rules_emitted". Null sinks are free.
+  ObsOptions obs = {};
+};
 
 /// Generates a comprehensive policy equivalent to the FDD. Requires a
 /// valid, complete FDD. The FDD is reduced internally first; pass
@@ -34,6 +51,9 @@ Policy generate_policy(const Fdd& fdd, bool reduce_first = true);
 Policy generate_policy(const Fdd& fdd, bool reduce_first,
                        RunContext* context);
 
+/// Options-struct entry point (governance + observability).
+Policy generate_policy(const Fdd& fdd, const GenerateOptions& options);
+
 /// Alternative generation for deployment: one rule per decision path whose
 /// decision differs from `fallback`, followed by a catch-all deciding
 /// `fallback`. The emitted non-default rules are pairwise disjoint (they
@@ -48,5 +68,9 @@ Policy generate_disjoint_policy(const Fdd& fdd, Decision fallback,
 /// Governed variant; see the governed generate_policy.
 Policy generate_disjoint_policy(const Fdd& fdd, Decision fallback,
                                 bool reduce_first, RunContext* context);
+
+/// Options-struct entry point (governance + observability).
+Policy generate_disjoint_policy(const Fdd& fdd, Decision fallback,
+                                const GenerateOptions& options);
 
 }  // namespace dfw

@@ -1,0 +1,143 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "fdd/stats.hpp"
+#include "rt/executor.hpp"
+#include "rt/govern.hpp"
+
+namespace dfw {
+
+std::size_t Histogram::bucket_of(std::uint64_t value) {
+  return value == 0 ? 0 : std::bit_width(value);
+}
+
+std::uint64_t Histogram::bucket_lower_bound(std::size_t i) {
+  return i <= 1 ? 0 : std::uint64_t{1} << (i - 1);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = histogram->bucket_count(i);
+      if (n != 0) {
+        h.buckets.emplace_back(Histogram::bucket_lower_bound(i), n);
+      }
+    }
+    snap.histograms.emplace(name, std::move(h));
+  }
+  return snap;
+}
+
+namespace {
+
+void append_json_key(std::string& out, const std::string& name) {
+  out += '"';
+  for (const char c : name) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  out += "\": ";
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "" : ", ";
+    first = false;
+    append_json_key(out, name);
+    out += std::to_string(value);
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "" : ", ";
+    first = false;
+    append_json_key(out, name);
+    out += "{\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + std::to_string(h.sum) + ", \"buckets\": [";
+    bool first_bucket = true;
+    for (const auto& [lo, n] : h.buckets) {
+      out += first_bucket ? "" : ", ";
+      first_bucket = false;
+      out += "[" + std::to_string(lo) + ", " + std::to_string(n) + "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void absorb(MetricsRegistry& registry, const ExecutorMetrics& metrics) {
+  registry.counter("rt.executor.tasks_run").add(metrics.tasks_run);
+  registry.counter("rt.executor.steals").add(metrics.steals);
+  registry.counter("rt.executor.batches").add(metrics.batches);
+  registry.counter("rt.executor.busy_ns")
+      .add(static_cast<std::uint64_t>(metrics.busy_ms * 1e6));
+}
+
+void absorb(MetricsRegistry& registry, const ArenaStats& stats) {
+  registry.counter("fdd.arena.unique_nodes").add(stats.unique_nodes);
+  registry.counter("fdd.arena.unique_labels").add(stats.unique_labels);
+  registry.counter("fdd.arena.node_queries").add(stats.node_queries);
+  registry.counter("fdd.arena.node_hits").add(stats.node_hits);
+  registry.counter("fdd.arena.label_queries").add(stats.label_queries);
+  registry.counter("fdd.arena.label_hits").add(stats.label_hits);
+  registry.counter("fdd.arena.append_cache_hits").add(stats.append_cache_hits);
+  registry.counter("fdd.arena.append_cache_misses")
+      .add(stats.append_cache_misses);
+  registry.counter("fdd.arena.shape_cache_hits").add(stats.shape_cache_hits);
+  registry.counter("fdd.arena.shape_cache_misses")
+      .add(stats.shape_cache_misses);
+  registry.counter("fdd.arena.compare_cache_hits")
+      .add(stats.compare_cache_hits);
+  registry.counter("fdd.arena.compare_cache_misses")
+      .add(stats.compare_cache_misses);
+  registry.counter("fdd.arena.equiv_cache_hits").add(stats.equiv_cache_hits);
+  registry.counter("fdd.arena.equiv_cache_misses")
+      .add(stats.equiv_cache_misses);
+}
+
+void absorb(MetricsRegistry& registry, const RunContext& context) {
+  registry.counter("rt.govern.nodes_charged").add(context.nodes_charged());
+  registry.counter("rt.govern.label_bytes_charged")
+      .add(context.label_bytes_charged());
+  registry.counter("rt.govern.rules_charged").add(context.rules_charged());
+  registry.counter("rt.govern.aborted").add(context.aborted() ? 1 : 0);
+}
+
+}  // namespace dfw

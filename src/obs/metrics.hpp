@@ -1,0 +1,142 @@
+// Metrics: one registry of named atomic counters and fixed-bucket
+// histograms for the whole pipeline.
+//
+// Before this layer the library's instrumentation was three disjoint,
+// hand-polled structs — ExecutorMetrics (runtime), ArenaStats (hash-consed
+// FDD storage), and the RunContext usage counters (governance). The
+// MetricsRegistry unifies them behind one surface: pipeline phases record
+// into it directly (durations as histograms, work items as counters), and
+// the legacy structs are absorbed under stable dotted names (see
+// docs/observability.md for the mapping table), so one snapshot() answers
+// "what did this run cost" across every subsystem.
+//
+// Concurrency: counters and histogram buckets are relaxed atomics — safe
+// to bump from any thread, including the Executor's workers. Registering a
+// name takes a short-lived lock, so hot paths should look their Counter /
+// Histogram up once and keep the reference (both have stable addresses for
+// the registry's lifetime). snapshot() is a point-in-time read ordered by
+// name: for a quiesced workload it is deterministic in which names exist
+// and every non-timing counter value; timing histograms keep deterministic
+// counts with run-dependent sums.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dfw {
+
+struct ExecutorMetrics;
+struct ArenaStats;
+class RunContext;
+
+/// A monotonically increasing named value.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A histogram over fixed power-of-two buckets: bucket i counts values v
+/// with 2^(i-1) <= v < 2^i (bucket 0 counts v == 0). 64 buckets cover the
+/// whole uint64 range, so recording never clips; the intended unit for
+/// timing series is nanoseconds.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void record(std::uint64_t value) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Index of the bucket `value` lands in.
+  static std::size_t bucket_of(std::uint64_t value);
+  /// Inclusive lower bound of bucket i (0 for the first two buckets).
+  static std::uint64_t bucket_lower_bound(std::size_t i);
+
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Point-in-time copy of one histogram: total count and sum plus the
+/// non-empty buckets as (inclusive lower bound, count) pairs.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+
+  friend bool operator==(const HistogramSnapshot&,
+                         const HistogramSnapshot&) = default;
+};
+
+/// Point-in-time copy of a whole registry, ordered by name. Comparable for
+/// the determinism tests and serializable for the bench reports.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// One JSON object: {"counters": {...}, "histograms": {name:
+  /// {"count":..,"sum":..,"buckets":[[lo,n],...]}, ...}}. Key order is the
+  /// map order, so equal snapshots serialize to equal bytes.
+  std::string to_json() const;
+
+  friend bool operator==(const MetricsSnapshot&,
+                         const MetricsSnapshot&) = default;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The counter/histogram registered under `name`, created on first use.
+  /// References stay valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Absorb the legacy per-subsystem counter structs into a registry under
+/// the unified names (docs/observability.md lists the full mapping).
+/// Absorption *adds* the argument's values, so per-task sources — e.g. the
+/// task-local arenas of a governed cross comparison — aggregate naturally;
+/// absorb one source exactly once per measurement window.
+void absorb(MetricsRegistry& registry, const ExecutorMetrics& metrics);
+void absorb(MetricsRegistry& registry, const ArenaStats& stats);
+void absorb(MetricsRegistry& registry, const RunContext& context);
+
+}  // namespace dfw

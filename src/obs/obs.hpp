@@ -1,0 +1,78 @@
+// The observability sink threaded through the pipeline options structs.
+//
+// ObsOptions bundles the two sinks — a Tracer for spans and a
+// MetricsRegistry for counters/histograms — as borrowed, nullable
+// pointers, exactly like RunContext travels for governance: embed an
+// ObsOptions in an options struct (ConstructOptions, CompareOptions,
+// GenerateOptions, WorkflowOptions), leave it defaulted for the null sink.
+// The null sink is the invariant the whole layer rests on: with both
+// pointers null every instrumentation point reduces to a pointer test, so
+// uninstrumented runs stay byte-identical in output and within noise in
+// speed (the <= 2% bench_micro acceptance bound).
+//
+// PhaseSpan is the standard instrumentation point: one RAII object that
+// emits a trace span named after the phase AND records the phase duration
+// into the registry histogram "phase.<name>_ns" — so a trace viewer and a
+// metrics snapshot agree on where the time went.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dfw {
+
+/// Borrowed, nullable observability sinks. Copyable two-pointer value —
+/// pass it around by value inside options structs.
+struct ObsOptions {
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+
+  bool active() const { return tracer != nullptr || metrics != nullptr; }
+};
+
+/// RAII phase instrumentation: a trace span plus a duration sample in the
+/// registry histogram "phase.<name>_ns". `name` must be a string literal
+/// (the tracer keeps the pointer). Null sinks cost two pointer tests.
+class PhaseSpan {
+ public:
+  PhaseSpan(const ObsOptions& obs, const char* name)
+      : span_(obs.tracer, name), metrics_(obs.metrics), name_(name) {
+    if (metrics_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  PhaseSpan(const ObsOptions& obs, const char* name, const char* arg0_name,
+            std::uint64_t arg0)
+      : span_(obs.tracer, name, arg0_name, arg0),
+        metrics_(obs.metrics),
+        name_(name) {
+    if (metrics_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~PhaseSpan() {
+    if (metrics_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      metrics_->histogram(std::string("phase.") + name_ + "_ns")
+          .record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                  .count()));
+    }
+  }
+
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+ private:
+  ScopedSpan span_;
+  MetricsRegistry* metrics_;
+  const char* name_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace dfw

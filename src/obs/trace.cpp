@@ -1,0 +1,635 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dfw {
+
+// -- Tracer ------------------------------------------------------------------
+
+// Owned by the tracer, written only by the thread it belongs to. `head` is
+// the count of events ever pushed; slot head % capacity is written before
+// head is bumped with release, so an exporter that acquires head sees every
+// event below it fully written.
+struct Tracer::ThreadLog {
+  std::thread::id owner;
+  std::uint32_t tid = 0;
+  std::size_t open_spans = 0;  // nesting depth, owner thread only
+  std::uint64_t dropped = 0;
+  std::vector<TraceEvent> ring;
+  std::atomic<std::uint64_t> head{0};
+};
+
+namespace {
+
+std::uint64_t next_tracer_serial() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+// Per-thread fast path: the log this thread last used, validated by the
+// owning tracer's process-unique serial (a dead tracer's serial never
+// recurs, so a stale cache entry can only miss, never dangle into use).
+struct LogCache {
+  std::uint64_t tracer_serial = 0;
+  Tracer::ThreadLog* log = nullptr;
+};
+thread_local LogCache t_log_cache;
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity_per_thread)
+    : capacity_(std::max<std::size_t>(16, capacity_per_thread)),
+      serial_(next_tracer_serial()),
+      epoch_steady_ns_(steady_now_ns()),
+      epoch_unix_us_(std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count()) {}
+
+Tracer::~Tracer() = default;
+
+std::uint64_t Tracer::now_ns() const {
+  return steady_now_ns() - epoch_steady_ns_;
+}
+
+Tracer::ThreadLog& Tracer::local_log() {
+  if (t_log_cache.tracer_serial == serial_) {
+    return *t_log_cache.log;
+  }
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const std::unique_ptr<ThreadLog>& log : logs_) {
+    if (log->owner == self) {
+      t_log_cache = {serial_, log.get()};
+      return *log;
+    }
+  }
+  auto log = std::make_unique<ThreadLog>();
+  log->owner = self;
+  log->tid = static_cast<std::uint32_t>(logs_.size());
+  log->ring.resize(capacity_);
+  logs_.push_back(std::move(log));
+  t_log_cache = {serial_, logs_.back().get()};
+  return *logs_.back();
+}
+
+void Tracer::record(TraceEvent event) {
+  ThreadLog& log = local_log();
+  event.tid = log.tid;
+  const std::uint64_t head = log.head.load(std::memory_order_relaxed);
+  if (head >= capacity_) {
+    ++log.dropped;  // overwrites the oldest event below
+  }
+  log.ring[head % capacity_] = event;
+  log.head.store(head + 1, std::memory_order_release);
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t total = 0;
+  for (const std::unique_ptr<ThreadLog>& log : logs_) {
+    total += static_cast<std::size_t>(
+        std::min<std::uint64_t>(log->head.load(std::memory_order_acquire),
+                                capacity_));
+  }
+  return total;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t total = 0;
+  for (const std::unique_ptr<ThreadLog>& log : logs_) {
+    total += log->dropped;
+  }
+  return total;
+}
+
+std::size_t Tracer::thread_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return logs_.size();
+}
+
+namespace {
+
+void append_json_string(std::string& out, const char* s) {
+  out += '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// Microseconds with nanosecond precision — the unit trace_event's ts/dur
+// are defined in.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+std::string Tracer::chrome_trace_json() const {
+  std::vector<TraceEvent> events;
+  std::uint64_t total_dropped = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const std::unique_ptr<ThreadLog>& log : logs_) {
+      const std::uint64_t head = log->head.load(std::memory_order_acquire);
+      const std::uint64_t n = std::min<std::uint64_t>(head, capacity_);
+      // Oldest surviving event first; after a wrap that is slot head %
+      // capacity, before it slot 0.
+      for (std::uint64_t i = 0; i < n; ++i) {
+        events.push_back(log->ring[(head - n + i) % capacity_]);
+      }
+      total_dropped += log->dropped;
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.start_ns != b.start_ns) {
+                       return a.start_ns < b.start_ns;
+                     }
+                     if (a.tid != b.tid) {
+                       return a.tid < b.tid;
+                     }
+                     return a.depth < b.depth;  // parent before child
+                   });
+
+  std::string out;
+  out.reserve(events.size() * 128 + 256);
+  out += "{\n\"displayTimeUnit\": \"ns\",\n\"otherData\": "
+         "{\"tracer\": \"dfw\", \"epoch_unix_us\": ";
+  out += std::to_string(epoch_unix_us_);
+  out += ", \"dropped_events\": ";
+  out += std::to_string(total_dropped);
+  out += "},\n\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\": ";
+    append_json_string(out, e.name != nullptr ? e.name : "?");
+    out += ", \"cat\": \"dfw\", \"ph\": \"X\", \"pid\": 1, \"tid\": ";
+    out += std::to_string(e.tid);
+    out += ", \"ts\": ";
+    append_us(out, e.start_ns);
+    out += ", \"dur\": ";
+    append_us(out, e.dur_ns);
+    out += ", \"args\": {\"depth\": ";
+    out += std::to_string(e.depth);
+    if (e.arg0_name != nullptr) {
+      out += ", ";
+      append_json_string(out, e.arg0_name);
+      out += ": ";
+      out += std::to_string(e.arg0);
+    }
+    if (e.arg1_name != nullptr) {
+      out += ", ";
+      append_json_string(out, e.arg1_name);
+      out += ": ";
+      out += std::to_string(e.arg1);
+    }
+    out += "}}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+// -- ScopedSpan --------------------------------------------------------------
+
+ScopedSpan::ScopedSpan(Tracer* tracer, const char* name) noexcept
+    : ScopedSpan(tracer, name, nullptr, 0, nullptr, 0) {}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, const char* name,
+                       const char* arg0_name, std::uint64_t arg0) noexcept
+    : ScopedSpan(tracer, name, arg0_name, arg0, nullptr, 0) {}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, const char* name,
+                       const char* arg0_name, std::uint64_t arg0,
+                       const char* arg1_name, std::uint64_t arg1) noexcept
+    : tracer_(tracer) {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  event_.name = name;
+  event_.arg0_name = arg0_name;
+  event_.arg0 = arg0;
+  event_.arg1_name = arg1_name;
+  event_.arg1 = arg1;
+  Tracer::ThreadLog& log = tracer_->local_log();
+  event_.depth = static_cast<std::uint32_t>(log.open_spans++);
+  event_.start_ns = tracer_->now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  event_.dur_ns = tracer_->now_ns() - event_.start_ns;
+  --tracer_->local_log().open_spans;
+  tracer_->record(event_);
+}
+
+// -- validate_chrome_trace ---------------------------------------------------
+//
+// A deliberately small recursive-descent JSON reader: enough structure to
+// check the trace document without pulling in a JSON dependency. It parses
+// values generically and surfaces only what the validator needs (event
+// fields), erroring on the first malformed byte.
+
+namespace {
+
+struct JsonReader {
+  std::string_view in;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& message) {
+    if (error.empty()) {
+      error = message + " at byte " + std::to_string(pos);
+    }
+    return false;
+  }
+  void skip_ws() {
+    while (pos < in.size() &&
+           std::isspace(static_cast<unsigned char>(in[pos])) != 0) {
+      ++pos;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos >= in.size() || in[pos] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return pos < in.size() && in[pos] == c;
+  }
+
+  bool parse_string(std::string* out) {
+    skip_ws();
+    if (pos >= in.size() || in[pos] != '"') {
+      return fail("expected string");
+    }
+    ++pos;
+    std::string s;
+    while (pos < in.size() && in[pos] != '"') {
+      char c = in[pos];
+      if (c == '\\') {
+        if (pos + 1 >= in.size()) {
+          return fail("truncated escape");
+        }
+        const char esc = in[pos + 1];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': {
+            if (pos + 5 >= in.size()) {
+              return fail("truncated \\u escape");
+            }
+            pos += 4;  // keep a placeholder; exact code point is irrelevant
+            c = '?';
+            break;
+          }
+          default:
+            return fail("bad escape");
+        }
+        pos += 2;
+      } else {
+        ++pos;
+      }
+      s += c;
+    }
+    if (pos >= in.size()) {
+      return fail("unterminated string");
+    }
+    ++pos;  // closing quote
+    if (out != nullptr) {
+      *out = std::move(s);
+    }
+    return true;
+  }
+
+  bool parse_number(double* out) {
+    skip_ws();
+    const std::size_t start = pos;
+    if (pos < in.size() && (in[pos] == '-' || in[pos] == '+')) {
+      ++pos;
+    }
+    bool digits = false;
+    while (pos < in.size() &&
+           (std::isdigit(static_cast<unsigned char>(in[pos])) != 0 ||
+            in[pos] == '.' || in[pos] == 'e' || in[pos] == 'E' ||
+            in[pos] == '-' || in[pos] == '+')) {
+      digits = digits ||
+               std::isdigit(static_cast<unsigned char>(in[pos])) != 0;
+      ++pos;
+    }
+    if (!digits) {
+      return fail("expected number");
+    }
+    if (out != nullptr) {
+      *out = std::strtod(std::string(in.substr(start, pos - start)).c_str(),
+                         nullptr);
+    }
+    return true;
+  }
+
+  // Parses and discards any JSON value.
+  bool skip_value() {
+    skip_ws();
+    if (pos >= in.size()) {
+      return fail("unexpected end of input");
+    }
+    const char c = in[pos];
+    if (c == '"') {
+      return parse_string(nullptr);
+    }
+    if (c == '{') {
+      return skip_object();
+    }
+    if (c == '[') {
+      return skip_array();
+    }
+    if (c == 't' || c == 'f' || c == 'n') {
+      static constexpr std::string_view words[] = {"true", "false", "null"};
+      for (const std::string_view w : words) {
+        if (in.substr(pos, w.size()) == w) {
+          pos += w.size();
+          return true;
+        }
+      }
+      return fail("bad literal");
+    }
+    return parse_number(nullptr);
+  }
+
+  bool skip_object() {
+    if (!consume('{')) {
+      return false;
+    }
+    if (peek('}')) {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      if (!parse_string(nullptr) || !consume(':') || !skip_value()) {
+        return false;
+      }
+      if (peek(',')) {
+        ++pos;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  bool skip_array() {
+    if (!consume('[')) {
+      return false;
+    }
+    if (peek(']')) {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      if (!skip_value()) {
+        return false;
+      }
+      if (peek(',')) {
+        ++pos;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+};
+
+struct ParsedEvent {
+  std::string name;
+  std::string ph;
+  double ts = -1;
+  double dur = -1;
+  double tid = -1;
+  bool has_pid = false;
+};
+
+// Parses one traceEvents element, collecting the fields the checks need.
+bool parse_event(JsonReader& r, ParsedEvent* ev) {
+  if (!r.consume('{')) {
+    return false;
+  }
+  if (r.peek('}')) {
+    ++r.pos;
+    return true;
+  }
+  for (;;) {
+    std::string key;
+    if (!r.parse_string(&key) || !r.consume(':')) {
+      return false;
+    }
+    if (key == "name" || key == "ph") {
+      std::string value;
+      if (!r.parse_string(&value)) {
+        return false;
+      }
+      (key == "name" ? ev->name : ev->ph) = std::move(value);
+    } else if (key == "ts" || key == "dur" || key == "tid") {
+      double value = 0;
+      if (!r.parse_number(&value)) {
+        return false;
+      }
+      (key == "ts" ? ev->ts : key == "dur" ? ev->dur : ev->tid) = value;
+    } else if (key == "pid") {
+      double value = 0;
+      if (!r.parse_number(&value)) {
+        return false;
+      }
+      ev->has_pid = true;
+    } else {
+      if (!r.skip_value()) {
+        return false;
+      }
+    }
+    if (r.peek(',')) {
+      ++r.pos;
+      continue;
+    }
+    return r.consume('}');
+  }
+}
+
+}  // namespace
+
+TraceValidation validate_chrome_trace(std::string_view json) {
+  TraceValidation v;
+  JsonReader r{json, 0, {}};
+  std::vector<ParsedEvent> events;
+  bool saw_trace_events = false;
+
+  if (!r.consume('{')) {
+    v.error = r.error;
+    return v;
+  }
+  bool object_ok = true;
+  if (!r.peek('}')) {
+    for (;;) {
+      std::string key;
+      if (!r.parse_string(&key) || !r.consume(':')) {
+        object_ok = false;
+        break;
+      }
+      if (key == "traceEvents") {
+        saw_trace_events = true;
+        if (!r.consume('[')) {
+          object_ok = false;
+          break;
+        }
+        if (r.peek(']')) {
+          ++r.pos;
+        } else {
+          for (;;) {
+            ParsedEvent ev;
+            if (!parse_event(r, &ev)) {
+              object_ok = false;
+              break;
+            }
+            events.push_back(std::move(ev));
+            if (r.peek(',')) {
+              ++r.pos;
+              continue;
+            }
+            object_ok = r.consume(']');
+            break;
+          }
+          if (!object_ok) {
+            break;
+          }
+        }
+      } else if (!r.skip_value()) {
+        object_ok = false;
+        break;
+      }
+      if (r.peek(',')) {
+        ++r.pos;
+        continue;
+      }
+      object_ok = r.consume('}');
+      break;
+    }
+  } else {
+    ++r.pos;
+  }
+  if (!object_ok) {
+    v.error = r.error.empty() ? "malformed JSON" : r.error;
+    return v;
+  }
+  r.skip_ws();
+  if (r.pos != json.size()) {
+    v.error = "trailing bytes after the top-level object";
+    return v;
+  }
+  if (!saw_trace_events) {
+    v.error = "no \"traceEvents\" array";
+    return v;
+  }
+
+  // Field checks plus per-thread interval collection.
+  std::map<double, std::vector<std::pair<double, double>>> by_tid;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const ParsedEvent& e = events[i];
+    const std::string where = "event " + std::to_string(i);
+    if (e.name.empty()) {
+      v.error = where + ": missing name";
+      return v;
+    }
+    if (e.ph != "X") {
+      v.error = where + " (" + e.name + "): ph is not \"X\"";
+      return v;
+    }
+    if (e.ts < 0 || e.dur < 0 || e.tid < 0 || !e.has_pid) {
+      v.error = where + " (" + e.name + "): missing ts/dur/tid/pid";
+      return v;
+    }
+    by_tid[e.tid].emplace_back(e.ts, e.ts + e.dur);
+    ++v.name_counts[e.name];
+  }
+
+  // Nesting: on one thread, two spans either do not overlap or one
+  // contains the other. Sorting by (begin asc, end desc) makes any
+  // violation visible against the innermost open ancestor.
+  constexpr double kSlackUs = 0.002;  // sub-ns rounding from the export
+  for (auto& [tid, spans] : by_tid) {
+    std::sort(spans.begin(), spans.end(),
+              [](const std::pair<double, double>& a,
+                 const std::pair<double, double>& b) {
+                if (a.first != b.first) {
+                  return a.first < b.first;
+                }
+                return a.second > b.second;
+              });
+    std::vector<double> open_ends;
+    for (const auto& [begin, end] : spans) {
+      while (!open_ends.empty() && open_ends.back() <= begin + kSlackUs) {
+        open_ends.pop_back();
+      }
+      if (!open_ends.empty() && end > open_ends.back() + kSlackUs) {
+        v.error = "tid " + std::to_string(tid) +
+                  ": spans partially overlap (broken nesting)";
+        return v;
+      }
+      open_ends.push_back(end);
+    }
+  }
+
+  v.ok = true;
+  v.events = events.size();
+  v.threads = by_tid.size();
+  return v;
+}
+
+}  // namespace dfw

@@ -1,0 +1,142 @@
+// Tracing: low-overhead scoped spans exported as Chrome trace_event JSON.
+//
+// The evaluation questions of the paper (Section 7, Figs. 12-13) are all
+// "where do the nodes and the time go as policies scale" — questions a
+// profiler answers badly for phase-structured pipelines. A Tracer gives
+// every pipeline phase (construct, shape, compare, generate, ...) a
+// duration span with thread attribution and nesting, cheap enough to leave
+// compiled in:
+//
+//   * Recording is wait-free per thread: each thread owns a fixed-capacity
+//     ring buffer it alone writes; the tracer only takes a lock the first
+//     time a thread records into it. A full ring overwrites its oldest
+//     events and counts the drops — tracing never blocks or allocates on
+//     the hot path after warm-up.
+//   * A span is RAII: ScopedSpan stamps steady-clock begin/end, the owning
+//     thread's stable id, and the nesting depth at begin. Span names are
+//     string literals (the tracer stores the pointer, not a copy).
+//   * Export is Chrome trace_event JSON ("X" complete events), loadable in
+//     Perfetto or chrome://tracing. Export is meant for quiescence (no
+//     spans concurrently ending); a concurrent export is safe but may miss
+//     the newest events.
+//
+// A null Tracer* disables everything: ScopedSpan against nullptr compiles
+// to two pointer tests, so instrumented pipelines with no sink attached
+// are byte-identical in output and within noise in speed.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace dfw {
+
+/// One completed span. `name` and the arg names are borrowed pointers to
+/// string literals and must outlive the tracer.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;  ///< steady-clock ns since the tracer's epoch
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;    ///< tracer-assigned stable thread id (0-based)
+  std::uint32_t depth = 0;  ///< open spans on this thread at begin
+  const char* arg0_name = nullptr;  ///< optional scalar argument
+  std::uint64_t arg0 = 0;
+  const char* arg1_name = nullptr;
+  std::uint64_t arg1 = 0;
+};
+
+class Tracer {
+ public:
+  /// Per-thread ring capacity in events; at least 16.
+  explicit Tracer(std::size_t capacity_per_thread = 1 << 14);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Steady-clock nanoseconds since this tracer was constructed.
+  std::uint64_t now_ns() const;
+
+  /// Appends one completed event from the calling thread. tid/depth fields
+  /// are overwritten with the calling thread's; ScopedSpan is the normal
+  /// front end.
+  void record(TraceEvent event);
+
+  /// Events currently held (sum over threads, post-wrap).
+  std::size_t event_count() const;
+  /// Events lost to ring wrap-around, summed over threads.
+  std::uint64_t dropped() const;
+  /// Threads that have recorded at least one span.
+  std::size_t thread_count() const;
+
+  /// The whole trace as a Chrome trace_event JSON document (object form:
+  /// {"traceEvents": [...], ...}), events sorted by start time so parents
+  /// precede their children. Load in Perfetto / chrome://tracing.
+  std::string chrome_trace_json() const;
+
+  /// Opaque per-thread log, public only so the implementation's
+  /// thread-local cache can name the pointer type; defined in trace.cpp.
+  struct ThreadLog;
+
+ private:
+  friend class ScopedSpan;
+
+  /// The calling thread's log, creating and registering it on first use.
+  ThreadLog& local_log();
+
+  const std::size_t capacity_;
+  const std::uint64_t serial_;  ///< process-unique, validates cached logs
+  const std::uint64_t epoch_steady_ns_;  ///< steady_clock at construction
+  const std::int64_t epoch_unix_us_;     ///< system_clock at construction
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadLog>> logs_;
+};
+
+/// RAII span: records [construction, destruction) on `tracer`, or nothing
+/// when `tracer` is null. Must be destroyed on the thread that created it
+/// (it is the per-thread nesting bookkeeping).
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const char* name) noexcept;
+  ScopedSpan(Tracer* tracer, const char* name, const char* arg0_name,
+             std::uint64_t arg0) noexcept;
+  ScopedSpan(Tracer* tracer, const char* name, const char* arg0_name,
+             std::uint64_t arg0, const char* arg1_name,
+             std::uint64_t arg1) noexcept;
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  TraceEvent event_{};
+};
+
+/// Result of validating a Chrome trace document (see validate_chrome_trace).
+struct TraceValidation {
+  bool ok = false;
+  std::string error;        ///< empty when ok
+  std::size_t events = 0;   ///< "X" events seen
+  std::size_t threads = 0;  ///< distinct tids
+  std::map<std::string, std::size_t> name_counts;  ///< spans per name
+};
+
+/// Structurally validates a Chrome trace_event JSON document: it must
+/// parse as JSON, carry a "traceEvents" array of complete ("ph":"X")
+/// events with string names and numeric ts/dur/pid/tid, and the spans of
+/// each thread must nest properly (no partial overlap). Used by the
+/// obs tests and the trace_check tool; independent of how the JSON was
+/// produced, so it also vets externally captured traces.
+TraceValidation validate_chrome_trace(std::string_view json);
+
+}  // namespace dfw

@@ -30,6 +30,8 @@ struct Executor::Batch {
   std::size_t chunk_count = 0;
   const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
   RunContext* ctx = nullptr;  ///< borrowed; aborted() skips unstarted chunks
+  ObsOptions obs;             ///< per-chunk spans / duration samples
+  Histogram* chunk_hist = nullptr;  ///< resolved once at batch entry
 
   std::atomic<std::size_t> next{0};
   std::mutex mu;
@@ -186,15 +188,20 @@ void Executor::run_batch(Batch& batch) {
       const std::size_t end = std::min(begin + batch.grain, batch.n);
       const auto start = Clock::now();
       try {
+        ScopedSpan span(batch.obs.tracer, "chunk", "begin", begin, "end",
+                        end);
         (*batch.fn)(begin, end);
       } catch (...) {
         error = std::current_exception();
       }
-      busy_ns_.fetch_add(
+      const std::uint64_t elapsed_ns = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                                start)
-              .count(),
-          std::memory_order_relaxed);
+              .count());
+      if (batch.chunk_hist != nullptr) {
+        batch.chunk_hist->record(elapsed_ns);
+      }
+      busy_ns_.fetch_add(elapsed_ns, std::memory_order_relaxed);
       tasks_run_.fetch_add(1, std::memory_order_relaxed);
     }
     std::lock_guard<std::mutex> lk(batch.mu);
@@ -215,13 +222,31 @@ void Executor::parallel_for_chunked(
   parallel_for_chunked(n, grain, fn, nullptr);
 }
 
+namespace {
+
+// Batch-in-flight marker; its scope is what quiescent() reports on.
+class ActiveBatchGuard {
+ public:
+  explicit ActiveBatchGuard(std::atomic<std::size_t>& counter)
+      : counter_(counter) {
+    counter_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  ~ActiveBatchGuard() { counter_.fetch_sub(1, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<std::size_t>& counter_;
+};
+
+}  // namespace
+
 void Executor::parallel_for_chunked(
     std::size_t n, std::size_t grain,
     const std::function<void(std::size_t, std::size_t)>& fn,
-    RunContext* context) {
+    RunContext* context, ObsOptions obs) {
   if (n == 0) {
     return;
   }
+  ActiveBatchGuard in_flight(active_batches_);
   if (context != nullptr && !context->aborted()) {
     // Probe once at batch entry so a cancellation or deadline that fired
     // before the batch started skips every chunk instead of running one
@@ -234,9 +259,13 @@ void Executor::parallel_for_chunked(
   }
   grain = std::max<std::size_t>(1, grain);
   const std::size_t chunk_count = (n + grain - 1) / grain;
+  Histogram* chunk_hist =
+      obs.metrics != nullptr ? &obs.metrics->histogram("rt.executor.chunk_ns")
+                             : nullptr;
   if (is_inline() || chunk_count == 1) {
     // Serial path: same chunk decomposition, same first-error rule, same
-    // skip-after-abort behaviour as the pool path.
+    // skip-after-abort behaviour — and the same per-chunk spans — as the
+    // pool path.
     std::exception_ptr error;
     for (std::size_t c = 0; c < chunk_count; ++c) {
       if (context != nullptr && context->aborted()) {
@@ -246,12 +275,22 @@ void Executor::parallel_for_chunked(
         }
         continue;
       }
+      const std::size_t begin = c * grain;
+      const std::size_t end = std::min(begin + grain, n);
+      const auto start = std::chrono::steady_clock::now();
       try {
-        fn(c * grain, std::min(c * grain + grain, n));
+        ScopedSpan span(obs.tracer, "chunk", "begin", begin, "end", end);
+        fn(begin, end);
       } catch (...) {
         if (!error) {
           error = std::current_exception();
         }
+      }
+      if (chunk_hist != nullptr) {
+        chunk_hist->record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
       }
     }
     if (error) {
@@ -267,6 +306,8 @@ void Executor::parallel_for_chunked(
   batch.chunk_count = chunk_count;
   batch.fn = &fn;
   batch.ctx = context;
+  batch.obs = obs;
+  batch.chunk_hist = chunk_hist;
 
   // One helper per worker, capped by the chunk count — the caller claims
   // chunks too, so more helpers than chunks would only churn.
@@ -295,9 +336,10 @@ void Executor::parallel_for(std::size_t n,
 
 void Executor::parallel_for(std::size_t n,
                             const std::function<void(std::size_t)>& fn,
-                            RunContext* context) {
+                            RunContext* context, ObsOptions obs) {
   parallel_for_chunked(
-      n, 1, [&fn](std::size_t begin, std::size_t) { fn(begin); }, context);
+      n, 1, [&fn](std::size_t begin, std::size_t) { fn(begin); }, context,
+      obs);
 }
 
 ExecutorMetrics Executor::metrics() const {
@@ -311,6 +353,14 @@ ExecutorMetrics Executor::metrics() const {
 }
 
 void Executor::reset_metrics() {
+  if (!quiescent()) {
+    // A reset racing an in-flight batch would split that batch's counters
+    // across the reset boundary — half its chunks erased, half surviving —
+    // so the numbers after the reset would describe no real workload.
+    throw std::logic_error(
+        "Executor::reset_metrics: batches in flight; reset requires "
+        "quiescence (see Executor::quiescent())");
+  }
   tasks_run_.store(0, std::memory_order_relaxed);
   steals_.store(0, std::memory_order_relaxed);
   batches_.store(0, std::memory_order_relaxed);

@@ -29,12 +29,16 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace dfw {
 
 class RunContext;
 
 /// Counters accumulated since construction (or the last reset_metrics()).
-/// Queryable at any time; values are snapshots, not a consistent cut.
+/// Queryable at any time, but only a *quiescent* read (no batch in flight,
+/// see Executor::quiescent()) is a consistent cut — a mid-flight read can
+/// pair a batch's tasks_run with a busy_ms that does not include them yet.
 struct ExecutorMetrics {
   std::uint64_t tasks_run = 0;  ///< claimed work chunks executed
   std::uint64_t steals = 0;     ///< tasks taken from another worker's deque
@@ -74,8 +78,13 @@ class Executor {
   /// *skipped* instead of run, and the join point rethrows the governing
   /// dfw::Error (the smallest-index rule still applies, so the breaching
   /// iteration's own error wins over skip markers behind it).
+  ///
+  /// With a non-null obs sink every claimed chunk additionally emits a
+  /// "chunk" trace span (attributed to the thread that ran it, with the
+  /// chunk's index range as args) and a duration sample in the registry
+  /// histogram "rt.executor.chunk_ns". The default sink is null and free.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
-                    RunContext* context);
+                    RunContext* context, ObsOptions obs = {});
 
   /// Like parallel_for, but hands each task a contiguous index range
   /// fn(begin, end) of at most `grain` iterations — the right shape when
@@ -86,9 +95,23 @@ class Executor {
   void parallel_for_chunked(
       std::size_t n, std::size_t grain,
       const std::function<void(std::size_t, std::size_t)>& fn,
-      RunContext* context);
+      RunContext* context, ObsOptions obs = {});
 
+  /// True when no parallel_for/parallel_for_chunked batch is in flight on
+  /// this executor — the precondition for a consistent metrics() cut and
+  /// for reset_metrics().
+  bool quiescent() const {
+    return active_batches_.load(std::memory_order_acquire) == 0;
+  }
+
+  /// A point-in-time snapshot; see ExecutorMetrics for the mid-flight
+  /// caveat. For a consistent cut, call at quiescence.
   ExecutorMetrics metrics() const;
+
+  /// Zeroes the counters. Requires quiescence: resetting while a batch is
+  /// in flight would tear that batch's counters in half (its already-run
+  /// chunks vanish, its remaining chunks survive), so this throws
+  /// std::logic_error when quiescent() is false.
   void reset_metrics();
 
  private:
@@ -120,6 +143,7 @@ class Executor {
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> busy_ns_{0};
+  std::atomic<std::size_t> active_batches_{0};
 };
 
 }  // namespace dfw

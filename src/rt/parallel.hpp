@@ -21,13 +21,16 @@ namespace dfw {
 /// construction happens on any worker). With a non-null `context`, the
 /// batch is governed: once the context aborts, unstarted indices are
 /// skipped and the governing dfw::Error is rethrown here — a governed map
-/// either returns every result or throws, never a partial vector.
+/// either returns every result or throws, never a partial vector. A
+/// non-null obs sink traces each index as a "chunk" span (see
+/// Executor::parallel_for).
 template <typename T, typename F>
 std::vector<T> parallel_map(Executor& ex, std::size_t n, F&& fn,
-                            RunContext* context = nullptr) {
+                            RunContext* context = nullptr,
+                            ObsOptions obs = {}) {
   std::vector<std::optional<T>> staged(n);
   ex.parallel_for(
-      n, [&](std::size_t i) { staged[i].emplace(fn(i)); }, context);
+      n, [&](std::size_t i) { staged[i].emplace(fn(i)); }, context, obs);
   std::vector<T> out;
   out.reserve(n);
   for (std::optional<T>& slot : staged) {

@@ -1,0 +1,440 @@
+// Tests for the observability layer (src/obs/): tracer span recording,
+// nesting and thread attribution, Chrome trace JSON export + validator
+// round-trip, the unified metrics registry and its legacy-struct
+// absorption, the executor quiescence contract, and — the load-bearing
+// invariant — that a null sink leaves every pipeline output byte-identical.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "diverse/discrepancy.hpp"
+#include "diverse/workflow.hpp"
+#include "fdd/arena.hpp"
+#include "fdd/compare.hpp"
+#include "fdd/construct.hpp"
+#include "gen/generate.hpp"
+#include "obs/obs.hpp"
+#include "rt/executor.hpp"
+#include "rt/govern.hpp"
+#include "synth/synth.hpp"
+
+namespace dfw {
+namespace {
+
+Policy synth(std::size_t rules, std::uint64_t seed) {
+  SynthConfig config;
+  config.num_rules = rules;
+  Rng rng(seed);
+  return synth_policy(config, rng);
+}
+
+// -- Tracer ------------------------------------------------------------------
+
+TEST(TracerTest, RecordsNestedSpansWithDepths) {
+  Tracer tracer;
+  {
+    ScopedSpan outer(&tracer, "outer");
+    {
+      ScopedSpan inner(&tracer, "inner", "k", 7);
+    }
+    {
+      ScopedSpan inner(&tracer, "inner");
+    }
+  }
+  EXPECT_EQ(tracer.event_count(), 3u);
+  EXPECT_EQ(tracer.thread_count(), 1u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+
+  const TraceValidation v = validate_chrome_trace(tracer.chrome_trace_json());
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.events, 3u);
+  EXPECT_EQ(v.threads, 1u);
+  EXPECT_EQ(v.name_counts.at("outer"), 1u);
+  EXPECT_EQ(v.name_counts.at("inner"), 2u);
+}
+
+TEST(TracerTest, NullTracerRecordsNothing) {
+  ScopedSpan span(nullptr, "ignored");
+  ScopedSpan with_args(nullptr, "ignored", "a", 1, "b", 2);
+  // Nothing to assert beyond "does not crash": a null tracer is the null
+  // sink the pipeline relies on.
+  SUCCEED();
+}
+
+TEST(TracerTest, AttributesSpansToTheRecordingThread) {
+  Tracer tracer;
+  constexpr int kSpansPerThread = 50;
+  const auto worker = [&] {
+    for (int i = 0; i < kSpansPerThread; ++i) {
+      ScopedSpan span(&tracer, "worker");
+    }
+  };
+  std::thread a(worker);
+  std::thread b(worker);
+  a.join();
+  b.join();
+  {
+    ScopedSpan span(&tracer, "main");
+  }
+  EXPECT_EQ(tracer.thread_count(), 3u);
+  EXPECT_EQ(tracer.event_count(), 2 * kSpansPerThread + 1u);
+
+  const TraceValidation v = validate_chrome_trace(tracer.chrome_trace_json());
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.threads, 3u);
+  EXPECT_EQ(v.name_counts.at("worker"),
+            static_cast<std::size_t>(2 * kSpansPerThread));
+  EXPECT_EQ(v.name_counts.at("main"), 1u);
+}
+
+TEST(TracerTest, FullRingDropsOldestAndCounts) {
+  Tracer tracer(16);
+  for (int i = 0; i < 100; ++i) {
+    ScopedSpan span(&tracer, "spin");
+  }
+  EXPECT_EQ(tracer.event_count(), 16u);
+  EXPECT_EQ(tracer.dropped(), 84u);
+  const TraceValidation v = validate_chrome_trace(tracer.chrome_trace_json());
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.events, 16u);
+}
+
+TEST(TracerTest, SurvivesTracerDestructionAndReuse) {
+  // The thread-local fast path caches a log pointer keyed by the tracer's
+  // process-unique serial; a new tracer on the same thread must miss the
+  // cache instead of writing into the dead tracer's storage.
+  {
+    Tracer first;
+    ScopedSpan span(&first, "first");
+  }
+  Tracer second;
+  {
+    ScopedSpan span(&second, "second");
+  }
+  EXPECT_EQ(second.event_count(), 1u);
+  const TraceValidation v = validate_chrome_trace(second.chrome_trace_json());
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.name_counts.count("first"), 0u);
+  EXPECT_EQ(v.name_counts.at("second"), 1u);
+}
+
+// -- Trace validator ---------------------------------------------------------
+
+TEST(TraceValidatorTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(validate_chrome_trace("").ok);
+  EXPECT_FALSE(validate_chrome_trace("not json").ok);
+  EXPECT_FALSE(validate_chrome_trace("{}").ok);  // no traceEvents
+  EXPECT_FALSE(
+      validate_chrome_trace(R"({"traceEvents":[{"ph":"X"}]})").ok);
+  // Partial overlap on one thread is not proper nesting.
+  const char* overlapping =
+      R"({"traceEvents":[
+        {"name":"a","ph":"X","pid":1,"tid":1,"ts":0,"dur":10},
+        {"name":"b","ph":"X","pid":1,"tid":1,"ts":5,"dur":10}]})";
+  EXPECT_FALSE(validate_chrome_trace(overlapping).ok);
+}
+
+TEST(TraceValidatorTest, AcceptsMinimalWellFormedTrace) {
+  const char* doc =
+      R"({"traceEvents":[
+        {"name":"a","ph":"X","pid":1,"tid":1,"ts":0,"dur":10},
+        {"name":"b","ph":"X","pid":1,"tid":1,"ts":2,"dur":3},
+        {"name":"a","ph":"X","pid":1,"tid":2,"ts":1,"dur":4}]})";
+  const TraceValidation v = validate_chrome_trace(doc);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.events, 3u);
+  EXPECT_EQ(v.threads, 2u);
+  EXPECT_EQ(v.name_counts.at("a"), 2u);
+}
+
+// -- Metrics registry --------------------------------------------------------
+
+TEST(MetricsTest, CountersAndHistogramsAccumulate) {
+  MetricsRegistry registry;
+  registry.counter("x").add();
+  registry.counter("x").add(4);
+  registry.histogram("h").record(0);
+  registry.histogram("h").record(1);
+  registry.histogram("h").record(1000);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("x"), 5u);
+  EXPECT_EQ(snap.histograms.at("h").count, 3u);
+  EXPECT_EQ(snap.histograms.at("h").sum, 1001u);
+}
+
+TEST(MetricsTest, HistogramBucketsArePowersOfTwo) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  for (std::size_t i = 2; i < Histogram::kBuckets; ++i) {
+    const std::uint64_t lo = Histogram::bucket_lower_bound(i);
+    EXPECT_EQ(Histogram::bucket_of(lo), i);
+    EXPECT_EQ(Histogram::bucket_of(lo - 1), i - 1);
+  }
+}
+
+TEST(MetricsTest, EqualSnapshotsSerializeToEqualJson) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  for (MetricsRegistry* r : {&a, &b}) {
+    r->counter("beta").add(2);
+    r->counter("alpha").add(1);
+    r->histogram("h").record(42);
+  }
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+  EXPECT_EQ(a.snapshot().to_json(), b.snapshot().to_json());
+  // Deterministic ordering: alpha before beta regardless of registration
+  // order.
+  const std::string json = a.snapshot().to_json();
+  EXPECT_LT(json.find("alpha"), json.find("beta"));
+}
+
+TEST(MetricsTest, AbsorbUnifiesLegacyStructsUnderDottedNames) {
+  MetricsRegistry registry;
+
+  Executor pool(2);
+  pool.parallel_for(64, [](std::size_t) {}, nullptr);
+  absorb(registry, pool.metrics());
+
+  FddArena arena(synth(20, 3).schema());
+  arena.build_reduced(synth(20, 3));
+  absorb(registry, arena.stats());
+
+  RunContext::Config config;
+  config.budgets.max_nodes = 1u << 20;
+  RunContext context(config);
+  Policy policy = synth(20, 3);
+  (void)build_reduced_fdd(policy, ConstructOptions{true, &context});
+  absorb(registry, context);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  for (const char* name :
+       {"rt.executor.tasks_run", "rt.executor.steals", "rt.executor.batches",
+        "rt.executor.busy_ns", "fdd.arena.unique_nodes",
+        "fdd.arena.unique_labels", "fdd.arena.node_queries",
+        "fdd.arena.node_hits", "rt.govern.nodes_charged",
+        "rt.govern.label_bytes_charged", "rt.govern.rules_charged",
+        "rt.govern.aborted"}) {
+    EXPECT_TRUE(snap.counters.count(name) != 0) << "missing " << name;
+  }
+  EXPECT_GT(snap.counters.at("rt.executor.batches"), 0u);
+  EXPECT_GT(snap.counters.at("fdd.arena.unique_nodes"), 0u);
+  EXPECT_GT(snap.counters.at("rt.govern.nodes_charged"), 0u);
+
+  // Absorption is additive: a second absorb doubles the counter.
+  const std::uint64_t once = snap.counters.at("fdd.arena.unique_nodes");
+  absorb(registry, arena.stats());
+  EXPECT_EQ(registry.snapshot().counters.at("fdd.arena.unique_nodes"),
+            2 * once);
+}
+
+// -- Executor quiescence (satellite 1) ---------------------------------------
+
+TEST(ExecutorQuiescenceTest, ResetMetricsThrowsWhileBatchesInFlight) {
+  Executor pool(2);
+  EXPECT_TRUE(pool.quiescent());
+  // From inside a task the executor is by definition not quiescent; the
+  // reset must refuse rather than tear counters out from under the batch.
+  EXPECT_THROW(
+      pool.parallel_for(8, [&](std::size_t) { pool.reset_metrics(); },
+                        nullptr),
+      std::logic_error);
+  EXPECT_TRUE(pool.quiescent());
+  pool.reset_metrics();  // quiescent again: allowed
+  EXPECT_EQ(pool.metrics().batches, 0u);
+}
+
+TEST(ExecutorQuiescenceTest, ArenaStatsSnapshotAndResetAreConsistent) {
+  const Policy policy = synth(30, 5);
+  FddArena arena(policy.schema());
+  arena.build_reduced(policy);
+  const ArenaStats snap = arena.stats_snapshot();
+  EXPECT_EQ(snap.unique_nodes, arena.stats().unique_nodes);
+  EXPECT_GT(snap.node_queries, 0u);
+  arena.reset_stats();
+  EXPECT_EQ(arena.stats().node_queries, 0u);
+  // The structural counters restart too; the arena contents are untouched.
+  EXPECT_EQ(arena.stats().unique_nodes, 0u);
+  EXPECT_EQ(arena.unique_node_count(), snap.unique_nodes);
+}
+
+// -- Pipeline instrumentation ------------------------------------------------
+
+TEST(PipelineObsTest, TracedDiscrepanciesEmitsAllPhaseSpans) {
+  const Policy pa = synth(60, 7);
+  const Policy pb = synth(60, 8);
+  Tracer tracer;
+  MetricsRegistry registry;
+  CompareOptions options;
+  options.obs = ObsOptions{&tracer, &registry};
+
+  const std::vector<Discrepancy> diffs = discrepancies(pa, pb, options);
+  EXPECT_EQ(diffs, discrepancies(pa, pb));
+
+  const TraceValidation v = validate_chrome_trace(tracer.chrome_trace_json());
+  ASSERT_TRUE(v.ok) << v.error;
+  for (const char* phase :
+       {"construct", "validate", "shape", "compare", "build_reduced_fdd"}) {
+    EXPECT_GE(v.name_counts.count(phase), 1u) << "missing span " << phase;
+  }
+  EXPECT_EQ(v.name_counts.at("build_reduced_fdd"), 2u);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  for (const char* hist : {"phase.construct_ns", "phase.validate_ns",
+                           "phase.shape_ns", "phase.compare_ns"}) {
+    ASSERT_TRUE(snap.histograms.count(hist) != 0) << "missing " << hist;
+    EXPECT_EQ(snap.histograms.at(hist).count, 1u);
+  }
+  // The serial pipeline runs arena-native and absorbs its stats.
+  EXPECT_GT(snap.counters.at("fdd.arena.unique_nodes"), 0u);
+}
+
+TEST(PipelineObsTest, TracedGenerateEmitsSpanAndRuleCount) {
+  const Policy policy = synth(60, 7);
+  const Fdd fdd = build_reduced_fdd(policy);
+  Tracer tracer;
+  MetricsRegistry registry;
+  GenerateOptions options;
+  options.obs = ObsOptions{&tracer, &registry};
+
+  const Policy regenerated = generate_policy(fdd, options);
+  EXPECT_EQ(regenerated.rules(), generate_policy(fdd).rules());
+
+  const TraceValidation v = validate_chrome_trace(tracer.chrome_trace_json());
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.name_counts.at("generate"), 1u);
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("gen.rules_emitted"), regenerated.size());
+  EXPECT_EQ(snap.histograms.at("phase.generate_ns").count, 1u);
+}
+
+TEST(PipelineObsTest, PoolExecutorEmitsChunkSpansAndExecutorCounters) {
+  const Policy pa = synth(60, 7);
+  const Policy pb = synth(60, 8);
+  Tracer tracer;
+  MetricsRegistry registry;
+  Executor pool(2);
+  CompareOptions options;
+  options.executor = &pool;
+  options.obs = ObsOptions{&tracer, &registry};
+
+  const std::vector<Discrepancy> diffs = discrepancies(pa, pb, options);
+  EXPECT_EQ(diffs, discrepancies(pa, pb));
+
+  const TraceValidation v = validate_chrome_trace(tracer.chrome_trace_json());
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_GE(v.name_counts.at("chunk"), 2u);
+  EXPECT_GT(registry.snapshot().histograms.at("rt.executor.chunk_ns").count,
+            0u);
+}
+
+// The acceptance-criterion test: one registry attached to a full governed
+// session carries executor, arena, and governance counters side by side
+// under the unified names.
+TEST(PipelineObsTest, WorkflowSnapshotUnifiesAllSubsystems) {
+  Executor pool(2);
+  RunContext context;  // defaults are unbounded: governance active, no abort
+  Tracer tracer;
+  MetricsRegistry registry;
+  WorkflowOptions options;
+  options.executor = &pool;
+  options.context = &context;
+  options.obs = ObsOptions{&tracer, &registry};
+
+  DiverseDesign session((DecisionSet()), options);
+  const Policy base = synth(60, 7);
+  Rng rng(99);
+  session.submit("t0", base);
+  session.submit("t1", perturb_policy(base, 15.0, rng));
+  session.submit("t2", perturb_policy(base, 15.0, rng));
+  const std::vector<PairwiseReport> cross = session.cross_compare();
+  EXPECT_EQ(cross.size(), 3u);
+  absorb(registry, pool.metrics());
+  absorb(registry, context);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  for (const char* name :
+       {"rt.executor.batches", "fdd.arena.unique_nodes",
+        "rt.govern.nodes_charged"}) {
+    EXPECT_TRUE(snap.counters.count(name) != 0) << "missing " << name;
+  }
+  const TraceValidation v = validate_chrome_trace(tracer.chrome_trace_json());
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.name_counts.at("workflow.submit"), 3u);
+  EXPECT_EQ(v.name_counts.at("workflow.cross_compare"), 1u);
+  EXPECT_EQ(v.name_counts.at("pair"), 3u);
+}
+
+// -- Determinism across thread counts ----------------------------------------
+
+// The work-independent counters (arena structure, governance charges) must
+// not depend on how many threads the work was spread over, and the reports
+// themselves must be identical — parallelism reorders work, never output.
+TEST(ObsDeterminismTest, ArenaCountersIdenticalAcrossThreadCounts) {
+  const Policy base = synth(80, 11);
+  Rng rng(12);
+  const Policy variant_a = perturb_policy(base, 15.0, rng);
+  const Policy variant_b = perturb_policy(base, 15.0, rng);
+
+  std::vector<MetricsSnapshot> snaps;
+  std::vector<std::vector<PairwiseReport>> reports;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    Executor pool(threads);
+    MetricsRegistry registry;
+    WorkflowOptions options;
+    options.executor = &pool;
+    options.obs.metrics = &registry;
+    DiverseDesign session((DecisionSet()), options);
+    session.submit("t0", base);
+    session.submit("t1", variant_a);
+    session.submit("t2", variant_b);
+    reports.push_back(session.cross_compare());
+    snaps.push_back(registry.snapshot());
+  }
+  for (std::size_t i = 1; i < snaps.size(); ++i) {
+    EXPECT_EQ(reports[i], reports[0]);
+    // Counter values are exactly reproducible; timing histograms keep
+    // reproducible counts with run-dependent sums.
+    EXPECT_EQ(snaps[i].counters, snaps[0].counters);
+    ASSERT_EQ(snaps[i].histograms.size(), snaps[0].histograms.size());
+    auto it = snaps[i].histograms.begin();
+    auto ref = snaps[0].histograms.begin();
+    for (; it != snaps[i].histograms.end(); ++it, ++ref) {
+      EXPECT_EQ(it->first, ref->first);
+      EXPECT_EQ(it->second.count, ref->second.count) << it->first;
+    }
+  }
+}
+
+// -- Null sink ----------------------------------------------------------------
+
+TEST(NullSinkTest, ReportsAreByteIdenticalWithAndWithoutSinks) {
+  const Policy base = synth(60, 21);
+  Rng rng(22);
+  const Policy variant = perturb_policy(base, 20.0, rng);
+
+  const auto run = [&](ObsOptions obs) {
+    WorkflowOptions options;
+    options.obs = obs;
+    DiverseDesign session((DecisionSet()), options);
+    session.submit("alpha", base);
+    session.submit("beta", variant);
+    return session.report();
+  };
+  Tracer tracer;
+  MetricsRegistry registry;
+  const std::string with_sinks = run(ObsOptions{&tracer, &registry});
+  const std::string without_sinks = run(ObsOptions{});
+  EXPECT_EQ(with_sinks, without_sinks);
+  EXPECT_GT(tracer.event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace dfw

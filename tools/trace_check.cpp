@@ -1,0 +1,67 @@
+// Standalone trace validator for CI and local workflows: reads a Chrome
+// trace_event JSON file (as written by Tracer::chrome_trace_json or the
+// --trace modes of the benches/examples), runs the library's structural
+// validator (well-formed "X" events, per-thread span nesting), and checks
+// that every span name passed via --require appears at least once.
+//
+//   trace_check FILE [--require NAME]...
+//
+// Exit status: 0 when the trace validates and all required names are
+// present, 1 otherwise — so a CI step can gate on it directly.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  std::vector<std::string> required;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require") == 0 && i + 1 < argc) {
+      required.emplace_back(argv[++i]);
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: %s FILE [--require NAME]...\n", argv[0]);
+      return 1;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: %s FILE [--require NAME]...\n", argv[0]);
+    return 1;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_check: cannot read %s\n", path);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+
+  const dfw::TraceValidation v = dfw::validate_chrome_trace(json);
+  if (!v.ok) {
+    std::fprintf(stderr, "trace_check: %s: %s\n", path, v.error.c_str());
+    return 1;
+  }
+  bool ok = true;
+  for (const std::string& name : required) {
+    const auto it = v.name_counts.find(name);
+    if (it == v.name_counts.end()) {
+      std::fprintf(stderr, "trace_check: %s: no \"%s\" span\n", path,
+                   name.c_str());
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::printf("%s: ok — %zu events across %zu threads\n", path, v.events,
+                v.threads);
+  }
+  return ok ? 0 : 1;
+}
