@@ -166,8 +166,21 @@ IntervalSet parse_port_op(Cursor& c) {
 }  // namespace
 
 Policy parse_cisco_acl(std::string_view text, std::string_view acl_id) {
+  return parse_cisco_acl(text, acl_id, nullptr);
+}
+
+Policy parse_cisco_acl(std::string_view text, std::string_view acl_id,
+                       std::vector<AdapterNote>* notes) {
   const Schema schema = five_tuple_schema();
   std::vector<Rule> rules;
+  std::vector<std::size_t> rule_lines;
+  const auto add_note = [&](std::size_t line, const char* id,
+                            std::string message,
+                            std::size_t rule = AdapterNote::kNoRule) {
+    if (notes != nullptr) {
+      notes->push_back({line, id, std::move(message), rule});
+    }
+  };
 
   std::size_t line_no = 0;
   std::size_t start = 0;
@@ -237,21 +250,51 @@ Policy parse_cisco_acl(std::string_view text, std::string_view acl_id) {
                                       std::string(trailing) + "'");
       }
       // Logging does not change the accept/discard mapping in this model.
+      add_note(line_no, "adapter.cisco.log-ignored",
+               "'" + std::string(trailing) +
+                   "' does not affect the accept/discard mapping in this "
+                   "model — decision coverage will not see a log decision",
+               rules.size());
     }
     if (!c.done()) {
       throw ParseError(line_no, "unexpected tokens after 'log'");
     }
 
-    rules.emplace_back(
-        schema,
-        std::vector<IntervalSet>{IntervalSet(src), IntervalSet(dst), sport,
-                                 dport, proto_set},
-        decision);
+    Rule parsed(schema,
+                std::vector<IntervalSet>{IntervalSet(src), IntervalSet(dst),
+                                         sport, dport, proto_set},
+                decision);
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (rules[i].conjuncts() != parsed.conjuncts()) {
+        continue;
+      }
+      if (rules[i].decision() == parsed.decision()) {
+        add_note(line_no, "adapter.cisco.duplicate-rule",
+                 "entry repeats line " + std::to_string(rule_lines[i]) +
+                     " exactly; the later copy never matters",
+                 rules.size());
+      } else {
+        add_note(line_no, "adapter.cisco.conflicting-duplicate",
+                 "entry has the same predicate as line " +
+                     std::to_string(rule_lines[i]) +
+                     " with the opposite action; first match wins, so this "
+                     "line can never fire",
+                 rules.size());
+      }
+      break;
+    }
+    rules.push_back(std::move(parsed));
+    rule_lines.push_back(line_no);
   }
 
   if (rules.empty()) {
     throw ParseError(line_no, "no rules found for access-list " +
                                   std::string(acl_id));
+  }
+  if (rules.back() == Rule::catch_all(schema, kDiscard)) {
+    add_note(rule_lines.back(), "adapter.cisco.redundant-implicit-deny",
+             "explicit 'deny ip any any' duplicates the ACL's implicit deny",
+             rules.size() - 1);
   }
   // Cisco's implicit deny closes every ACL.
   rules.push_back(Rule::catch_all(schema, kDiscard));

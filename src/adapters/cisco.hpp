@@ -20,7 +20,9 @@
 #pragma once
 
 #include <string_view>
+#include <vector>
 
+#include "adapters/diag.hpp"
 #include "fw/parser.hpp"
 #include "fw/policy.hpp"
 
@@ -31,5 +33,20 @@ namespace dfw {
 /// five_tuple_schema(). Unrelated configuration lines are ignored; bad or
 /// unsupported ACL syntax raises ParseError with line information.
 Policy parse_cisco_acl(std::string_view text, std::string_view acl_id);
+
+/// Lint-aware variant: identical parsing, but accepted-yet-suspicious
+/// input additionally appends AdapterNotes to `notes` (borrowed,
+/// nullable):
+///   adapter.cisco.log-ignored            'log'/'log-input' does not alter
+///                                        the accept/discard mapping here
+///   adapter.cisco.duplicate-rule         line repeats an earlier entry's
+///                                        predicate and action exactly
+///   adapter.cisco.conflicting-duplicate  same predicate as an earlier
+///                                        entry, opposite action (the
+///                                        later line can never fire)
+///   adapter.cisco.redundant-implicit-deny  explicit trailing
+///                                        'deny ip any any'
+Policy parse_cisco_acl(std::string_view text, std::string_view acl_id,
+                       std::vector<AdapterNote>* notes);
 
 }  // namespace dfw

@@ -1,0 +1,35 @@
+// Adapter-level lint notes.
+//
+// The frontends (iptables.hpp, cisco.hpp) reject inputs they cannot model
+// with ParseError, but plenty of accepted input is still *suspicious*: a
+// port match on a rule whose protocol has no ports, a rule that the chain
+// flattening proves unreachable, an explicit copy of the implicit deny.
+// Those findings belong to the input syntax — after conversion to the
+// neutral rule model the evidence is gone — so the parsers surface them
+// here, as structured notes a caller (the lint engine's `adapter` pass)
+// can forward as diagnostics. Parsing behaviour is unchanged: the notes
+// overloads accept exactly the inputs the plain ones do.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dfw {
+
+/// One frontend finding: the 1-based source line it was observed on, a
+/// stable check id in the lint naming scheme ("adapter.<frontend>.<name>",
+/// see docs/lint.md), and a human message. `rule` is the 0-based index of
+/// the emitted rule the note concerns, or npos when the note concerns
+/// input that produced no rule (e.g. a dropped unreachable rule).
+struct AdapterNote {
+  static constexpr std::size_t kNoRule = static_cast<std::size_t>(-1);
+
+  std::size_t line = 0;
+  std::string check_id;
+  std::string message;
+  std::size_t rule = kNoRule;
+};
+
+}  // namespace dfw

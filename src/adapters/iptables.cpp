@@ -162,7 +162,15 @@ void set_address(std::vector<IntervalSet>& conjuncts, std::size_t field,
 }
 
 Policy parse_save_impl(std::string_view text, std::string_view chain,
-                       const Schema& schema, const FieldLayout& layout) {
+                       const Schema& schema, const FieldLayout& layout,
+                       std::vector<AdapterNote>* notes) {
+  const auto add_note = [&](std::size_t line, const char* id,
+                            std::string message,
+                            std::size_t rule = AdapterNote::kNoRule) {
+    if (notes != nullptr) {
+      notes->push_back({line, id, std::move(message), rule});
+    }
+  };
   const std::size_t kSip = layout.sip;
   const std::size_t kDip = layout.dip;
   const std::size_t kSport = layout.sport;
@@ -196,7 +204,11 @@ Policy parse_save_impl(std::string_view text, std::string_view chain,
     }
     // Chain header: ":INPUT DROP [0:0]" (user chains use "-").
     if (tokens[0][0] == ':') {
-      chains.try_emplace(std::string(tokens[0].substr(1)));
+      if (!chains.try_emplace(std::string(tokens[0].substr(1))).second) {
+        add_note(line_no, "adapter.iptables.duplicate-chain",
+                 "chain '" + std::string(tokens[0].substr(1)) +
+                     "' declared more than once");
+      }
       if (tokens.size() >= 2 && tokens[0].substr(1) == chain &&
           tokens[1] != "-") {
         chain_policy = parse_policy_target(tokens[1], line_no);
@@ -217,6 +229,7 @@ Policy parse_save_impl(std::string_view text, std::string_view chain,
       conjuncts.emplace_back(schema.domain(f));
     }
     std::optional<std::string> target;
+    std::vector<std::string_view> proto_modules;
 
     const auto need_arg = [&](std::size_t i) -> std::string_view {
       if (i + 1 >= tokens.size()) {
@@ -259,6 +272,9 @@ Policy parse_save_impl(std::string_view text, std::string_view chain,
           throw ParseError(line_no, "unsupported match module '" +
                                         std::string(module) + "'");
         }
+        if (module != "multiport") {
+          proto_modules.push_back(module);
+        }
         ++i;
       } else if (opt == "-j" || opt == "--jump") {
         target = std::string(need_arg(i));
@@ -270,6 +286,29 @@ Policy parse_save_impl(std::string_view text, std::string_view chain,
     }
     if (!target) {
       throw ParseError(line_no, "rule has no -j target");
+    }
+    if (notes != nullptr) {
+      const IntervalSet tcp_only(Interval::point(6));
+      const IntervalSet udp_only(Interval::point(17));
+      const bool proto_has_ports =
+          conjuncts[kProto] == tcp_only || conjuncts[kProto] == udp_only;
+      const bool ports_constrained =
+          conjuncts[kSport] != schema.domain_set(kSport) ||
+          conjuncts[kDport] != schema.domain_set(kDport);
+      if (ports_constrained && !proto_has_ports) {
+        add_note(line_no, "adapter.iptables.port-without-proto",
+                 "port match without '-p tcp' or '-p udp' — real iptables "
+                 "rejects this, and the constraint binds ports of "
+                 "protocols that have none");
+      }
+      for (const std::string_view module : proto_modules) {
+        const IntervalSet& expect = module == "tcp" ? tcp_only : udp_only;
+        if (conjuncts[kProto] != expect) {
+          add_note(line_no, "adapter.iptables.module-without-proto",
+                   "'-m " + std::string(module) + "' without a matching '-p " +
+                       std::string(module) + "'");
+        }
+      }
     }
     chains[std::string(tokens[1])].push_back(
         {std::move(conjuncts), std::move(*target), line_no});
@@ -317,6 +356,11 @@ Policy parse_save_impl(std::string_view text, std::string_view chain,
         }
       }
       if (!feasible) {
+        // The jump predicate and the rule's own predicate contradict: no
+        // packet can both enter the chain here and match the rule.
+        add_note(cr.line, "adapter.iptables.unreachable-rule",
+                 "rule is unreachable when '" + name +
+                     "' is entered from this jump (contradictory predicate)");
         continue;
       }
       if (const auto decision = builtin_target(cr.target)) {
@@ -343,11 +387,24 @@ Policy parse_save_impl(std::string_view text, std::string_view chain,
 }  // namespace
 
 Policy parse_iptables_save(std::string_view text, std::string_view chain) {
-  return parse_save_impl(text, chain, five_tuple_schema(), kV4Layout);
+  return parse_save_impl(text, chain, five_tuple_schema(), kV4Layout,
+                         nullptr);
 }
 
 Policy parse_ip6tables_save(std::string_view text, std::string_view chain) {
-  return parse_save_impl(text, chain, five_tuple_v6_schema(), kV6Layout);
+  return parse_save_impl(text, chain, five_tuple_v6_schema(), kV6Layout,
+                         nullptr);
+}
+
+Policy parse_iptables_save(std::string_view text, std::string_view chain,
+                           std::vector<AdapterNote>* notes) {
+  return parse_save_impl(text, chain, five_tuple_schema(), kV4Layout, notes);
+}
+
+Policy parse_ip6tables_save(std::string_view text, std::string_view chain,
+                            std::vector<AdapterNote>* notes) {
+  return parse_save_impl(text, chain, five_tuple_v6_schema(), kV6Layout,
+                         notes);
 }
 
 }  // namespace dfw

@@ -21,7 +21,9 @@
 #pragma once
 
 #include <string_view>
+#include <vector>
 
+#include "adapters/diag.hpp"
 #include "fw/parser.hpp"
 #include "fw/policy.hpp"
 
@@ -37,5 +39,19 @@ Policy parse_iptables_save(std::string_view text, std::string_view chain);
 /// The ip6tables-save counterpart: identical grammar, IPv6 addresses, and
 /// a Policy over five_tuple_v6_schema() (paired 64-bit address halves).
 Policy parse_ip6tables_save(std::string_view text, std::string_view chain);
+
+/// Lint-aware variants: identical parsing (same accepted inputs, same
+/// ParseErrors, same resulting Policy), but accepted-yet-suspicious input
+/// additionally appends AdapterNotes to `notes` (borrowed, nullable):
+///   adapter.iptables.port-without-proto   port match, protocol not tcp/udp
+///   adapter.iptables.module-without-proto -m tcp/udp without matching -p
+///   adapter.iptables.unreachable-rule     rule dropped while flattening a
+///                                         chain jump (empty intersection
+///                                         with the jump predicate)
+///   adapter.iptables.duplicate-chain      chain header declared twice
+Policy parse_iptables_save(std::string_view text, std::string_view chain,
+                           std::vector<AdapterNote>* notes);
+Policy parse_ip6tables_save(std::string_view text, std::string_view chain,
+                            std::vector<AdapterNote>* notes);
 
 }  // namespace dfw

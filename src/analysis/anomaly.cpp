@@ -1,7 +1,10 @@
 #include "analysis/anomaly.hpp"
 
 #include "fdd/construct.hpp"
+#include "fdd/reduce.hpp"
 #include "fw/format.hpp"
+#include "rt/executor.hpp"
+#include "rt/govern.hpp"
 
 namespace dfw {
 
@@ -37,30 +40,81 @@ bool predicates_overlap(const Rule& a, const Rule& b) {
   return true;
 }
 
+namespace {
+
+// Classifies the ordered pair (i, j), i < j, appending at most one
+// anomaly to `out`.
+void classify_pair(const Policy& policy, std::size_t i, std::size_t j,
+                   std::vector<Anomaly>& out) {
+  const Rule& earlier = policy.rule(i);
+  const Rule& later = policy.rule(j);
+  if (!predicates_overlap(earlier, later)) {
+    return;
+  }
+  const bool later_inside = predicate_subset(later, earlier);
+  const bool earlier_inside = predicate_subset(earlier, later);
+  const bool same_decision = earlier.decision() == later.decision();
+  if (later_inside && !same_decision) {
+    out.push_back({AnomalyKind::kShadowing, i, j});
+  } else if (later_inside && same_decision) {
+    out.push_back({AnomalyKind::kRedundancyPair, i, j});
+  } else if (earlier_inside && !later_inside && !same_decision) {
+    out.push_back({AnomalyKind::kGeneralization, i, j});
+  } else if (!earlier_inside && !later_inside && !same_decision) {
+    out.push_back({AnomalyKind::kCorrelation, i, j});
+  }
+  // Overlapping, non-nested, same decision: benign overlap — the
+  // taxonomy does not flag it.
+}
+
+}  // namespace
+
 std::vector<Anomaly> find_anomalies(const Policy& policy) {
+  return find_anomalies(policy, AnomalyOptions{});
+}
+
+std::vector<Anomaly> find_anomalies(const Policy& policy,
+                                    const AnomalyOptions& options) {
+  PhaseSpan span(options.obs, "anomaly_pairs");
   std::vector<Anomaly> anomalies;
-  for (std::size_t j = 1; j < policy.size(); ++j) {
-    for (std::size_t i = 0; i < j; ++i) {
-      const Rule& earlier = policy.rule(i);
-      const Rule& later = policy.rule(j);
-      if (!predicates_overlap(earlier, later)) {
-        continue;
+  if (policy.size() < 2) {
+    return anomalies;
+  }
+  // Row r scans pairs (i, j) with j = r + 1, i < j — the triangle sliced
+  // by its later rule, so every row is independent of the others.
+  const std::size_t rows = policy.size() - 1;
+  if (options.executor == nullptr || options.executor->is_inline()) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t i = 0; i <= r; ++i) {
+        govern::checkpoint(options.context);
+        classify_pair(policy, i, r + 1, anomalies);
       }
-      const bool later_inside = predicate_subset(later, earlier);
-      const bool earlier_inside = predicate_subset(earlier, later);
-      const bool same_decision = earlier.decision() == later.decision();
-      if (later_inside && !same_decision) {
-        anomalies.push_back({AnomalyKind::kShadowing, i, j});
-      } else if (later_inside && same_decision) {
-        anomalies.push_back({AnomalyKind::kRedundancyPair, i, j});
-      } else if (earlier_inside && !later_inside && !same_decision) {
-        anomalies.push_back({AnomalyKind::kGeneralization, i, j});
-      } else if (!earlier_inside && !later_inside && !same_decision) {
-        anomalies.push_back({AnomalyKind::kCorrelation, i, j});
-      }
-      // Overlapping, non-nested, same decision: benign overlap — the
-      // taxonomy does not flag it.
     }
+    return anomalies;
+  }
+  // Each row stages its findings in its own slot; concatenating slots in
+  // row order reproduces the serial (second, first) ordering exactly,
+  // whatever the schedule.
+  std::vector<std::vector<Anomaly>> staged(rows);
+  const std::size_t grain = options.row_grain == 0 ? 1 : options.row_grain;
+  options.executor->parallel_for_chunked(
+      rows, grain,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          for (std::size_t i = 0; i <= r; ++i) {
+            govern::checkpoint(options.context);
+            classify_pair(policy, i, r + 1, staged[r]);
+          }
+        }
+      },
+      options.context, options.obs);
+  std::size_t total = 0;
+  for (const std::vector<Anomaly>& row : staged) {
+    total += row.size();
+  }
+  anomalies.reserve(total);
+  for (std::vector<Anomaly>& row : staged) {
+    anomalies.insert(anomalies.end(), row.begin(), row.end());
   }
   return anomalies;
 }
@@ -94,16 +148,32 @@ bool escapes_coverage(const FddNode& node, const Rule& rule) {
 }  // namespace
 
 std::vector<std::size_t> dead_rules(const Policy& policy) {
+  return dead_rules(policy, AnomalyOptions{});
+}
+
+std::vector<std::size_t> dead_rules(const Policy& policy,
+                                    const AnomalyOptions& options) {
+  PhaseSpan span(options.obs, "dead_rules");
   std::vector<std::size_t> dead;
   // Fold rules into one growing *partial* FDD: after i rules it covers
   // exactly the packets some earlier rule matches. Rule i is dead iff its
-  // predicate cannot escape that coverage.
-  Fdd coverage = build_partial_fdd(policy, 1);
+  // predicate cannot escape that coverage. Reduction is sound on partial
+  // FDDs (merged siblings and spliced full-domain nodes cover the same
+  // packets), so reduce whenever the coverage diagram outgrows a budget
+  // proportional to its reduced size — the same strategy that keeps
+  // build_reduced_fdd's intermediates small.
+  Fdd coverage = build_partial_fdd(policy, 1, options.context);
+  std::size_t budget = 256;
   for (std::size_t i = 1; i < policy.size(); ++i) {
+    govern::checkpoint(options.context);
     if (!escapes_coverage(coverage.root(), policy.rule(i))) {
       dead.push_back(i);
     }
-    append_rule(coverage, policy.rule(i));
+    append_rule(coverage, policy.rule(i), options.context);
+    if (coverage.node_count() > budget) {
+      reduce(coverage);
+      budget = coverage.node_count() * 2 + 256;
+    }
   }
   return dead;
 }

@@ -25,8 +25,12 @@
 #include <vector>
 
 #include "fw/policy.hpp"
+#include "obs/obs.hpp"
 
 namespace dfw {
+
+class Executor;
+class RunContext;
 
 enum class AnomalyKind {
   kShadowing,
@@ -43,6 +47,8 @@ struct Anomaly {
   AnomalyKind kind;
   std::size_t first;
   std::size_t second;
+
+  bool operator==(const Anomaly&) const = default;
 };
 
 /// True iff every packet matching `inner` also matches `outer`.
@@ -51,15 +57,42 @@ bool predicate_subset(const Rule& inner, const Rule& outer);
 /// True iff some packet matches both rules.
 bool predicates_overlap(const Rule& a, const Rule& b);
 
+/// Knobs for the anomaly scans, in the library's options-struct idiom.
+struct AnomalyOptions {
+  /// Borrowed executor for the pair scan; null = inline (serial). The scan
+  /// chunks the O(n^2 d) triangle by later-rule row, stages each row's
+  /// findings in its own slot, and concatenates in row order — so the
+  /// result is bit-identical to the serial scan at every thread count.
+  Executor* executor = nullptr;
+  /// Rows of the pair triangle handed to one executor task. Row j costs
+  /// O(j d), so modest grains already amortise scheduling.
+  std::size_t row_grain = 16;
+  /// Optional governance context (borrowed, nullable): the pair scan takes
+  /// amortized cancellation/deadline checkpoints per pair; dead_rules
+  /// additionally charges every coverage-FDD node it materialises against
+  /// the node budget. A breach throws dfw::Error (from the batch join
+  /// under an executor).
+  RunContext* context = nullptr;
+  /// Observability sinks (borrowed, nullable): the scans run under
+  /// "anomaly_pairs" / "dead_rules" phase spans. Null sinks are free.
+  ObsOptions obs = {};
+};
+
 /// Scans all ordered rule pairs and reports every anomaly, ordered by
 /// (second, first). Pure syntax over predicates; O(n^2 d).
 std::vector<Anomaly> find_anomalies(const Policy& policy);
+std::vector<Anomaly> find_anomalies(const Policy& policy,
+                                    const AnomalyOptions& options);
 
 /// Indices of *dead* rules: rules no packet ever first-matches (fully
-/// masked by the rules above them). Exact, via FDD evaluation of the
-/// preceding prefix. Dead rules are a strict subset of rules flagged by
-/// shadowing/redundancy-pair anomalies.
+/// masked by the rules above them). Exact, via one incremental Fig. 7
+/// append pass over a growing coverage FDD (never rebuilt per rule), with
+/// interleaved reduction keeping the coverage diagram near-minimal. Dead
+/// rules are a strict subset of rules flagged by shadowing/redundancy-pair
+/// anomalies.
 std::vector<std::size_t> dead_rules(const Policy& policy);
+std::vector<std::size_t> dead_rules(const Policy& policy,
+                                    const AnomalyOptions& options);
 
 /// Renders an administrator-facing report.
 std::string format_anomaly_report(const Policy& policy,

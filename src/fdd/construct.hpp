@@ -26,12 +26,19 @@ class RunContext;
 Fdd build_fdd(const Policy& policy);
 
 /// Appends one more rule (lowest priority) to an existing partial FDD,
-/// exposing the incremental step for construction traces and tests.
+/// exposing the incremental step for construction traces and tests. The
+/// governed variant charges every materialised node (including case-3
+/// subtree clones) against `context` (borrowed, nullable) and takes
+/// amortized cancellation/deadline checkpoints.
 void append_rule(Fdd& fdd, const Rule& rule);
+void append_rule(Fdd& fdd, const Rule& rule, RunContext* context);
 
 /// Builds a *partial* FDD from the first `count` rules only (Fig. 6's
-/// intermediate diagrams). count >= 1.
+/// intermediate diagrams). count >= 1. Same governed variant contract as
+/// append_rule.
 Fdd build_partial_fdd(const Policy& policy, std::size_t count);
+Fdd build_partial_fdd(const Policy& policy, std::size_t count,
+                      RunContext* context);
 
 /// Knobs for the production construction entry point.
 struct ConstructOptions {

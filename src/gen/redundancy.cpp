@@ -17,6 +17,11 @@ Policy without_rule(const Policy& policy, std::size_t index) {
 }  // namespace
 
 bool is_redundant(const Policy& policy, std::size_t index) {
+  return is_redundant(policy, index, nullptr);
+}
+
+bool is_redundant(const Policy& policy, std::size_t index,
+                  RunContext* context) {
   if (index >= policy.size()) {
     throw std::out_of_range("is_redundant: index out of range");
   }
@@ -26,22 +31,28 @@ bool is_redundant(const Policy& policy, std::size_t index) {
   // Removing the final catch-all can make the rest non-comprehensive, in
   // which case it is certainly not redundant; detect that cheaply first.
   const Policy candidate = without_rule(policy, index);
-  Fdd rest = [&] {
-    Fdd f = build_reduced_fdd(candidate);
-    return f;
-  }();
+  ConstructOptions construct;
+  construct.context = context;
+  Fdd rest = build_reduced_fdd(candidate, construct);
   try {
     rest.validate();
   } catch (const std::logic_error&) {
     return false;  // candidate not comprehensive -> mapping changed
   }
-  return equivalent(policy, candidate);
+  CompareOptions compare;
+  compare.context = context;
+  return discrepancies(policy, candidate, compare).empty();
 }
 
 std::vector<std::size_t> redundant_rules(const Policy& policy) {
+  return redundant_rules(policy, nullptr);
+}
+
+std::vector<std::size_t> redundant_rules(const Policy& policy,
+                                         RunContext* context) {
   std::vector<std::size_t> result;
   for (std::size_t i = 0; i < policy.size(); ++i) {
-    if (is_redundant(policy, i)) {
+    if (is_redundant(policy, i, context)) {
       result.push_back(i);
     }
   }

@@ -17,15 +17,24 @@
 
 namespace dfw {
 
+class RunContext;
+
 /// True iff rules()[index] is redundant in `policy` — removing it leaves
 /// the packet-to-decision mapping unchanged. Requires a comprehensive
-/// policy with at least two rules and index < size().
+/// policy with at least two rules and index < size(). The governed
+/// variant threads `context` (borrowed, nullable) through the per-
+/// candidate FDD builds and equivalence walks; a breach throws dfw::Error.
 bool is_redundant(const Policy& policy, std::size_t index);
+bool is_redundant(const Policy& policy, std::size_t index,
+                  RunContext* context);
 
 /// Indices (ascending) of rules redundant *in the original policy*, each
 /// tested independently. Note removing several at once is not always
-/// sound; use remove_redundant for that.
+/// sound; use remove_redundant for that. Same governed-variant contract
+/// as is_redundant.
 std::vector<std::size_t> redundant_rules(const Policy& policy);
+std::vector<std::size_t> redundant_rules(const Policy& policy,
+                                         RunContext* context);
 
 /// Returns an equivalent policy from which redundant rules have been
 /// removed greedily (back to front, re-testing after each removal) until

@@ -1,0 +1,92 @@
+#include "lint/baseline.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace dfw::lint {
+namespace {
+
+bool is_hex_digit(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+}
+
+}  // namespace
+
+std::optional<Baseline> parse_baseline(std::string_view text,
+                                       std::string* error) {
+  Baseline baseline;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  const auto fail = [&](const std::string& message) -> std::optional<Baseline> {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + message;
+    }
+    return std::nullopt;
+  };
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    std::string_view line = text.substr(
+        start, nl == std::string_view::npos ? std::string_view::npos
+                                            : nl - start);
+    ++line_no;
+    start = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
+    if (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);
+    }
+    const std::size_t first =
+        line.find_first_not_of(" \t");
+    if (first == std::string_view::npos || line[first] == '#') {
+      continue;
+    }
+    line.remove_prefix(first);
+    if (line.size() < 16) {
+      return fail("expected a 16-hex-digit fingerprint");
+    }
+    const std::string_view fp = line.substr(0, 16);
+    if (!std::all_of(fp.begin(), fp.end(), is_hex_digit)) {
+      return fail("fingerprint is not 16 lowercase hex digits");
+    }
+    const std::string_view rest = line.substr(16);
+    const std::size_t tail = rest.find_first_not_of(" \t");
+    if (tail != std::string_view::npos && rest[tail] != '#') {
+      return fail("unexpected text after fingerprint");
+    }
+    baseline.fingerprints.emplace_back(fp);
+  }
+  std::sort(baseline.fingerprints.begin(), baseline.fingerprints.end());
+  baseline.fingerprints.erase(std::unique(baseline.fingerprints.begin(),
+                                          baseline.fingerprints.end()),
+                              baseline.fingerprints.end());
+  return baseline;
+}
+
+std::string render_baseline(const LintReport& report) {
+  // fingerprint -> check id; the map sorts and deduplicates in one go
+  // (identical fingerprints have identical check ids by construction).
+  std::map<std::string, std::string> entries;
+  for (const Diagnostic& d : report.diagnostics) {
+    entries.emplace(d.fingerprint, d.check_id);
+  }
+  std::string out =
+      "# dfw-lint baseline: accepted findings, one fingerprint per line.\n"
+      "# Regenerate with: dfw_lint --write-baseline=<this file> <policy>\n";
+  for (const auto& [fingerprint, check_id] : entries) {
+    out += fingerprint + "  # " + check_id + "\n";
+  }
+  return out;
+}
+
+std::size_t apply_baseline(LintReport& report, const Baseline& baseline) {
+  const std::size_t before = report.diagnostics.size();
+  report.diagnostics.erase(
+      std::remove_if(report.diagnostics.begin(), report.diagnostics.end(),
+                     [&](const Diagnostic& d) {
+                       return std::binary_search(
+                           baseline.fingerprints.begin(),
+                           baseline.fingerprints.end(), d.fingerprint);
+                     }),
+      report.diagnostics.end());
+  return before - report.diagnostics.size();
+}
+
+}  // namespace dfw::lint

@@ -1,0 +1,48 @@
+// Baseline suppression: gate CI on *new* findings only.
+//
+// A baseline file records the fingerprints of the findings a project has
+// accepted (one per line, with the check id as a trailing comment for
+// humans). Applying it to a report removes every diagnostic whose
+// fingerprint is recorded, so the CI gate fails only on findings
+// introduced since the baseline was written. Fingerprints hash the check
+// id plus the *texts* of the rules involved (lint/diagnostic.hpp), so
+// reordering rules or editing unrelated ones does not churn the file.
+//
+// The format is deliberately strict — parse_baseline either accepts a
+// line or reports it; a malformed baseline must fail the gate loudly, not
+// silently un-suppress everything.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/engine.hpp"
+
+namespace dfw::lint {
+
+/// A set of accepted fingerprints.
+struct Baseline {
+  std::vector<std::string> fingerprints;  ///< sorted, deduplicated
+};
+
+/// Parses baseline text. Grammar per line: blank, '#'-comment, or a
+/// 16-lower-hex-digit fingerprint optionally followed by whitespace and a
+/// trailing comment. Returns nullopt and fills `error` (when non-null,
+/// with a line-numbered message) on anything else.
+std::optional<Baseline> parse_baseline(std::string_view text,
+                                       std::string* error);
+
+/// Renders the report's findings as baseline text: header comment, then
+/// one "<fingerprint>  # <check-id>" line per distinct fingerprint,
+/// sorted. Deterministic.
+std::string render_baseline(const LintReport& report);
+
+/// Removes diagnostics whose fingerprint is in the baseline; returns how
+/// many were suppressed.
+std::size_t apply_baseline(LintReport& report, const Baseline& baseline);
+
+}  // namespace dfw::lint

@@ -1,0 +1,26 @@
+// The dfw_lint command-line driver, factored as a library function so
+// tests exercise the full CLI — flag parsing, file IO, exit codes —
+// in-process against string streams.
+//
+// Exit-code contract (the CI gate's interface):
+//   0  clean: the run completed and no findings remain after baseline
+//      suppression
+//   1  findings: at least one unsuppressed diagnostic, or the run was cut
+//      short by a governance budget (a partial result cannot claim clean)
+//   2  usage or input error: bad flags, unreadable files, parse errors,
+//      malformed baseline
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dfw::lint {
+
+/// Runs the CLI. `args` excludes argv[0]. Reports go to `out`,
+/// usage/errors to `err`. Returns the process exit code.
+int run_lint_cli(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err);
+
+}  // namespace dfw::lint

@@ -1,0 +1,78 @@
+// Structured lint findings.
+//
+// Every analysis in the lint engine — semantic passes over the FDD, the
+// syntactic pair scan, adapter-level notes — reports through one shape: a
+// Diagnostic with a stable check id, a severity, the rule indices it
+// concerns, a human message, and (for semantic findings) an exact witness
+// traffic class that *reproduces* the misbehavior. Witnesses are the
+// contract that separates this linter from a heuristic one: an
+// error-severity semantic finding always carries a packet set the caller
+// can evaluate against the policy to observe the problem first-hand.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fw/decision.hpp"
+#include "fw/packet.hpp"
+#include "fw/policy.hpp"
+
+namespace dfw::lint {
+
+enum class Severity {
+  kError,    ///< the policy misbehaves; a witness class demonstrates it
+  kWarning,  ///< suspicious but not provably wrong (or an absence finding)
+  kNote,     ///< stylistic / compaction opportunity
+};
+
+/// Stable identifier: "error" | "warning" | "note" (also the SARIF level).
+const char* to_string(Severity severity);
+
+/// Sentinel for "no rule index" (whole-policy or source-level findings).
+inline constexpr std::size_t kNoRule = static_cast<std::size_t>(-1);
+
+/// An exact traffic class demonstrating a semantic finding: one nonempty
+/// value set per schema field. `observed` is the decision the policy
+/// actually assigns to every packet in the class (unset when the class
+/// falls off the policy entirely — the not-comprehensive case);
+/// `expected` is the decision a property required.
+struct Witness {
+  std::vector<IntervalSet> conjuncts;
+  std::optional<Decision> observed;
+  std::optional<Decision> expected;
+};
+
+/// A concrete packet inside the witness class (the lowest corner), for
+/// one-packet reproduction: policy.evaluate(witness_packet(w)).
+Packet witness_packet(const Witness& witness);
+
+/// One lint finding.
+struct Diagnostic {
+  std::string check_id;  ///< stable dotted id, e.g. "policy.shadowed-rule"
+  Severity severity = Severity::kWarning;
+  std::size_t rule = kNoRule;          ///< primary rule index (0-based)
+  std::size_t related_rule = kNoRule;  ///< e.g. the earlier shadowing rule
+  std::size_t line = 0;                ///< 1-based source line; 0 = unknown
+  std::string message;
+  std::optional<Witness> witness;
+  /// Content fingerprint for baseline suppression (16 hex chars), filled
+  /// in by the engine: FNV-1a over the check id and the texts of the
+  /// rules involved — stable across reorderings and unrelated edits.
+  std::string fingerprint;
+};
+
+/// Computes a diagnostic's baseline fingerprint. `policy`/`decisions` may
+/// be null when no rule text is available (adapter findings fall back to
+/// the source line).
+std::string compute_fingerprint(const Diagnostic& d, const Policy* policy,
+                                const DecisionSet* decisions);
+
+/// Renders a traffic class in the rule-like report style ("S in ... ^ N in
+/// ..."; "all packets" when unconstrained).
+std::string format_class(const Schema& schema,
+                         const std::vector<IntervalSet>& conjuncts);
+
+}  // namespace dfw::lint

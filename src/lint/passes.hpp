@@ -1,0 +1,16 @@
+// The builtin pass set (see engine.hpp for the execution model). Split
+// from the engine so the pass implementations — the bulk of the analysis
+// code — live in one translation unit.
+
+#pragma once
+
+#include <vector>
+
+#include "lint/engine.hpp"
+
+namespace dfw::lint {
+
+/// The builtin passes in execution order.
+std::vector<LintPass> builtin_passes();
+
+}  // namespace dfw::lint

@@ -1,0 +1,28 @@
+// Report renderers: human text and deterministic machine JSON.
+//
+// Both renderings are pure functions of (input, report) — no timestamps,
+// no environment, no pointer values — so two runs over the same policy
+// produce byte-identical output whatever the executor or thread count.
+// The SARIF rendering lives in lint/sarif.hpp.
+
+#pragma once
+
+#include <string>
+
+#include "lint/engine.hpp"
+
+namespace dfw::lint {
+
+/// Compiler-style text: "<source>:<line>: <severity>: [<check>] <message>"
+/// plus an indented witness line for semantic findings, ending with a
+/// summary line (and a clearly-marked PARTIAL banner when the run was cut
+/// short by governance).
+std::string render_text(const LintInput& input, const LintReport& report);
+
+/// Deterministic JSON: fixed key order, sorted pass lists, diagnostics in
+/// report order. Schema:
+///   {"version":1,"source":...,"complete":...,"status":...,
+///    "message":...,"passes":[...],"counts":{...},"diagnostics":[...]}
+std::string render_json(const LintInput& input, const LintReport& report);
+
+}  // namespace dfw::lint

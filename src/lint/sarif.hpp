@@ -1,0 +1,44 @@
+// SARIF 2.1.0 emission and structural validation.
+//
+// SARIF (Static Analysis Results Interchange Format, OASIS) is the
+// interchange format CI code-scanning surfaces ingest. The emitter
+// produces a minimal, spec-conformant log: one run, the tool's rule
+// catalog (the check ids actually fired, sorted), one result per
+// diagnostic with level, message, location, and a partial fingerprint for
+// result matching across runs. Like the JSON renderer it is a pure
+// function of (input, report) — no timestamps, no absolute paths — so
+// output is byte-deterministic across runs and thread counts.
+//
+// validate_sarif is the in-repo structural checker (the
+// validate_chrome_trace pattern): it parses the text with the obs JSON
+// DOM and verifies the invariants CI consumers rely on, returning every
+// problem found rather than stopping at the first.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/engine.hpp"
+
+namespace dfw::lint {
+
+/// Renders the report as a SARIF 2.1.0 log (single run).
+std::string render_sarif(const LintInput& input, const LintReport& report);
+
+/// Outcome of validate_sarif: ok iff problems is empty.
+struct SarifValidation {
+  bool ok = true;
+  std::vector<std::string> problems;
+};
+
+/// Structurally validates SARIF text: well-formed JSON; version "2.1.0";
+/// a nonempty runs array; each run carrying tool.driver.name and a
+/// results array; each result carrying a ruleId known to the driver's
+/// rule catalog, a valid level, a message with text, and 1-based line
+/// numbers when regions are present. Never throws on malformed input —
+/// problems are reported in the result.
+SarifValidation validate_sarif(std::string_view text);
+
+}  // namespace dfw::lint

@@ -1,5 +1,6 @@
 #include "query/query.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "fdd/construct.hpp"
@@ -68,6 +69,28 @@ std::vector<QueryResult> run_query(const Fdd& fdd, const Query& query) {
 
 std::vector<QueryResult> run_query(const Policy& policy, const Query& query) {
   return run_query(build_reduced_fdd(policy), query);
+}
+
+namespace {
+
+void collect_decisions(const FddNode& node, std::vector<Decision>& out) {
+  if (node.is_terminal()) {
+    out.push_back(node.decision);
+    return;
+  }
+  for (const FddEdge& e : node.edges) {
+    collect_decisions(*e.target, out);
+  }
+}
+
+}  // namespace
+
+std::vector<Decision> reachable_decisions(const Fdd& fdd) {
+  std::vector<Decision> out;
+  collect_decisions(fdd.root(), out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 std::string format_query_results(const Schema& schema,

@@ -45,6 +45,12 @@ std::vector<QueryResult> run_query(const Fdd& fdd, const Query& query);
 /// Convenience: builds the (reduced) FDD internally.
 std::vector<QueryResult> run_query(const Policy& policy, const Query& query);
 
+/// The decisions some packet actually reaches in the diagram, sorted
+/// ascending and deduplicated. A decision declared in the DecisionSet but
+/// absent here is unreachable — no packet is ever mapped to it (the
+/// "no packet is ever logged" class of coverage gap).
+std::vector<Decision> reachable_decisions(const Fdd& fdd);
+
 /// Renders results in the rule-like report style.
 std::string format_query_results(const Schema& schema,
                                  const DecisionSet& decisions,

@@ -1,10 +1,18 @@
 // Anomaly-analysis tests: the four pair classes on hand-built policies,
-// exactness of the dead-rule detector against brute force, and agreement
-// between the syntactic and semantic views.
+// exactness of the dead-rule detector against brute force and against an
+// independent reachability-based reference, agreement between the
+// syntactic and semantic views, and determinism of the parallel pair scan
+// against the serial path.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "analysis/anomaly.hpp"
+#include "fdd/construct.hpp"
+#include "query/query.hpp"
+#include "rt/executor.hpp"
+#include "rt/govern.hpp"
 #include "test_util.hpp"
 
 namespace dfw {
@@ -144,6 +152,105 @@ TEST(Anomaly, ReportFormatsKindsAndRules) {
       p, default_decisions(), {}, {});
   EXPECT_NE(clean.find("anomalies: none"), std::string::npos);
   EXPECT_NE(clean.find("dead rules: none"), std::string::npos);
+}
+
+TEST(Anomaly, ParallelPairScanMatchesSerialExactly) {
+  // The chunked parallel scan must reproduce the serial result *including
+  // ordering*, whatever the thread count or chunk grain.
+  std::mt19937_64 rng(113);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Policy p = test::random_policy(tiny3(), 20, rng);
+    const std::vector<Anomaly> serial = find_anomalies(p);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}}) {
+      Executor executor(threads);
+      AnomalyOptions options;
+      options.executor = &executor;
+      options.row_grain = 3;  // force multiple chunks
+      EXPECT_EQ(find_anomalies(p, options), serial)
+          << "trial " << trial << ", threads " << threads;
+    }
+  }
+}
+
+TEST(Anomaly, GovernedPairScanAbortsOnTinyNodeBudget) {
+  // The pair scan itself creates no nodes; a shared context someone else
+  // has already breached must still stop it at the next checkpoint.
+  std::mt19937_64 rng(7);
+  const Policy p = test::random_policy(tiny3(), 12, rng);
+  RunContext::Config config;
+  config.budgets.max_nodes = 1;
+  config.checkpoint_grain = 1;
+  RunContext context(std::move(config));
+  EXPECT_THROW(context.charge_nodes(2), Error);  // breach it
+  AnomalyOptions options;
+  options.context = &context;
+  EXPECT_THROW(find_anomalies(p, options), Error);
+  EXPECT_THROW(dead_rules(p, options), Error);
+}
+
+// Independent dead-rule reference: give rule i a fresh decision nothing
+// else uses; i is dead iff that decision is unreachable in the rebuilt
+// diagram. Exercises a completely different code path (full FDD build +
+// reachability) than the incremental coverage walk under test.
+std::vector<std::size_t> dead_rules_by_reachability(const Policy& p) {
+  constexpr Decision kFresh = 9;
+  std::vector<std::size_t> dead;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    std::vector<Rule> rules = p.rules();
+    rules[i] = Rule(p.schema(), rules[i].conjuncts(), kFresh);
+    const Fdd fdd = build_reduced_fdd(Policy(p.schema(), std::move(rules)));
+    const std::vector<Decision> reach = reachable_decisions(fdd);
+    if (std::find(reach.begin(), reach.end(), kFresh) == reach.end()) {
+      dead.push_back(i);
+    }
+  }
+  return dead;
+}
+
+TEST(Anomaly, DeadRulesMatchReachabilityReferenceOnRandomCorpus) {
+  std::mt19937_64 rng(127);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Policy p = test::random_policy(tiny3(), 8, rng);
+    EXPECT_EQ(dead_rules(p), dead_rules_by_reachability(p))
+        << "trial " << trial;
+  }
+}
+
+TEST(Anomaly, DeadRulesInterleavedReductionKeepsExactness) {
+  // A coverage diagram that outgrows the 256-node reduction threshold:
+  // staggered cubes over [0,4095]^3 followed by exact duplicates. The
+  // duplicates (and only they) are dead; the interleaved reduce() on the
+  // partial coverage FDD must not change that.
+  const Schema s({{"a", Interval(0, 4095), FieldKind::kInteger},
+                  {"b", Interval(0, 4095), FieldKind::kInteger},
+                  {"c", Interval(0, 4095), FieldKind::kInteger}});
+  std::vector<Rule> rules;
+  const std::size_t n = 10;
+  for (std::size_t i = 0; i < n; ++i) {
+    const IntervalSet span(Interval(i * 64, i * 64 + 2048));
+    rules.emplace_back(s, std::vector<IntervalSet>{span, span, span},
+                       i % 2 == 0 ? kAccept : kDiscard);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    rules.push_back(rules[i]);  // exact duplicates: all dead
+  }
+  rules.push_back(Rule::catch_all(s, kDiscard));
+  const Policy p(s, std::move(rules));
+  EXPECT_GT(build_reduced_fdd(p).node_count(), 50u);  // nontrivial diagram
+  const std::vector<std::size_t> dead = dead_rules(p);
+  EXPECT_EQ(dead, dead_rules_by_reachability(p));
+  for (std::size_t i = n; i < 2 * n; ++i) {
+    EXPECT_NE(std::find(dead.begin(), dead.end(), i), dead.end()) << i;
+  }
+  // Governed run with a generous budget agrees with the ungoverned one.
+  Budgets budgets;
+  budgets.max_nodes = 1000000;
+  RunContext context = RunContext::with_budgets(budgets);
+  AnomalyOptions options;
+  options.context = &context;
+  EXPECT_EQ(dead_rules(p, options), dead);
+  EXPECT_GT(context.nodes_charged(), 0u);
 }
 
 TEST(Anomaly, KindNames) {

@@ -20,6 +20,8 @@
 #include "fdd/construct.hpp"
 #include "fdd/serialize.hpp"
 #include "fw/parser.hpp"
+#include "lint/baseline.hpp"
+#include "lint/sarif.hpp"
 #include "synth/synth.hpp"
 
 #ifndef DFW_CORPUS_DIR
@@ -403,6 +405,53 @@ TEST(CorpusFuzz, FddRoundTripsBothFormats) {
     const Fdd cross =
         deserialize_fdd(schema, serialize_fdd_dag(via_tree));
     EXPECT_TRUE(structurally_equal(original, cross)) << seed;
+  }
+}
+
+// The lint CLI's own input surfaces: baseline files and SARIF logs. Both
+// are accept-or-reject parsers (no exceptions in their contract), so the
+// invariant is simply "never crash, never hang" — plus agreement between
+// parse_baseline's return value and its error report.
+TEST(CorpusFuzz, LintBaselineAndSarifSurfaces) {
+  std::mt19937_64 rng(2005);
+  const std::vector<std::string> seeds = load_corpus("lint");
+  for (const std::string& seed : seeds) {
+    for (int i = 0; i < 200; ++i) {
+      const std::string input =
+          (i % 5 == 0) ? random_bytes(rng, 200) : mutant_of(seed, i, rng);
+      std::string error;
+      const auto baseline = lint::parse_baseline(input, &error);
+      if (baseline.has_value()) {
+        EXPECT_TRUE(error.empty()) << input;
+        EXPECT_TRUE(std::is_sorted(baseline->fingerprints.begin(),
+                                   baseline->fingerprints.end()));
+      } else {
+        EXPECT_FALSE(error.empty()) << input;
+      }
+      const lint::SarifValidation v = lint::validate_sarif(input);
+      EXPECT_EQ(v.ok, v.problems.empty());
+    }
+  }
+}
+
+TEST(CorpusFuzz, LintSeedsBehaveAsDocumented) {
+  // The checked-in seeds pin the surfaces' contracts: the baseline seed
+  // parses, the SARIF seed validates, and the malformed adapter inputs
+  // raise ParseError (the CLI's exit-2 path), never anything else.
+  for (const std::string& seed : load_corpus("lint")) {
+    if (seed.find("fingerprint") != std::string::npos ||
+        seed.rfind("# dfw-lint", 0) == 0) {
+      EXPECT_TRUE(lint::parse_baseline(seed, nullptr).has_value()) << seed;
+    }
+    if (seed.find("\"version\"") != std::string::npos) {
+      EXPECT_TRUE(lint::validate_sarif(seed).ok) << seed;
+    }
+    if (seed.rfind(":INPUT", 0) == 0) {
+      EXPECT_THROW((void)parse_iptables_save(seed, "INPUT"), ParseError);
+    }
+    if (seed.rfind("access-list", 0) == 0) {
+      EXPECT_THROW((void)parse_cisco_acl(seed, "101"), ParseError);
+    }
   }
 }
 

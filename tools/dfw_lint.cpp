@@ -1,0 +1,19 @@
+// dfw_lint: the semantic policy static-analysis CLI. All logic lives in
+// lint/cli.cpp so tests drive the same code path in-process; see there
+// (and docs/lint.md) for flags and the exit-code contract.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/cli.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    return dfw::lint::run_lint_cli(args, std::cout, std::cerr);
+  } catch (const std::exception& e) {
+    std::cerr << "dfw_lint: internal error: " << e.what() << "\n";
+    return 2;
+  }
+}
