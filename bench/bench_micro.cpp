@@ -329,9 +329,9 @@ bool obs_session(const char* trace_path) {
   Tracer tracer;
   MetricsRegistry registry;
   CompareOptions options;
-  options.obs = ObsOptions{&tracer, &registry};
+  options.run.obs = ObsOptions{&tracer, &registry};
   GenerateOptions gen_options;
-  gen_options.obs = options.obs;
+  gen_options.run.obs = options.run.obs;
 
   std::vector<Discrepancy> diffs;
   const std::uint64_t compare_ns =

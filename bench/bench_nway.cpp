@@ -78,7 +78,7 @@ void sweep_threads(std::FILE* json) {
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     Executor pool(threads);
     WorkflowOptions options;
-    options.executor = &pool;
+    options.run.executor = &pool;
     const DiverseDesign session = make_session(kTeams, kRules, options);
     std::vector<PairwiseReport> cross;
     const double cross_ms = time_ms([&] { cross = session.cross_compare(); });
@@ -111,8 +111,8 @@ void obs_sweep() {
     Executor pool(threads == 0 ? 1 : threads);
     MetricsRegistry registry;
     WorkflowOptions options;
-    options.executor = threads == 0 ? nullptr : &pool;
-    options.obs.metrics = &registry;
+    options.run.executor = threads == 0 ? nullptr : &pool;
+    options.run.obs.metrics = &registry;
     const DiverseDesign session = make_session(kTeams, kRules, options);
     std::vector<PairwiseReport> cross;
     const std::uint64_t cross_ns =
@@ -121,7 +121,7 @@ void obs_sweep() {
                cross_ns, registry.snapshot());
     MetricsRegistry direct_registry;
     WorkflowOptions direct_options = options;
-    direct_options.obs.metrics = &direct_registry;
+    direct_options.run.obs.metrics = &direct_registry;
     const DiverseDesign direct_session =
         make_session(kTeams, kRules, direct_options);
     std::vector<Discrepancy> direct;

@@ -1,0 +1,133 @@
+// Serve-plane throughput: sustained lookups/sec through ServeCore reader
+// shards while an operator thread hot-swaps the policy at a fixed cadence.
+// The sweep crosses reader-thread count {1, 2, 8} with swap period
+// {none, 20ms, 2ms}; the interesting series is how little the swap
+// cadence costs the readers — the RCU hot path never blocks on a swap,
+// so throughput should be flat across a column up to compile interference
+// on a loaded machine.
+//
+// Writes BENCH_serve.json (dfw-bench-obs-v1) next to the working
+// directory, with the serve.* counters from each run's registry.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "engine/trace.hpp"
+#include "obs/metrics.hpp"
+#include "serve/serve.hpp"
+#include "synth/synth.hpp"
+
+namespace dfw {
+namespace {
+
+constexpr std::size_t kRules = 100;
+constexpr std::size_t kBatchLen = 512;
+constexpr std::size_t kBatchesPerReader = 400;
+constexpr std::size_t kPolicyRing = 4;
+
+struct RunResult {
+  std::uint64_t wall_ns = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t swaps = 0;
+};
+
+RunResult run_config(const std::vector<Policy>& ring,
+                     const std::vector<Packet>& pool, std::size_t threads,
+                     std::uint64_t swap_period_ms,
+                     MetricsRegistry& registry) {
+  serve::ServeOptions options;
+  options.run.obs.metrics = &registry;
+  serve::ServeCore core(ring[0], options);
+
+  std::atomic<bool> done{false};
+  std::thread writer;
+  if (swap_period_ms != 0) {
+    writer = std::thread([&] {
+      std::size_t next = 1;
+      while (!done.load()) {
+        (void)core.swap(ring[next++ % ring.size()]);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(swap_period_ms));
+      }
+    });
+  }
+
+  std::atomic<std::uint64_t> lookups{0};
+  const std::uint64_t wall_ns = bench::time_ns([&] {
+    std::vector<std::thread> readers;
+    for (std::size_t t = 0; t < threads; ++t) {
+      readers.emplace_back([&, t] {
+        auto shard = core.shard();
+        std::uint64_t mine = 0;
+        for (std::size_t i = 0; i < kBatchesPerReader; ++i) {
+          const std::size_t start =
+              ((t * kBatchesPerReader + i) * 131) % (pool.size() - kBatchLen);
+          const auto batch =
+              std::span<const Packet>(pool).subspan(start, kBatchLen);
+          mine += shard.classify(batch).decisions.size();
+        }
+        lookups.fetch_add(mine);
+      });
+    }
+    for (std::thread& r : readers) {
+      r.join();
+    }
+  });
+  done.store(true);
+  if (writer.joinable()) {
+    writer.join();
+  }
+  core.reclaim();
+
+  return RunResult{wall_ns, lookups.load(), core.stats().swaps};
+}
+
+}  // namespace
+}  // namespace dfw
+
+int main() {
+  using namespace dfw;
+
+  SynthConfig config;
+  config.num_rules = kRules;
+  Rng rng(2026);
+  std::vector<Policy> ring;
+  for (std::size_t i = 0; i < kPolicyRing; ++i) {
+    ring.push_back(i == 0 ? synth_policy(config, rng)
+                          : perturb_policy(ring[0], 10.0, rng));
+  }
+  const std::vector<Packet> pool = synth_trace(ring[0], 1 << 16, rng);
+
+  bench::ObsReport report("bench_serve");
+  std::printf("%8s %14s %10s %8s %14s\n", "threads", "swap_period_ms",
+              "lookups", "swaps", "lookups/sec");
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    for (const std::uint64_t period_ms : {0ull, 20ull, 2ull}) {
+      MetricsRegistry registry;
+      const RunResult r =
+          run_config(ring, pool, threads, period_ms, registry);
+      const double per_sec =
+          r.wall_ns == 0 ? 0.0
+                         : static_cast<double>(r.lookups) * 1e9 /
+                               static_cast<double>(r.wall_ns);
+      std::printf("%8zu %14llu %10llu %8llu %14.0f\n", threads,
+                  static_cast<unsigned long long>(period_ms),
+                  static_cast<unsigned long long>(r.lookups),
+                  static_cast<unsigned long long>(r.swaps), per_sec);
+      report.add("serve_throughput",
+                 {{"threads", threads},
+                  {"swap_period_ms", period_ms},
+                  {"lookups", r.lookups},
+                  {"swaps", r.swaps},
+                  {"lookups_per_sec", static_cast<std::uint64_t>(per_sec)}},
+                 r.wall_ns, registry.snapshot());
+    }
+  }
+  return report.write("BENCH_serve.json") ? 0 : 1;
+}

@@ -22,7 +22,7 @@ int main() {
   WorkflowOptions options;
   options.resolution = ResolutionMethod::kCorrectedFdd;
   options.base_team = 1;
-  options.executor = &pool;
+  options.run.executor = &pool;
   DiverseDesign session(decisions, options);
 
   // Phase 1 — design. The spec: web (80/443, TCP) to 10.1.0.0/24 is open;

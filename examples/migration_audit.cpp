@@ -23,7 +23,9 @@ int main() {
   // Audits share one two-worker pool: each pairwise pipeline builds its
   // FDDs concurrently (output is identical to serial).
   Executor pool(2);
-  const CompareOptions compare_options{&pool, /*fork_threshold=*/4};
+  CompareOptions compare_options;
+  compare_options.run.executor = &pool;
+  compare_options.fork_threshold = 4;
 
   // The router configuration being retired.
   const Policy router = parse_cisco_acl(

@@ -28,7 +28,7 @@ int main() {
 
   Executor pool(Executor::hardware_threads());
   CompileOptions options;
-  options.executor = &pool;
+  options.run.executor = &pool;
   const Classifier classifier = Classifier::compile(policy, options);
   std::printf("compiled: %zu nodes, %zu slabs, pool of %zu workers\n",
               classifier.node_count(), classifier.slab_count(),
@@ -38,7 +38,8 @@ int main() {
 
   // Spot-check determinism against the serial path and tally decisions.
   const std::vector<Decision> serial =
-      classifier.classify_batch(trace, Executor::inline_executor());
+      classifier.classify_batch(
+          trace, RunOptions{.executor = &Executor::inline_executor()});
   std::vector<std::size_t> tally;
   for (const Decision d : decisions) {
     if (d >= tally.size()) {

@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
   Tracer tracer;
   MetricsRegistry registry;
   WorkflowOptions options;
-  options.obs = ObsOptions{&tracer, &registry};
+  options.run.obs = ObsOptions{&tracer, &registry};
   DiverseDesign session(decisions, options);
 
   // The whole workflow runs instrumented: both submits, the comparison

@@ -69,13 +69,9 @@ void classify_pair(const Policy& policy, std::size_t i, std::size_t j,
 
 }  // namespace
 
-std::vector<Anomaly> find_anomalies(const Policy& policy) {
-  return find_anomalies(policy, AnomalyOptions{});
-}
-
 std::vector<Anomaly> find_anomalies(const Policy& policy,
                                     const AnomalyOptions& options) {
-  PhaseSpan span(options.obs, "anomaly_pairs");
+  PhaseSpan span(options.run.obs, "anomaly_pairs");
   std::vector<Anomaly> anomalies;
   if (policy.size() < 2) {
     return anomalies;
@@ -83,10 +79,10 @@ std::vector<Anomaly> find_anomalies(const Policy& policy,
   // Row r scans pairs (i, j) with j = r + 1, i < j — the triangle sliced
   // by its later rule, so every row is independent of the others.
   const std::size_t rows = policy.size() - 1;
-  if (options.executor == nullptr || options.executor->is_inline()) {
+  if (options.run.executor == nullptr || options.run.executor->is_inline()) {
     for (std::size_t r = 0; r < rows; ++r) {
       for (std::size_t i = 0; i <= r; ++i) {
-        govern::checkpoint(options.context);
+        govern::checkpoint(options.run.context);
         classify_pair(policy, i, r + 1, anomalies);
       }
     }
@@ -97,17 +93,17 @@ std::vector<Anomaly> find_anomalies(const Policy& policy,
   // whatever the schedule.
   std::vector<std::vector<Anomaly>> staged(rows);
   const std::size_t grain = options.row_grain == 0 ? 1 : options.row_grain;
-  options.executor->parallel_for_chunked(
+  options.run.executor->parallel_for_chunked(
       rows, grain,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t r = begin; r < end; ++r) {
           for (std::size_t i = 0; i <= r; ++i) {
-            govern::checkpoint(options.context);
+            govern::checkpoint(options.run.context);
             classify_pair(policy, i, r + 1, staged[r]);
           }
         }
       },
-      options.context, options.obs);
+      options.run.context, options.run.obs);
   std::size_t total = 0;
   for (const std::vector<Anomaly>& row : staged) {
     total += row.size();
@@ -147,13 +143,9 @@ bool escapes_coverage(const FddNode& node, const Rule& rule) {
 
 }  // namespace
 
-std::vector<std::size_t> dead_rules(const Policy& policy) {
-  return dead_rules(policy, AnomalyOptions{});
-}
-
 std::vector<std::size_t> dead_rules(const Policy& policy,
                                     const AnomalyOptions& options) {
-  PhaseSpan span(options.obs, "dead_rules");
+  PhaseSpan span(options.run.obs, "dead_rules");
   std::vector<std::size_t> dead;
   // Fold rules into one growing *partial* FDD: after i rules it covers
   // exactly the packets some earlier rule matches. Rule i is dead iff its
@@ -162,14 +154,14 @@ std::vector<std::size_t> dead_rules(const Policy& policy,
   // packets), so reduce whenever the coverage diagram outgrows a budget
   // proportional to its reduced size — the same strategy that keeps
   // build_reduced_fdd's intermediates small.
-  Fdd coverage = build_partial_fdd(policy, 1, options.context);
+  Fdd coverage = build_partial_fdd(policy, 1, options.run.context);
   std::size_t budget = 256;
   for (std::size_t i = 1; i < policy.size(); ++i) {
-    govern::checkpoint(options.context);
+    govern::checkpoint(options.run.context);
     if (!escapes_coverage(coverage.root(), policy.rule(i))) {
       dead.push_back(i);
     }
-    append_rule(coverage, policy.rule(i), options.context);
+    append_rule(coverage, policy.rule(i), options.run.context);
     if (coverage.node_count() > budget) {
       reduce(coverage);
       budget = coverage.node_count() * 2 + 256;

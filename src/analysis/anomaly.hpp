@@ -26,6 +26,7 @@
 
 #include "fw/policy.hpp"
 #include "obs/obs.hpp"
+#include "rt/run_options.hpp"
 
 namespace dfw {
 
@@ -59,30 +60,50 @@ bool predicates_overlap(const Rule& a, const Rule& b);
 
 /// Knobs for the anomaly scans, in the library's options-struct idiom.
 struct AnomalyOptions {
-  /// Borrowed executor for the pair scan; null = inline (serial). The scan
-  /// chunks the O(n^2 d) triangle by later-rule row, stages each row's
-  /// findings in its own slot, and concatenates in row order — so the
-  /// result is bit-identical to the serial scan at every thread count.
-  Executor* executor = nullptr;
+  /// Shared execution knobs (rt/run_options.hpp). `run.executor`
+  /// (borrowed; null = inline/serial) drives the pair scan: the O(n^2 d)
+  /// triangle is chunked by later-rule row, each row's findings staged in
+  /// its own slot and concatenated in row order, so the result is
+  /// bit-identical to the serial scan at every thread count.
+  /// `run.context` (borrowed, nullable): the pair scan takes amortized
+  /// cancellation/deadline checkpoints per pair; dead_rules additionally
+  /// charges every coverage-FDD node it materialises against the node
+  /// budget. A breach throws dfw::Error (from the batch join under an
+  /// executor). `run.obs` (borrowed, nullable sinks): the scans run under
+  /// "anomaly_pairs" / "dead_rules" phase spans. Null sinks are free.
+  RunOptions run = {};
+
   /// Rows of the pair triangle handed to one executor task. Row j costs
   /// O(j d), so modest grains already amortise scheduling.
   std::size_t row_grain = 16;
-  /// Optional governance context (borrowed, nullable): the pair scan takes
-  /// amortized cancellation/deadline checkpoints per pair; dead_rules
-  /// additionally charges every coverage-FDD node it materialises against
-  /// the node budget. A breach throws dfw::Error (from the batch join
-  /// under an executor).
-  RunContext* context = nullptr;
-  /// Observability sinks (borrowed, nullable): the scans run under
-  /// "anomaly_pairs" / "dead_rules" phase spans. Null sinks are free.
-  ObsOptions obs = {};
+
+// The alias references below are initialized in every constructor; that
+// initialization is itself a "use" of the deprecated member, so the
+// in-class definitions suppress the warning locally. External uses of
+// the aliases still warn at their own source locations.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  AnomalyOptions() = default;
+  AnomalyOptions(const AnomalyOptions& o)
+      : run(o.run), row_grain(o.row_grain) {}
+  AnomalyOptions& operator=(const AnomalyOptions& o) {
+    run = o.run;
+    row_grain = o.row_grain;
+    return *this;
+  }
+
+  /// Deprecated one-release aliases for the pre-RunOptions field names
+  /// (see DESIGN.md, "RunOptions migration").
+  [[deprecated("use run.executor")]] Executor*& executor = run.executor;
+  [[deprecated("use run.context")]] RunContext*& context = run.context;
+  [[deprecated("use run.obs")]] ObsOptions& obs = run.obs;
+#pragma GCC diagnostic pop
 };
 
 /// Scans all ordered rule pairs and reports every anomaly, ordered by
 /// (second, first). Pure syntax over predicates; O(n^2 d).
-std::vector<Anomaly> find_anomalies(const Policy& policy);
 std::vector<Anomaly> find_anomalies(const Policy& policy,
-                                    const AnomalyOptions& options);
+                                    const AnomalyOptions& options = {});
 
 /// Indices of *dead* rules: rules no packet ever first-matches (fully
 /// masked by the rules above them). Exact, via one incremental Fig. 7
@@ -90,9 +111,8 @@ std::vector<Anomaly> find_anomalies(const Policy& policy,
 /// interleaved reduction keeping the coverage diagram near-minimal. Dead
 /// rules are a strict subset of rules flagged by shadowing/redundancy-pair
 /// anomalies.
-std::vector<std::size_t> dead_rules(const Policy& policy);
 std::vector<std::size_t> dead_rules(const Policy& policy,
-                                    const AnomalyOptions& options);
+                                    const AnomalyOptions& options = {});
 
 /// Renders an administrator-facing report.
 std::string format_anomaly_report(const Policy& policy,

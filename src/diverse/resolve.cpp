@@ -43,7 +43,9 @@ std::vector<Fdd> build_shaped(const std::vector<Policy>& policies,
   std::vector<Fdd> fdds;
   fdds.reserve(policies.size());
   for (const Policy& p : policies) {
-    fdds.push_back(build_reduced_fdd(p, ConstructOptions{true, nullptr, obs}));
+    ConstructOptions construct;
+    construct.run.obs = obs;
+    fdds.push_back(build_reduced_fdd(p, construct));
     fdds.back().validate();
   }
   shape_all(fdds);
@@ -142,7 +144,9 @@ Policy resolve_via_fdd(const std::vector<Policy>& policies,
   if (next != agreed.size()) {
     throw std::logic_error("resolve_via_fdd: correction walk out of sync");
   }
-  return generate_policy(fdds[base_team], GenerateOptions{true, nullptr, obs});
+  GenerateOptions generate;
+  generate.run.obs = obs;
+  return generate_policy(fdds[base_team], generate);
 }
 
 Policy resolve_via_corrections(const std::vector<Policy>& policies,

@@ -9,19 +9,19 @@
 
 namespace dfw {
 
-DiverseDesign::DiverseDesign(DecisionSet decisions)
-    : DiverseDesign(std::move(decisions), WorkflowOptions{}) {}
-
 DiverseDesign::DiverseDesign(DecisionSet decisions, WorkflowOptions options)
     : decisions_(std::move(decisions)), options_(options) {}
 
 CompareOptions DiverseDesign::compare_options() const {
-  return CompareOptions{options_.executor, options_.fork_threshold,
-                        options_.use_arena, options_.context, options_.obs};
+  CompareOptions options;
+  options.run = options_.run;
+  options.fork_threshold = options_.fork_threshold;
+  options.use_arena = options_.use_arena;
+  return options;
 }
 
 std::size_t DiverseDesign::submit(std::string team_name, Policy policy) {
-  ScopedSpan span(options_.obs.tracer, "workflow.submit", "team",
+  ScopedSpan span(options_.run.obs.tracer, "workflow.submit", "team",
                   policies_.size());
   if (!policies_.empty() && !(policy.schema() == policies_[0].schema())) {
     throw std::invalid_argument("submit: schema differs from earlier teams");
@@ -29,8 +29,10 @@ std::size_t DiverseDesign::submit(std::string team_name, Policy policy) {
   // Comprehensiveness gate: a rule sequence must cover every packet to
   // serve as a firewall (Section 3.1). Governed sessions bound this build
   // too — a hostile submission must not hang the design phase.
-  Fdd fdd = build_reduced_fdd(
-      policy, ConstructOptions{true, options_.context, options_.obs});
+  ConstructOptions construct;
+  construct.run.context = options_.run.context;
+  construct.run.obs = options_.run.obs;
+  Fdd fdd = build_reduced_fdd(policy, construct);
   fdd.validate();
   names_.push_back(std::move(team_name));
   policies_.push_back(std::move(policy));
@@ -48,7 +50,7 @@ std::vector<Discrepancy> DiverseDesign::compare() const {
   if (policies_.size() < 2) {
     throw std::logic_error("compare: need at least two teams");
   }
-  ScopedSpan span(options_.obs.tracer, "workflow.compare", "teams",
+  ScopedSpan span(options_.run.obs.tracer, "workflow.compare", "teams",
                   policies_.size());
   return discrepancies_many(policies_, compare_options());
 }
@@ -57,7 +59,7 @@ CompareOutcome DiverseDesign::compare_governed() const {
   if (policies_.size() < 2) {
     throw std::logic_error("compare: need at least two teams");
   }
-  ScopedSpan span(options_.obs.tracer, "workflow.compare", "teams",
+  ScopedSpan span(options_.run.obs.tracer, "workflow.compare", "teams",
                   policies_.size());
   return discrepancies_many_governed(policies_, compare_options());
 }
@@ -66,7 +68,7 @@ std::vector<PairwiseReport> DiverseDesign::cross_compare() const {
   if (policies_.size() < 2) {
     throw std::logic_error("cross_compare: need at least two teams");
   }
-  ScopedSpan span(options_.obs.tracer, "workflow.cross_compare", "teams",
+  ScopedSpan span(options_.run.obs.tracer, "workflow.cross_compare", "teams",
                   policies_.size());
   std::vector<std::pair<std::size_t, std::size_t>> pairs;
   pairs.reserve(policies_.size() * (policies_.size() - 1) / 2);
@@ -79,20 +81,21 @@ std::vector<PairwiseReport> DiverseDesign::cross_compare() const {
   // them as pool tasks. The pair pipelines get a serial CompareOptions so
   // the pool's threads each own one whole pipeline instead of contending
   // over intra-pair subtasks.
-  Executor& ex =
-      options_.executor ? *options_.executor : Executor::inline_executor();
+  Executor& ex = executor_or_inline(options_.run);
   // A serial pipeline per pair keeps each task on one thread; use_arena
   // then gives every task its own task-local arena.
-  const CompareOptions pair_options{nullptr, options_.fork_threshold,
-                                    options_.use_arena, options_.context,
-                                    options_.obs};
+  CompareOptions pair_options;
+  pair_options.run.context = options_.run.context;
+  pair_options.run.obs = options_.run.obs;
+  pair_options.fork_threshold = options_.fork_threshold;
+  pair_options.use_arena = options_.use_arena;
   const auto run_pair = [&](std::size_t i) {
     const auto [a, b] = pairs[i];
     // One span per unordered pair, on whichever pool thread runs it; the
     // pair's construct/shape/compare phase spans nest inside.
-    ScopedSpan pair_span(options_.obs.tracer, "pair", "team_a", a, "team_b",
+    ScopedSpan pair_span(options_.run.obs.tracer, "pair", "team_a", a, "team_b",
                          b);
-    if (options_.context == nullptr) {
+    if (options_.run.context == nullptr) {
       return PairwiseReport{
           a, b, discrepancies(policies_[a], policies_[b], pair_options)};
     }
@@ -103,9 +106,9 @@ std::vector<PairwiseReport> DiverseDesign::cross_compare() const {
     PairwiseReport report;
     report.team_a = a;
     report.team_b = b;
-    if (options_.context->aborted()) {
+    if (options_.run.context->aborted()) {
       report.complete = false;
-      report.status = options_.context->abort_code();
+      report.status = options_.run.context->abort_code();
       return report;
     }
     CompareOutcome outcome =
@@ -116,7 +119,7 @@ std::vector<PairwiseReport> DiverseDesign::cross_compare() const {
     return report;
   };
   return parallel_map<PairwiseReport>(ex, pairs.size(), run_pair, nullptr,
-                                      options_.obs);
+                                      options_.run.obs);
 }
 
 std::string DiverseDesign::report() const {
@@ -142,14 +145,14 @@ Policy DiverseDesign::resolve(const ResolutionPlan& plan) const {
 Policy DiverseDesign::resolve(const ResolutionPlan& plan,
                               ResolutionMethod method,
                               std::size_t base_team) const {
-  ScopedSpan span(options_.obs.tracer, "workflow.resolve", "base_team",
+  ScopedSpan span(options_.run.obs.tracer, "workflow.resolve", "base_team",
                   base_team);
   switch (method) {
     case ResolutionMethod::kCorrectedFdd:
-      return resolve_via_fdd(policies_, plan, base_team, options_.obs);
+      return resolve_via_fdd(policies_, plan, base_team, options_.run.obs);
     case ResolutionMethod::kPrependAndTrim:
       return resolve_via_corrections(policies_, plan, base_team,
-                                     options_.obs);
+                                     options_.run.obs);
   }
   throw std::invalid_argument("resolve: unknown method");
 }

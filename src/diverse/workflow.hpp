@@ -43,33 +43,62 @@ enum class ComparisonMode {
 
 /// Session-wide options for a DiverseDesign run.
 struct WorkflowOptions {
+  /// Shared execution knobs (rt/run_options.hpp), honoured by the whole
+  /// session. `run.executor` (borrowed; null = serial) drives the
+  /// comparison phase: cross comparison runs its K(K-1)/2 pairs as
+  /// independent tasks and direct comparison constructs the K diagrams
+  /// concurrently, with output identical to serial. `run.context`
+  /// (borrowed, nullable) governs submission builds, comparison, and
+  /// resolution alike: with a context set, cross_compare() reports
+  /// per-pair status instead of throwing and compare_governed() returns
+  /// partial results; the plain entry points let the dfw::Error
+  /// propagate. `run.obs` (borrowed, nullable sinks) observes the
+  /// session: submissions run under "workflow.submit" spans, the
+  /// comparison phase under "workflow.compare"/"workflow.cross_compare"
+  /// with one "pair" span per unordered pair, and resolution under
+  /// "workflow.resolve"; the underlying pipelines inherit the sinks
+  /// through CompareOptions/ConstructOptions/GenerateOptions.
+  RunOptions run = {};
   ResolutionMethod resolution = ResolutionMethod::kCorrectedFdd;
   /// Team whose rule sequence seeds the resolution phase.
   std::size_t base_team = 0;
   ComparisonMode comparison = ComparisonMode::kDirect;
-  /// Borrowed executor for the comparison phase; null means serial.
-  Executor* executor = nullptr;
   /// Forwarded to the comparison pipeline (see CompareOptions).
   std::size_t fork_threshold = 4;
   /// Forwarded to the comparison pipeline: run serial comparisons
   /// arena-native (see CompareOptions::use_arena).
   bool use_arena = true;
-  /// Optional governance context (borrowed, nullable) shared by the whole
-  /// session: submission builds, comparison, and resolution all observe
-  /// its cancellation token, deadline, and budgets. With a context set,
-  /// cross_compare() reports per-pair status instead of throwing, and
-  /// compare_governed() returns partial results; the plain entry points
-  /// let the dfw::Error propagate. Null = ungoverned.
-  RunContext* context = nullptr;
-  /// Observability sinks (borrowed, nullable; see obs/obs.hpp) shared by
-  /// the whole session: submissions run under "workflow.submit" spans, the
-  /// comparison phase under "workflow.compare"/"workflow.cross_compare"
-  /// with one "pair" span per unordered pair (team indices as args), and
-  /// resolution under "workflow.resolve" with the regeneration's
-  /// "generate" span nested inside. The underlying pipelines inherit the
-  /// sink through CompareOptions/ConstructOptions/GenerateOptions. Null
-  /// sinks are free and leave all outputs byte-identical.
-  ObsOptions obs = {};
+
+// The alias references below are initialized in every constructor; that
+// initialization is itself a "use" of the deprecated member, so the
+// in-class definitions suppress the warning locally. External uses of
+// the aliases still warn at their own source locations.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  WorkflowOptions() = default;
+  WorkflowOptions(const WorkflowOptions& o)
+      : run(o.run),
+        resolution(o.resolution),
+        base_team(o.base_team),
+        comparison(o.comparison),
+        fork_threshold(o.fork_threshold),
+        use_arena(o.use_arena) {}
+  WorkflowOptions& operator=(const WorkflowOptions& o) {
+    run = o.run;
+    resolution = o.resolution;
+    base_team = o.base_team;
+    comparison = o.comparison;
+    fork_threshold = o.fork_threshold;
+    use_arena = o.use_arena;
+    return *this;
+  }
+
+  /// Deprecated one-release aliases for the pre-RunOptions field names
+  /// (see DESIGN.md, "RunOptions migration").
+  [[deprecated("use run.executor")]] Executor*& executor = run.executor;
+  [[deprecated("use run.context")]] RunContext*& context = run.context;
+  [[deprecated("use run.obs")]] ObsOptions& obs = run.obs;
+#pragma GCC diagnostic pop
 };
 
 /// One pairwise comparison result from cross comparison. In a governed
@@ -90,8 +119,7 @@ struct PairwiseReport {
 class DiverseDesign {
  public:
   /// Starts a session over the given decision vocabulary.
-  explicit DiverseDesign(DecisionSet decisions);
-  DiverseDesign(DecisionSet decisions, WorkflowOptions options);
+  explicit DiverseDesign(DecisionSet decisions, WorkflowOptions options = {});
 
   const WorkflowOptions& options() const { return options_; }
 

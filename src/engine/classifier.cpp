@@ -43,17 +43,12 @@ Classifier Classifier::compile(const Fdd& fdd, const CompileOptions& options) {
   return c;
 }
 
-Classifier Classifier::compile(const Fdd& fdd) {
-  return compile(fdd, CompileOptions{});
-}
-
 Classifier Classifier::compile(const Policy& policy,
                                const CompileOptions& options) {
-  return compile(build_reduced_fdd(policy), options);
-}
-
-Classifier Classifier::compile(const Policy& policy) {
-  return compile(policy, CompileOptions{});
+  ConstructOptions construct;
+  construct.run.context = options.run.context;
+  construct.run.obs = options.run.obs;
+  return compile(build_reduced_fdd(policy, construct), options);
 }
 
 Decision Classifier::classify(const Packet& p) const {
@@ -76,7 +71,12 @@ Decision Classifier::classify(const Packet& p) const {
 }
 
 std::vector<Decision> Classifier::classify_batch(
-    std::span<const Packet> packets, Executor& executor) const {
+    std::span<const Packet> packets, const RunOptions& run) const {
+  Executor& executor = run.executor != nullptr
+                           ? *run.executor
+                           : (options_.run.executor != nullptr
+                                  ? *options_.run.executor
+                                  : Executor::inline_executor());
   std::vector<Decision> out(packets.size());
   executor.parallel_for_chunked(
       packets.size(), std::max<std::size_t>(1, options_.batch_grain),
@@ -84,15 +84,14 @@ std::vector<Decision> Classifier::classify_batch(
         for (std::size_t i = begin; i < end; ++i) {
           out[i] = classify(packets[i]);
         }
-      });
+      },
+      run.context, run.obs);
   return out;
 }
 
 std::vector<Decision> Classifier::classify_batch(
     std::span<const Packet> packets) const {
-  return classify_batch(packets, options_.executor
-                                     ? *options_.executor
-                                     : Executor::inline_executor());
+  return classify_batch(packets, RunOptions{});
 }
 
 }  // namespace dfw

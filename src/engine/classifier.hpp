@@ -23,34 +23,60 @@
 
 #include "fdd/fdd.hpp"
 #include "fw/policy.hpp"
+#include "rt/run_options.hpp"
 
 namespace dfw {
 
 class Executor;
 
-/// Compile- and batch-execution options. The executor is borrowed, not
-/// owned, and must outlive the classifier; null means serial
-/// (Executor::inline_executor()).
+/// Compile- and batch-execution options, in the same options-struct idiom
+/// as ConstructOptions/CompareOptions.
 struct CompileOptions {
-  /// Default executor for classify_batch calls on this classifier.
-  Executor* executor = nullptr;
+  /// Shared execution knobs (rt/run_options.hpp). `run.executor` is the
+  /// default executor for classify_batch calls on this classifier —
+  /// borrowed, not owned, must outlive the classifier; null means serial
+  /// (Executor::inline_executor()). Compiling from a Policy threads
+  /// `run.context`/`run.obs` through the internal build_reduced_fdd, so
+  /// compilation is governed and observable like every other pipeline.
+  RunOptions run = {};
+
   /// Packets per pool task in classify_batch; tune upward for tiny
   /// per-packet cost, downward for very skewed batches.
   std::size_t batch_grain = 512;
+
+// The alias references below are initialized in every constructor; that
+// initialization is itself a "use" of the deprecated member, so the
+// in-class definitions suppress the warning locally. External uses of
+// the aliases still warn at their own source locations.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  CompileOptions() = default;
+  CompileOptions(const CompileOptions& o)
+      : run(o.run), batch_grain(o.batch_grain) {}
+  CompileOptions& operator=(const CompileOptions& o) {
+    run = o.run;
+    batch_grain = o.batch_grain;
+    return *this;
+  }
+
+  /// Deprecated one-release alias for the pre-RunOptions field name
+  /// (see DESIGN.md, "RunOptions migration").
+  [[deprecated("use run.executor")]] Executor*& executor = run.executor;
+#pragma GCC diagnostic pop
 };
 
 /// An immutable compiled classifier. Copyable; internally a few flat
 /// vectors.
 class Classifier {
  public:
-  /// Compiles a comprehensive policy (via its reduced FDD).
-  static Classifier compile(const Policy& policy);
+  /// Compiles a comprehensive policy (via its reduced FDD, governed and
+  /// observed through `options.run`).
   static Classifier compile(const Policy& policy,
-                            const CompileOptions& options);
+                            const CompileOptions& options = {});
 
   /// Compiles an already-built complete FDD.
-  static Classifier compile(const Fdd& fdd);
-  static Classifier compile(const Fdd& fdd, const CompileOptions& options);
+  static Classifier compile(const Fdd& fdd,
+                            const CompileOptions& options = {});
 
   /// The decision for packet p. O(sum over path fields of log(edges)).
   Decision classify(const Packet& p) const;
@@ -58,9 +84,12 @@ class Classifier {
   /// Decisions for a whole batch, indexed like `packets`, sharded over
   /// the compile-time executor (serial when none was given).
   std::vector<Decision> classify_batch(std::span<const Packet> packets) const;
-  /// Same, on an explicit executor.
+  /// Same, under per-call execution knobs: `run.executor` overrides the
+  /// compile-time executor (null falls back to it), and lookups take no
+  /// locks — the hot path reads only immutable slabs, so concurrent
+  /// batches on one classifier are safe.
   std::vector<Decision> classify_batch(std::span<const Packet> packets,
-                                       Executor& executor) const;
+                                       const RunOptions& run) const;
 
   /// Number of compiled nodes (terminals excluded).
   std::size_t node_count() const { return nodes_.size(); }

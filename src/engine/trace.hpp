@@ -29,14 +29,9 @@ struct TraceStats {
 };
 
 /// Replays the trace, counting first-match hits. The policy must be
-/// comprehensive over every packet of the trace.
+/// comprehensive over every packet of the trace. A std::vector<Packet>
+/// converts to the span implicitly.
 TraceStats evaluate_trace(const Policy& policy, std::span<const Packet> trace);
-
-/// Container-owning shim for the span surface above.
-inline TraceStats evaluate_trace(const Policy& policy,
-                                 const std::vector<Packet>& trace) {
-  return evaluate_trace(policy, std::span<const Packet>(trace));
-}
 
 /// Generates `count` packets biased toward the policy's own rules: each
 /// packet picks a random rule and samples each field from inside that

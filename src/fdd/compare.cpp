@@ -15,7 +15,7 @@ namespace dfw {
 namespace {
 
 Executor& resolve_executor(const CompareOptions& options) {
-  return options.executor ? *options.executor : Executor::inline_executor();
+  return executor_or_inline(options.run);
 }
 
 // Lockstep walk over N semi-isomorphic subtrees accumulating the common
@@ -90,9 +90,9 @@ void compare_impl(const Schema& schema, std::vector<const FddNode*> roots,
             for (const FddNode* n : roots) {
               children.push_back(n->edges[e].target.get());
             }
-            walk(schema, children, local, parts[e], options.context);
+            walk(schema, children, local, parts[e], options.run.context);
           },
-          options.context, options.obs);
+          options.run.context, options.run.obs);
     } catch (...) {
       flush();
       throw;
@@ -100,7 +100,7 @@ void compare_impl(const Schema& schema, std::vector<const FddNode*> roots,
     flush();
     return;
   }
-  walk(schema, roots, conjuncts, out, options.context);
+  walk(schema, roots, conjuncts, out, options.run.context);
 }
 
 // Whole pipeline on ids: build canonical diagrams, validate, shape, and
@@ -159,10 +159,6 @@ std::vector<Discrepancy> compare_fdds(const Fdd& a, const Fdd& b,
   return out;
 }
 
-std::vector<Discrepancy> compare_fdds(const Fdd& a, const Fdd& b) {
-  return compare_fdds(a, b, CompareOptions{});
-}
-
 std::vector<Discrepancy> compare_fdds_many(const std::vector<Fdd>& fdds,
                                            const CompareOptions& options) {
   if (fdds.empty()) {
@@ -184,17 +180,13 @@ std::vector<Discrepancy> compare_fdds_many(const std::vector<Fdd>& fdds,
   return out;
 }
 
-std::vector<Discrepancy> compare_fdds_many(const std::vector<Fdd>& fdds) {
-  return compare_fdds_many(fdds, CompareOptions{});
-}
-
 namespace {
 
 void discrepancies_pair_into(const Policy& a, const Policy& b,
                              const CompareOptions& options,
                              std::vector<Discrepancy>& out) {
   if (options.use_arena && resolve_executor(options).is_inline()) {
-    arena_discrepancies({&a, &b}, options.context, options.obs, out);
+    arena_discrepancies({&a, &b}, options.run.context, options.run.obs, out);
     return;
   }
   // Construction dominates the pipeline (Fig. 13) and the two diagrams
@@ -202,33 +194,35 @@ void discrepancies_pair_into(const Policy& a, const Policy& b,
   // two concurrent tasks. use_arena still applies to construction here:
   // each task builds through its own task-local arena and expands the
   // result, which threads fine; only shaping/comparison need the tree.
-  const ConstructOptions construct{options.use_arena, options.context,
-                                   options.obs};
+  ConstructOptions construct;
+  construct.run.context = options.run.context;
+  construct.run.obs = options.run.obs;
+  construct.use_arena = options.use_arena;
   const Policy* inputs[2] = {&a, &b};
   std::vector<Fdd> fdds;
   {
-    PhaseSpan phase(options.obs, "construct");
+    PhaseSpan phase(options.run.obs, "construct");
     fdds = parallel_map<Fdd>(
         resolve_executor(options), 2,
         [&](std::size_t i) {
           return build_reduced_fdd(*inputs[i], construct);
         },
-        options.context, options.obs);
+        options.run.context, options.run.obs);
   }
   {
-    PhaseSpan phase(options.obs, "validate");
+    PhaseSpan phase(options.run.obs, "validate");
     fdds[0].validate();  // rejects non-comprehensive inputs up front
     fdds[1].validate();
   }
   {
-    PhaseSpan phase(options.obs, "shape");
-    shape_pair(fdds[0], fdds[1], options.context);
+    PhaseSpan phase(options.run.obs, "shape");
+    shape_pair(fdds[0], fdds[1], options.run.context);
     if (!semi_isomorphic(fdds[0], fdds[1])) {
       throw std::invalid_argument(
           "compare_fdds: FDDs are not semi-isomorphic");
     }
   }
-  PhaseSpan phase(options.obs, "compare");
+  PhaseSpan phase(options.run.obs, "compare");
   compare_impl(fdds[0].schema(), {&fdds[0].root(), &fdds[1].root()}, options,
                out);
 }
@@ -245,30 +239,32 @@ void discrepancies_many_into(const std::vector<Policy>& policies,
     for (const Policy& p : policies) {
       inputs.push_back(&p);
     }
-    arena_discrepancies(inputs, options.context, options.obs, out);
+    arena_discrepancies(inputs, options.run.context, options.run.obs, out);
     return;
   }
-  const ConstructOptions construct{options.use_arena, options.context,
-                                   options.obs};
+  ConstructOptions construct;
+  construct.run.context = options.run.context;
+  construct.run.obs = options.run.obs;
+  construct.use_arena = options.use_arena;
   std::vector<Fdd> fdds;
   {
-    PhaseSpan phase(options.obs, "construct");
+    PhaseSpan phase(options.run.obs, "construct");
     fdds = parallel_map<Fdd>(
         resolve_executor(options), policies.size(),
         [&](std::size_t i) {
           return build_reduced_fdd(policies[i], construct);
         },
-        options.context, options.obs);
+        options.run.context, options.run.obs);
   }
   {
-    PhaseSpan phase(options.obs, "validate");
+    PhaseSpan phase(options.run.obs, "validate");
     for (Fdd& f : fdds) {
       f.validate();
     }
   }
   {
-    PhaseSpan phase(options.obs, "shape");
-    shape_all(fdds, options.context);
+    PhaseSpan phase(options.run.obs, "shape");
+    shape_all(fdds, options.run.context);
   }
   std::vector<const FddNode*> roots;
   roots.reserve(fdds.size());
@@ -281,7 +277,7 @@ void discrepancies_many_into(const std::vector<Policy>& policies,
   for (const Fdd& f : fdds) {
     roots.push_back(&f.root());
   }
-  PhaseSpan phase(options.obs, "compare");
+  PhaseSpan phase(options.run.obs, "compare");
   compare_impl(fdds[0].schema(), std::move(roots), options, out);
 }
 
@@ -310,20 +306,11 @@ std::vector<Discrepancy> discrepancies(const Policy& a, const Policy& b,
   return out;
 }
 
-std::vector<Discrepancy> discrepancies(const Policy& a, const Policy& b) {
-  return discrepancies(a, b, CompareOptions{});
-}
-
 std::vector<Discrepancy> discrepancies_many(
     const std::vector<Policy>& policies, const CompareOptions& options) {
   std::vector<Discrepancy> out;
   discrepancies_many_into(policies, options, out);
   return out;
-}
-
-std::vector<Discrepancy> discrepancies_many(
-    const std::vector<Policy>& policies) {
-  return discrepancies_many(policies, CompareOptions{});
 }
 
 CompareOutcome discrepancies_governed(const Policy& a, const Policy& b,

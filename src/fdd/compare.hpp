@@ -19,6 +19,7 @@
 #include "fw/policy.hpp"
 #include "obs/obs.hpp"
 #include "rt/govern.hpp"
+#include "rt/run_options.hpp"
 
 namespace dfw {
 
@@ -35,12 +36,23 @@ struct Discrepancy {
   friend bool operator==(const Discrepancy&, const Discrepancy&) = default;
 };
 
-/// Options threaded through the comparison pipeline. The executor is
-/// borrowed, not owned; null means Executor::inline_executor() (serial).
-/// Results are identical for every executor — parallelism only reorders
-/// the work, never the output.
+/// Options threaded through the comparison pipeline.
 struct CompareOptions {
-  Executor* executor = nullptr;
+  /// Shared execution knobs (rt/run_options.hpp). `run.executor`: with a
+  /// pool, the constructions run concurrently and the comparison walk
+  /// forks; results are identical for every executor. `run.context`:
+  /// cancellation, deadline, and resource budgets observed throughout the
+  /// pipeline — construction charges nodes, shaping charges
+  /// inserted/cloned nodes, and the comparison walk takes amortized
+  /// checkpoints. The vector-returning entry points let a breach propagate
+  /// as dfw::Error; the *_governed entry points catch it and return the
+  /// discrepancies found so far with complete=false. `run.obs`: the
+  /// pipelines emit phase spans — "construct", "validate", "shape",
+  /// "compare" — plus per-policy "build_reduced_fdd" spans and per-chunk
+  /// "chunk" spans under a pool executor, and record phase durations into
+  /// the registry ("phase.<name>_ns"); arena pipelines absorb their
+  /// ArenaStats into the registry on completion.
+  RunOptions run = {};
   /// Minimum outgoing edges at an FDD root before the comparison walk
   /// forks its top-level subtrees as independent pool tasks.
   std::size_t fork_threshold = 4;
@@ -50,23 +62,31 @@ struct CompareOptions {
   /// Output is identical either way. An arena is single-threaded, so a
   /// pool executor always takes the tree path regardless of this flag.
   bool use_arena = true;
-  /// Optional governance context (borrowed, nullable): cancellation,
-  /// deadline, and resource budgets observed throughout the pipeline —
-  /// construction charges nodes, shaping charges inserted/cloned nodes,
-  /// and the comparison walk takes amortized checkpoints. Null (the
-  /// default) runs ungoverned and byte-identical to pre-governance
-  /// builds. The vector-returning entry points let a breach propagate as
-  /// dfw::Error; the *_governed entry points catch it and return the
-  /// discrepancies found so far with complete=false.
-  RunContext* context = nullptr;
-  /// Observability sinks (borrowed, nullable; see obs/obs.hpp). The
-  /// pipelines emit phase spans — "construct", "validate", "shape",
-  /// "compare" — plus per-policy "build_reduced_fdd" spans and per-chunk
-  /// "chunk" spans under a pool executor, and record phase durations into
-  /// the registry ("phase.<name>_ns"). Arena pipelines absorb their
-  /// ArenaStats into the registry on completion. Null sinks are free and
-  /// leave every output byte-identical.
-  ObsOptions obs = {};
+
+// The alias references below are initialized in every constructor; that
+// initialization is itself a "use" of the deprecated member, so the
+// in-class definitions suppress the warning locally. External uses of
+// the aliases still warn at their own source locations.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  CompareOptions() = default;
+  CompareOptions(const CompareOptions& o)
+      : run(o.run),
+        fork_threshold(o.fork_threshold),
+        use_arena(o.use_arena) {}
+  CompareOptions& operator=(const CompareOptions& o) {
+    run = o.run;
+    fork_threshold = o.fork_threshold;
+    use_arena = o.use_arena;
+    return *this;
+  }
+
+  /// Deprecated one-release aliases for the pre-RunOptions field names
+  /// (see DESIGN.md, "RunOptions migration").
+  [[deprecated("use run.executor")]] Executor*& executor = run.executor;
+  [[deprecated("use run.context")]] RunContext*& context = run.context;
+  [[deprecated("use run.obs")]] ObsOptions& obs = run.obs;
+#pragma GCC diagnostic pop
 };
 
 /// Result of a governed comparison. When `complete` is false the pipeline
@@ -84,31 +104,26 @@ struct CompareOutcome {
 /// Returns one Discrepancy per differing companion-rule pair, in decision-
 /// path (depth-first) order.
 std::vector<Discrepancy> compare_fdds(const Fdd& a, const Fdd& b,
-                                      const CompareOptions& options);
-std::vector<Discrepancy> compare_fdds(const Fdd& a, const Fdd& b);
+                                      const CompareOptions& options = {});
 
 /// N-way comparison of pairwise semi-isomorphic FDDs (e.g. from
 /// shape_all). A path is reported when not all N decisions agree.
 std::vector<Discrepancy> compare_fdds_many(const std::vector<Fdd>& fdds,
-                                           const CompareOptions& options);
-std::vector<Discrepancy> compare_fdds_many(const std::vector<Fdd>& fdds);
+                                           const CompareOptions& options = {});
 
 /// Full pipeline on policies: construct, shape, compare. Policies must be
 /// comprehensive and share a schema. With a pool executor the two FDDs
 /// are constructed concurrently and the comparison walk forks.
 std::vector<Discrepancy> discrepancies(const Policy& a, const Policy& b,
-                                       const CompareOptions& options);
-std::vector<Discrepancy> discrepancies(const Policy& a, const Policy& b);
+                                       const CompareOptions& options = {});
 
 /// N-way full pipeline using direct comparison (Section 7.3). With a pool
 /// executor the N constructions run as independent pool tasks.
 std::vector<Discrepancy> discrepancies_many(
-    const std::vector<Policy>& policies, const CompareOptions& options);
-std::vector<Discrepancy> discrepancies_many(
-    const std::vector<Policy>& policies);
+    const std::vector<Policy>& policies, const CompareOptions& options = {});
 
 /// Governed full pipeline: like discrepancies(), but a breach of
-/// options.context (cancellation, deadline, node/label/rule budget) is
+/// options.run.context (cancellation, deadline, node/label/rule budget) is
 /// caught and reported as a partial CompareOutcome instead of propagating.
 /// Non-governance errors (invalid inputs, internal faults) still throw.
 CompareOutcome discrepancies_governed(const Policy& a, const Policy& b,

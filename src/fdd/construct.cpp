@@ -142,41 +142,37 @@ Fdd build_fdd(const Policy& policy) {
   return build_partial_fdd(policy, policy.size());
 }
 
-Fdd build_reduced_fdd(const Policy& policy) {
-  return build_reduced_fdd(policy, ConstructOptions{});
-}
-
 Fdd build_reduced_fdd(const Policy& policy,
                       const ConstructOptions& options) {
-  ScopedSpan span(options.obs.tracer, "build_reduced_fdd", "rules",
+  ScopedSpan span(options.run.obs.tracer, "build_reduced_fdd", "rules",
                   policy.size());
   if (options.use_arena) {
     FddArena arena(policy.schema());
-    arena.set_context(options.context);
+    arena.set_context(options.run.context);
     Fdd fdd = arena.to_fdd(arena.build_reduced(policy));
-    if (options.obs.metrics != nullptr) {
-      absorb(*options.obs.metrics, arena.stats());
+    if (options.run.obs.metrics != nullptr) {
+      absorb(*options.run.obs.metrics, arena.stats());
     }
     return fdd;
   }
   Fdd fdd(policy.schema(),
-          build_path(policy.schema(), policy.rule(0), 0, options.context));
+          build_path(policy.schema(), policy.rule(0), 0, options.run.context));
   // Reduce whenever the diagram outgrows a budget proportional to the
   // rules consumed: appends then always run against a near-minimal tree,
   // which is what keeps million-path intermediates from ever existing.
   std::size_t budget = 256;
   for (std::size_t i = 1; i < policy.size(); ++i) {
     append(policy.schema(), fdd.root_slot(), policy.rule(i), 0,
-           options.context);
+           options.run.context);
     if (fdd.node_count() > budget) {
-      ScopedSpan reduce_span(options.obs.tracer, "reduce", "nodes",
+      ScopedSpan reduce_span(options.run.obs.tracer, "reduce", "nodes",
                              fdd.node_count());
       reduce(fdd);
       budget = fdd.node_count() * 2 + 256;
     }
   }
   {
-    ScopedSpan reduce_span(options.obs.tracer, "reduce", "nodes",
+    ScopedSpan reduce_span(options.run.obs.tracer, "reduce", "nodes",
                            fdd.node_count());
     reduce(fdd);
   }

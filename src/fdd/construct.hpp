@@ -13,6 +13,7 @@
 #include "fdd/fdd.hpp"
 #include "fw/policy.hpp"
 #include "obs/obs.hpp"
+#include "rt/run_options.hpp"
 
 namespace dfw {
 
@@ -42,6 +43,18 @@ Fdd build_partial_fdd(const Policy& policy, std::size_t count,
 
 /// Knobs for the production construction entry point.
 struct ConstructOptions {
+  /// Shared execution knobs (rt/run_options.hpp). `run.context` governs
+  /// the build: every node the construction materialises — arena or tree,
+  /// including case-3 subtree clones — is charged against the node budget,
+  /// and the recursion takes amortized cancellation/deadline checkpoints.
+  /// A breach throws dfw::Error; construction cannot return a partial
+  /// diagram (a half-appended rule has no policy semantics), so callers
+  /// wanting partial *reports* catch at the workflow layer. `run.obs`
+  /// observes it: each build emits a "build_reduced_fdd" trace span, and
+  /// the tree path traces its interleaved "reduce" passes. `run.executor`
+  /// is accepted for uniformity but unused — one diagram builds serially.
+  RunOptions run = {};
+
   /// Build through the hash-consed FddArena (fdd/arena.hpp): canonical by
   /// construction, with copy-on-write appends instead of subtree clones.
   /// The result, expanded back into the tree representation, is
@@ -50,19 +63,26 @@ struct ConstructOptions {
   /// tree pipeline (append + interleaved reduce).
   bool use_arena = true;
 
-  /// Optional governance context (borrowed, nullable). When set, every node
-  /// the construction materialises — arena or tree, including case-3
-  /// subtree clones — is charged against the context's node budget, and the
-  /// recursion takes amortized cancellation/deadline checkpoints. A breach
-  /// throws dfw::Error; construction cannot return a partial diagram (a
-  /// half-appended rule has no policy semantics), so callers wanting
-  /// partial *reports* catch at the workflow layer.
-  RunContext* context = nullptr;
+// The alias references below are initialized in every constructor; that
+// initialization is itself a "use" of the deprecated member, so the
+// in-class definitions suppress the warning locally. External uses of
+// the aliases still warn at their own source locations.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ConstructOptions() = default;
+  ConstructOptions(const ConstructOptions& o)
+      : run(o.run), use_arena(o.use_arena) {}
+  ConstructOptions& operator=(const ConstructOptions& o) {
+    run = o.run;
+    use_arena = o.use_arena;
+    return *this;
+  }
 
-  /// Observability sinks (borrowed, nullable; see obs/obs.hpp). Each build
-  /// emits a "build_reduced_fdd" trace span; the tree path additionally
-  /// traces its interleaved "reduce" passes. Null sinks are free.
-  ObsOptions obs = {};
+  /// Deprecated one-release aliases for the pre-RunOptions field names
+  /// (see DESIGN.md, "RunOptions migration").
+  [[deprecated("use run.context")]] RunContext*& context = run.context;
+  [[deprecated("use run.obs")]] ObsOptions& obs = run.obs;
+#pragma GCC diagnostic pop
 };
 
 /// Construction with interleaved reduction: equivalent to
@@ -71,7 +91,7 @@ struct ConstructOptions {
 /// blows up on large rule sets. This is the production entry point the
 /// comparison pipeline uses; build_fdd remains the paper-faithful
 /// reference implementation of Fig. 7.
-Fdd build_reduced_fdd(const Policy& policy);
-Fdd build_reduced_fdd(const Policy& policy, const ConstructOptions& options);
+Fdd build_reduced_fdd(const Policy& policy,
+                      const ConstructOptions& options = {});
 
 }  // namespace dfw

@@ -61,22 +61,10 @@ void gen(const Schema& schema, const FddNode& node,
 }  // namespace
 
 Policy generate_disjoint_policy(const Fdd& fdd, Decision fallback,
-                                bool reduce_first) {
-  return generate_disjoint_policy(fdd, fallback,
-                                  GenerateOptions{reduce_first, nullptr, {}});
-}
-
-Policy generate_disjoint_policy(const Fdd& fdd, Decision fallback,
-                                bool reduce_first, RunContext* context) {
-  return generate_disjoint_policy(
-      fdd, fallback, GenerateOptions{reduce_first, context, {}});
-}
-
-Policy generate_disjoint_policy(const Fdd& fdd, Decision fallback,
                                 const GenerateOptions& options) {
-  PhaseSpan phase(options.obs, "generate");
+  PhaseSpan phase(options.run.obs, "generate");
   const Schema& schema = fdd.schema();
-  RunContext* context = options.context;
+  RunContext* context = options.run.context;
   std::vector<Rule> rules;
   const auto emit = [&](const std::vector<IntervalSet>& conjuncts,
                         Decision decision) {
@@ -94,30 +82,21 @@ Policy generate_disjoint_policy(const Fdd& fdd, Decision fallback,
     arena.set_context(context);
     const ArenaNodeId root = arena.from_tree_canonical(fdd.root());
     arena.for_each_path(root, emit);
-    if (options.obs.metrics != nullptr) {
-      absorb(*options.obs.metrics, arena.stats());
+    if (options.run.obs.metrics != nullptr) {
+      absorb(*options.run.obs.metrics, arena.stats());
     }
   } else {
     fdd.for_each_path(emit);
   }
   rules.push_back(Rule::catch_all(schema, fallback));
-  if (options.obs.metrics != nullptr) {
-    options.obs.metrics->counter("gen.rules_emitted").add(rules.size());
+  if (options.run.obs.metrics != nullptr) {
+    options.run.obs.metrics->counter("gen.rules_emitted").add(rules.size());
   }
   return Policy(schema, std::move(rules));
 }
 
-Policy generate_policy(const Fdd& fdd, bool reduce_first) {
-  return generate_policy(fdd, GenerateOptions{reduce_first, nullptr, {}});
-}
-
-Policy generate_policy(const Fdd& fdd, bool reduce_first,
-                       RunContext* context) {
-  return generate_policy(fdd, GenerateOptions{reduce_first, context, {}});
-}
-
 Policy generate_policy(const Fdd& fdd, const GenerateOptions& options) {
-  PhaseSpan phase(options.obs, "generate");
+  PhaseSpan phase(options.run.obs, "generate");
   const Schema& schema = fdd.schema();
   Policy out = [&] {
     if (options.reduce_first) {
@@ -125,10 +104,10 @@ Policy generate_policy(const Fdd& fdd, const GenerateOptions& options) {
       // election's rule-cost recursion — quadratic on trees — is memoised
       // by node id, once per unique subdiagram.
       FddArena arena(schema);
-      arena.set_context(options.context);
+      arena.set_context(options.run.context);
       Policy p = arena.generate(arena.from_tree_canonical(fdd.root()));
-      if (options.obs.metrics != nullptr) {
-        absorb(*options.obs.metrics, arena.stats());
+      if (options.run.obs.metrics != nullptr) {
+        absorb(*options.run.obs.metrics, arena.stats());
       }
       return p;
     }
@@ -138,11 +117,11 @@ Policy generate_policy(const Fdd& fdd, const GenerateOptions& options) {
       conjuncts.emplace_back(schema.domain(i));
     }
     std::vector<Rule> rules;
-    gen(schema, fdd.root(), conjuncts, rules, options.context);
+    gen(schema, fdd.root(), conjuncts, rules, options.run.context);
     return Policy(schema, std::move(rules));
   }();
-  if (options.obs.metrics != nullptr) {
-    options.obs.metrics->counter("gen.rules_emitted").add(out.size());
+  if (options.run.obs.metrics != nullptr) {
+    options.run.obs.metrics->counter("gen.rules_emitted").add(out.size());
   }
   return out;
 }

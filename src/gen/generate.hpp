@@ -15,44 +15,59 @@
 #include "fdd/fdd.hpp"
 #include "fw/policy.hpp"
 #include "obs/obs.hpp"
+#include "rt/run_options.hpp"
 
 namespace dfw {
 
 class RunContext;
 
 /// Knobs for the generation entry points, in the same options-struct idiom
-/// as ConstructOptions/CompareOptions. The plain signatures below are
-/// shims over these.
+/// as ConstructOptions/CompareOptions.
 struct GenerateOptions {
+  /// Shared execution knobs (rt/run_options.hpp). `run.context` governs
+  /// the generation: every emitted rule is charged against the rule budget
+  /// (the rule-blowup guard — path enumeration over a shared diagram can
+  /// be exponentially larger than the diagram), interned arena nodes
+  /// against the node budget, and the recursion takes amortized
+  /// cancellation/deadline checkpoints. A breach throws dfw::Error; a
+  /// half-generated policy has no first-match semantics, so there is no
+  /// partial-policy form. `run.obs`: generation runs under a "generate"
+  /// phase span/histogram and counts emitted rules into
+  /// "gen.rules_emitted". `run.executor` is accepted for uniformity but
+  /// unused — generation is a single serial walk.
+  RunOptions run = {};
+
   /// Reduce the diagram first (through the arena's canonical interning);
   /// false generates from the diagram exactly as given.
   bool reduce_first = true;
-  /// Optional governance context (borrowed, nullable); see the governed
-  /// overloads below for what it bounds.
-  RunContext* context = nullptr;
-  /// Observability sinks (borrowed, nullable): generation runs under a
-  /// "generate" phase span/histogram and counts emitted rules into
-  /// "gen.rules_emitted". Null sinks are free.
-  ObsOptions obs = {};
+
+// The alias references below are initialized in every constructor; that
+// initialization is itself a "use" of the deprecated member, so the
+// in-class definitions suppress the warning locally. External uses of
+// the aliases still warn at their own source locations.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  GenerateOptions() = default;
+  GenerateOptions(const GenerateOptions& o)
+      : run(o.run), reduce_first(o.reduce_first) {}
+  GenerateOptions& operator=(const GenerateOptions& o) {
+    run = o.run;
+    reduce_first = o.reduce_first;
+    return *this;
+  }
+
+  /// Deprecated one-release aliases for the pre-RunOptions field names
+  /// (see DESIGN.md, "RunOptions migration").
+  [[deprecated("use run.context")]] RunContext*& context = run.context;
+  [[deprecated("use run.obs")]] ObsOptions& obs = run.obs;
+#pragma GCC diagnostic pop
 };
 
 /// Generates a comprehensive policy equivalent to the FDD. Requires a
-/// valid, complete FDD. The FDD is reduced internally first; pass
-/// `reduce_first = false` to generate from the diagram exactly as given.
-Policy generate_policy(const Fdd& fdd, bool reduce_first = true);
-
-/// Governed generation: every emitted rule is charged against `context`'s
-/// rule budget (the rule-blowup guard — path enumeration over a shared
-/// diagram can be exponentially larger than the diagram), interned arena
-/// nodes against its node budget, and the recursion takes amortized
-/// cancellation/deadline checkpoints. Null context = ungoverned. A breach
-/// throws dfw::Error; a half-generated policy has no first-match
-/// semantics, so there is no partial-policy form.
-Policy generate_policy(const Fdd& fdd, bool reduce_first,
-                       RunContext* context);
-
-/// Options-struct entry point (governance + observability).
-Policy generate_policy(const Fdd& fdd, const GenerateOptions& options);
+/// valid, complete FDD. The FDD is reduced internally first; set
+/// `options.reduce_first = false` to generate from the diagram exactly as
+/// given.
+Policy generate_policy(const Fdd& fdd, const GenerateOptions& options = {});
 
 /// Alternative generation for deployment: one rule per decision path whose
 /// decision differs from `fallback`, followed by a catch-all deciding
@@ -63,14 +78,6 @@ Policy generate_policy(const Fdd& fdd, const GenerateOptions& options);
 /// pins its protocol. Usually longer than generate_policy's output but
 /// free of "negative space" rules.
 Policy generate_disjoint_policy(const Fdd& fdd, Decision fallback,
-                                bool reduce_first = true);
-
-/// Governed variant; see the governed generate_policy.
-Policy generate_disjoint_policy(const Fdd& fdd, Decision fallback,
-                                bool reduce_first, RunContext* context);
-
-/// Options-struct entry point (governance + observability).
-Policy generate_disjoint_policy(const Fdd& fdd, Decision fallback,
-                                const GenerateOptions& options);
+                                const GenerateOptions& options = {});
 
 }  // namespace dfw

@@ -32,7 +32,7 @@ bool is_redundant(const Policy& policy, std::size_t index,
   // which case it is certainly not redundant; detect that cheaply first.
   const Policy candidate = without_rule(policy, index);
   ConstructOptions construct;
-  construct.context = context;
+  construct.run.context = context;
   Fdd rest = build_reduced_fdd(candidate, construct);
   try {
     rest.validate();
@@ -40,7 +40,7 @@ bool is_redundant(const Policy& policy, std::size_t index,
     return false;  // candidate not comprehensive -> mapping changed
   }
   CompareOptions compare;
-  compare.context = context;
+  compare.run.context = context;
   return discrepancies(policy, candidate, compare).empty();
 }
 

@@ -8,6 +8,7 @@
 
 #include "adapters/cisco.hpp"
 #include "adapters/iptables.hpp"
+#include "cli_common.hpp"
 #include "fw/parser.hpp"
 #include "lint/baseline.hpp"
 #include "lint/render.hpp"
@@ -38,16 +39,12 @@ constexpr const char* kUsage =
     "  --output=text|json|sarif    report format (default text)\n"
     "  --baseline=FILE             suppress findings recorded in FILE\n"
     "  --write-baseline=FILE       record current findings, then exit 0\n"
-    "\n"
-    "resources:\n"
-    "  --max-nodes=N     abort FDD work past N nodes (partial result)\n"
-    "  --threads=N       worker threads for the pair scan (default 0)\n"
-    "\n"
-    "exit codes: 0 clean, 1 findings or partial result, 2 usage/parse "
-    "error\n";
+    "\n";
+
+constexpr std::string_view kTool = "dfw_lint";
 
 struct CliOptions {
-  std::string format = "native";
+  cli::CommonOptions common;
   std::string chain = "INPUT";
   std::string acl = "101";
   std::vector<std::string> passes;
@@ -57,60 +54,7 @@ struct CliOptions {
   std::string baseline_path;
   std::string write_baseline_path;
   std::string validate_sarif_path;
-  std::size_t max_nodes = 0;
-  std::size_t threads = 0;
-  std::vector<std::string> files;
 };
-
-std::vector<std::string> split_csv(std::string_view list) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (start <= list.size()) {
-    const std::size_t comma = list.find(',', start);
-    const std::string_view item = list.substr(
-        start,
-        comma == std::string_view::npos ? std::string_view::npos
-                                        : comma - start);
-    if (!item.empty()) {
-      out.emplace_back(item);
-    }
-    if (comma == std::string_view::npos) {
-      break;
-    }
-    start = comma + 1;
-  }
-  return out;
-}
-
-std::optional<std::size_t> parse_size(std::string_view s) {
-  if (s.empty()) {
-    return std::nullopt;
-  }
-  std::size_t value = 0;
-  for (const char c : s) {
-    if (c < '0' || c > '9' || value > (SIZE_MAX - 9) / 10) {
-      return std::nullopt;
-    }
-    value = value * 10 + static_cast<std::size_t>(c - '0');
-  }
-  return value;
-}
-
-std::optional<std::string> slurp(const std::string& path, std::ostream& err) {
-  if (path == "-") {
-    std::ostringstream buf;
-    buf << std::cin.rdbuf();
-    return buf.str();
-  }
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    err << "dfw_lint: cannot open " << path << "\n";
-    return std::nullopt;
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return buf.str();
-}
 
 }  // namespace
 
@@ -118,67 +62,56 @@ int run_lint_cli(const std::vector<std::string>& args, std::ostream& out,
                  std::ostream& err) {
   CliOptions opts;
   for (const std::string& arg : args) {
-    const auto value_of = [&](std::string_view prefix)
-        -> std::optional<std::string> {
-      if (arg.rfind(prefix, 0) != 0) {
-        return std::nullopt;
-      }
-      return arg.substr(prefix.size());
-    };
     if (arg == "--help" || arg == "-h") {
-      out << kUsage;
-      return 0;
+      out << kUsage << cli::kCommonUsage;
+      return cli::kExitClean;
+    }
+    switch (cli::consume_common_flag(opts.common, arg, err, kTool)) {
+      case cli::FlagResult::kConsumed:
+        continue;
+      case cli::FlagResult::kError:
+        return cli::kExitUsage;
+      case cli::FlagResult::kNotMine:
+        break;
     }
     if (arg == "--list-passes") {
       opts.list_passes = true;
-    } else if (const auto v = value_of("--format=")) {
-      opts.format = *v;
-      if (opts.format != "native" && opts.format != "iptables" &&
-          opts.format != "ip6tables" && opts.format != "cisco") {
-        err << "dfw_lint: unknown format '" << opts.format << "'\n";
-        return 2;
-      }
-    } else if (const auto v = value_of("--chain=")) {
+    } else if (const auto v = cli::flag_value(arg, "--chain=")) {
       opts.chain = *v;
-    } else if (const auto v = value_of("--acl=")) {
+    } else if (const auto v = cli::flag_value(arg, "--acl=")) {
       opts.acl = *v;
-    } else if (const auto v = value_of("--passes=")) {
-      opts.passes = split_csv(*v);
-    } else if (const auto v = value_of("--disable=")) {
-      opts.disabled = split_csv(*v);
-    } else if (const auto v = value_of("--output=")) {
+    } else if (const auto v = cli::flag_value(arg, "--passes=")) {
+      opts.passes = cli::split_csv(*v);
+    } else if (const auto v = cli::flag_value(arg, "--disable=")) {
+      opts.disabled = cli::split_csv(*v);
+    } else if (const auto v = cli::flag_value(arg, "--output=")) {
       opts.output = *v;
       if (opts.output != "text" && opts.output != "json" &&
           opts.output != "sarif") {
         err << "dfw_lint: unknown output '" << opts.output << "'\n";
-        return 2;
+        return cli::kExitUsage;
       }
-    } else if (const auto v = value_of("--baseline=")) {
+    } else if (const auto v = cli::flag_value(arg, "--baseline=")) {
       opts.baseline_path = *v;
-    } else if (const auto v = value_of("--write-baseline=")) {
+    } else if (const auto v = cli::flag_value(arg, "--write-baseline=")) {
       opts.write_baseline_path = *v;
-    } else if (const auto v = value_of("--validate-sarif=")) {
+    } else if (const auto v = cli::flag_value(arg, "--validate-sarif=")) {
       opts.validate_sarif_path = *v;
-    } else if (const auto v = value_of("--max-nodes=")) {
-      const auto n = parse_size(*v);
-      if (!n.has_value()) {
-        err << "dfw_lint: bad --max-nodes value '" << *v << "'\n";
-        return 2;
-      }
-      opts.max_nodes = *n;
-    } else if (const auto v = value_of("--threads=")) {
-      const auto n = parse_size(*v);
-      if (!n.has_value() || *n > 256) {
-        err << "dfw_lint: bad --threads value '" << *v << "'\n";
-        return 2;
-      }
-      opts.threads = *n;
     } else if (arg.rfind("--", 0) == 0) {
-      err << "dfw_lint: unknown option '" << arg << "'\n" << kUsage;
-      return 2;
+      err << "dfw_lint: unknown option '" << arg << "'\n"
+          << kUsage << cli::kCommonUsage;
+      return cli::kExitUsage;
     } else {
-      opts.files.push_back(arg);
+      opts.common.positional.push_back(arg);
     }
+  }
+  if (opts.common.format.empty()) {
+    opts.common.format = "native";
+  }
+  if (opts.common.format != "native" && opts.common.format != "iptables" &&
+      opts.common.format != "ip6tables" && opts.common.format != "cisco") {
+    err << "dfw_lint: unknown format '" << opts.common.format << "'\n";
+    return cli::kExitUsage;
   }
 
   const LintEngine engine;
@@ -186,46 +119,48 @@ int run_lint_cli(const std::vector<std::string>& args, std::ostream& out,
     for (const LintPass& pass : engine.passes()) {
       out << pass.name << "\t" << pass.description << "\n";
     }
-    return 0;
+    return cli::kExitClean;
   }
   if (!opts.validate_sarif_path.empty()) {
-    const auto text = slurp(opts.validate_sarif_path, err);
+    const auto text = cli::slurp(opts.validate_sarif_path, err, kTool);
     if (!text.has_value()) {
-      return 2;
+      return cli::kExitUsage;
     }
     const SarifValidation v = validate_sarif(*text);
     if (v.ok) {
       out << opts.validate_sarif_path << ": valid SARIF 2.1.0\n";
-      return 0;
+      return cli::kExitClean;
     }
     for (const std::string& problem : v.problems) {
       err << opts.validate_sarif_path << ": " << problem << "\n";
     }
-    return 1;
+    return cli::kExitFindings;
   }
-  if (opts.files.size() != 1) {
-    err << kUsage;
-    return 2;
+  if (opts.common.positional.size() != 1) {
+    err << kUsage << cli::kCommonUsage;
+    return cli::kExitUsage;
   }
 
-  const auto text = slurp(opts.files[0], err);
+  const auto text = cli::slurp(opts.common.positional[0], err, kTool);
   if (!text.has_value()) {
-    return 2;
+    return cli::kExitUsage;
   }
 
   LintInput input;
   const DecisionSet& decisions = default_decisions();
   input.decisions = &decisions;
-  input.source_name = opts.files[0] == "-" ? "<stdin>" : opts.files[0];
+  input.source_name = opts.common.positional[0] == "-"
+                          ? "<stdin>"
+                          : opts.common.positional[0];
   std::optional<Policy> policy;
   try {
-    if (opts.format == "iptables") {
+    if (opts.common.format == "iptables") {
       policy.emplace(
           parse_iptables_save(*text, opts.chain, &input.adapter_notes));
-    } else if (opts.format == "ip6tables") {
+    } else if (opts.common.format == "ip6tables") {
       policy.emplace(
           parse_ip6tables_save(*text, opts.chain, &input.adapter_notes));
-    } else if (opts.format == "cisco") {
+    } else if (opts.common.format == "cisco") {
       policy.emplace(parse_cisco_acl(*text, opts.acl, &input.adapter_notes));
     } else {
       policy.emplace(
@@ -233,51 +168,41 @@ int run_lint_cli(const std::vector<std::string>& args, std::ostream& out,
     }
   } catch (const ParseError& e) {
     err << "dfw_lint: " << input.source_name << ": " << e.what() << "\n";
-    return 2;
+    return cli::kExitUsage;
   }
   input.policy = &*policy;
 
   std::optional<Baseline> baseline;
   if (!opts.baseline_path.empty()) {
-    const auto baseline_text = slurp(opts.baseline_path, err);
+    const auto baseline_text = cli::slurp(opts.baseline_path, err, kTool);
     if (!baseline_text.has_value()) {
-      return 2;
+      return cli::kExitUsage;
     }
     std::string error;
     baseline = parse_baseline(*baseline_text, &error);
     if (!baseline.has_value()) {
       err << "dfw_lint: " << opts.baseline_path << ": " << error << "\n";
-      return 2;
+      return cli::kExitUsage;
     }
   }
 
+  cli::CommonRuntime runtime(opts.common);
   LintOptions options;
   options.passes = opts.passes;
   options.disabled = opts.disabled;
-  std::optional<RunContext> context;
-  if (opts.max_nodes != 0) {
-    RunContext::Config config;
-    config.budgets.max_nodes = opts.max_nodes;
-    context.emplace(std::move(config));
-    options.context = &*context;
-  }
-  std::optional<Executor> executor;
-  if (opts.threads != 0) {
-    executor.emplace(opts.threads);
-    options.executor = &*executor;
-  }
+  options.run = runtime.run_options();
 
   LintReport report = engine.run(input, options);
   if (!opts.write_baseline_path.empty()) {
     std::ofstream file(opts.write_baseline_path, std::ios::binary);
     if (!file) {
       err << "dfw_lint: cannot write " << opts.write_baseline_path << "\n";
-      return 2;
+      return cli::kExitUsage;
     }
     file << render_baseline(report);
     out << "wrote " << report.diagnostics.size() << " finding(s) to "
         << opts.write_baseline_path << "\n";
-    return 0;
+    return runtime.finish(err, kTool);
   }
   std::size_t suppressed = 0;
   if (baseline.has_value()) {
@@ -294,10 +219,14 @@ int run_lint_cli(const std::vector<std::string>& args, std::ostream& out,
       out << suppressed << " finding(s) suppressed by baseline\n";
     }
   }
-  if (!report.complete) {
-    return 1;
+  const int trace_status = runtime.finish(err, kTool);
+  if (trace_status != cli::kExitClean) {
+    return trace_status;
   }
-  return report.diagnostics.empty() ? 0 : 1;
+  if (!report.complete) {
+    return cli::kExitFindings;
+  }
+  return report.diagnostics.empty() ? cli::kExitClean : cli::kExitFindings;
 }
 
 }  // namespace dfw::lint

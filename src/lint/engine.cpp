@@ -24,8 +24,8 @@ PassState::PassState(const LintInput& in, const LintOptions& opts)
 const Fdd& PassState::fdd() {
   if (!fdd_) {
     ConstructOptions construct;
-    construct.context = options.context;
-    construct.obs = options.obs;
+    construct.run.context = options.run.context;
+    construct.run.obs = options.run.obs;
     fdd_.emplace(build_reduced_fdd(*input.policy, construct));
   }
   return *fdd_;
@@ -64,7 +64,7 @@ LintReport LintEngine::run(const LintInput& input,
   if (input.policy == nullptr || input.decisions == nullptr) {
     throw std::invalid_argument("LintEngine::run: policy and decisions");
   }
-  PhaseSpan span(options.obs, "lint");
+  PhaseSpan span(options.run.obs, "lint");
   LintReport report;
 
   // Unknown pass names in the selection are findings, not crashes: the
@@ -96,7 +96,7 @@ LintReport LintEngine::run(const LintInput& input,
     try {
       // pass.name is a string literal per the LintPass contract, so it is
       // safe as a span name.
-      PhaseSpan pass_span(options.obs, pass.name);
+      PhaseSpan pass_span(options.run.obs, pass.name);
       pass.fn(state, report.diagnostics);
       report.passes_run.push_back(pass.name);
     } catch (const Error& e) {

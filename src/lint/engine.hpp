@@ -25,6 +25,7 @@
 #include "lint/diagnostic.hpp"
 #include "obs/obs.hpp"
 #include "rt/govern.hpp"
+#include "rt/run_options.hpp"
 
 namespace dfw {
 class Executor;
@@ -51,19 +52,42 @@ struct LintInput {
 
 /// Per-run knobs.
 struct LintOptions {
+  /// Shared execution knobs (rt/run_options.hpp). `run.executor`
+  /// (borrowed; null = serial) drives the parallelizable passes (the pair
+  /// scan); output is identical for every executor. `run.context`
+  /// (borrowed, nullable) governs the run; see the header comment.
+  /// `run.obs` (borrowed, nullable sinks): the run emits a "lint" phase
+  /// span plus one "lint_pass" span per executed pass.
+  dfw::RunOptions run = {};
+
   /// Pass selection: when `passes` is nonempty only the named passes run;
   /// `disabled` passes are then removed. Unknown names are reported as a
   /// "lint.unknown-pass" warning, not an error.
   std::vector<std::string> passes;
   std::vector<std::string> disabled;
-  /// Borrowed executor for the parallelizable passes (the pair scan);
-  /// null = serial. Output is identical for every executor.
-  Executor* executor = nullptr;
-  /// Borrowed, nullable governance context; see the header comment.
-  RunContext* context = nullptr;
-  /// Borrowed, nullable observability sinks: the run emits a "lint" phase
-  /// span plus one "lint_pass" span per executed pass.
-  ObsOptions obs = {};
+
+// The alias references below are initialized in every constructor; that
+// initialization is itself a "use" of the deprecated member, so the
+// in-class definitions suppress the warning locally. External uses of
+// the aliases still warn at their own source locations.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  LintOptions() = default;
+  LintOptions(const LintOptions& o)
+      : run(o.run), passes(o.passes), disabled(o.disabled) {}
+  LintOptions& operator=(const LintOptions& o) {
+    run = o.run;
+    passes = o.passes;
+    disabled = o.disabled;
+    return *this;
+  }
+
+  /// Deprecated one-release aliases for the pre-RunOptions field names
+  /// (see DESIGN.md, "RunOptions migration").
+  [[deprecated("use run.executor")]] Executor*& executor = run.executor;
+  [[deprecated("use run.context")]] RunContext*& context = run.context;
+  [[deprecated("use run.obs")]] ObsOptions& obs = run.obs;
+#pragma GCC diagnostic pop
 };
 
 /// The outcome of a run. Diagnostics are ordered by pass, then by the

@@ -91,9 +91,9 @@ void pass_adapter(PassState& state, std::vector<Diagnostic>& out) {
 
 void pass_syntax_pairs(PassState& state, std::vector<Diagnostic>& out) {
   AnomalyOptions scan;
-  scan.executor = state.options.executor;
-  scan.context = state.options.context;
-  scan.obs = state.options.obs;
+  scan.run.executor = state.options.run.executor;
+  scan.run.context = state.options.run.context;
+  scan.run.obs = state.options.run.obs;
   for (const Anomaly& a : find_anomalies(*state.input.policy, scan)) {
     Diagnostic d;
     d.rule = a.second;
@@ -229,8 +229,8 @@ void pass_coverage(PassState& state, std::vector<Diagnostic>& out) {
 
 void pass_dead_rules(PassState& state, std::vector<Diagnostic>& out) {
   AnomalyOptions scan;
-  scan.context = state.options.context;
-  scan.obs = state.options.obs;
+  scan.run.context = state.options.run.context;
+  scan.run.obs = state.options.run.obs;
   for (const std::size_t i : dead_rules(*state.input.policy, scan)) {
     Diagnostic d;
     d.check_id = "policy.dead-rule";
@@ -287,8 +287,8 @@ void pass_merge(PassState& state, std::vector<Diagnostic>& out) {
 
   if (state.comprehensive()) {
     GenerateOptions gen;
-    gen.context = state.options.context;
-    gen.obs = state.options.obs;
+    gen.run.context = state.options.run.context;
+    gen.run.obs = state.options.run.obs;
     const Policy compact = generate_policy(state.fdd(), gen);
     if (compact.size() < policy.size()) {
       Diagnostic d;
@@ -314,7 +314,7 @@ void pass_redundancy(PassState& state, std::vector<Diagnostic>& out) {
     return;  // the coverage pass already reported the real problem
   }
   for (const std::size_t i :
-       redundant_rules(*state.input.policy, state.options.context)) {
+       redundant_rules(*state.input.policy, state.options.run.context)) {
     Diagnostic d;
     d.check_id = "policy.redundant-rule";
     d.severity = Severity::kWarning;

@@ -1,0 +1,33 @@
+// Stable dotted metric names for the serve layer.
+//
+// The registry accepts arbitrary names, which invites drift between the
+// code that records a metric and the tools/tests that assert on it (the
+// CI serve-smoke job greps a snapshot for serve.swap.count). Naming the
+// strings once here keeps recorder and consumer in lockstep; the
+// convention matches the rest of the registry: subsystem-dotted, _ns
+// suffix for nanosecond histograms (docs/observability.md).
+
+#pragma once
+
+namespace dfw::names {
+
+/// Successful classifier publications (excludes the initial compile).
+inline constexpr const char* kServeSwapCount = "serve.swap.count";
+/// Swap requests refused by the compile governance (budget/deadline).
+inline constexpr const char* kServeSwapRejected = "serve.swap.rejected";
+/// Governed compile duration per accepted or rejected swap.
+inline constexpr const char* kServeSwapCompileNs = "serve.swap.compile_ns";
+/// Versions moved to the limbo list (one per successful swap).
+inline constexpr const char* kServeRetireCount = "serve.retire.count";
+/// Retired versions actually freed after draining.
+inline constexpr const char* kServeReclaimCount = "serve.reclaim.count";
+/// Batches admitted and classified.
+inline constexpr const char* kServeBatchCount = "serve.batch.count";
+/// Batches refused by admission control (kOverloaded).
+inline constexpr const char* kServeBatchRejected = "serve.batch.rejected";
+/// End-to-end duration per admitted batch.
+inline constexpr const char* kServeBatchNs = "serve.batch.ns";
+/// Individual packet lookups across all admitted batches.
+inline constexpr const char* kServeLookupCount = "serve.lookup.count";
+
+}  // namespace dfw::names

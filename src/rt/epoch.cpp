@@ -1,0 +1,50 @@
+#include "rt/epoch.hpp"
+
+namespace dfw {
+
+std::size_t EpochDomain::register_slot() {
+  for (std::size_t i = 0; i < kMaxSlots; ++i) {
+    bool expected = false;
+    if (slots_[i].claimed.compare_exchange_strong(
+            expected, true, std::memory_order_seq_cst)) {
+      // A freshly claimed slot must read idle before anyone enters it.
+      slots_[i].value.store(kIdle, std::memory_order_seq_cst);
+      return i;
+    }
+  }
+  return kMaxSlots;
+}
+
+void EpochDomain::unregister_slot(std::size_t slot) {
+  if (slot >= kMaxSlots) {
+    return;
+  }
+  slots_[slot].value.store(kIdle, std::memory_order_seq_cst);
+  slots_[slot].claimed.store(false, std::memory_order_seq_cst);
+}
+
+std::uint64_t EpochDomain::min_active() const {
+  std::uint64_t min = kIdle;
+  for (const Slot& slot : slots_) {
+    if (!slot.claimed.load(std::memory_order_seq_cst)) {
+      continue;
+    }
+    const std::uint64_t v = slot.value.load(std::memory_order_seq_cst);
+    if (v < min) {
+      min = v;
+    }
+  }
+  return min;
+}
+
+std::size_t EpochDomain::registered() const {
+  std::size_t n = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.claimed.load(std::memory_order_seq_cst)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace dfw

@@ -1,0 +1,150 @@
+// Epoch-based reclamation for read-mostly hot swaps (the serve layer's
+// RCU-style primitive).
+//
+// The problem: a daemon thread classifying packets must read the current
+// compiled classifier without taking any lock, while an operator thread
+// occasionally publishes a new version and must eventually free the old
+// one — but only once no reader can still be using it. Reference counting
+// would put an atomic RMW on every batch; a reader-writer lock would let
+// a swap stall the data plane. Epoch reclamation costs a reader two plain
+// atomic stores per critical section and moves all waiting to the writer.
+//
+// Protocol. The domain keeps a global epoch counter and one announcement
+// slot per registered participant (kIdle when outside a critical
+// section). A reader enters by loading the global epoch and storing it
+// into its slot, then loads the shared pointer; it exits by storing
+// kIdle. A writer publishes the new pointer first, then advances the
+// epoch, and tags the retired pointer with the *new* epoch value E; the
+// retired pointer is free to delete once every slot is either idle or
+// announces an epoch >= E — such a reader entered after the advance, and
+// therefore (seq_cst total order) after the publish, so it can only have
+// seen the new pointer.
+//
+// Memory ordering: every operation here is seq_cst on purpose. The
+// correctness argument above is a Dekker-style total-order argument
+// (reader: store slot then load pointer; writer: store pointer then load
+// slots), which weaker orderings do not support without standalone
+// fences — and ThreadSanitizer does not model standalone fences, so the
+// seq_cst formulation is also what keeps the concurrent tests
+// instrumentable. Epoch operations are off the per-packet path (two per
+// *batch*), so the cost is irrelevant.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace dfw {
+
+/// A reclamation domain: one global epoch and a fixed array of
+/// participant slots. Readers and writers of one shared structure share
+/// one domain. All methods are thread-safe; registration is lock-free.
+class EpochDomain {
+ public:
+  /// Maximum simultaneously registered participants.
+  static constexpr std::size_t kMaxSlots = 64;
+  /// Slot value announcing "not in a critical section".
+  static constexpr std::uint64_t kIdle = ~static_cast<std::uint64_t>(0);
+
+  EpochDomain() {
+    for (auto& slot : slots_) {
+      slot.value.store(kIdle, std::memory_order_relaxed);
+    }
+  }
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// Claims a free slot; returns its index, or kMaxSlots when the domain
+  /// is full (callers treat that as a configuration error).
+  std::size_t register_slot();
+
+  /// Releases a slot claimed by register_slot. The slot must be idle.
+  void unregister_slot(std::size_t slot);
+
+  /// Reader entry: announce presence at the current epoch. After this
+  /// returns, any pointer the caller loads stays valid until exit().
+  void enter(std::size_t slot) {
+    const std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
+    slots_[slot].value.store(e, std::memory_order_seq_cst);
+  }
+
+  /// Reader exit: announce idleness, allowing retired state to drain.
+  void exit(std::size_t slot) {
+    slots_[slot].value.store(kIdle, std::memory_order_seq_cst);
+  }
+
+  /// Writer step, called *after* publishing the replacement pointer:
+  /// advances the global epoch and returns the new value — the retire
+  /// epoch to tag the old pointer with.
+  std::uint64_t advance() {
+    return epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// The smallest epoch announced by any registered, non-idle slot; kIdle
+  /// when every slot is idle. State retired at epoch E is reclaimable
+  /// when min_active() >= E.
+  std::uint64_t min_active() const;
+
+  /// Number of currently registered slots (diagnostic).
+  std::size_t registered() const;
+
+ private:
+  struct alignas(64) Slot {  // one cache line per slot: no false sharing
+    std::atomic<std::uint64_t> value{kIdle};
+    std::atomic<bool> claimed{false};
+  };
+
+  std::atomic<std::uint64_t> epoch_{0};
+  Slot slots_[kMaxSlots];
+};
+
+/// RAII slot registration: a participant thread (a daemon shard, a test
+/// reader) owns one for its lifetime and passes slot() to enter/exit.
+class EpochRegistration {
+ public:
+  explicit EpochRegistration(EpochDomain& domain)
+      : domain_(&domain), slot_(domain.register_slot()) {}
+  ~EpochRegistration() {
+    if (domain_ != nullptr && slot_ < EpochDomain::kMaxSlots) {
+      domain_->unregister_slot(slot_);
+    }
+  }
+  EpochRegistration(EpochRegistration&& other) noexcept
+      : domain_(other.domain_), slot_(other.slot_) {
+    other.domain_ = nullptr;
+  }
+  EpochRegistration& operator=(EpochRegistration&&) = delete;
+  EpochRegistration(const EpochRegistration&) = delete;
+  EpochRegistration& operator=(const EpochRegistration&) = delete;
+
+  /// False when the domain was full; the holder must not enter().
+  bool valid() const { return slot_ < EpochDomain::kMaxSlots; }
+  std::size_t slot() const { return slot_; }
+
+ private:
+  EpochDomain* domain_;
+  std::size_t slot_;
+};
+
+/// RAII critical section: enter on construction, exit on destruction.
+class EpochGuard {
+ public:
+  EpochGuard(EpochDomain& domain, std::size_t slot)
+      : domain_(domain), slot_(slot) {
+    domain_.enter(slot_);
+  }
+  ~EpochGuard() { domain_.exit(slot_); }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochDomain& domain_;
+  std::size_t slot_;
+};
+
+}  // namespace dfw

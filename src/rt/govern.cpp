@@ -22,6 +22,8 @@ const char* to_string(ErrorCode code) {
       return "InvalidInput";
     case ErrorCode::kInternal:
       return "Internal";
+    case ErrorCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

@@ -51,6 +51,7 @@ enum class ErrorCode {
   kParseError,           ///< malformed textual input
   kInvalidInput,         ///< structurally invalid input (ids, bounds)
   kInternal,             ///< invariant violation inside the library
+  kOverloaded,           ///< admission control refused the request (serve)
 };
 
 /// Stable identifier string, e.g. "NodeBudgetExceeded".

@@ -1,0 +1,51 @@
+// The shared execution-environment knobs of every pipeline entry point.
+//
+// Before this header each options struct of the library — construction,
+// comparison, generation, classification, anomaly scan, lint — carried its
+// own copy of the same three fields: the borrowed Executor that decides
+// where parallel work runs, the borrowed RunContext that governs it, and
+// the borrowed ObsOptions sinks that observe it. Seven structs accreted
+// seven slightly different field orders and seven places to forget one.
+// RunOptions consolidates the triple; the per-pipeline options structs
+// embed it by composition as a `run` member and keep only their genuinely
+// pipeline-specific knobs (grain sizes, arena toggles, pass selections).
+//
+// All three members follow the library's borrowing rule: nullable, never
+// owned, and null means "off" — a null executor runs serially on the
+// calling thread, a null context runs ungoverned, null sinks leave every
+// output byte-identical. A default-constructed RunOptions is therefore
+// exactly the pre-options behaviour.
+//
+// The old per-struct field names survive one release as deprecated
+// reference aliases into `run` (see DESIGN.md's migration notes); new code
+// writes `options.run.executor` and friends.
+
+#pragma once
+
+#include "obs/obs.hpp"
+
+namespace dfw {
+
+class Executor;
+class RunContext;
+
+/// The shared triple: where work runs, what governs it, who observes it.
+/// Copyable three-pointer value; embed by value as `run` in an options
+/// struct and pass around freely.
+struct RunOptions {
+  /// Borrowed executor for the parallelizable stages; null = serial
+  /// (Executor::inline_executor()). Results are identical for every
+  /// executor — parallelism only reorders work, never output.
+  Executor* executor = nullptr;
+  /// Borrowed governance context (cancellation, deadline, budgets); null =
+  /// ungoverned and byte-identical to pre-governance builds.
+  RunContext* context = nullptr;
+  /// Borrowed observability sinks (tracer + metrics registry); null sinks
+  /// are free and leave outputs byte-identical.
+  ObsOptions obs = {};
+};
+
+/// The executor `run` names, or the shared inline (serial) executor.
+Executor& executor_or_inline(const RunOptions& run);
+
+}  // namespace dfw

@@ -1,0 +1,64 @@
+#include "serve/handle.hpp"
+
+#include <stdexcept>
+
+namespace dfw::serve {
+
+PolicyHandle::PolicyHandle(EpochDomain& domain,
+                           std::unique_ptr<PolicyVersion> initial)
+    : domain_(domain) {
+  if (initial == nullptr) {
+    throw std::invalid_argument("PolicyHandle: null initial version");
+  }
+  current_.store(initial.release(), std::memory_order_seq_cst);
+}
+
+PolicyHandle::~PolicyHandle() {
+  // No readers may be alive here; drop the sequence chain outright.
+  delete current_.load(std::memory_order_seq_cst);
+  limbo_.clear();
+}
+
+std::uint64_t PolicyHandle::publish(std::unique_ptr<PolicyVersion> next) {
+  if (next == nullptr) {
+    throw std::invalid_argument("PolicyHandle: null published version");
+  }
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  // Publish first, then advance: a reader announcing an epoch >= the
+  // advanced value provably loaded the new pointer (rt/epoch.hpp).
+  const PolicyVersion* old =
+      current_.exchange(next.release(), std::memory_order_seq_cst);
+  const std::uint64_t retire_epoch = domain_.advance();
+  Retired retired;
+  retired.version.reset(const_cast<PolicyVersion*>(old));
+  retired.retire_epoch = retire_epoch;
+  const std::uint64_t old_sequence = retired.version->sequence;
+  limbo_.push_back(std::move(retired));
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
+  return old_sequence;
+}
+
+std::size_t PolicyHandle::reclaim() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const std::uint64_t min_active = domain_.min_active();
+  std::size_t freed = 0;
+  for (std::size_t i = 0; i < limbo_.size();) {
+    // kIdle (all readers out) compares >= any retire epoch.
+    if (min_active >= limbo_[i].retire_epoch) {
+      limbo_[i] = std::move(limbo_.back());
+      limbo_.pop_back();
+      ++freed;
+    } else {
+      ++i;
+    }
+  }
+  reclaimed_total_.fetch_add(freed, std::memory_order_relaxed);
+  return freed;
+}
+
+std::size_t PolicyHandle::limbo_size() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return limbo_.size();
+}
+
+}  // namespace dfw::serve

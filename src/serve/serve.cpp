@@ -1,0 +1,180 @@
+#include "serve/serve.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/names.hpp"
+#include "obs/obs.hpp"
+
+namespace dfw::serve {
+namespace {
+
+std::unique_ptr<PolicyVersion> compile_version(Policy policy,
+                                               std::uint64_t sequence,
+                                               RunContext* context,
+                                               const ServeOptions& options) {
+  CompileOptions compile;
+  compile.run.executor = options.run.executor;
+  compile.run.context = context;
+  compile.run.obs = options.run.obs;
+  compile.batch_grain = options.batch_grain;
+  Classifier classifier = Classifier::compile(policy, compile);
+  return std::make_unique<PolicyVersion>(sequence, std::move(policy),
+                                         std::move(classifier));
+}
+
+std::unique_ptr<PolicyVersion> boot_version(Policy initial,
+                                            const ServeOptions& options) {
+  return compile_version(std::move(initial), 1, nullptr, options);
+}
+
+}  // namespace
+
+ServeCore::ServeCore(Policy initial, ServeOptions options)
+    : options_(std::move(options)),
+      handle_(domain_, boot_version(std::move(initial), options_)) {}
+
+ServeCore::~ServeCore() {
+  // Readers are gone (Shards must not outlive the core); drain limbo so
+  // retire/reclaim bookkeeping balances before the handle frees current.
+  handle_.reclaim();
+}
+
+ServeCore::Shard::Shard(ServeCore& core)
+    : core_(&core), registration_(core.domain_) {
+  if (!registration_.valid()) {
+    throw std::runtime_error("ServeCore: epoch domain out of reader slots");
+  }
+}
+
+BatchResult ServeCore::Shard::classify(std::span<const Packet> packets) {
+  return core_->classify_pinned(packets, registration_.slot());
+}
+
+BatchResult ServeCore::classify_batch(std::span<const Packet> packets) {
+  Shard temporary(*this);
+  return temporary.classify(packets);
+}
+
+BatchResult ServeCore::classify_pinned(std::span<const Packet> packets,
+                                       std::size_t slot) {
+  BatchResult result;
+  // Admission first: a refused batch never pins a version, so overload
+  // cannot extend any retired version's lifetime.
+  const std::uint64_t admitted =
+      inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.max_inflight_batches != 0 &&
+      admitted > options_.max_inflight_batches) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    batches_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.run.obs.metrics != nullptr) {
+      options_.run.obs.metrics->counter(names::kServeBatchRejected).add();
+    }
+    result.status = ErrorCode::kOverloaded;
+    return result;
+  }
+  {
+    PhaseSpan span(options_.run.obs, "serve.batch");
+    const auto start = std::chrono::steady_clock::now();
+    // The pin is held across the whole batch, parallel_for join
+    // included: pool workers classify under the submitting thread's
+    // epoch slot and need none of their own.
+    PolicyHandle::Pin pin = handle_.pin(slot);
+    result.version = pin.version().sequence;
+    RunOptions batch_run;
+    batch_run.executor = options_.run.executor;
+    batch_run.obs = options_.run.obs;
+    result.decisions = pin.version().classifier.classify_batch(packets,
+                                                               batch_run);
+    if (options_.run.obs.metrics != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      options_.run.obs.metrics->histogram(names::kServeBatchNs)
+          .record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                  .count()));
+      options_.run.obs.metrics->counter(names::kServeBatchCount).add();
+      options_.run.obs.metrics->counter(names::kServeLookupCount)
+          .add(packets.size());
+    }
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  lookups_.fetch_add(packets.size(), std::memory_order_relaxed);
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+  return result;
+}
+
+Result<std::uint64_t> ServeCore::swap(Policy next) {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  PhaseSpan span(options_.run.obs, "serve.swap");
+  RunContext::Config config;
+  config.budgets = options_.swap_budgets;
+  if (options_.swap_deadline_ms > 0) {
+    config.deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(options_.swap_deadline_ms);
+  }
+  RunContext context(std::move(config));
+  const auto start = std::chrono::steady_clock::now();
+  std::unique_ptr<PolicyVersion> version;
+  try {
+    version = compile_version(std::move(next), next_sequence_, &context,
+                              options_);
+  } catch (const Error& error) {
+    swaps_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.run.obs.metrics != nullptr) {
+      options_.run.obs.metrics->counter(names::kServeSwapRejected).add();
+    }
+    return Result<std::uint64_t>::failure(error);
+  } catch (const std::logic_error& error) {
+    // validate() rejects a non-comprehensive replacement; keep serving.
+    swaps_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.run.obs.metrics != nullptr) {
+      options_.run.obs.metrics->counter(names::kServeSwapRejected).add();
+    }
+    return Result<std::uint64_t>::failure(
+        Error(ErrorCode::kInvalidInput, error.what()));
+  }
+  if (options_.run.obs.metrics != nullptr) {
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    options_.run.obs.metrics->histogram(names::kServeSwapCompileNs)
+        .record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+  }
+  const std::uint64_t sequence = next_sequence_++;
+  handle_.publish(std::move(version));
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.run.obs.metrics != nullptr) {
+    options_.run.obs.metrics->counter(names::kServeSwapCount).add();
+    options_.run.obs.metrics->counter(names::kServeRetireCount).add();
+  }
+  const std::size_t freed = handle_.reclaim();
+  if (freed != 0 && options_.run.obs.metrics != nullptr) {
+    options_.run.obs.metrics->counter(names::kServeReclaimCount).add(freed);
+  }
+  return Result<std::uint64_t>::success(sequence);
+}
+
+std::size_t ServeCore::reclaim() {
+  const std::size_t freed = handle_.reclaim();
+  if (freed != 0 && options_.run.obs.metrics != nullptr) {
+    options_.run.obs.metrics->counter(names::kServeReclaimCount).add(freed);
+  }
+  return freed;
+}
+
+ServeStats ServeCore::stats() const {
+  ServeStats s;
+  s.swaps = swaps_.load(std::memory_order_relaxed);
+  s.swaps_rejected = swaps_rejected_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batches_rejected = batches_rejected_.load(std::memory_order_relaxed);
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.retired = handle_.retired_total();
+  s.reclaimed = handle_.reclaimed_total();
+  s.inflight = inflight_.load(std::memory_order_relaxed);
+  s.limbo = handle_.limbo_size();
+  return s;
+}
+
+}  // namespace dfw::serve

@@ -1,0 +1,167 @@
+// The serve core: a long-running classification service over a hot-
+// swappable compiled policy.
+//
+// Two planes share one ServeCore. The *data plane* — daemon shard
+// threads, each owning a Shard — classifies packet batches against the
+// compiled classifier; a batch pins exactly one published version for
+// its whole duration (lock-free, two epoch stores) and reports that
+// version's sequence alongside its decisions, so replaying the batch
+// serially against the same version reproduces the output byte for
+// byte. The *operator plane* calls swap(): the replacement policy is
+// compiled under the swap governance budgets (a hostile or enormous
+// policy must not wedge the daemon), atomically published, and the
+// predecessor retired through the epoch limbo — freed only once every
+// in-flight batch that could have pinned it has finished. No lookup is
+// ever dropped or blocked by a swap.
+//
+// Admission control: max_inflight_batches bounds data-plane concurrency;
+// a batch over the bound is refused with ErrorCode::kOverloaded (counted
+// in serve.batch.rejected) rather than queued without bound — the
+// governance layer's partial-result philosophy applied to a service.
+//
+// Everything observable lands in options.run.obs under the serve.*
+// names (obs/names.hpp); null sinks cost pointer tests, as everywhere.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fw/policy.hpp"
+#include "rt/govern.hpp"
+#include "rt/run_options.hpp"
+#include "serve/handle.hpp"
+
+namespace dfw::serve {
+
+/// Knobs for a ServeCore, in the library's options-struct idiom.
+struct ServeOptions {
+  /// Shared execution knobs (rt/run_options.hpp). `run.executor`
+  /// (borrowed; null = serial) shards each admitted batch's lookups;
+  /// the submitting thread holds the version pin across the join, so
+  /// pool workers need no epoch slots of their own. `run.obs` receives
+  /// the serve.* metrics and batch/swap spans. `run.context` is *not*
+  /// consulted on the data plane (a serve loop outlives any one run);
+  /// swaps are governed separately by swap_budgets/swap_deadline_ms.
+  RunOptions run = {};
+
+  /// Packets per pool task inside one batch (see CompileOptions).
+  std::size_t batch_grain = 512;
+
+  /// Maximum concurrently admitted batches across all shards; 0 means
+  /// unbounded. The bound is what keeps retire-to-reclaim latency finite
+  /// under load.
+  std::size_t max_inflight_batches = 0;
+
+  /// Governance for each swap's compile (0 fields = unlimited): node
+  /// budget against diagram blowup, deadline against pathological
+  /// policies. A breached swap is rejected; the served version is
+  /// untouched.
+  Budgets swap_budgets = {};
+  std::int64_t swap_deadline_ms = 0;
+};
+
+/// One batch's outcome. `status` is kOk on success and kOverloaded when
+/// admission control refused the batch (decisions then empty,
+/// version 0). `version` is the sequence of the exact classifier version
+/// every decision in the batch came from.
+struct BatchResult {
+  std::uint64_t version = 0;
+  std::vector<Decision> decisions;
+  ErrorCode status = ErrorCode::kOk;
+};
+
+/// Point-in-time counters (monotonic unless noted).
+struct ServeStats {
+  std::uint64_t swaps = 0;           ///< successful publishes
+  std::uint64_t swaps_rejected = 0;  ///< governance-refused swaps
+  std::uint64_t batches = 0;         ///< admitted batches
+  std::uint64_t batches_rejected = 0;
+  std::uint64_t lookups = 0;         ///< packets across admitted batches
+  std::uint64_t retired = 0;         ///< versions moved to limbo
+  std::uint64_t reclaimed = 0;       ///< limbo versions freed
+  std::uint64_t inflight = 0;        ///< currently admitted (not monotonic)
+  std::uint64_t limbo = 0;           ///< currently awaiting drain
+};
+
+class ServeCore {
+ public:
+  /// Compiles `initial` (ungoverned — the boot policy is trusted) and
+  /// starts serving it as sequence 1. The policy must be comprehensive.
+  ServeCore(Policy initial, ServeOptions options);
+
+  /// All Shards must be destroyed first; no batch may be in flight.
+  ~ServeCore();
+
+  ServeCore(const ServeCore&) = delete;
+  ServeCore& operator=(const ServeCore&) = delete;
+
+  /// A data-plane endpoint: one per daemon thread. Construction claims
+  /// an epoch slot (locked, off the hot path); classify() is lock-free
+  /// with respect to swaps. A Shard must not outlive its ServeCore.
+  class Shard {
+   public:
+    BatchResult classify(std::span<const Packet> packets);
+
+    Shard(Shard&& other) noexcept
+        : core_(other.core_), registration_(std::move(other.registration_)) {
+      other.core_ = nullptr;
+    }
+    Shard(const Shard&) = delete;
+    Shard& operator=(const Shard&) = delete;
+    Shard& operator=(Shard&&) = delete;
+    ~Shard() = default;
+
+   private:
+    friend class ServeCore;
+    explicit Shard(ServeCore& core);
+
+    ServeCore* core_;
+    EpochRegistration registration_;
+  };
+
+  /// Claims a shard. Throws std::runtime_error when the epoch domain is
+  /// out of slots (EpochDomain::kMaxSlots concurrent shards).
+  Shard shard() { return Shard(*this); }
+
+  /// Convenience for callers without a long-lived shard (tools, tests):
+  /// registers a temporary slot per call — correct, but pays the
+  /// registration scan; daemons keep a Shard per thread instead.
+  BatchResult classify_batch(std::span<const Packet> packets);
+
+  /// Operator plane: compile `next` under the swap governance and
+  /// atomically publish it. On success returns the new version's
+  /// sequence; on a governance breach (budget/deadline) or a
+  /// non-comprehensive policy returns the error and keeps serving the
+  /// current version. Concurrent swaps serialize; each drains what it
+  /// can from limbo on the way out.
+  Result<std::uint64_t> swap(Policy next);
+
+  /// Frees every drained limbo version now (also runs inside swap()).
+  std::size_t reclaim();
+
+  std::uint64_t current_sequence() const {
+    return handle_.current_sequence();
+  }
+  const ServeOptions& options() const { return options_; }
+  ServeStats stats() const;
+
+ private:
+  BatchResult classify_pinned(std::span<const Packet> packets,
+                              std::size_t slot);
+
+  ServeOptions options_;
+  EpochDomain domain_;
+  PolicyHandle handle_;
+  std::uint64_t next_sequence_ = 2;  // under the swap mutex in swap()
+  std::mutex swap_mu_;
+  std::atomic<std::uint64_t> inflight_{0};
+  std::atomic<std::uint64_t> swaps_{0};
+  std::atomic<std::uint64_t> swaps_rejected_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batches_rejected_{0};
+  std::atomic<std::uint64_t> lookups_{0};
+};
+
+}  // namespace dfw::serve

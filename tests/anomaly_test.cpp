@@ -165,7 +165,7 @@ TEST(Anomaly, ParallelPairScanMatchesSerialExactly) {
                                       std::size_t{4}}) {
       Executor executor(threads);
       AnomalyOptions options;
-      options.executor = &executor;
+      options.run.executor = &executor;
       options.row_grain = 3;  // force multiple chunks
       EXPECT_EQ(find_anomalies(p, options), serial)
           << "trial " << trial << ", threads " << threads;
@@ -184,7 +184,7 @@ TEST(Anomaly, GovernedPairScanAbortsOnTinyNodeBudget) {
   RunContext context(std::move(config));
   EXPECT_THROW(context.charge_nodes(2), Error);  // breach it
   AnomalyOptions options;
-  options.context = &context;
+  options.run.context = &context;
   EXPECT_THROW(find_anomalies(p, options), Error);
   EXPECT_THROW(dead_rules(p, options), Error);
 }
@@ -248,7 +248,7 @@ TEST(Anomaly, DeadRulesInterleavedReductionKeepsExactness) {
   budgets.max_nodes = 1000000;
   RunContext context = RunContext::with_budgets(budgets);
   AnomalyOptions options;
-  options.context = &context;
+  options.run.context = &context;
   EXPECT_EQ(dead_rules(p, options), dead);
   EXPECT_GT(context.nodes_charged(), 0u);
 }

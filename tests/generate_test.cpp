@@ -42,7 +42,9 @@ TEST(Generate, WithoutReductionAlsoCorrect) {
   std::mt19937_64 rng(32);
   const Policy original = test::random_policy(tiny3(), 5, rng);
   const Fdd fdd = build_fdd(original);
-  const Policy regenerated = generate_policy(fdd, /*reduce_first=*/false);
+  GenerateOptions no_reduce;
+  no_reduce.reduce_first = false;
+  const Policy regenerated = generate_policy(fdd, no_reduce);
   for (const Packet& pkt : test::all_packets(tiny3())) {
     EXPECT_EQ(regenerated.evaluate(pkt), original.evaluate(pkt));
   }
@@ -88,7 +90,9 @@ TEST(Generate, GeneratedRuleCountNeverExceedsPathCount) {
     const Policy original = test::random_policy(tiny3(), 6, rng);
     Fdd fdd = build_fdd(original);
     reduce(fdd);
-    const Policy regenerated = generate_policy(fdd, /*reduce_first=*/false);
+    GenerateOptions no_reduce;
+    no_reduce.reduce_first = false;
+    const Policy regenerated = generate_policy(fdd, no_reduce);
     EXPECT_LE(regenerated.size(), fdd.path_count());
   }
 }

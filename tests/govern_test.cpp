@@ -75,7 +75,7 @@ TEST(GovernTest, WorstCasePairUnderNodeBudgetFailsFastWithPartialReport) {
     RunContext ctx = RunContext::with_budgets({.max_nodes = 10000});
     CompareOptions options;
     options.use_arena = use_arena;
-    options.context = &ctx;
+    options.run.context = &ctx;
     const auto start = Clock::now();
     const CompareOutcome outcome = discrepancies_governed(a, b, options);
     const double elapsed = ms_since(start);
@@ -92,7 +92,7 @@ TEST(GovernTest, LabelBudgetAlsoCutsTheArenaPipeline) {
   const Policy b = adversarial(24, true);
   RunContext ctx = RunContext::with_budgets({.max_label_bytes = 4096});
   CompareOptions options;
-  options.context = &ctx;
+  options.run.context = &ctx;
   const CompareOutcome outcome = discrepancies_governed(a, b, options);
   EXPECT_FALSE(outcome.complete);
   EXPECT_EQ(outcome.status, ErrorCode::kLabelBudgetExceeded);
@@ -112,7 +112,7 @@ TEST(GovernTest, NoBudgetsProducesIdenticalOutputOnBothPaths) {
 
     RunContext ctx;  // no budgets, no deadline, no cancellation
     CompareOptions governed = plain;
-    governed.context = &ctx;
+    governed.run.context = &ctx;
     const CompareOutcome outcome = discrepancies_governed(a, b, governed);
     EXPECT_TRUE(outcome.complete) << "use_arena=" << use_arena;
     EXPECT_EQ(outcome.status, ErrorCode::kOk);
@@ -123,20 +123,24 @@ TEST(GovernTest, NoBudgetsProducesIdenticalOutputOnBothPaths) {
 
 TEST(GovernTest, GeneratedPolicyIdenticalWithIdleContext) {
   const Fdd fdd = build_reduced_fdd(adversarial(8, false));
-  const Policy plain = generate_policy(fdd, true);
+  const Policy plain = generate_policy(fdd);
   RunContext ctx;
-  const Policy governed = generate_policy(fdd, true, &ctx);
+  GenerateOptions governed_options;
+  governed_options.run.context = &ctx;
+  const Policy governed = generate_policy(fdd, governed_options);
   EXPECT_EQ(plain.rules(), governed.rules());
   EXPECT_GT(ctx.rules_charged(), 0u);
 }
 
 TEST(GovernTest, RuleBudgetBoundsGeneration) {
   const Fdd fdd = build_reduced_fdd(adversarial(8, false));
-  const std::size_t full = generate_policy(fdd, true).size();
+  const std::size_t full = generate_policy(fdd).size();
   ASSERT_GT(full, 2u);
   RunContext ctx = RunContext::with_budgets({.max_rules = 2});
+  GenerateOptions capped;
+  capped.run.context = &ctx;
   try {
-    (void)generate_policy(fdd, true, &ctx);
+    (void)generate_policy(fdd, capped);
     FAIL() << "expected rule budget breach";
   } catch (const Error& e) {
     EXPECT_EQ(e.code(), ErrorCode::kRuleBudgetExceeded);
@@ -153,7 +157,7 @@ TEST(GovernTest, PreCancelledContextYieldsCancelledOutcome) {
   config.cancel = source.token();
   RunContext ctx(std::move(config));
   CompareOptions options;
-  options.context = &ctx;
+  options.run.context = &ctx;
   const CompareOutcome outcome =
       discrepancies_governed(adversarial(6, false), adversarial(6, true),
                              options);
@@ -166,7 +170,7 @@ TEST(GovernTest, ExpiredDeadlineYieldsDeadlineExceeded) {
   RunContext ctx = RunContext::after(std::chrono::milliseconds(0));
   std::this_thread::sleep_for(std::chrono::milliseconds(1));
   CompareOptions options;
-  options.context = &ctx;
+  options.run.context = &ctx;
   const CompareOutcome outcome =
       discrepancies_governed(adversarial(6, false), adversarial(6, true),
                              options);
@@ -199,7 +203,7 @@ TEST(GovernTest, CancellationCutsALongComparisonShort) {
   config.cancel = source.token();
   RunContext ctx(std::move(config));
   CompareOptions options;
-  options.context = &ctx;
+  options.run.context = &ctx;
   const auto start = Clock::now();
   std::thread canceller([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(30));
@@ -229,7 +233,7 @@ TEST(GovernTest, CrossCompareReportsPerPairStatusUnderSharedBudget) {
   RunContext submit_probe;
   WorkflowOptions probe_options;
   probe_options.comparison = ComparisonMode::kCross;
-  probe_options.context = &submit_probe;
+  probe_options.run.context = &submit_probe;
   DiverseDesign probe(default_decisions(), probe_options);
   probe.submit("a", trivial_a);
   probe.submit("b", trivial_b);
@@ -239,7 +243,7 @@ TEST(GovernTest, CrossCompareReportsPerPairStatusUnderSharedBudget) {
   // Probe 2: node cost of the first (trivial) pair's comparison.
   RunContext pair_probe;
   CompareOptions pair_options;
-  pair_options.context = &pair_probe;
+  pair_options.run.context = &pair_probe;
   const CompareOutcome first_pair =
       discrepancies_governed(trivial_a, trivial_b, pair_options);
   ASSERT_TRUE(first_pair.complete);
@@ -252,7 +256,7 @@ TEST(GovernTest, CrossCompareReportsPerPairStatusUnderSharedBudget) {
       {.max_nodes = submit_cost + pair_cost + 200});
   WorkflowOptions options;
   options.comparison = ComparisonMode::kCross;
-  options.context = &ctx;
+  options.run.context = &ctx;
   DiverseDesign session(default_decisions(), options);
   session.submit("a", trivial_a);
   session.submit("b", trivial_b);
@@ -277,7 +281,7 @@ TEST(GovernTest, CrossCompareReportsPerPairStatusUnderSharedBudget) {
 TEST(GovernTest, GovernedDirectCompareMatchesUngovernedWhenIdle) {
   WorkflowOptions governed_options;
   RunContext ctx;
-  governed_options.context = &ctx;
+  governed_options.run.context = &ctx;
   DiverseDesign governed(default_decisions(), governed_options);
   DiverseDesign plain(default_decisions());
   for (DiverseDesign* session : {&governed, &plain}) {
@@ -296,7 +300,7 @@ TEST(GovernTest, SubmissionBreachPropagatesAsStructuredError) {
   // let the structured error propagate rather than report partially.
   RunContext ctx = RunContext::with_budgets({.max_nodes = 2000});
   WorkflowOptions options;
-  options.context = &ctx;
+  options.run.context = &ctx;
   DiverseDesign session(default_decisions(), options);
   EXPECT_THROW(session.submit("a", adversarial(32, false)), Error);
   EXPECT_TRUE(ctx.aborted());

@@ -367,7 +367,7 @@ TEST(Lint, ReportsAreByteIdenticalAcrossThreadCounts) {
   for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
     Executor executor(threads);
     LintOptions options;
-    options.executor = &executor;
+    options.run.executor = &executor;
     const LintReport parallel = engine.run(input, options);
     EXPECT_EQ(render_sarif(input, parallel), sarif) << threads;
     EXPECT_EQ(render_json(input, parallel), json) << threads;
@@ -506,7 +506,7 @@ TEST(LintGovern, ThousandRulePolicyUnderNodeBudgetIsMarkedPartial) {
   config.budgets.max_nodes = 5000;
   RunContext context(std::move(config));
   LintOptions options;
-  options.context = &context;
+  options.run.context = &context;
   LintInput input;
   input.policy = &p;
   input.decisions = &default_decisions();

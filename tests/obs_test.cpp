@@ -211,7 +211,10 @@ TEST(MetricsTest, AbsorbUnifiesLegacyStructsUnderDottedNames) {
   config.budgets.max_nodes = 1u << 20;
   RunContext context(config);
   Policy policy = synth(20, 3);
-  (void)build_reduced_fdd(policy, ConstructOptions{true, &context});
+  ConstructOptions governed;
+  governed.use_arena = true;
+  governed.run.context = &context;
+  (void)build_reduced_fdd(policy, governed);
   absorb(registry, context);
 
   const MetricsSnapshot snap = registry.snapshot();
@@ -273,7 +276,7 @@ TEST(PipelineObsTest, TracedDiscrepanciesEmitsAllPhaseSpans) {
   Tracer tracer;
   MetricsRegistry registry;
   CompareOptions options;
-  options.obs = ObsOptions{&tracer, &registry};
+  options.run.obs = ObsOptions{&tracer, &registry};
 
   const std::vector<Discrepancy> diffs = discrepancies(pa, pb, options);
   EXPECT_EQ(diffs, discrepancies(pa, pb));
@@ -302,7 +305,7 @@ TEST(PipelineObsTest, TracedGenerateEmitsSpanAndRuleCount) {
   Tracer tracer;
   MetricsRegistry registry;
   GenerateOptions options;
-  options.obs = ObsOptions{&tracer, &registry};
+  options.run.obs = ObsOptions{&tracer, &registry};
 
   const Policy regenerated = generate_policy(fdd, options);
   EXPECT_EQ(regenerated.rules(), generate_policy(fdd).rules());
@@ -322,8 +325,8 @@ TEST(PipelineObsTest, PoolExecutorEmitsChunkSpansAndExecutorCounters) {
   MetricsRegistry registry;
   Executor pool(2);
   CompareOptions options;
-  options.executor = &pool;
-  options.obs = ObsOptions{&tracer, &registry};
+  options.run.executor = &pool;
+  options.run.obs = ObsOptions{&tracer, &registry};
 
   const std::vector<Discrepancy> diffs = discrepancies(pa, pb, options);
   EXPECT_EQ(diffs, discrepancies(pa, pb));
@@ -344,9 +347,9 @@ TEST(PipelineObsTest, WorkflowSnapshotUnifiesAllSubsystems) {
   Tracer tracer;
   MetricsRegistry registry;
   WorkflowOptions options;
-  options.executor = &pool;
-  options.context = &context;
-  options.obs = ObsOptions{&tracer, &registry};
+  options.run.executor = &pool;
+  options.run.context = &context;
+  options.run.obs = ObsOptions{&tracer, &registry};
 
   DiverseDesign session((DecisionSet()), options);
   const Policy base = synth(60, 7);
@@ -389,8 +392,8 @@ TEST(ObsDeterminismTest, ArenaCountersIdenticalAcrossThreadCounts) {
     Executor pool(threads);
     MetricsRegistry registry;
     WorkflowOptions options;
-    options.executor = &pool;
-    options.obs.metrics = &registry;
+    options.run.executor = &pool;
+    options.run.obs.metrics = &registry;
     DiverseDesign session((DecisionSet()), options);
     session.submit("t0", base);
     session.submit("t1", variant_a);
@@ -422,7 +425,7 @@ TEST(NullSinkTest, ReportsAreByteIdenticalWithAndWithoutSinks) {
 
   const auto run = [&](ObsOptions obs) {
     WorkflowOptions options;
-    options.obs = obs;
+    options.run.obs = obs;
     DiverseDesign session((DecisionSet()), options);
     session.submit("alpha", base);
     session.submit("beta", variant);

@@ -52,7 +52,7 @@ TEST(ParallelDeterminismTest, DirectNWayComparisonMatchesSerial) {
   for (const std::size_t width : kThreadWidths) {
     Executor pool(width);
     WorkflowOptions options;
-    options.executor = &pool;
+    options.run.executor = &pool;
     options.fork_threshold = 1;  // force the forked walk even at tiny roots
     EXPECT_EQ(make_session(teams, options).compare(), serial)
         << "width " << width;
@@ -67,7 +67,7 @@ TEST(ParallelDeterminismTest, CrossComparisonMatchesSerial) {
   for (const std::size_t width : kThreadWidths) {
     Executor pool(width);
     WorkflowOptions options;
-    options.executor = &pool;
+    options.run.executor = &pool;
     EXPECT_EQ(make_session(teams, options).cross_compare(), serial)
         << "width " << width;
   }
@@ -80,7 +80,7 @@ TEST(ParallelDeterminismTest, PairwisePipelineMatchesSerial) {
   for (const std::size_t width : kThreadWidths) {
     Executor pool(width);
     CompareOptions options;
-    options.executor = &pool;
+    options.run.executor = &pool;
     options.fork_threshold = 1;
     EXPECT_EQ(discrepancies(teams[0], teams[1], options), serial)
         << "width " << width;
@@ -105,12 +105,14 @@ TEST(ParallelDeterminismTest, ClassifyBatchMatchesSerialLoop) {
   for (const std::size_t width : kThreadWidths) {
     Executor pool(width);
     CompileOptions options;
-    options.executor = &pool;
+    options.run.executor = &pool;
     options.batch_grain = 128;  // several chunks per worker
     const Classifier c = Classifier::compile(policy, options);
     EXPECT_EQ(c.classify_batch(trace), expected) << "width " << width;
-    // The explicit-executor overload on a serially-compiled classifier.
-    EXPECT_EQ(serial_classifier.classify_batch(trace, pool), expected)
+    // Per-call RunOptions override on a serially-compiled classifier.
+    RunOptions per_call;
+    per_call.executor = &pool;
+    EXPECT_EQ(serial_classifier.classify_batch(trace, per_call), expected)
         << "width " << width;
   }
 }

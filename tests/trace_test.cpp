@@ -97,7 +97,8 @@ TEST(Trace, FallThroughIsAnError) {
   const Schema s = tiny2();
   const Policy partial(
       s, {rule(s, Interval(0, 3), Interval(0, 7), kAccept)});
-  EXPECT_THROW(evaluate_trace(partial, {{5, 5}}), std::logic_error);
+  const std::vector<Packet> stray = {{5, 5}};
+  EXPECT_THROW(evaluate_trace(partial, stray), std::logic_error);
 }
 
 }  // namespace

@@ -1,0 +1,164 @@
+#include "cli_common.hpp"
+
+#include <climits>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace dfw::cli {
+
+const char* kCommonUsage =
+    "shared flags (all dfw tools):\n"
+    "  --threads=N       worker threads (default 0 = serial)\n"
+    "  --max-nodes=N     abort governed FDD work past N nodes\n"
+    "  --deadline-ms=N   abort governed work after N milliseconds\n"
+    "  --trace=FILE      write a Chrome trace of the run to FILE\n"
+    "  --format=NAME     input syntax (see the tool's input section)\n"
+    "\n"
+    "exit codes: 0 clean, 1 findings/partial result, 2 usage/input "
+    "error\n";
+
+std::optional<std::size_t> parse_size(std::string_view s) {
+  if (s.empty()) {
+    return std::nullopt;
+  }
+  std::size_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9' || value > (SIZE_MAX - 9) / 10) {
+      return std::nullopt;
+    }
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return value;
+}
+
+std::vector<std::string> split_csv(std::string_view list) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string_view item = list.substr(
+        start, comma == std::string_view::npos ? std::string_view::npos
+                                               : comma - start);
+    if (!item.empty()) {
+      out.emplace_back(item);
+    }
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::optional<std::string> flag_value(const std::string& arg,
+                                      std::string_view prefix) {
+  if (arg.rfind(prefix, 0) != 0) {
+    return std::nullopt;
+  }
+  return arg.substr(prefix.size());
+}
+
+std::optional<std::string> slurp(const std::string& path, std::ostream& err,
+                                 std::string_view tool) {
+  if (path == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    return buf.str();
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    err << tool << ": cannot open " << path << "\n";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+FlagResult consume_common_flag(CommonOptions& opts, const std::string& arg,
+                               std::ostream& err, std::string_view tool) {
+  if (const auto v = flag_value(arg, "--threads=")) {
+    const auto n = parse_size(*v);
+    if (!n.has_value() || *n > 256) {
+      err << tool << ": bad --threads value '" << *v << "'\n";
+      return FlagResult::kError;
+    }
+    opts.threads = *n;
+    return FlagResult::kConsumed;
+  }
+  if (const auto v = flag_value(arg, "--max-nodes=")) {
+    const auto n = parse_size(*v);
+    if (!n.has_value()) {
+      err << tool << ": bad --max-nodes value '" << *v << "'\n";
+      return FlagResult::kError;
+    }
+    opts.max_nodes = *n;
+    return FlagResult::kConsumed;
+  }
+  if (const auto v = flag_value(arg, "--deadline-ms=")) {
+    const auto n = parse_size(*v);
+    if (!n.has_value() || *n > static_cast<std::size_t>(INT64_MAX)) {
+      err << tool << ": bad --deadline-ms value '" << *v << "'\n";
+      return FlagResult::kError;
+    }
+    opts.deadline_ms = static_cast<std::int64_t>(*n);
+    return FlagResult::kConsumed;
+  }
+  if (const auto v = flag_value(arg, "--trace=")) {
+    if (v->empty()) {
+      err << tool << ": bad --trace value (empty path)\n";
+      return FlagResult::kError;
+    }
+    opts.trace_path = *v;
+    return FlagResult::kConsumed;
+  }
+  if (const auto v = flag_value(arg, "--format=")) {
+    opts.format = *v;  // the tool validates its own format names
+    return FlagResult::kConsumed;
+  }
+  return FlagResult::kNotMine;
+}
+
+CommonRuntime::CommonRuntime(const CommonOptions& opts)
+    : trace_path_(opts.trace_path) {
+  if (opts.threads != 0) {
+    executor_.emplace(opts.threads);
+  }
+  if (opts.max_nodes != 0 || opts.deadline_ms != 0) {
+    RunContext::Config config;
+    config.budgets.max_nodes = opts.max_nodes;
+    if (opts.deadline_ms != 0) {
+      config.deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(opts.deadline_ms);
+    }
+    context_.emplace(std::move(config));
+  }
+  if (!trace_path_.empty()) {
+    tracer_.emplace();
+  }
+}
+
+RunOptions CommonRuntime::run_options() {
+  RunOptions run;
+  run.executor = executor_ ? &*executor_ : nullptr;
+  run.context = context_ ? &*context_ : nullptr;
+  run.obs.tracer = tracer_ ? &*tracer_ : nullptr;
+  run.obs.metrics = &metrics_;
+  return run;
+}
+
+int CommonRuntime::finish(std::ostream& err, std::string_view tool) {
+  if (trace_path_.empty()) {
+    return kExitClean;
+  }
+  std::ofstream out(trace_path_, std::ios::binary);
+  if (!out) {
+    err << tool << ": cannot write " << trace_path_ << "\n";
+    return kExitUsage;
+  }
+  out << tracer_->chrome_trace_json();
+  return kExitClean;
+}
+
+}  // namespace dfw::cli

@@ -1,0 +1,110 @@
+// The shared command-line layer for the dfw tools (dfw_lint, trace_check,
+// dfw_serve).
+//
+// Every tool accepts the same resource and observability flags, parsed by
+// the same code with the same validation and error wording:
+//
+//   --threads=N       worker threads for parallelizable work (0 = serial)
+//   --max-nodes=N     governance node budget (0 = unlimited)
+//   --deadline-ms=N   governance wall-clock deadline (0 = none)
+//   --trace=FILE      write a Chrome trace of the run to FILE
+//   --format=NAME     input syntax (tool validates its own set of names)
+//
+// and every tool exits through the same three-way contract:
+//
+//   0  clean — the tool ran and found nothing to report
+//   1  findings — diagnostics, a partial (governed) result, or a failed
+//      validation: the input is at fault
+//   2  usage or input error — bad flags, unreadable files, parse errors:
+//      the invocation is at fault
+//
+// CommonRuntime turns parsed flags into the owned runtime objects
+// (Executor, RunContext, Tracer, MetricsRegistry) and hands out a wired
+// dfw::RunOptions — one materialisation path instead of three hand-rolled
+// ones.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "rt/executor.hpp"
+#include "rt/govern.hpp"
+#include "rt/run_options.hpp"
+
+namespace dfw::cli {
+
+/// The shared exit-code contract (see the header comment).
+inline constexpr int kExitClean = 0;
+inline constexpr int kExitFindings = 1;
+inline constexpr int kExitUsage = 2;
+
+/// Usage text for the shared flags, for inclusion in each tool's --help.
+extern const char* kCommonUsage;
+
+/// Values of the shared flags after parsing.
+struct CommonOptions {
+  std::size_t threads = 0;
+  std::size_t max_nodes = 0;
+  std::int64_t deadline_ms = 0;
+  std::string trace_path;
+  std::string format;  ///< empty until --format= is seen
+  std::vector<std::string> positional;
+};
+
+/// Strict unsigned decimal; nullopt on empty/overflow/non-digit.
+std::optional<std::size_t> parse_size(std::string_view s);
+
+/// Splits "a,b,c" dropping empty items.
+std::vector<std::string> split_csv(std::string_view list);
+
+/// The value after `prefix` when `arg` starts with it; nullopt otherwise.
+std::optional<std::string> flag_value(const std::string& arg,
+                                      std::string_view prefix);
+
+/// Whole file (or stdin for "-") as a string; on failure prints
+/// "<tool>: cannot open <path>" to err and returns nullopt.
+std::optional<std::string> slurp(const std::string& path, std::ostream& err,
+                                 std::string_view tool);
+
+/// One step of the shared parser. kConsumed: `arg` was a shared flag and
+/// was applied to `opts`. kError: it was a shared flag with a bad value
+/// (message already printed; exit kExitUsage). kNotMine: not a shared
+/// flag — the tool parses it itself. Positional arguments are kNotMine.
+enum class FlagResult { kConsumed, kError, kNotMine };
+FlagResult consume_common_flag(CommonOptions& opts, const std::string& arg,
+                               std::ostream& err, std::string_view tool);
+
+/// Owns the runtime the shared flags ask for and exposes it as a wired
+/// RunOptions. Construct after parsing; call run_options() as many times
+/// as needed; call finish() once before exiting to flush the trace file
+/// (returns kExitClean, or kExitUsage when the file cannot be written).
+class CommonRuntime {
+ public:
+  explicit CommonRuntime(const CommonOptions& opts);
+
+  CommonRuntime(const CommonRuntime&) = delete;
+  CommonRuntime& operator=(const CommonRuntime&) = delete;
+
+  /// Borrowed pointers into this runtime; valid until destruction.
+  RunOptions run_options();
+
+  MetricsRegistry& metrics() { return metrics_; }
+  Tracer* tracer() { return tracer_ ? &*tracer_ : nullptr; }
+
+  int finish(std::ostream& err, std::string_view tool);
+
+ private:
+  std::optional<Executor> executor_;
+  std::optional<RunContext> context_;
+  std::optional<Tracer> tracer_;
+  MetricsRegistry metrics_;
+  std::string trace_path_;
+};
+
+}  // namespace dfw::cli

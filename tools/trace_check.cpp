@@ -1,67 +1,114 @@
 // Standalone trace validator for CI and local workflows: reads a Chrome
 // trace_event JSON file (as written by Tracer::chrome_trace_json or the
-// --trace modes of the benches/examples), runs the library's structural
-// validator (well-formed "X" events, per-thread span nesting), and checks
-// that every span name passed via --require appears at least once.
+// --trace modes of the tools/benches/examples), runs the library's
+// structural validator (well-formed "X" events, per-thread span nesting),
+// and checks that every span name passed via --require appears at least
+// once.
 //
-//   trace_check FILE [--require NAME]...
+//   trace_check [options] FILE
 //
-// Exit status: 0 when the trace validates and all required names are
-// present, 1 otherwise — so a CI step can gate on it directly.
+// Flags and exit codes follow the shared dfw tool contract
+// (cli_common.hpp): 0 when the trace validates and all required names are
+// present, 1 when validation or a --require check fails, 2 on usage or
+// input errors. The shared resource flags (--threads/--max-nodes/
+// --deadline-ms/--trace) are accepted for interface uniformity; trace
+// validation itself is a single serial pass, so they have no effect here.
 
-#include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <sstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
+#include "cli_common.hpp"
 #include "obs/trace.hpp"
 
+namespace {
+
+constexpr const char* kUsage =
+    "usage: trace_check [options] <trace-file>\n"
+    "\n"
+    "input:\n"
+    "  --format=chrome   trace syntax (default chrome: trace_event JSON)\n"
+    "  <trace-file>      path, or - for stdin\n"
+    "\n"
+    "checks:\n"
+    "  --require=NAME    fail unless a span named NAME appears (repeat\n"
+    "                    for several names; --require NAME also accepted)\n"
+    "\n";
+
+constexpr std::string_view kTool = "trace_check";
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const char* path = nullptr;
+  namespace cli = dfw::cli;
+  cli::CommonOptions common;
   std::vector<std::string> required;
+  bool expect_require_value = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--require") == 0 && i + 1 < argc) {
-      required.emplace_back(argv[++i]);
-    } else if (path == nullptr) {
-      path = argv[i];
+    const std::string arg = argv[i];
+    if (expect_require_value) {
+      required.push_back(arg);
+      expect_require_value = false;
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage << cli::kCommonUsage;
+      return cli::kExitClean;
+    }
+    switch (cli::consume_common_flag(common, arg, std::cerr, kTool)) {
+      case cli::FlagResult::kConsumed:
+        continue;
+      case cli::FlagResult::kError:
+        return cli::kExitUsage;
+      case cli::FlagResult::kNotMine:
+        break;
+    }
+    if (const auto v = cli::flag_value(arg, "--require=")) {
+      required.push_back(*v);
+    } else if (arg == "--require") {
+      expect_require_value = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "trace_check: unknown option '" << arg << "'\n"
+                << kUsage << cli::kCommonUsage;
+      return cli::kExitUsage;
     } else {
-      std::fprintf(stderr, "usage: %s FILE [--require NAME]...\n", argv[0]);
-      return 1;
+      common.positional.push_back(arg);
     }
   }
-  if (path == nullptr) {
-    std::fprintf(stderr, "usage: %s FILE [--require NAME]...\n", argv[0]);
-    return 1;
+  if (expect_require_value || common.positional.size() != 1) {
+    std::cerr << kUsage << cli::kCommonUsage;
+    return cli::kExitUsage;
+  }
+  if (common.format.empty()) {
+    common.format = "chrome";
+  }
+  if (common.format != "chrome") {
+    std::cerr << "trace_check: unknown format '" << common.format << "'\n";
+    return cli::kExitUsage;
   }
 
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "trace_check: cannot read %s\n", path);
-    return 1;
+  const std::string& path = common.positional[0];
+  const auto json = cli::slurp(path, std::cerr, kTool);
+  if (!json.has_value()) {
+    return cli::kExitUsage;
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string json = buffer.str();
 
-  const dfw::TraceValidation v = dfw::validate_chrome_trace(json);
+  const dfw::TraceValidation v = dfw::validate_chrome_trace(*json);
   if (!v.ok) {
-    std::fprintf(stderr, "trace_check: %s: %s\n", path, v.error.c_str());
-    return 1;
+    std::cerr << "trace_check: " << path << ": " << v.error << "\n";
+    return cli::kExitFindings;
   }
   bool ok = true;
   for (const std::string& name : required) {
-    const auto it = v.name_counts.find(name);
-    if (it == v.name_counts.end()) {
-      std::fprintf(stderr, "trace_check: %s: no \"%s\" span\n", path,
-                   name.c_str());
+    if (v.name_counts.find(name) == v.name_counts.end()) {
+      std::cerr << "trace_check: " << path << ": no \"" << name
+                << "\" span\n";
       ok = false;
     }
   }
   if (ok) {
-    std::printf("%s: ok — %zu events across %zu threads\n", path, v.events,
-                v.threads);
+    std::cout << path << ": ok — " << v.events << " events across "
+              << v.threads << " threads\n";
   }
-  return ok ? 0 : 1;
+  return ok ? cli::kExitClean : cli::kExitFindings;
 }
