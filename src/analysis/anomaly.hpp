@@ -76,28 +76,6 @@ struct AnomalyOptions {
   /// Rows of the pair triangle handed to one executor task. Row j costs
   /// O(j d), so modest grains already amortise scheduling.
   std::size_t row_grain = 16;
-
-// The alias references below are initialized in every constructor; that
-// initialization is itself a "use" of the deprecated member, so the
-// in-class definitions suppress the warning locally. External uses of
-// the aliases still warn at their own source locations.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  AnomalyOptions() = default;
-  AnomalyOptions(const AnomalyOptions& o)
-      : run(o.run), row_grain(o.row_grain) {}
-  AnomalyOptions& operator=(const AnomalyOptions& o) {
-    run = o.run;
-    row_grain = o.row_grain;
-    return *this;
-  }
-
-  /// Deprecated one-release aliases for the pre-RunOptions field names
-  /// (see DESIGN.md, "RunOptions migration").
-  [[deprecated("use run.executor")]] Executor*& executor = run.executor;
-  [[deprecated("use run.context")]] RunContext*& context = run.context;
-  [[deprecated("use run.obs")]] ObsOptions& obs = run.obs;
-#pragma GCC diagnostic pop
 };
 
 /// Scans all ordered rule pairs and reports every anomaly, ordered by

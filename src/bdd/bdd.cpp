@@ -140,4 +140,16 @@ std::uint64_t BddManager::sat_count(BddRef f) const {
   return scaled(counter.count(f), top_var(f));
 }
 
+bool BddManager::evaluate(BddRef f, const std::vector<bool>& assignment) const {
+  if (assignment.size() != num_vars_) {
+    throw std::invalid_argument(
+        "BddManager::evaluate: assignment arity mismatch");
+  }
+  while (f > 1) {
+    const Node& n = nodes_[f];
+    f = assignment[n.var] ? n.hi : n.lo;
+  }
+  return f == 1;
+}
+
 }  // namespace dfw

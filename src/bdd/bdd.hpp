@@ -43,6 +43,11 @@ class BddManager {
   /// Number of live nodes (terminals included).
   std::size_t node_count() const { return nodes_.size(); }
 
+  /// Evaluates f under a full assignment (assignment[v] is variable v's
+  /// value; size must be num_vars()). One node walk per level — the
+  /// BDD-as-classifier baseline the bench suite compares against.
+  bool evaluate(BddRef f, const std::vector<bool>& assignment) const;
+
   /// Number of root-to-one paths — each path is one "rule-like cube" a
   /// human would have to read in a BDD-based diff report (Section 7.5's
   /// "millions of rules"). Don't-care levels do not multiply the count.

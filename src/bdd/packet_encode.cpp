@@ -47,6 +47,20 @@ BddRef encode_le(BddManager& mgr, std::size_t offset, std::size_t width,
 
 }  // namespace
 
+std::vector<bool> encode_packet(const BitLayout& layout, const Packet& p) {
+  if (p.size() != layout.offset.size()) {
+    throw std::invalid_argument("encode_packet: packet arity mismatch");
+  }
+  std::vector<bool> assignment(layout.total_bits, false);
+  for (std::size_t f = 0; f < p.size(); ++f) {
+    for (std::size_t bit = 0; bit < layout.width[f]; ++bit) {  // 0 = LSB
+      assignment[layout.offset[f] + (layout.width[f] - 1 - bit)] =
+          ((p[f] >> bit) & 1) != 0;
+    }
+  }
+  return assignment;
+}
+
 BitLayout layout_for(const Schema& schema) {
   BitLayout layout;
   layout.offset.reserve(schema.field_count());

@@ -24,6 +24,11 @@ struct BitLayout {
 /// Computes the layout: each field gets ceil(log2(|D(F_i)|)) variables.
 BitLayout layout_for(const Schema& schema);
 
+/// Expands a packet into the layout's bit assignment (MSB-first within
+/// each field block, matching encode_interval's variable order), ready for
+/// BddManager::evaluate.
+std::vector<bool> encode_packet(const BitLayout& layout, const Packet& p);
+
 /// BDD for "field value (at the given block) lies in [lo, hi]".
 BddRef encode_interval(BddManager& mgr, const BitLayout& layout,
                        std::size_t field, const Interval& iv);

@@ -68,37 +68,6 @@ struct WorkflowOptions {
   /// Forwarded to the comparison pipeline: run serial comparisons
   /// arena-native (see CompareOptions::use_arena).
   bool use_arena = true;
-
-// The alias references below are initialized in every constructor; that
-// initialization is itself a "use" of the deprecated member, so the
-// in-class definitions suppress the warning locally. External uses of
-// the aliases still warn at their own source locations.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  WorkflowOptions() = default;
-  WorkflowOptions(const WorkflowOptions& o)
-      : run(o.run),
-        resolution(o.resolution),
-        base_team(o.base_team),
-        comparison(o.comparison),
-        fork_threshold(o.fork_threshold),
-        use_arena(o.use_arena) {}
-  WorkflowOptions& operator=(const WorkflowOptions& o) {
-    run = o.run;
-    resolution = o.resolution;
-    base_team = o.base_team;
-    comparison = o.comparison;
-    fork_threshold = o.fork_threshold;
-    use_arena = o.use_arena;
-    return *this;
-  }
-
-  /// Deprecated one-release aliases for the pre-RunOptions field names
-  /// (see DESIGN.md, "RunOptions migration").
-  [[deprecated("use run.executor")]] Executor*& executor = run.executor;
-  [[deprecated("use run.context")]] RunContext*& context = run.context;
-  [[deprecated("use run.obs")]] ObsOptions& obs = run.obs;
-#pragma GCC diagnostic pop
 };
 
 /// One pairwise comparison result from cross comparison. In a governed

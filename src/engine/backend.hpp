@@ -1,0 +1,100 @@
+// The compiled-classifier backend interface.
+//
+// One reduced FDD admits several execution layouts, each with a different
+// lookup cost model: the flat-slab form (d branchless binary searches over
+// contiguous slabs), a prefix-trie form (multi-bit stride tables for IPv4
+// fields, in the spirit of LPM forwarding tables, reusing net/prefix.*'s
+// geometry), and a bit-parallel form (per-field interval tables mapping a
+// value to a bitset of candidate decision paths, AND-reduced across
+// fields, after Hazelhurst's bit-vector analyses of access lists). The
+// Classifier facade (engine/classifier.hpp) compiles a policy into one of
+// these backends, selected by CompileOptions::backend; every backend is
+// required to produce byte-identical decisions — the cross-backend
+// equivalence harness in tests/classifier_backend_test.cpp is the gate.
+//
+// Backends are immutable after compilation and internally pointer-free
+// (index-linked flat vectors), so lookups take no locks and a compiled
+// backend can be shared across threads freely — the property the serve
+// plane's epoch-published versions rely on.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "fw/decision.hpp"
+#include "fw/packet.hpp"
+
+namespace dfw {
+
+class Fdd;
+
+/// The compiled layouts a Classifier can execute.
+enum class ClassifierBackendKind {
+  kFlatSlab,     ///< sorted (upper, next) slabs, branchless binary search
+  kPrefixTrie,   ///< stride-8 trie tables on IPv4 fields, slabs elsewhere
+  kBitParallel,  ///< per-field interval tables of path bitsets, AND-reduced
+};
+
+/// Stable lowercase name ("flat_slab", "prefix_trie", "bit_parallel") —
+/// the spelling of dfw_serve's --backend flag and the serve.backend.*
+/// metric suffixes.
+const char* to_string(ClassifierBackendKind kind);
+
+/// Inverse of to_string; nullopt on an unknown name.
+std::optional<ClassifierBackendKind> parse_backend_kind(std::string_view name);
+
+/// The "classifier.compile.<backend>" phase-span literal for a kind (the
+/// obs layer requires static-lifetime names; see obs/names.hpp).
+const char* compile_phase_name(ClassifierBackendKind kind);
+
+/// The "serve.backend.<backend>" counter literal for a kind.
+const char* serve_backend_counter_name(ClassifierBackendKind kind);
+
+/// One compiled execution form of a complete FDD. Implementations are
+/// immutable and safe to share across threads.
+class ClassifierBackend {
+ public:
+  virtual ~ClassifierBackend() = default;
+
+  virtual ClassifierBackendKind kind() const = 0;
+
+  /// The decision for one packet, given as `field_count` values in schema
+  /// order. Arity and domain conformance are the caller's contract (the
+  /// Classifier facade checks arity).
+  virtual Decision classify_one(const Value* packet) const = 0;
+
+  /// Decisions for `count` packets into `out`. The default implementation
+  /// loops classify_one; backends with a profitable batch layout (the
+  /// bit-parallel backend's structure-of-arrays staging) override it.
+  virtual void classify_range(const Packet* packets, std::size_t count,
+                              Decision* out) const;
+
+  /// Compiled interior nodes (flat-slab/prefix-trie) or decision paths
+  /// (bit-parallel) — a backend-specific size gauge, not a shared unit.
+  virtual std::size_t node_count() const = 0;
+  /// Slab entries, trie+slab entries, or interval-table rows.
+  virtual std::size_t slab_count() const = 0;
+};
+
+/// Per-backend compile factories. Each validates completeness via the
+/// facade's prior fdd.validate() contract and never keeps a reference to
+/// the FDD. compile_bit_parallel_backend throws std::length_error when
+/// the diagram has more than `max_paths` decision paths (the bitset width
+/// and table memory scale with the path count).
+std::shared_ptr<const ClassifierBackend> compile_flat_slab_backend(
+    const Fdd& fdd);
+std::shared_ptr<const ClassifierBackend> compile_prefix_trie_backend(
+    const Fdd& fdd);
+std::shared_ptr<const ClassifierBackend> compile_bit_parallel_backend(
+    const Fdd& fdd, std::size_t max_paths);
+
+/// Dispatches on `kind` to the factories above.
+std::shared_ptr<const ClassifierBackend> compile_backend(
+    ClassifierBackendKind kind, const Fdd& fdd,
+    std::size_t bit_parallel_max_paths);
+
+}  // namespace dfw

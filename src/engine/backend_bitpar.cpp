@@ -1,0 +1,219 @@
+// The bit-parallel backend: Hazelhurst-style interval tables of path
+// bitsets, AND-reduced across fields.
+//
+// Every root-to-terminal path of a complete reduced FDD is a disjoint
+// d-dimensional box with a decision, and exactly one box contains any
+// packet. Project all boxes onto each field: the projection boundaries
+// cut the field's domain into elementary intervals, and each elementary
+// interval maps to the bitset of paths whose conjunct covers it. A lookup
+// then needs one table-row search per field (branchless, over the rows'
+// upper bounds) followed by a word-wise AND across the d selected rows —
+// 64 candidate paths per machine word, the bit-parallel reduction of
+// Hazelhurst's access-list analyses — stopping at the first nonzero word,
+// whose single set bit names the matching path and hence the decision.
+//
+// The batch path is where this layout earns its slot: classify_range
+// stages a block of packets as structure-of-arrays columns, runs each
+// field's row search over its contiguous column (one table hot in cache
+// per pass, trivially auto-vectorizable), and only then reduces per
+// packet. Memory and reduction cost scale with the path count, so
+// compilation refuses diagrams beyond `max_paths` with std::length_error
+// rather than silently degrading.
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "engine/backend.hpp"
+#include "engine/slab_layout.hpp"
+#include "fdd/fdd.hpp"
+#include "fw/schema.hpp"
+
+namespace dfw {
+namespace {
+
+class BitParallelBackend final : public ClassifierBackend {
+ public:
+  BitParallelBackend(const Fdd& fdd, std::size_t max_paths) {
+    const Schema& schema = fdd.schema();
+    const std::size_t d = schema.field_count();
+
+    std::vector<std::vector<IntervalSet>> paths;
+    std::vector<Decision> decisions;
+    fdd.for_each_path([&](const std::vector<IntervalSet>& conjuncts,
+                          Decision decision) {
+      paths.push_back(conjuncts);
+      decisions.push_back(decision);
+    });
+    if (paths.size() > max_paths) {
+      throw std::length_error(
+          "bit-parallel classifier: diagram exceeds the path budget (" +
+          std::to_string(paths.size()) + " > " + std::to_string(max_paths) +
+          " paths); raise CompileOptions::bit_parallel_max_paths or pick "
+          "another backend");
+    }
+    decisions_ = std::move(decisions);
+    words_ = (decisions_.size() + 63) / 64;
+    fields_.resize(d);
+
+    for (std::size_t f = 0; f < d; ++f) {
+      // Elementary intervals: every conjunct run edge is a cut; the row
+      // for [cut_r, cut_{r+1} - 1] keeps only its upper bound (the row
+      // search mirrors the slab search).
+      const Interval& domain = schema.domain(f);
+      std::vector<Value> cuts;
+      cuts.push_back(domain.lo());
+      for (const std::vector<IntervalSet>& path : paths) {
+        for (const Interval& run : path[f].intervals()) {
+          if (run.lo() > domain.lo()) {
+            cuts.push_back(run.lo());
+          }
+          if (run.hi() < domain.hi()) {
+            cuts.push_back(run.hi() + 1);
+          }
+        }
+      }
+      std::sort(cuts.begin(), cuts.end());
+      cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+      FieldTable& table = fields_[f];
+      table.uppers.reserve(cuts.size());
+      for (std::size_t r = 0; r + 1 < cuts.size(); ++r) {
+        table.uppers.push_back(cuts[r + 1] - 1);
+      }
+      table.uppers.push_back(domain.hi());
+      table.bits.assign(table.uppers.size() * words_, 0);
+      for (std::size_t p = 0; p < paths.size(); ++p) {
+        for (const Interval& run : paths[p][f].intervals()) {
+          // Rows whose start lies in the run: the run's edges are cuts,
+          // so containment of the row start is containment of the row.
+          const std::size_t first = static_cast<std::size_t>(
+              std::lower_bound(cuts.begin(), cuts.end(), run.lo()) -
+              cuts.begin());
+          for (std::size_t r = first;
+               r < table.uppers.size() && table.row_lo(cuts, r) <= run.hi();
+               ++r) {
+            table.bits[r * words_ + p / 64] |= std::uint64_t{1} << (p % 64);
+          }
+        }
+      }
+      rows_total_ += table.uppers.size();
+    }
+  }
+
+  ClassifierBackendKind kind() const override {
+    return ClassifierBackendKind::kBitParallel;
+  }
+
+  Decision classify_one(const Value* packet) const override {
+    const std::uint64_t* rows[kMaxFields];
+    const std::size_t d = fields_.size();
+    if (d > kMaxFields) {
+      return classify_wide(packet);
+    }
+    for (std::size_t f = 0; f < d; ++f) {
+      rows[f] = row_for(f, packet[f]);
+    }
+    return reduce(rows, d);
+  }
+
+  void classify_range(const Packet* packets, std::size_t count,
+                      Decision* out) const override {
+    const std::size_t d = fields_.size();
+    if (d > kMaxFields) {
+      ClassifierBackend::classify_range(packets, count, out);
+      return;
+    }
+    // Structure-of-arrays staging: transpose a block of packets into
+    // per-field columns, resolve each field's rows over its contiguous
+    // column (one interval table per pass), then reduce per packet.
+    Value column[kMaxFields][kBlock];
+    const std::uint64_t* rows[kBlock][kMaxFields];
+    for (std::size_t base = 0; base < count; base += kBlock) {
+      const std::size_t n = std::min(kBlock, count - base);
+      for (std::size_t f = 0; f < d; ++f) {
+        for (std::size_t i = 0; i < n; ++i) {
+          column[f][i] = packets[base + i][f];
+        }
+      }
+      for (std::size_t f = 0; f < d; ++f) {
+        for (std::size_t i = 0; i < n; ++i) {
+          rows[i][f] = row_for(f, column[f][i]);
+        }
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        out[base + i] = reduce(rows[i], d);
+      }
+    }
+  }
+
+  std::size_t node_count() const override { return decisions_.size(); }
+  std::size_t slab_count() const override { return rows_total_; }
+
+ private:
+  static constexpr std::size_t kMaxFields = 8;
+  static constexpr std::size_t kBlock = 64;
+
+  struct FieldTable {
+    std::vector<Value> uppers;        ///< row r covers (prev upper, uppers[r]]
+    std::vector<std::uint64_t> bits;  ///< row-major, words_ words per row
+
+    Value row_lo(const std::vector<Value>& cuts, std::size_t r) const {
+      return cuts[r];
+    }
+  };
+
+  const std::uint64_t* row_for(std::size_t f, Value v) const {
+    const FieldTable& table = fields_[f];
+    // Branchless search over the row upper bounds, as in slab_layout.
+    const Value* base = table.uppers.data();
+    std::size_t n = table.uppers.size();
+    while (n > 1) {
+      const std::size_t half = n / 2;
+      base = base[half - 1] < v ? base + half : base;
+      n -= half;
+    }
+    return table.bits.data() +
+           static_cast<std::size_t>(base - table.uppers.data()) * words_;
+  }
+
+  Decision reduce(const std::uint64_t* const* rows, std::size_t d) const {
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t acc = rows[0][w];
+      for (std::size_t f = 1; f < d; ++f) {
+        acc &= rows[f][w];
+      }
+      if (acc != 0) {
+        // Disjoint complete paths: exactly one bit survives overall.
+        const std::size_t path =
+            w * 64 + static_cast<std::size_t>(__builtin_ctzll(acc));
+        return decisions_[path];
+      }
+    }
+    // Unreachable for in-domain packets of a validated FDD; fall back to
+    // the first path's decision rather than invoking UB.
+    return decisions_.empty() ? kAccept : decisions_[0];
+  }
+
+  Decision classify_wide(const Value* packet) const {
+    std::vector<const std::uint64_t*> rows(fields_.size());
+    for (std::size_t f = 0; f < fields_.size(); ++f) {
+      rows[f] = row_for(f, packet[f]);
+    }
+    return reduce(rows.data(), fields_.size());
+  }
+
+  std::vector<FieldTable> fields_;
+  std::vector<Decision> decisions_;  ///< per path, in for_each_path order
+  std::size_t words_ = 0;
+  std::size_t rows_total_ = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<const ClassifierBackend> compile_bit_parallel_backend(
+    const Fdd& fdd, std::size_t max_paths) {
+  return std::make_shared<BitParallelBackend>(fdd, max_paths);
+}
+
+}  // namespace dfw

@@ -1,44 +1,25 @@
 #include "engine/classifier.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "fdd/construct.hpp"
+#include "obs/names.hpp"
+#include "obs/obs.hpp"
 #include "rt/executor.hpp"
 
 namespace dfw {
-
-std::uint32_t Classifier::compile_node(const FddNode& node) {
-  if (node.is_terminal()) {
-    return kDecisionBit | node.decision;
-  }
-  // Children first, so this node's slabs land contiguously afterwards.
-  std::vector<std::pair<Value, std::uint32_t>> pending;
-  for (const FddEdge& e : node.edges) {
-    const std::uint32_t target = compile_node(*e.target);
-    for (const Interval& run : e.label.intervals()) {
-      pending.emplace_back(run.hi(), target);
-    }
-  }
-  std::sort(pending.begin(), pending.end());
-  const std::uint32_t slab_begin = static_cast<std::uint32_t>(slabs_.size());
-  for (const auto& [upper, target] : pending) {
-    slabs_.push_back({upper, target});
-  }
-  const std::uint32_t index = static_cast<std::uint32_t>(nodes_.size());
-  if (index >= kDecisionBit) {
-    throw std::length_error("Classifier: diagram too large to compile");
-  }
-  nodes_.push_back({static_cast<std::uint32_t>(node.field), slab_begin,
-                    static_cast<std::uint32_t>(slabs_.size())});
-  return index;
-}
 
 Classifier Classifier::compile(const Fdd& fdd, const CompileOptions& options) {
   fdd.validate();  // completeness makes every lookup land in a slab
   Classifier c;
   c.field_count_ = fdd.schema().field_count();
-  c.root_ = c.compile_node(fdd.root());
+  {
+    PhaseSpan span(options.run.obs, compile_phase_name(options.backend));
+    c.backend_ = compile_backend(options.backend, fdd,
+                                 options.bit_parallel_max_paths);
+  }
   c.options_ = options;
   return c;
 }
@@ -55,43 +36,74 @@ Decision Classifier::classify(const Packet& p) const {
   if (p.size() != field_count_) {
     throw std::invalid_argument("Classifier::classify: packet arity mismatch");
   }
-  std::uint32_t current = root_;
-  while ((current & kDecisionBit) == 0) {
-    const Node& node = nodes_[current];
-    const Value v = p[node.field];
-    // First slab whose upper bound is >= v; completeness guarantees one.
-    const Slab* begin = slabs_.data() + node.slab_begin;
-    const Slab* end = slabs_.data() + node.slab_end;
-    const Slab* hit = std::lower_bound(
-        begin, end, v,
-        [](const Slab& s, Value value) { return s.upper < value; });
-    current = hit->next;
-  }
-  return static_cast<Decision>(current & ~kDecisionBit);
+  return backend_->classify_one(p.data());
 }
 
-std::vector<Decision> Classifier::classify_batch(
-    std::span<const Packet> packets, const RunOptions& run) const {
+void Classifier::run_batch(std::span<const Packet> packets,
+                           std::span<Decision> out,
+                           const RunOptions& run) const {
+  // Per-call obs override the compile-time sinks, mirroring the executor
+  // fallback; counters are bumped per batch (the registry name lookup
+  // takes a lock) and never per packet.
+  const ObsOptions& obs =
+      run.obs.active() ? run.obs : options_.run.obs;
+  const auto start = obs.metrics != nullptr
+                         ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{};
   Executor& executor = run.executor != nullptr
                            ? *run.executor
                            : (options_.run.executor != nullptr
                                   ? *options_.run.executor
                                   : Executor::inline_executor());
-  std::vector<Decision> out(packets.size());
+  for (const Packet& p : packets) {
+    if (p.size() != field_count_) {
+      throw std::invalid_argument(
+          "Classifier::classify_batch: packet arity mismatch");
+    }
+  }
   executor.parallel_for_chunked(
       packets.size(), std::max<std::size_t>(1, options_.batch_grain),
       [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          out[i] = classify(packets[i]);
-        }
+        backend_->classify_range(packets.data() + begin, end - begin,
+                                 out.data() + begin);
       },
-      run.context, run.obs);
+      run.context, obs);
+  if (obs.metrics != nullptr) {
+    obs.metrics->counter(names::kClassifierBatchCount).add(1);
+    obs.metrics->counter(names::kClassifierLookupCount).add(packets.size());
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    obs.metrics->histogram(names::kClassifierBatchNs)
+        .record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+  }
+}
+
+std::vector<Decision> Classifier::classify_batch(
+    std::span<const Packet> packets, const RunOptions& run) const {
+  std::vector<Decision> out(packets.size());
+  run_batch(packets, out, run);
   return out;
 }
 
 std::vector<Decision> Classifier::classify_batch(
     std::span<const Packet> packets) const {
   return classify_batch(packets, RunOptions{});
+}
+
+void Classifier::classify_into(std::span<const Packet> packets,
+                               std::span<Decision> out,
+                               const RunOptions& run) const {
+  if (out.size() != packets.size()) {
+    throw std::invalid_argument(
+        "Classifier::classify_into: output span size mismatch");
+  }
+  run_batch(packets, out, run);
+}
+
+void Classifier::classify_into(std::span<const Packet> packets,
+                               std::span<Decision> out) const {
+  classify_into(packets, out, RunOptions{});
 }
 
 }  // namespace dfw

@@ -3,31 +3,33 @@
 // FDDs are not only an analysis vehicle — they are an efficient execution
 // form for the very firewalls they model (the paper's FDD lineage, ref
 // [10], introduced them for specification *and* lookup). This module
-// compiles a policy's reduced FDD into a flat, cache-friendly structure:
-// one record per node holding a sorted array of (upper-bound, next-index)
-// slabs, so classifying a packet is d binary searches over contiguous
-// memory with no pointer chasing into heap-scattered tree nodes.
+// compiles a policy's reduced FDD into one of several flat, cache-friendly
+// layouts (engine/backend.hpp): the default flat-slab form, a prefix-trie
+// form for IPv4-heavy policies, and a bit-parallel form for batched
+// lookups. All backends produce byte-identical decisions; the choice is a
+// pure performance knob (docs/classifier.md compares the cost models).
 //
 // The classifier is the deployment-side counterpart of the comparison
 // pipeline: resolve the teams' discrepancies, compile the agreed policy
 // once, and classify packets at line rate. classify_batch shards a packet
 // batch across an Executor's workers; lookups are independent and the
 // result vector is indexed by input position, so batch output is
-// identical to a serial classify loop.
+// identical to a serial classify loop. classify_into is the
+// allocation-free variant for callers that recycle an output buffer.
 
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "engine/backend.hpp"
 #include "fdd/fdd.hpp"
 #include "fw/policy.hpp"
 #include "rt/run_options.hpp"
 
 namespace dfw {
-
-class Executor;
 
 /// Compile- and batch-execution options, in the same options-struct idiom
 /// as ConstructOptions/CompareOptions.
@@ -44,29 +46,19 @@ struct CompileOptions {
   /// per-packet cost, downward for very skewed batches.
   std::size_t batch_grain = 512;
 
-// The alias references below are initialized in every constructor; that
-// initialization is itself a "use" of the deprecated member, so the
-// in-class definitions suppress the warning locally. External uses of
-// the aliases still warn at their own source locations.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  CompileOptions() = default;
-  CompileOptions(const CompileOptions& o)
-      : run(o.run), batch_grain(o.batch_grain) {}
-  CompileOptions& operator=(const CompileOptions& o) {
-    run = o.run;
-    batch_grain = o.batch_grain;
-    return *this;
-  }
+  /// Which compiled layout to execute (engine/backend.hpp). The default
+  /// is the historical flat-slab form; every backend is byte-identical in
+  /// output.
+  ClassifierBackendKind backend = ClassifierBackendKind::kFlatSlab;
 
-  /// Deprecated one-release alias for the pre-RunOptions field name
-  /// (see DESIGN.md, "RunOptions migration").
-  [[deprecated("use run.executor")]] Executor*& executor = run.executor;
-#pragma GCC diagnostic pop
+  /// Decision-path budget for the bit-parallel backend, whose memory and
+  /// per-lookup reduction scale with the path count; compilation throws
+  /// std::length_error beyond it. Ignored by the other backends.
+  std::size_t bit_parallel_max_paths = std::size_t{1} << 14;
 };
 
-/// An immutable compiled classifier. Copyable; internally a few flat
-/// vectors.
+/// An immutable compiled classifier. Copyable; a shared handle to an
+/// immutable backend plus the compile options.
 class Classifier {
  public:
   /// Compiles a comprehensive policy (via its reduced FDD, governed and
@@ -86,38 +78,34 @@ class Classifier {
   std::vector<Decision> classify_batch(std::span<const Packet> packets) const;
   /// Same, under per-call execution knobs: `run.executor` overrides the
   /// compile-time executor (null falls back to it), and lookups take no
-  /// locks — the hot path reads only immutable slabs, so concurrent
+  /// locks — the hot path reads only immutable tables, so concurrent
   /// batches on one classifier are safe.
   std::vector<Decision> classify_batch(std::span<const Packet> packets,
                                        const RunOptions& run) const;
 
-  /// Number of compiled nodes (terminals excluded).
-  std::size_t node_count() const { return nodes_.size(); }
-  /// Number of slab entries across all nodes.
-  std::size_t slab_count() const { return slabs_.size(); }
+  /// Allocation-free batch: writes decisions into `out`, which must have
+  /// exactly packets.size() elements (throws std::invalid_argument
+  /// otherwise). Output is byte-identical to classify_batch.
+  void classify_into(std::span<const Packet> packets,
+                     std::span<Decision> out) const;
+  void classify_into(std::span<const Packet> packets, std::span<Decision> out,
+                     const RunOptions& run) const;
+
+  /// The layout this classifier executes.
+  ClassifierBackendKind backend() const { return backend_->kind(); }
+
+  /// Compiled interior nodes (backend-specific gauge; see backend.hpp).
+  std::size_t node_count() const { return backend_->node_count(); }
+  /// Slab/table entries across all nodes (backend-specific gauge).
+  std::size_t slab_count() const { return backend_->slab_count(); }
 
  private:
-  // A slab covers values up to and including `upper`; `next` encodes
-  // either another node index or a terminal decision.
-  struct Slab {
-    Value upper;
-    std::uint32_t next;
-  };
-  struct Node {
-    std::uint32_t field;
-    std::uint32_t slab_begin;
-    std::uint32_t slab_end;
-  };
-
-  static constexpr std::uint32_t kDecisionBit = 0x8000'0000u;
-
   Classifier() = default;
 
-  std::uint32_t compile_node(const FddNode& node);
+  void run_batch(std::span<const Packet> packets, std::span<Decision> out,
+                 const RunOptions& run) const;
 
-  std::vector<Node> nodes_;
-  std::vector<Slab> slabs_;
-  std::uint32_t root_ = 0;
+  std::shared_ptr<const ClassifierBackend> backend_;
   std::size_t field_count_ = 0;
   CompileOptions options_{};
 };

@@ -1,0 +1,47 @@
+#include "engine/slab_layout.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "fdd/fdd.hpp"
+
+namespace dfw::engine_detail {
+namespace {
+
+std::uint32_t flatten_node(const FddNode& node, SlabLayout& layout) {
+  if (node.is_terminal()) {
+    return kDecisionBit | node.decision;
+  }
+  // Children first, so this node's slabs land contiguously afterwards.
+  std::vector<std::pair<Value, std::uint32_t>> pending;
+  for (const FddEdge& e : node.edges) {
+    const std::uint32_t target = flatten_node(*e.target, layout);
+    for (const Interval& run : e.label.intervals()) {
+      pending.emplace_back(run.hi(), target);
+    }
+  }
+  std::sort(pending.begin(), pending.end());
+  const std::uint32_t slab_begin =
+      static_cast<std::uint32_t>(layout.slabs.size());
+  for (const auto& [upper, target] : pending) {
+    layout.slabs.push_back({upper, target});
+  }
+  const std::uint32_t index = static_cast<std::uint32_t>(layout.nodes.size());
+  if (index >= kDecisionBit) {
+    throw std::length_error("Classifier: diagram too large to compile");
+  }
+  layout.nodes.push_back({static_cast<std::uint32_t>(node.field), slab_begin,
+                          static_cast<std::uint32_t>(layout.slabs.size())});
+  return index;
+}
+
+}  // namespace
+
+SlabLayout flatten_fdd(const Fdd& fdd) {
+  SlabLayout layout;
+  layout.root = flatten_node(fdd.root(), layout);
+  return layout;
+}
+
+}  // namespace dfw::engine_detail

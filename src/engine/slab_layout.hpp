@@ -1,0 +1,70 @@
+// The shared flat-slab layout the pointer-walking backends compile to.
+//
+// Both the flat-slab backend and the prefix-trie backend flatten the FDD
+// the same way: children first, so each node's slabs land contiguously;
+// one record per nonterminal holding a sorted run of (upper-bound, next)
+// slabs; `next` encodes either another node index or a terminal decision
+// through the high bit. The trie backend then augments IPv4-field nodes
+// with stride tables while keeping the slab run as its fallback and
+// build-time source of truth. Internal header — not part of the public
+// engine surface.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/interval.hpp"
+
+namespace dfw {
+
+struct FddNode;
+class Fdd;
+
+namespace engine_detail {
+
+/// `next` values at or above kDecisionBit are terminal decisions.
+inline constexpr std::uint32_t kDecisionBit = 0x8000'0000u;
+
+/// A slab covers field values up to and including `upper`.
+struct Slab {
+  Value upper;
+  std::uint32_t next;
+};
+
+/// One flattened nonterminal: its schema field and its slab run.
+struct SlabNode {
+  std::uint32_t field;
+  std::uint32_t slab_begin;
+  std::uint32_t slab_end;
+};
+
+/// The whole flattened diagram. `root` may itself be a decision (constant
+/// firewall), in which case `nodes` is empty.
+struct SlabLayout {
+  std::vector<SlabNode> nodes;
+  std::vector<Slab> slabs;
+  std::uint32_t root = 0;
+};
+
+/// Flattens a complete FDD (caller has validated it). Throws
+/// std::length_error when the diagram exceeds the 31-bit index space.
+SlabLayout flatten_fdd(const Fdd& fdd);
+
+/// First slab in [begin, begin+n) whose upper bound is >= v, assuming one
+/// exists (completeness guarantees it for in-domain v; out-of-domain
+/// values clamp to the last slab). Branchless: the loop body compiles to
+/// a conditional move, so lookups over the sorted run never mispredict.
+inline const Slab* branchless_lower_bound(const Slab* begin, std::size_t n,
+                                          Value v) {
+  const Slab* base = begin;
+  while (n > 1) {
+    const std::size_t half = n / 2;
+    base = base[half - 1].upper < v ? base + half : base;
+    n -= half;
+  }
+  return base;
+}
+
+}  // namespace engine_detail
+}  // namespace dfw

@@ -62,31 +62,6 @@ struct CompareOptions {
   /// Output is identical either way. An arena is single-threaded, so a
   /// pool executor always takes the tree path regardless of this flag.
   bool use_arena = true;
-
-// The alias references below are initialized in every constructor; that
-// initialization is itself a "use" of the deprecated member, so the
-// in-class definitions suppress the warning locally. External uses of
-// the aliases still warn at their own source locations.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  CompareOptions() = default;
-  CompareOptions(const CompareOptions& o)
-      : run(o.run),
-        fork_threshold(o.fork_threshold),
-        use_arena(o.use_arena) {}
-  CompareOptions& operator=(const CompareOptions& o) {
-    run = o.run;
-    fork_threshold = o.fork_threshold;
-    use_arena = o.use_arena;
-    return *this;
-  }
-
-  /// Deprecated one-release aliases for the pre-RunOptions field names
-  /// (see DESIGN.md, "RunOptions migration").
-  [[deprecated("use run.executor")]] Executor*& executor = run.executor;
-  [[deprecated("use run.context")]] RunContext*& context = run.context;
-  [[deprecated("use run.obs")]] ObsOptions& obs = run.obs;
-#pragma GCC diagnostic pop
 };
 
 /// Result of a governed comparison. When `complete` is false the pipeline

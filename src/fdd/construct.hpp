@@ -62,27 +62,6 @@ struct ConstructOptions {
   /// reduced ordered FDD of a policy is unique. Off restores the pure
   /// tree pipeline (append + interleaved reduce).
   bool use_arena = true;
-
-// The alias references below are initialized in every constructor; that
-// initialization is itself a "use" of the deprecated member, so the
-// in-class definitions suppress the warning locally. External uses of
-// the aliases still warn at their own source locations.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  ConstructOptions() = default;
-  ConstructOptions(const ConstructOptions& o)
-      : run(o.run), use_arena(o.use_arena) {}
-  ConstructOptions& operator=(const ConstructOptions& o) {
-    run = o.run;
-    use_arena = o.use_arena;
-    return *this;
-  }
-
-  /// Deprecated one-release aliases for the pre-RunOptions field names
-  /// (see DESIGN.md, "RunOptions migration").
-  [[deprecated("use run.context")]] RunContext*& context = run.context;
-  [[deprecated("use run.obs")]] ObsOptions& obs = run.obs;
-#pragma GCC diagnostic pop
 };
 
 /// Construction with interleaved reduction: equivalent to

@@ -40,27 +40,6 @@ struct GenerateOptions {
   /// Reduce the diagram first (through the arena's canonical interning);
   /// false generates from the diagram exactly as given.
   bool reduce_first = true;
-
-// The alias references below are initialized in every constructor; that
-// initialization is itself a "use" of the deprecated member, so the
-// in-class definitions suppress the warning locally. External uses of
-// the aliases still warn at their own source locations.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  GenerateOptions() = default;
-  GenerateOptions(const GenerateOptions& o)
-      : run(o.run), reduce_first(o.reduce_first) {}
-  GenerateOptions& operator=(const GenerateOptions& o) {
-    run = o.run;
-    reduce_first = o.reduce_first;
-    return *this;
-  }
-
-  /// Deprecated one-release aliases for the pre-RunOptions field names
-  /// (see DESIGN.md, "RunOptions migration").
-  [[deprecated("use run.context")]] RunContext*& context = run.context;
-  [[deprecated("use run.obs")]] ObsOptions& obs = run.obs;
-#pragma GCC diagnostic pop
 };
 
 /// Generates a comprehensive policy equivalent to the FDD. Requires a

@@ -65,29 +65,6 @@ struct LintOptions {
   /// "lint.unknown-pass" warning, not an error.
   std::vector<std::string> passes;
   std::vector<std::string> disabled;
-
-// The alias references below are initialized in every constructor; that
-// initialization is itself a "use" of the deprecated member, so the
-// in-class definitions suppress the warning locally. External uses of
-// the aliases still warn at their own source locations.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  LintOptions() = default;
-  LintOptions(const LintOptions& o)
-      : run(o.run), passes(o.passes), disabled(o.disabled) {}
-  LintOptions& operator=(const LintOptions& o) {
-    run = o.run;
-    passes = o.passes;
-    disabled = o.disabled;
-    return *this;
-  }
-
-  /// Deprecated one-release aliases for the pre-RunOptions field names
-  /// (see DESIGN.md, "RunOptions migration").
-  [[deprecated("use run.executor")]] Executor*& executor = run.executor;
-  [[deprecated("use run.context")]] RunContext*& context = run.context;
-  [[deprecated("use run.obs")]] ObsOptions& obs = run.obs;
-#pragma GCC diagnostic pop
 };
 
 /// The outcome of a run. Diagnostics are ordered by pass, then by the

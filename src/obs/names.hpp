@@ -29,5 +29,30 @@ inline constexpr const char* kServeBatchRejected = "serve.batch.rejected";
 inline constexpr const char* kServeBatchNs = "serve.batch.ns";
 /// Individual packet lookups across all admitted batches.
 inline constexpr const char* kServeLookupCount = "serve.lookup.count";
+/// Versions compiled with each classifier backend (one counter bumps per
+/// successful compile_version, keyed by ServeOptions::backend).
+inline constexpr const char* kServeBackendFlatSlab = "serve.backend.flat_slab";
+inline constexpr const char* kServeBackendPrefixTrie =
+    "serve.backend.prefix_trie";
+inline constexpr const char* kServeBackendBitParallel =
+    "serve.backend.bit_parallel";
+
+/// Per-backend classifier compile phases (phase.<name>_ns histograms via
+/// PhaseSpan, which requires these to be static string literals).
+inline constexpr const char* kClassifierCompileFlatSlab =
+    "classifier.compile.flat_slab";
+inline constexpr const char* kClassifierCompilePrefixTrie =
+    "classifier.compile.prefix_trie";
+inline constexpr const char* kClassifierCompileBitParallel =
+    "classifier.compile.bit_parallel";
+/// Packet lookups through Classifier::classify* (recorded per batch).
+inline constexpr const char* kClassifierLookupCount =
+    "engine.classifier.lookup.count";
+/// classify_batch / classify_into invocations.
+inline constexpr const char* kClassifierBatchCount =
+    "engine.classifier.batch.count";
+/// End-to-end duration per batch call.
+inline constexpr const char* kClassifierBatchNs =
+    "engine.classifier.batch_ns";
 
 }  // namespace dfw::names

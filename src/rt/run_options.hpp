@@ -16,9 +16,9 @@
 // output byte-identical. A default-constructed RunOptions is therefore
 // exactly the pre-options behaviour.
 //
-// The old per-struct field names survive one release as deprecated
-// reference aliases into `run` (see DESIGN.md's migration notes); new code
-// writes `options.run.executor` and friends.
+// The old per-struct field names survived one release as deprecated
+// reference aliases into `run` and are gone (see DESIGN.md's migration
+// notes); code writes `options.run.executor` and friends.
 
 #pragma once
 

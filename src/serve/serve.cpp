@@ -19,7 +19,13 @@ std::unique_ptr<PolicyVersion> compile_version(Policy policy,
   compile.run.context = context;
   compile.run.obs = options.run.obs;
   compile.batch_grain = options.batch_grain;
+  compile.backend = options.backend;
   Classifier classifier = Classifier::compile(policy, compile);
+  if (options.run.obs.metrics != nullptr) {
+    options.run.obs.metrics
+        ->counter(serve_backend_counter_name(options.backend))
+        .add();
+  }
   return std::make_unique<PolicyVersion>(sequence, std::move(policy),
                                          std::move(classifier));
 }

@@ -28,6 +28,7 @@
 #include <span>
 #include <vector>
 
+#include "engine/backend.hpp"
 #include "fw/policy.hpp"
 #include "rt/govern.hpp"
 #include "rt/run_options.hpp"
@@ -60,6 +61,12 @@ struct ServeOptions {
   /// untouched.
   Budgets swap_budgets = {};
   std::int64_t swap_deadline_ms = 0;
+
+  /// Compiled layout every version (boot and swaps) executes — a pure
+  /// performance knob; all backends are byte-identical in output
+  /// (engine/backend.hpp). Each successful compile bumps the matching
+  /// serve.backend.* counter.
+  ClassifierBackendKind backend = ClassifierBackendKind::kFlatSlab;
 };
 
 /// One batch's outcome. `status` is kOk on success and kOverloaded when

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <random>
 #include <sstream>
 #include <string>
@@ -17,6 +18,7 @@
 
 #include "adapters/cisco.hpp"
 #include "adapters/iptables.hpp"
+#include "engine/classifier.hpp"
 #include "fdd/construct.hpp"
 #include "fdd/serialize.hpp"
 #include "fw/parser.hpp"
@@ -385,6 +387,53 @@ TEST(CorpusFuzz, FddMutants) {
         // deserializer validates, so just touch it.
         EXPECT_GE(subtree_node_count(fdd.root()), 1u);
       } catch (const std::logic_error&) {
+      }
+    }
+  }
+}
+
+// The compiled-backend surface on hostile diagrams: whatever the
+// deserializer accepts (seed or mutant), every classifier backend must
+// either compile it or throw its documented exception — and whenever all
+// of them compile, they must agree with the interpreted walk on random
+// in-domain packets.
+TEST(CorpusFuzz, ClassifierBackendCompileOnFddSeeds) {
+  std::mt19937_64 rng(2006);
+  const Schema schema = five_tuple_schema();
+  for (const std::string& seed : load_corpus("fdd")) {
+    for (int i = 0; i < 60; ++i) {
+      std::optional<Fdd> fdd;
+      try {
+        fdd.emplace(deserialize_fdd(
+            schema, i == 0 ? seed : mutant_of(seed, i, rng)));
+      } catch (const std::logic_error&) {
+        continue;
+      }
+      std::vector<Classifier> compiled;
+      try {
+        for (const auto kind : {ClassifierBackendKind::kFlatSlab,
+                                ClassifierBackendKind::kPrefixTrie,
+                                ClassifierBackendKind::kBitParallel}) {
+          CompileOptions options;
+          options.backend = kind;
+          compiled.push_back(Classifier::compile(*fdd, options));
+        }
+      } catch (const std::length_error&) {
+        continue;  // bit-parallel path cap — documented refusal
+      } catch (const std::logic_error&) {
+        continue;  // validate() rejected an incomplete mutant
+      }
+      for (int probe = 0; probe < 20; ++probe) {
+        Packet pkt;
+        for (std::size_t f = 0; f < schema.field_count(); ++f) {
+          std::uniform_int_distribution<Value> pick(schema.domain(f).lo(),
+                                                    schema.domain(f).hi());
+          pkt.push_back(pick(rng));
+        }
+        const Decision want = fdd->evaluate(pkt);
+        for (const Classifier& c : compiled) {
+          ASSERT_EQ(c.classify(pkt), want) << to_string(c.backend());
+        }
       }
     }
   }

@@ -45,6 +45,9 @@ constexpr const char* kUsage =
     "serving:\n"
     "  --max-inflight=N  refuse batches past N in flight (default 0 =\n"
     "                    unbounded); refusals exit-code 1\n"
+    "  --backend=NAME    compiled layout for every version: flat_slab\n"
+    "                    (default), prefix_trie, or bit_parallel; all are\n"
+    "                    byte-identical in output (docs/classifier.md)\n"
     "\n"
     "The governance flags bound each swap's compile: --max-nodes the\n"
     "diagram, --deadline-ms the wall clock. A breached swap is rejected\n"
@@ -109,6 +112,7 @@ int main(int argc, char** argv) {
   namespace cli = dfw::cli;
   cli::CommonOptions common;
   std::size_t max_inflight = 0;
+  dfw::ClassifierBackendKind backend = dfw::ClassifierBackendKind::kFlatSlab;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -130,6 +134,14 @@ int main(int argc, char** argv) {
         return cli::kExitUsage;
       }
       max_inflight = *n;
+    } else if (const auto b = cli::flag_value(arg, "--backend=")) {
+      const auto kind = dfw::parse_backend_kind(*b);
+      if (!kind.has_value()) {
+        std::cerr << "dfw_serve: unknown backend '" << *b
+                  << "' (flat_slab, prefix_trie, bit_parallel)\n";
+        return cli::kExitUsage;
+      }
+      backend = *kind;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "dfw_serve: unknown option '" << arg << "'\n"
                 << kUsage << cli::kCommonUsage;
@@ -166,6 +178,7 @@ int main(int argc, char** argv) {
   options.max_inflight_batches = max_inflight;
   options.swap_budgets.max_nodes = common.max_nodes;
   options.swap_deadline_ms = common.deadline_ms;
+  options.backend = backend;
 
   std::optional<dfw::serve::ServeCore> core;
   try {
@@ -176,7 +189,8 @@ int main(int argc, char** argv) {
     return cli::kExitUsage;
   }
   dfw::serve::ServeCore::Shard shard = core->shard();
-  std::cout << "serving version=" << core->current_sequence() << "\n";
+  std::cout << "serving version=" << core->current_sequence()
+            << " backend=" << dfw::to_string(backend) << "\n";
 
   bool any_rejected = false;
   std::string line;
