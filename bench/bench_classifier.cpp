@@ -34,6 +34,7 @@
 #include "engine/classifier.hpp"
 #include "fdd/construct.hpp"
 #include "rt/executor.hpp"
+#include "rt/govern.hpp"
 #include "synth/synth.hpp"
 
 namespace dfw {
@@ -215,7 +216,7 @@ int main(int argc, char** argv) {
         const auto t0 = Clock::now();
         compiled.emplace(Classifier::compile(fdd, options));
         compile_ms = ms_between(t0, Clock::now());
-      } catch (const std::length_error&) {
+      } catch (const dfw::Error&) {
         std::printf("%8zu %14s %6s %8s %14s %12s\n", n, to_string(kind),
                     "-", "-", "skipped", "path-cap");
         continue;

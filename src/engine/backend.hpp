@@ -82,9 +82,13 @@ class ClassifierBackend {
 
 /// Per-backend compile factories. Each validates completeness via the
 /// facade's prior fdd.validate() contract and never keeps a reference to
-/// the FDD. compile_bit_parallel_backend throws std::length_error when
-/// the diagram has more than `max_paths` decision paths (the bitset width
-/// and table memory scale with the path count).
+/// the FDD. Capacity breaches are structured failures, not raw
+/// exceptions: compile_bit_parallel_backend throws
+/// dfw::Error(ErrorCode::kCapacityExceeded) when the diagram has more
+/// than `max_paths` decision paths (the bitset width and table memory
+/// scale with the path count), and the slab layout throws the same code
+/// past its 31-bit node index space — so callers can catch the code and
+/// degrade to another backend instead of crashing (the serve plane does).
 std::shared_ptr<const ClassifierBackend> compile_flat_slab_backend(
     const Fdd& fdd);
 std::shared_ptr<const ClassifierBackend> compile_prefix_trie_backend(

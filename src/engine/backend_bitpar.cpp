@@ -17,8 +17,10 @@
 // field's row search over its contiguous column (one table hot in cache
 // per pass, trivially auto-vectorizable), and only then reduces per
 // packet. Memory and reduction cost scale with the path count, so
-// compilation refuses diagrams beyond `max_paths` with std::length_error
-// rather than silently degrading.
+// compilation refuses diagrams beyond `max_paths` with a structured
+// dfw::Error (ErrorCode::kCapacityExceeded) rather than silently
+// degrading — structured so callers (the serve plane's self-healing
+// swap) can catch the code and recompile on a capacity-free backend.
 
 #include <algorithm>
 #include <stdexcept>
@@ -28,6 +30,7 @@
 #include "engine/slab_layout.hpp"
 #include "fdd/fdd.hpp"
 #include "fw/schema.hpp"
+#include "rt/govern.hpp"
 
 namespace dfw {
 namespace {
@@ -46,11 +49,13 @@ class BitParallelBackend final : public ClassifierBackend {
       decisions.push_back(decision);
     });
     if (paths.size() > max_paths) {
-      throw std::length_error(
+      throw Error(
+          ErrorCode::kCapacityExceeded,
           "bit-parallel classifier: diagram exceeds the path budget (" +
-          std::to_string(paths.size()) + " > " + std::to_string(max_paths) +
-          " paths); raise CompileOptions::bit_parallel_max_paths or pick "
-          "another backend");
+              std::to_string(paths.size()) + " > " +
+              std::to_string(max_paths) +
+              " paths); raise CompileOptions::bit_parallel_max_paths or "
+              "pick another backend");
     }
     decisions_ = std::move(decisions);
     words_ = (decisions_.size() + 63) / 64;

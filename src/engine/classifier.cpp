@@ -8,6 +8,7 @@
 #include "obs/names.hpp"
 #include "obs/obs.hpp"
 #include "rt/executor.hpp"
+#include "rt/fault.hpp"
 
 namespace dfw {
 
@@ -17,6 +18,7 @@ Classifier Classifier::compile(const Fdd& fdd, const CompileOptions& options) {
   c.field_count_ = fdd.schema().field_count();
   {
     PhaseSpan span(options.run.obs, compile_phase_name(options.backend));
+    fault::hit(options.run.faults, fault::sites::kBackendCompile);
     c.backend_ = compile_backend(options.backend, fdd,
                                  options.bit_parallel_max_paths);
   }
@@ -29,6 +31,7 @@ Classifier Classifier::compile(const Policy& policy,
   ConstructOptions construct;
   construct.run.context = options.run.context;
   construct.run.obs = options.run.obs;
+  construct.run.faults = options.run.faults;
   return compile(build_reduced_fdd(policy, construct), options);
 }
 

@@ -53,7 +53,8 @@ struct CompileOptions {
 
   /// Decision-path budget for the bit-parallel backend, whose memory and
   /// per-lookup reduction scale with the path count; compilation throws
-  /// std::length_error beyond it. Ignored by the other backends.
+  /// dfw::Error(ErrorCode::kCapacityExceeded) beyond it so callers can
+  /// degrade to another backend. Ignored by the other backends.
   std::size_t bit_parallel_max_paths = std::size_t{1} << 14;
 };
 

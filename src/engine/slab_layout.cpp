@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "fdd/fdd.hpp"
+#include "rt/govern.hpp"
 
 namespace dfw::engine_detail {
 namespace {
@@ -29,7 +30,9 @@ std::uint32_t flatten_node(const FddNode& node, SlabLayout& layout) {
   }
   const std::uint32_t index = static_cast<std::uint32_t>(layout.nodes.size());
   if (index >= kDecisionBit) {
-    throw std::length_error("Classifier: diagram too large to compile");
+    throw Error(ErrorCode::kCapacityExceeded,
+                "flat-slab classifier: diagram exceeds the 31-bit node "
+                "index space");
   }
   layout.nodes.push_back({static_cast<std::uint32_t>(node.field), slab_begin,
                           static_cast<std::uint32_t>(layout.slabs.size())});

@@ -47,8 +47,9 @@ struct SlabLayout {
   std::uint32_t root = 0;
 };
 
-/// Flattens a complete FDD (caller has validated it). Throws
-/// std::length_error when the diagram exceeds the 31-bit index space.
+/// Flattens a complete FDD (caller has validated it). Throws dfw::Error
+/// (ErrorCode::kCapacityExceeded) when the diagram exceeds the 31-bit
+/// index space.
 SlabLayout flatten_fdd(const Fdd& fdd);
 
 /// First slab in [begin, begin+n) whose upper bound is >= v, assuming one

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "rt/fault.hpp"
 #include "rt/govern.hpp"
 
 namespace dfw {
@@ -100,9 +101,12 @@ ArenaNodeId FddArena::intern_node(std::uint32_t field, Decision decision,
   }
   // Node creation is the arena's unit of memory growth and of forward
   // progress: charge the node budget and take the amortized cancellation/
-  // deadline checkpoint here, before the tables are touched.
+  // deadline checkpoint here, before the tables are touched. The fault
+  // site sits at the same point — an injected allocation failure unwinds
+  // exactly where a real budget breach (or bad_alloc) would.
   govern::charge_nodes(govern_);
   govern::checkpoint(govern_);
+  fault::hit(faults_, fault::sites::kArenaAlloc);
   const ArenaNodeId id = static_cast<ArenaNodeId>(nodes_.size());
   NodeRecord record;
   record.field = field;

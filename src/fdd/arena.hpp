@@ -58,6 +58,7 @@ struct ArenaEdge {
 };
 
 class RunContext;
+class FaultPlan;
 
 class FddArena {
  public:
@@ -76,6 +77,14 @@ class FddArena {
   /// the breach remain usable). Null detaches.
   void set_context(RunContext* context) { govern_ = context; }
   RunContext* context() const { return govern_; }
+
+  /// Attaches a fault plan (borrowed, nullable, rt/fault.hpp): node
+  /// materialisation hits the fdd.arena.alloc site, so a seeded schedule
+  /// can simulate an allocation failure mid-build. A fire throws
+  /// dfw::Error mid-operation with the same arena-stays-valid contract as
+  /// a governance breach. Null detaches (the default, zero-cost path).
+  void set_faults(FaultPlan* faults) { faults_ = faults; }
+  FaultPlan* faults() const { return faults_; }
 
   // -- Node interning ------------------------------------------------------
 
@@ -234,6 +243,7 @@ class FddArena {
   std::unordered_map<ArenaNodeId, std::size_t> rule_cost_cache_;
   ArenaStats stats_;
   RunContext* govern_ = nullptr;  // borrowed; null = ungoverned
+  FaultPlan* faults_ = nullptr;   // borrowed; null = no injection
 };
 
 }  // namespace dfw

@@ -5,6 +5,7 @@
 #include "fdd/arena.hpp"
 #include "fdd/node.hpp"
 #include "fdd/reduce.hpp"
+#include "rt/fault.hpp"
 #include "rt/govern.hpp"
 
 namespace dfw {
@@ -146,9 +147,13 @@ Fdd build_reduced_fdd(const Policy& policy,
                       const ConstructOptions& options) {
   ScopedSpan span(options.run.obs.tracer, "build_reduced_fdd", "rules",
                   policy.size());
+  // Phase-boundary fault site: fires before any construction state
+  // exists, modelling a failure at the hand-off into this phase.
+  fault::hit(options.run.faults, fault::sites::kConstructPhase);
   if (options.use_arena) {
     FddArena arena(policy.schema());
     arena.set_context(options.run.context);
+    arena.set_faults(options.run.faults);
     Fdd fdd = arena.to_fdd(arena.build_reduced(policy));
     if (options.run.obs.metrics != nullptr) {
       absorb(*options.run.obs.metrics, arena.stats());
@@ -174,6 +179,7 @@ Fdd build_reduced_fdd(const Policy& policy,
   {
     ScopedSpan reduce_span(options.run.obs.tracer, "reduce", "nodes",
                            fdd.node_count());
+    fault::hit(options.run.faults, fault::sites::kReducePhase);
     reduce(fdd);
   }
   return fdd;

@@ -17,6 +17,22 @@ inline constexpr const char* kServeSwapCount = "serve.swap.count";
 inline constexpr const char* kServeSwapRejected = "serve.swap.rejected";
 /// Governed compile duration per accepted or rejected swap.
 inline constexpr const char* kServeSwapCompileNs = "serve.swap.compile_ns";
+/// Retry attempts taken inside self-healing swaps (transient failures:
+/// injected faults, deadline breaches, allocation failure).
+inline constexpr const char* kServeSwapRetries = "serve.swap.retries";
+/// Swaps that fell back to the flat_slab backend after the configured
+/// backend breached a capacity cap (kCapacityExceeded).
+inline constexpr const char* kServeSwapDegraded = "serve.swap.degraded";
+/// Swaps that failed permanently after retries/degradation were
+/// exhausted (the served version is untouched — last-good guarantee).
+inline constexpr const char* kServeSwapFailed = "serve.swap.failed";
+/// High-water mark of the limbo list (a gauge: reported through
+/// ServeStats::limbo_peak and the health JSON, not the counter registry).
+inline constexpr const char* kServeLimboPeak = "serve.limbo.peak";
+/// Snapshot files written after successful boots/swaps.
+inline constexpr const char* kServeSnapshotSave = "serve.snapshot.save.count";
+/// Snapshots decoded and restored at boot.
+inline constexpr const char* kServeSnapshotLoad = "serve.snapshot.load.count";
 /// Versions moved to the limbo list (one per successful swap).
 inline constexpr const char* kServeRetireCount = "serve.retire.count";
 /// Retired versions actually freed after draining.

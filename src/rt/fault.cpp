@@ -1,0 +1,164 @@
+#include "rt/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dfw {
+namespace {
+
+// splitmix64: the standard 64-bit finalizer-style mixer. Good avalanche,
+// stateless — the whole probability trigger is a pure function of its
+// inputs, which is what makes the schedule replayable.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_site(std::string_view site) {
+  // FNV-1a, the same idiom the lint fingerprints use.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void append_json_string(std::ostringstream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\';
+    }
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(std::uint64_t seed, std::vector<FaultSpec> specs)
+    : seed_(seed) {
+  armed_.reserve(specs.size());
+  for (FaultSpec& spec : specs) {
+    auto armed = std::make_unique<Armed>();
+    armed->spec = std::move(spec);
+    const std::string& site = armed->spec.site;
+    auto it = std::find_if(site_index_.begin(), site_index_.end(),
+                           [&](const auto& entry) {
+                             return entry.first == site;
+                           });
+    if (it == site_index_.end()) {
+      site_index_.emplace_back(site, std::vector<std::size_t>{});
+      it = std::prev(site_index_.end());
+    }
+    it->second.push_back(armed_.size());
+    armed_.push_back(std::move(armed));
+  }
+}
+
+bool FaultPlan::should_fire(const Armed& armed,
+                            std::uint64_t hit_index) const {
+  const FaultSpec& spec = armed.spec;
+  if (spec.fire_on != 0) {
+    if (hit_index == spec.fire_on) {
+      return true;
+    }
+    if (spec.period != 0 && hit_index > spec.fire_on &&
+        (hit_index - spec.fire_on) % spec.period == 0) {
+      return true;
+    }
+  }
+  if (spec.probability > 0.0) {
+    const std::uint64_t draw =
+        splitmix64(seed_ ^ hash_site(spec.site) ^ hit_index);
+    // 53-bit mantissa draw in [0, 1).
+    const double u =
+        static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
+    if (u < spec.probability) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultPlan::hit(const char* site) {
+  const std::string_view name(site);
+  for (const auto& [indexed_site, indices] : site_index_) {
+    if (indexed_site != name) {
+      continue;
+    }
+    for (const std::size_t index : indices) {
+      Armed& armed = *armed_[index];
+      const std::uint64_t n =
+          armed.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (should_fire(armed, n)) {
+        armed.fires.fetch_add(1, std::memory_order_relaxed);
+        std::string message = "injected fault at ";
+        message += armed.spec.site;
+        message += " (hit " + std::to_string(n) + ")";
+        if (!armed.spec.message.empty()) {
+          message += ": " + armed.spec.message;
+        }
+        throw Error(armed.spec.code, message);
+      }
+    }
+    return;
+  }
+}
+
+std::vector<FaultPlan::SiteStats> FaultPlan::stats() const {
+  std::vector<SiteStats> out;
+  out.reserve(armed_.size());
+  for (const auto& armed : armed_) {
+    SiteStats s;
+    s.site = armed->spec.site;
+    s.hits = armed->hits.load(std::memory_order_relaxed);
+    s.fires = armed->fires.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::uint64_t FaultPlan::total_hits() const {
+  std::uint64_t total = 0;
+  for (const auto& armed : armed_) {
+    total += armed->hits.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t FaultPlan::total_fires() const {
+  std::uint64_t total = 0;
+  for (const auto& armed : armed_) {
+    total += armed->fires.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::string FaultPlan::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"dfw-fault-plan-v1\",\n  \"seed\": " << seed_
+      << ",\n  \"sites\": [";
+  bool first = true;
+  for (const auto& armed : armed_) {
+    const FaultSpec& spec = armed->spec;
+    out << (first ? "\n" : ",\n") << "    {\"site\": ";
+    append_json_string(out, spec.site);
+    out << ", \"fire_on\": " << spec.fire_on
+        << ", \"period\": " << spec.period
+        << ", \"probability\": " << spec.probability << ", \"code\": ";
+    append_json_string(out, to_string(spec.code));
+    out << ", \"hits\": " << armed->hits.load(std::memory_order_relaxed)
+        << ", \"fires\": " << armed->fires.load(std::memory_order_relaxed)
+        << "}";
+    first = false;
+  }
+  out << "\n  ],\n  \"total_hits\": " << total_hits()
+      << ",\n  \"total_fires\": " << total_fires() << "\n}\n";
+  return out.str();
+}
+
+}  // namespace dfw

@@ -24,6 +24,10 @@ const char* to_string(ErrorCode code) {
       return "Internal";
     case ErrorCode::kOverloaded:
       return "Overloaded";
+    case ErrorCode::kCapacityExceeded:
+      return "CapacityExceeded";
+    case ErrorCode::kFaultInjected:
+      return "FaultInjected";
   }
   return "Unknown";
 }

@@ -52,6 +52,8 @@ enum class ErrorCode {
   kInvalidInput,         ///< structurally invalid input (ids, bounds)
   kInternal,             ///< invariant violation inside the library
   kOverloaded,           ///< admission control refused the request (serve)
+  kCapacityExceeded,     ///< compiled layout over a hard size cap (backends)
+  kFaultInjected,        ///< deterministic injected fault (rt/fault.hpp)
 };
 
 /// Stable identifier string, e.g. "NodeBudgetExceeded".

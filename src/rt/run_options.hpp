@@ -28,10 +28,11 @@ namespace dfw {
 
 class Executor;
 class RunContext;
+class FaultPlan;
 
-/// The shared triple: where work runs, what governs it, who observes it.
-/// Copyable three-pointer value; embed by value as `run` in an options
-/// struct and pass around freely.
+/// The shared quadruple: where work runs, what governs it, who observes
+/// it, and what failures are injected into it. Copyable pointer-value;
+/// embed by value as `run` in an options struct and pass around freely.
 struct RunOptions {
   /// Borrowed executor for the parallelizable stages; null = serial
   /// (Executor::inline_executor()). Results are identical for every
@@ -43,6 +44,10 @@ struct RunOptions {
   /// Borrowed observability sinks (tracer + metrics registry); null sinks
   /// are free and leave outputs byte-identical.
   ObsOptions obs = {};
+  /// Borrowed deterministic fault schedule (rt/fault.hpp); null injects
+  /// nothing, costs one pointer test per site, and is byte-identical to a
+  /// build without the fault plane.
+  FaultPlan* faults = nullptr;
 };
 
 /// The executor `run` names, or the shared inline (serial) executor.

@@ -1,5 +1,6 @@
 #include "serve/handle.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace dfw::serve {
@@ -34,6 +35,7 @@ std::uint64_t PolicyHandle::publish(std::unique_ptr<PolicyVersion> next) {
   retired.retire_epoch = retire_epoch;
   const std::uint64_t old_sequence = retired.version->sequence;
   limbo_.push_back(std::move(retired));
+  limbo_peak_ = std::max(limbo_peak_, limbo_.size());
   retired_total_.fetch_add(1, std::memory_order_relaxed);
   return old_sequence;
 }
@@ -59,6 +61,11 @@ std::size_t PolicyHandle::reclaim() {
 std::size_t PolicyHandle::limbo_size() const {
   std::lock_guard<std::mutex> lock(writer_mu_);
   return limbo_.size();
+}
+
+std::size_t PolicyHandle::limbo_peak() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return limbo_peak_;
 }
 
 }  // namespace dfw::serve

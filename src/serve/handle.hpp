@@ -23,22 +23,28 @@
 #include <vector>
 
 #include "engine/classifier.hpp"
+#include "fdd/fdd.hpp"
 #include "fw/policy.hpp"
 #include "rt/epoch.hpp"
 
 namespace dfw::serve {
 
 /// One immutable published version: the policy as the operator submitted
-/// it and its compiled classifier, tagged with a monotonically increasing
+/// it, the reduced FDD it compiled from (kept so a crash-consistent
+/// snapshot can serialize the exact served diagram without recompute),
+/// and its compiled classifier, tagged with a monotonically increasing
 /// sequence number (1 for the initial version).
 struct PolicyVersion {
   std::uint64_t sequence;
   Policy policy;
+  Fdd fdd;
   Classifier classifier;
 
-  PolicyVersion(std::uint64_t sequence, Policy policy, Classifier classifier)
+  PolicyVersion(std::uint64_t sequence, Policy policy, Fdd fdd,
+                Classifier classifier)
       : sequence(sequence),
         policy(std::move(policy)),
+        fdd(std::move(fdd)),
         classifier(std::move(classifier)) {}
 };
 
@@ -114,8 +120,21 @@ class PolicyHandle {
     return current_.load(std::memory_order_seq_cst)->sequence;
   }
 
+  /// The current version without a pin. Safe only for callers that
+  /// exclude publication for the reference's lifetime (the serve core's
+  /// snapshot path holds the swap mutex); under a concurrent publish the
+  /// version can be retired and freed underfoot.
+  const PolicyVersion& current_unpinned() const {
+    return *current_.load(std::memory_order_seq_cst);
+  }
+
   /// Versions retired but not yet freed (diagnostic; racy by nature).
   std::size_t limbo_size() const;
+  /// High-water mark of the limbo list since construction — the
+  /// serve.limbo.peak gauge. A peak that tracks the swap count means
+  /// reclamation is not keeping up (a pinned reader or a missing
+  /// reclaim() call).
+  std::size_t limbo_peak() const;
   /// Total versions retired / freed since construction.
   std::uint64_t retired_total() const {
     return retired_total_.load(std::memory_order_relaxed);
@@ -134,6 +153,7 @@ class PolicyHandle {
   std::atomic<const PolicyVersion*> current_;
   mutable std::mutex writer_mu_;  // serializes publish/reclaim bookkeeping
   std::vector<Retired> limbo_;
+  std::size_t limbo_peak_ = 0;  // under writer_mu_
   std::atomic<std::uint64_t> retired_total_{0};
   std::atomic<std::uint64_t> reclaimed_total_{0};
 };

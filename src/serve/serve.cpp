@@ -1,45 +1,111 @@
 #include "serve/serve.hpp"
 
 #include <chrono>
+#include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
+#include "fdd/construct.hpp"
+#include "fw/decision.hpp"
 #include "obs/names.hpp"
 #include "obs/obs.hpp"
+#include "rt/fault.hpp"
+#include "serve/snapshot.hpp"
 
 namespace dfw::serve {
 namespace {
 
-std::unique_ptr<PolicyVersion> compile_version(Policy policy,
-                                               std::uint64_t sequence,
-                                               RunContext* context,
-                                               const ServeOptions& options) {
+/// Same mix as rt/fault.cpp's trigger stream — good avalanche from a
+/// cheap constant footprint; here it decorrelates retry backoff jitter.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::unique_ptr<PolicyVersion> compile_version(
+    Policy policy, std::uint64_t sequence, RunContext* context,
+    const ServeOptions& options, ClassifierBackendKind backend) {
+  // The FDD is built once and kept on the version: the classifier
+  // compiles from it here, and snapshot_text() serializes it later
+  // without recompute.
+  ConstructOptions construct;
+  construct.run.context = context;
+  construct.run.obs = options.run.obs;
+  construct.run.faults = options.run.faults;
+  Fdd fdd = build_reduced_fdd(policy, construct);
   CompileOptions compile;
   compile.run.executor = options.run.executor;
   compile.run.context = context;
   compile.run.obs = options.run.obs;
+  compile.run.faults = options.run.faults;
   compile.batch_grain = options.batch_grain;
-  compile.backend = options.backend;
-  Classifier classifier = Classifier::compile(policy, compile);
+  compile.backend = backend;
+  compile.bit_parallel_max_paths = options.bit_parallel_max_paths;
+  Classifier classifier = Classifier::compile(fdd, compile);
   if (options.run.obs.metrics != nullptr) {
-    options.run.obs.metrics
-        ->counter(serve_backend_counter_name(options.backend))
+    options.run.obs.metrics->counter(serve_backend_counter_name(backend))
         .add();
   }
   return std::make_unique<PolicyVersion>(sequence, std::move(policy),
+                                         std::move(fdd),
                                          std::move(classifier));
 }
 
 std::unique_ptr<PolicyVersion> boot_version(Policy initial,
                                             const ServeOptions& options) {
-  return compile_version(std::move(initial), 1, nullptr, options);
+  return compile_version(std::move(initial), 1, nullptr, options,
+                         options.backend);
+}
+
+std::unique_ptr<PolicyVersion> restored_version(
+    snapshot::SnapshotData restored, const ServeOptions& options) {
+  // The snapshot carries the reduced FDD; compiling from it (not from
+  // the policy text) skips reconstruction and reproduces the pre-crash
+  // classifier exactly.
+  CompileOptions compile;
+  compile.run.executor = options.run.executor;
+  compile.run.obs = options.run.obs;
+  compile.run.faults = options.run.faults;
+  compile.batch_grain = options.batch_grain;
+  compile.backend = restored.backend;
+  compile.bit_parallel_max_paths = options.bit_parallel_max_paths;
+  Classifier classifier = Classifier::compile(restored.fdd, compile);
+  if (options.run.obs.metrics != nullptr) {
+    options.run.obs.metrics
+        ->counter(serve_backend_counter_name(restored.backend))
+        .add();
+  }
+  return std::make_unique<PolicyVersion>(
+      restored.sequence, std::move(restored.policy),
+      std::move(restored.fdd), std::move(classifier));
+}
+
+/// Worth another attempt: the cause can vanish on retry. Budget breaches
+/// and validation errors are deterministic — retrying them burns the
+/// backoff schedule for nothing.
+bool is_transient(ErrorCode code) {
+  return code == ErrorCode::kFaultInjected ||
+         code == ErrorCode::kDeadlineExceeded;
 }
 
 }  // namespace
 
 ServeCore::ServeCore(Policy initial, ServeOptions options)
     : options_(std::move(options)),
-      handle_(domain_, boot_version(std::move(initial), options_)) {}
+      handle_(domain_, boot_version(std::move(initial), options_)) {
+  served_backend_.store(options_.backend, std::memory_order_relaxed);
+}
+
+ServeCore::ServeCore(snapshot::SnapshotData restored, ServeOptions options)
+    : options_(std::move(options)),
+      handle_(domain_, restored_version(std::move(restored), options_)) {
+  next_sequence_ = handle_.current_sequence() + 1;
+  served_backend_.store(handle_.current_unpinned().classifier.backend(),
+                        std::memory_order_relaxed);
+}
 
 ServeCore::~ServeCore() {
   // Readers are gone (Shards must not outlive the core); drain limbo so
@@ -110,55 +176,132 @@ BatchResult ServeCore::classify_pinned(std::span<const Packet> packets,
   return result;
 }
 
-Result<std::uint64_t> ServeCore::swap(Policy next) {
+Result<std::uint64_t> ServeCore::swap(const Policy& next) {
   std::lock_guard<std::mutex> lock(swap_mu_);
   PhaseSpan span(options_.run.obs, "serve.swap");
-  RunContext::Config config;
-  config.budgets = options_.swap_budgets;
-  if (options_.swap_deadline_ms > 0) {
-    config.deadline = std::chrono::steady_clock::now() +
-                      std::chrono::milliseconds(options_.swap_deadline_ms);
-  }
-  RunContext context(std::move(config));
-  const auto start = std::chrono::steady_clock::now();
-  std::unique_ptr<PolicyVersion> version;
-  try {
-    version = compile_version(std::move(next), next_sequence_, &context,
-                              options_);
-  } catch (const Error& error) {
+  MetricsRegistry* metrics = options_.run.obs.metrics;
+  ClassifierBackendKind backend = options_.backend;
+  std::size_t retries = 0;
+  bool degraded = false;
+
+  const auto fail = [&](const Error& error) {
     swaps_rejected_.fetch_add(1, std::memory_order_relaxed);
-    if (options_.run.obs.metrics != nullptr) {
-      options_.run.obs.metrics->counter(names::kServeSwapRejected).add();
+    swap_failed_.fetch_add(1, std::memory_order_relaxed);
+    last_swap_ok_.store(false, std::memory_order_relaxed);
+    if (metrics != nullptr) {
+      metrics->counter(names::kServeSwapRejected).add();
+      metrics->counter(names::kServeSwapFailed).add();
     }
     return Result<std::uint64_t>::failure(error);
-  } catch (const std::logic_error& error) {
-    // validate() rejects a non-comprehensive replacement; keep serving.
-    swaps_rejected_.fetch_add(1, std::memory_order_relaxed);
-    if (options_.run.obs.metrics != nullptr) {
-      options_.run.obs.metrics->counter(names::kServeSwapRejected).add();
+  };
+
+  const auto backoff = [&](std::size_t attempt) {
+    std::uint64_t delay = options_.swap_backoff_initial_ms;
+    for (std::size_t i = 1;
+         i < attempt && delay < options_.swap_backoff_max_ms; ++i) {
+      delay <<= 1;
     }
-    return Result<std::uint64_t>::failure(
-        Error(ErrorCode::kInvalidInput, error.what()));
+    delay = std::min(delay, options_.swap_backoff_max_ms);
+    // Deterministic jitter in [0, delay/2]: reproducible in tests,
+    // decorrelated across daemons seeded differently.
+    const std::uint64_t jitter =
+        delay == 0
+            ? 0
+            : splitmix64(options_.swap_jitter_seed ^ attempt) %
+                  (delay / 2 + 1);
+    if (delay + jitter != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay + jitter));
+    }
+  };
+
+  for (;;) {
+    // Governance is re-armed per attempt: a deadline that lapsed during
+    // a faulted attempt must not doom its retry.
+    RunContext::Config config;
+    config.budgets = options_.swap_budgets;
+    if (options_.swap_deadline_ms > 0) {
+      config.deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.swap_deadline_ms);
+    }
+    RunContext context(std::move(config));
+    const auto start = std::chrono::steady_clock::now();
+    std::unique_ptr<PolicyVersion> version;
+    try {
+      fault::hit(options_.run.faults, fault::sites::kSwapCompile);
+      version =
+          compile_version(next, next_sequence_, &context, options_, backend);
+      if (metrics != nullptr) {
+        const auto elapsed = std::chrono::steady_clock::now() - start;
+        metrics->histogram(names::kServeSwapCompileNs)
+            .record(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                    .count()));
+      }
+      fault::hit(options_.run.faults, fault::sites::kSwapPublish);
+    } catch (const Error& error) {
+      // Last-good guarantee, eagerly: whatever this attempt compiled is
+      // freed right here — before any backoff sleep, never parked in
+      // limbo — and the served version is untouched.
+      version.reset();
+      if (error.code() == ErrorCode::kCapacityExceeded &&
+          options_.degrade_on_capacity && !degraded &&
+          backend != ClassifierBackendKind::kFlatSlab) {
+        // The flat-slab layout has no path cap; retry there immediately
+        // (a different compile, not another roll of the same dice).
+        degraded = true;
+        backend = ClassifierBackendKind::kFlatSlab;
+        swap_degraded_.fetch_add(1, std::memory_order_relaxed);
+        if (metrics != nullptr) {
+          metrics->counter(names::kServeSwapDegraded).add();
+        }
+        continue;
+      }
+      if (is_transient(error.code()) &&
+          retries < options_.swap_max_retries) {
+        ++retries;
+        swap_retries_.fetch_add(1, std::memory_order_relaxed);
+        if (metrics != nullptr) {
+          metrics->counter(names::kServeSwapRetries).add();
+        }
+        backoff(retries);
+        continue;
+      }
+      return fail(error);
+    } catch (const std::bad_alloc&) {
+      version.reset();
+      if (retries < options_.swap_max_retries) {
+        ++retries;
+        swap_retries_.fetch_add(1, std::memory_order_relaxed);
+        if (metrics != nullptr) {
+          metrics->counter(names::kServeSwapRetries).add();
+        }
+        backoff(retries);
+        continue;
+      }
+      return fail(
+          Error(ErrorCode::kInternal, "allocation failed compiling swap"));
+    } catch (const std::logic_error& error) {
+      // validate() rejects a non-comprehensive replacement —
+      // deterministic, so no retry; keep serving.
+      version.reset();
+      return fail(Error(ErrorCode::kInvalidInput, error.what()));
+    }
+
+    const std::uint64_t sequence = next_sequence_++;
+    handle_.publish(std::move(version));
+    swaps_.fetch_add(1, std::memory_order_relaxed);
+    served_backend_.store(backend, std::memory_order_relaxed);
+    last_swap_ok_.store(true, std::memory_order_relaxed);
+    if (metrics != nullptr) {
+      metrics->counter(names::kServeSwapCount).add();
+      metrics->counter(names::kServeRetireCount).add();
+    }
+    const std::size_t freed = handle_.reclaim();
+    if (freed != 0 && metrics != nullptr) {
+      metrics->counter(names::kServeReclaimCount).add(freed);
+    }
+    return Result<std::uint64_t>::success(sequence);
   }
-  if (options_.run.obs.metrics != nullptr) {
-    const auto elapsed = std::chrono::steady_clock::now() - start;
-    options_.run.obs.metrics->histogram(names::kServeSwapCompileNs)
-        .record(static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-                .count()));
-  }
-  const std::uint64_t sequence = next_sequence_++;
-  handle_.publish(std::move(version));
-  swaps_.fetch_add(1, std::memory_order_relaxed);
-  if (options_.run.obs.metrics != nullptr) {
-    options_.run.obs.metrics->counter(names::kServeSwapCount).add();
-    options_.run.obs.metrics->counter(names::kServeRetireCount).add();
-  }
-  const std::size_t freed = handle_.reclaim();
-  if (freed != 0 && options_.run.obs.metrics != nullptr) {
-    options_.run.obs.metrics->counter(names::kServeReclaimCount).add(freed);
-  }
-  return Result<std::uint64_t>::success(sequence);
 }
 
 std::size_t ServeCore::reclaim() {
@@ -173,6 +316,9 @@ ServeStats ServeCore::stats() const {
   ServeStats s;
   s.swaps = swaps_.load(std::memory_order_relaxed);
   s.swaps_rejected = swaps_rejected_.load(std::memory_order_relaxed);
+  s.swap_retries = swap_retries_.load(std::memory_order_relaxed);
+  s.swap_degraded = swap_degraded_.load(std::memory_order_relaxed);
+  s.swap_failed = swap_failed_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.batches_rejected = batches_rejected_.load(std::memory_order_relaxed);
   s.lookups = lookups_.load(std::memory_order_relaxed);
@@ -180,7 +326,54 @@ ServeStats ServeCore::stats() const {
   s.reclaimed = handle_.reclaimed_total();
   s.inflight = inflight_.load(std::memory_order_relaxed);
   s.limbo = handle_.limbo_size();
+  s.limbo_peak = handle_.limbo_peak();
   return s;
+}
+
+ServeHealth ServeCore::health() const {
+  ServeHealth h;
+  h.sequence = handle_.current_sequence();
+  h.backend = served_backend_.load(std::memory_order_relaxed);
+  h.last_swap_ok = last_swap_ok_.load(std::memory_order_relaxed);
+  h.stats = stats();
+  return h;
+}
+
+std::string ServeCore::snapshot_text() {
+  // The swap mutex excludes publication, so the unpinned current version
+  // is stable for the whole serialization — the snapshot is always one
+  // published version, never a blend.
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  const PolicyVersion& version = handle_.current_unpinned();
+  const std::string text = snapshot::encode(
+      version.sequence, version.classifier.backend(), version.policy,
+      version.fdd, default_decisions(), options_.run.faults);
+  if (options_.run.obs.metrics != nullptr) {
+    options_.run.obs.metrics->counter(names::kServeSnapshotSave).add();
+  }
+  return text;
+}
+
+std::string ServeHealth::to_json() const {
+  std::ostringstream out;
+  out << "{\"schema\":\"dfw-serve-health-v1\""
+      << ",\"sequence\":" << sequence
+      << ",\"backend\":\"" << to_string(backend) << '"'
+      << ",\"last_swap_ok\":" << (last_swap_ok ? "true" : "false")
+      << ",\"swaps\":" << stats.swaps
+      << ",\"swaps_rejected\":" << stats.swaps_rejected
+      << ",\"swap_retries\":" << stats.swap_retries
+      << ",\"swap_degraded\":" << stats.swap_degraded
+      << ",\"swap_failed\":" << stats.swap_failed
+      << ",\"batches\":" << stats.batches
+      << ",\"batches_rejected\":" << stats.batches_rejected
+      << ",\"lookups\":" << stats.lookups
+      << ",\"retired\":" << stats.retired
+      << ",\"reclaimed\":" << stats.reclaimed
+      << ",\"inflight\":" << stats.inflight
+      << ",\"limbo\":" << stats.limbo
+      << ",\"limbo_peak\":" << stats.limbo_peak << '}';
+  return out.str();
 }
 
 }  // namespace dfw::serve

@@ -19,13 +19,25 @@
 // in serve.batch.rejected) rather than queued without bound — the
 // governance layer's partial-result philosophy applied to a service.
 //
+// Self-healing: swap() never disturbs the served version on failure (the
+// last-good guarantee), and it fights back before failing. Transient
+// faults — injected faults from a FaultPlan (rt/fault.hpp), per-attempt
+// deadline breaches, allocation failure — are retried up to
+// swap_max_retries times under exponential backoff with deterministic
+// jitter; a capacity breach (kCapacityExceeded, e.g. the bit-parallel
+// path cap) degrades the compile to the flat_slab backend, which has no
+// path cap, instead of failing. Every recovery step is counted
+// (serve.swap.retries/degraded/failed) and surfaced through health().
+//
 // Everything observable lands in options.run.obs under the serve.*
 // names (obs/names.hpp); null sinks cost pointer tests, as everywhere.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "engine/backend.hpp"
@@ -35,6 +47,10 @@
 #include "serve/handle.hpp"
 
 namespace dfw::serve {
+
+namespace snapshot {
+struct SnapshotData;
+}  // namespace snapshot
 
 /// Knobs for a ServeCore, in the library's options-struct idiom.
 struct ServeOptions {
@@ -67,6 +83,32 @@ struct ServeOptions {
   /// (engine/backend.hpp). Each successful compile bumps the matching
   /// serve.backend.* counter.
   ClassifierBackendKind backend = ClassifierBackendKind::kFlatSlab;
+
+  /// Extra swap attempts after a *transient* failure (injected fault,
+  /// per-attempt deadline breach, std::bad_alloc). 0 = fail fast.
+  /// Deterministic failures (budget breach, invalid policy) never retry.
+  std::size_t swap_max_retries = 0;
+
+  /// Exponential backoff between retry attempts: the n-th retry sleeps
+  /// min(initial << (n-1), max) milliseconds plus deterministic jitter in
+  /// [0, delay/2] derived from swap_jitter_seed — reproducible schedules
+  /// for tests, decorrelated thundering herds in deployments.
+  std::uint64_t swap_backoff_initial_ms = 1;
+  std::uint64_t swap_backoff_max_ms = 100;
+  std::uint64_t swap_jitter_seed = 0;
+
+  /// Decision-path cap for the bit_parallel backend (see
+  /// CompileOptions::bit_parallel_max_paths). A swap that breaches it
+  /// degrades to flat_slab when degrade_on_capacity is set; a *boot*
+  /// breach throws — boot is not self-healing, the operator chose the
+  /// backend knowingly.
+  std::size_t bit_parallel_max_paths = std::size_t{1} << 14;
+
+  /// Retry a kCapacityExceeded compile once on the flat_slab backend
+  /// (which has no path cap) instead of failing the swap. Decisions are
+  /// byte-identical across backends, so degradation trades lookup speed
+  /// for availability, never correctness.
+  bool degrade_on_capacity = true;
 };
 
 /// One batch's outcome. `status` is kOk on success and kOverloaded when
@@ -82,7 +124,10 @@ struct BatchResult {
 /// Point-in-time counters (monotonic unless noted).
 struct ServeStats {
   std::uint64_t swaps = 0;           ///< successful publishes
-  std::uint64_t swaps_rejected = 0;  ///< governance-refused swaps
+  std::uint64_t swaps_rejected = 0;  ///< refused swaps (any cause)
+  std::uint64_t swap_retries = 0;    ///< retry attempts across all swaps
+  std::uint64_t swap_degraded = 0;   ///< swaps degraded to flat_slab
+  std::uint64_t swap_failed = 0;     ///< swaps failed after self-healing
   std::uint64_t batches = 0;         ///< admitted batches
   std::uint64_t batches_rejected = 0;
   std::uint64_t lookups = 0;         ///< packets across admitted batches
@@ -90,6 +135,21 @@ struct ServeStats {
   std::uint64_t reclaimed = 0;       ///< limbo versions freed
   std::uint64_t inflight = 0;        ///< currently admitted (not monotonic)
   std::uint64_t limbo = 0;           ///< currently awaiting drain
+  std::uint64_t limbo_peak = 0;      ///< high-water mark of limbo
+};
+
+/// A point-in-time health report: what is being served, whether the last
+/// operator action succeeded, and the full counter set. `to_json()` is
+/// the `health` command's wire format (schema dfw-serve-health-v1).
+struct ServeHealth {
+  std::uint64_t sequence = 0;  ///< served version right now
+  ClassifierBackendKind backend =
+      ClassifierBackendKind::kFlatSlab;  ///< its compiled layout
+  bool last_swap_ok = true;  ///< false after a failed swap, true again
+                             ///< after the next success (true at boot)
+  ServeStats stats;
+
+  std::string to_json() const;
 };
 
 class ServeCore {
@@ -97,6 +157,13 @@ class ServeCore {
   /// Compiles `initial` (ungoverned — the boot policy is trusted) and
   /// starts serving it as sequence 1. The policy must be comprehensive.
   ServeCore(Policy initial, ServeOptions options);
+
+  /// Resumes from a decoded snapshot (serve/snapshot.hpp): serves the
+  /// snapshot's version at its recorded sequence, compiled from the
+  /// snapshot's FDD on the snapshot's backend (the restart must be
+  /// byte-identical to the pre-crash daemon; options.backend applies to
+  /// later swaps). Subsequent swaps number from sequence + 1.
+  ServeCore(snapshot::SnapshotData restored, ServeOptions options);
 
   /// All Shards must be destroyed first; no batch may be in flight.
   ~ServeCore();
@@ -139,11 +206,15 @@ class ServeCore {
 
   /// Operator plane: compile `next` under the swap governance and
   /// atomically publish it. On success returns the new version's
-  /// sequence; on a governance breach (budget/deadline) or a
-  /// non-comprehensive policy returns the error and keeps serving the
-  /// current version. Concurrent swaps serialize; each drains what it
-  /// can from limbo on the way out.
-  Result<std::uint64_t> swap(Policy next);
+  /// sequence; on failure returns the error and keeps serving the
+  /// current version (last-good guarantee — a failed attempt's compiled
+  /// artifacts are released eagerly, before any retry sleep, never
+  /// parked in limbo). Transient failures retry under the
+  /// swap_max_retries/backoff knobs; capacity breaches degrade to
+  /// flat_slab when degrade_on_capacity is set; deterministic failures
+  /// (budget breach, invalid policy) fail fast. Concurrent swaps
+  /// serialize; each drains what it can from limbo on the way out.
+  Result<std::uint64_t> swap(const Policy& next);
 
   /// Frees every drained limbo version now (also runs inside swap()).
   std::size_t reclaim();
@@ -153,6 +224,17 @@ class ServeCore {
   }
   const ServeOptions& options() const { return options_; }
   ServeStats stats() const;
+
+  /// Liveness/readiness for operators: served sequence + backend, the
+  /// last swap's outcome, and the counters. Lock-free reads; callable
+  /// from any thread.
+  ServeHealth health() const;
+
+  /// The served version serialized as a crash-consistent snapshot
+  /// (serve/snapshot.hpp, format dfws 1): policy text, reduced FDD (dfdd
+  /// v2 DAG), sequence, backend, checksum. Serialized against swaps so
+  /// the snapshot is always one published version, never a blend.
+  std::string snapshot_text();
 
  private:
   BatchResult classify_pinned(std::span<const Packet> packets,
@@ -166,6 +248,12 @@ class ServeCore {
   std::atomic<std::uint64_t> inflight_{0};
   std::atomic<std::uint64_t> swaps_{0};
   std::atomic<std::uint64_t> swaps_rejected_{0};
+  std::atomic<std::uint64_t> swap_retries_{0};
+  std::atomic<std::uint64_t> swap_degraded_{0};
+  std::atomic<std::uint64_t> swap_failed_{0};
+  std::atomic<bool> last_swap_ok_{true};
+  std::atomic<ClassifierBackendKind> served_backend_{
+      ClassifierBackendKind::kFlatSlab};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batches_rejected_{0};
   std::atomic<std::uint64_t> lookups_{0};

@@ -18,6 +18,7 @@
 #include "fdd/construct.hpp"
 #include "obs/names.hpp"
 #include "rt/executor.hpp"
+#include "rt/govern.hpp"
 #include "synth/synth.hpp"
 #include "test_util.hpp"
 
@@ -232,13 +233,20 @@ TEST(ClassifierBackend, ClassifyIntoValidatesOutputSize) {
   EXPECT_THROW(c.classify_into(packets, short_out), std::invalid_argument);
 }
 
-TEST(ClassifierBackend, BitParallelPathCapThrows) {
+TEST(ClassifierBackend, BitParallelPathCapThrowsStructuredCapacityError) {
   std::mt19937_64 rng(716);
   const Policy p = test::random_policy(tiny3(), 6, rng);
   CompileOptions options;
   options.backend = ClassifierBackendKind::kBitParallel;
   options.bit_parallel_max_paths = 1;
-  EXPECT_THROW(Classifier::compile(p, options), std::length_error);
+  // A structured code, not a raw std::length_error: callers (the serve
+  // plane's degradation path) dispatch on it.
+  try {
+    Classifier::compile(p, options);
+    FAIL() << "path cap did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCapacityExceeded);
+  }
 }
 
 TEST(ClassifierBackend, CompilePhaseAndBatchMetricsRecorded) {

@@ -24,6 +24,7 @@
 #include "fw/parser.hpp"
 #include "lint/baseline.hpp"
 #include "lint/sarif.hpp"
+#include "serve/snapshot.hpp"
 #include "synth/synth.hpp"
 
 #ifndef DFW_CORPUS_DIR
@@ -418,7 +419,9 @@ TEST(CorpusFuzz, ClassifierBackendCompileOnFddSeeds) {
           options.backend = kind;
           compiled.push_back(Classifier::compile(*fdd, options));
         }
-      } catch (const std::length_error&) {
+      } catch (const Error& e) {
+        ASSERT_EQ(e.code(), ErrorCode::kCapacityExceeded)
+            << "unexpected structured error: " << e.what();
         continue;  // bit-parallel path cap — documented refusal
       } catch (const std::logic_error&) {
         continue;  // validate() rejected an incomplete mutant
@@ -500,6 +503,80 @@ TEST(CorpusFuzz, LintSeedsBehaveAsDocumented) {
     }
     if (seed.rfind("access-list", 0) == 0) {
       EXPECT_THROW((void)parse_cisco_acl(seed, "101"), ParseError);
+    }
+  }
+}
+
+// The serve snapshot loader ("dfws 1", serve/snapshot.hpp) boots a
+// daemon from disk, so its input is by definition untrusted (torn
+// writes, disk corruption, stale files). Its contract is the narrowest
+// in the library: decode or throw dfw::Error — nothing else, ever.
+
+TEST(Fuzz, SnapshotDecoderNeverCrashes) {
+  std::mt19937_64 rng(1006);
+  const Schema schema = five_tuple_schema();
+  for (int i = 0; i < 400; ++i) {
+    const std::string input =
+        (i % 2 == 0) ? random_bytes(rng, 300)
+                     : "dfws 1\nsequence 2\n" + random_bytes(rng, 250);
+    try {
+      (void)serve::snapshot::decode(schema, default_decisions(), input);
+    } catch (const Error&) {
+      // the documented (and only) failure mode
+    }
+  }
+}
+
+TEST(CorpusFuzz, SnapshotSeedsBehaveAsDocumented) {
+  // Filename prefixes pin the contract: valid_* seeds decode; bad_*
+  // seeds (bad magic, truncation, checksum flip) throw dfw::Error.
+  const Schema schema = five_tuple_schema();
+  const std::filesystem::path dir =
+      std::filesystem::path(DFW_CORPUS_DIR) / "snapshot";
+  std::size_t valid_seen = 0;
+  std::size_t bad_seen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    const std::string name = entry.path().filename().string();
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string seed = std::move(buf).str();
+    if (name.rfind("valid_", 0) == 0) {
+      ++valid_seen;
+      const auto data =
+          serve::snapshot::decode(schema, default_decisions(), seed);
+      EXPECT_GE(data.sequence, 1u) << name;
+    } else if (name.rfind("bad_", 0) == 0) {
+      ++bad_seen;
+      EXPECT_THROW(
+          (void)serve::snapshot::decode(schema, default_decisions(), seed),
+          Error)
+          << name;
+    } else {
+      ADD_FAILURE() << "unclassified snapshot seed: " << name;
+    }
+  }
+  EXPECT_GE(valid_seen, 1u);
+  EXPECT_GE(bad_seen, 3u);
+}
+
+TEST(CorpusFuzz, SnapshotMutants) {
+  std::mt19937_64 rng(2007);
+  const Schema schema = five_tuple_schema();
+  for (const std::string& seed : load_corpus("snapshot")) {
+    for (int i = 0; i < 300; ++i) {
+      const std::string input = mutant_of(seed, i, rng);
+      try {
+        const auto data =
+            serve::snapshot::decode(schema, default_decisions(), input);
+        // The checksum makes accidental acceptance astronomically
+        // unlikely, but any accepted mutant must be fully coherent.
+        EXPECT_GE(data.sequence, 1u);
+      } catch (const Error&) {
+      }
     }
   }
 }

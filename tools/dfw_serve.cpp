@@ -1,260 +1,19 @@
 // dfw_serve: a long-running classification daemon over a hot-swappable
-// compiled policy (src/serve).
+// compiled policy. The whole driver lives in src/serve/cli.cpp (library
+// form, so tests exercise flags, snapshot boot, the command loop, and
+// exit codes in-process); this translation unit only adapts main().
 //
-// The data plane classifies packet batches against the currently
-// published classifier version, sharding each batch's lookups across the
-// --threads executor workers. The operator channel is stdin: a line-
-// oriented command loop that can push replacement policies while batches
-// keep flowing — each swap compiles the new policy under the governance
-// flags (--max-nodes / --deadline-ms), atomically publishes it, and
-// retires the predecessor through the epoch limbo (docs/serve.md).
-//
-// commands (stdin, one per line):
-//   swap FILE       compile FILE and publish it; prints the new version
-//   batch FILE      classify FILE's packets; prints version + decisions
-//   stats           print the metrics snapshot JSON (serve.* counters)
-//   reclaim         drain the retire limbo now
-//   quit            flush --trace output and exit
-//
-// Packet files are one packet per line: <field-count> decimal values in
-// schema order (five-tuple: sip dip sport dport proto), '#' comments.
-//
-// Exit codes follow the shared dfw tool contract (cli_common.hpp):
-// 0 when every command succeeded, 1 when any swap or batch was rejected
-// (governance or admission), 2 on usage/parse errors.
+// See serve/cli.hpp for the command set and docs/serve.md for the
+// serving model: hot swaps with retry/backoff and backend degradation,
+// last-good fallback, crash-consistent snapshots, health reporting.
 
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "cli_common.hpp"
-#include "fw/parser.hpp"
-#include "serve/serve.hpp"
-
-namespace {
-
-constexpr const char* kUsage =
-    "usage: dfw_serve [options] <initial-policy-file>\n"
-    "\n"
-    "input:\n"
-    "  --format=native            policy syntax (default native)\n"
-    "  <initial-policy-file>      path, or - for stdin (not useful with\n"
-    "                             the stdin command loop)\n"
-    "\n"
-    "serving:\n"
-    "  --max-inflight=N  refuse batches past N in flight (default 0 =\n"
-    "                    unbounded); refusals exit-code 1\n"
-    "  --backend=NAME    compiled layout for every version: flat_slab\n"
-    "                    (default), prefix_trie, or bit_parallel; all are\n"
-    "                    byte-identical in output (docs/classifier.md)\n"
-    "\n"
-    "The governance flags bound each swap's compile: --max-nodes the\n"
-    "diagram, --deadline-ms the wall clock. A breached swap is rejected\n"
-    "and the previous version keeps serving.\n"
-    "\n";
-
-constexpr std::string_view kTool = "dfw_serve";
-
-std::optional<dfw::Policy> load_policy(const std::string& path,
-                                       std::ostream& err) {
-  const auto text = dfw::cli::slurp(path, err, kTool);
-  if (!text.has_value()) {
-    return std::nullopt;
-  }
-  try {
-    return dfw::parse_policy(dfw::five_tuple_schema(),
-                             dfw::default_decisions(), *text);
-  } catch (const dfw::ParseError& e) {
-    err << "dfw_serve: " << path << ": " << e.what() << "\n";
-    return std::nullopt;
-  }
-}
-
-std::optional<std::vector<dfw::Packet>> load_packets(
-    const std::string& path, std::size_t field_count, std::ostream& err) {
-  const auto text = dfw::cli::slurp(path, err, kTool);
-  if (!text.has_value()) {
-    return std::nullopt;
-  }
-  std::vector<dfw::Packet> packets;
-  std::istringstream lines(*text);
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(lines, line)) {
-    ++line_no;
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) {
-      line.resize(hash);
-    }
-    std::istringstream fields(line);
-    dfw::Packet packet;
-    dfw::Value value = 0;
-    while (fields >> value) {
-      packet.push_back(value);
-    }
-    if (packet.empty()) {
-      continue;  // blank or comment-only line
-    }
-    if (!fields.eof() || packet.size() != field_count) {
-      err << "dfw_serve: " << path << ":" << line_no
-          << ": expected " << field_count << " decimal field values\n";
-      return std::nullopt;
-    }
-    packets.push_back(std::move(packet));
-  }
-  return packets;
-}
-
-}  // namespace
+#include "serve/cli.hpp"
 
 int main(int argc, char** argv) {
-  namespace cli = dfw::cli;
-  cli::CommonOptions common;
-  std::size_t max_inflight = 0;
-  dfw::ClassifierBackendKind backend = dfw::ClassifierBackendKind::kFlatSlab;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--help" || arg == "-h") {
-      std::cout << kUsage << cli::kCommonUsage;
-      return cli::kExitClean;
-    }
-    switch (cli::consume_common_flag(common, arg, std::cerr, kTool)) {
-      case cli::FlagResult::kConsumed:
-        continue;
-      case cli::FlagResult::kError:
-        return cli::kExitUsage;
-      case cli::FlagResult::kNotMine:
-        break;
-    }
-    if (const auto v = cli::flag_value(arg, "--max-inflight=")) {
-      const auto n = cli::parse_size(*v);
-      if (!n.has_value()) {
-        std::cerr << "dfw_serve: bad --max-inflight value '" << *v << "'\n";
-        return cli::kExitUsage;
-      }
-      max_inflight = *n;
-    } else if (const auto b = cli::flag_value(arg, "--backend=")) {
-      const auto kind = dfw::parse_backend_kind(*b);
-      if (!kind.has_value()) {
-        std::cerr << "dfw_serve: unknown backend '" << *b
-                  << "' (flat_slab, prefix_trie, bit_parallel)\n";
-        return cli::kExitUsage;
-      }
-      backend = *kind;
-    } else if (arg.rfind("--", 0) == 0) {
-      std::cerr << "dfw_serve: unknown option '" << arg << "'\n"
-                << kUsage << cli::kCommonUsage;
-      return cli::kExitUsage;
-    } else {
-      common.positional.push_back(arg);
-    }
-  }
-  if (common.format.empty()) {
-    common.format = "native";
-  }
-  if (common.format != "native") {
-    std::cerr << "dfw_serve: unknown format '" << common.format << "'\n";
-    return cli::kExitUsage;
-  }
-  if (common.positional.size() != 1) {
-    std::cerr << kUsage << cli::kCommonUsage;
-    return cli::kExitUsage;
-  }
-
-  auto initial = load_policy(common.positional[0], std::cerr);
-  if (!initial.has_value()) {
-    return cli::kExitUsage;
-  }
-  const std::size_t field_count = initial->schema().field_count();
-
-  // The swap governance comes from the shared flags; the data-plane
-  // executor and the obs sinks come from the shared runtime.
-  cli::CommonRuntime runtime(common);
-  dfw::serve::ServeOptions options;
-  const dfw::RunOptions run = runtime.run_options();
-  options.run.executor = run.executor;
-  options.run.obs = run.obs;
-  options.max_inflight_batches = max_inflight;
-  options.swap_budgets.max_nodes = common.max_nodes;
-  options.swap_deadline_ms = common.deadline_ms;
-  options.backend = backend;
-
-  std::optional<dfw::serve::ServeCore> core;
-  try {
-    core.emplace(std::move(*initial), options);
-  } catch (const std::exception& e) {
-    std::cerr << "dfw_serve: " << common.positional[0] << ": " << e.what()
-              << "\n";
-    return cli::kExitUsage;
-  }
-  dfw::serve::ServeCore::Shard shard = core->shard();
-  std::cout << "serving version=" << core->current_sequence()
-            << " backend=" << dfw::to_string(backend) << "\n";
-
-  bool any_rejected = false;
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    std::istringstream words(line);
-    std::string command;
-    words >> command;
-    if (command.empty() || command[0] == '#') {
-      continue;
-    }
-    std::string path;
-    if (command == "quit") {
-      break;
-    } else if (command == "stats") {
-      std::cout << runtime.metrics().snapshot().to_json() << "\n";
-    } else if (command == "reclaim") {
-      std::cout << "reclaimed " << core->reclaim() << " version(s)\n";
-    } else if (command == "swap" && (words >> path)) {
-      auto next = load_policy(path, std::cerr);
-      if (!next.has_value()) {
-        return cli::kExitUsage;
-      }
-      const auto result = core->swap(std::move(*next));
-      if (result.ok()) {
-        std::cout << "swap ok version=" << result.value() << "\n";
-      } else {
-        std::cout << "swap rejected: " << result.error().what() << "\n";
-        any_rejected = true;
-      }
-    } else if (command == "batch" && (words >> path)) {
-      const auto packets = load_packets(path, field_count, std::cerr);
-      if (!packets.has_value()) {
-        return cli::kExitUsage;
-      }
-      const dfw::serve::BatchResult result = shard.classify(*packets);
-      if (result.status != dfw::ErrorCode::kOk) {
-        std::cout << "batch rejected: " << dfw::to_string(result.status)
-                  << "\n";
-        any_rejected = true;
-        continue;
-      }
-      std::vector<std::size_t> counts(dfw::default_decisions().size(), 0);
-      for (const dfw::Decision d : result.decisions) {
-        ++counts[d];
-      }
-      std::cout << "batch ok version=" << result.version
-                << " packets=" << result.decisions.size();
-      for (std::size_t d = 0; d < counts.size(); ++d) {
-        if (counts[d] != 0) {
-          std::cout << " " << dfw::default_decisions().name(
-                           static_cast<dfw::Decision>(d))
-                    << "=" << counts[d];
-        }
-      }
-      std::cout << "\n";
-    } else {
-      std::cerr << "dfw_serve: bad command '" << line << "'\n";
-      return cli::kExitUsage;
-    }
-  }
-
-  const int trace_status = runtime.finish(std::cerr, kTool);
-  if (trace_status != cli::kExitClean) {
-    return trace_status;
-  }
-  return any_rejected ? cli::kExitFindings : cli::kExitClean;
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return dfw::serve::run_serve_cli(args, std::cin, std::cout, std::cerr);
 }
