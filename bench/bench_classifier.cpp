@@ -22,7 +22,6 @@
 // --quick shrinks the sweep for CI smoke runs.
 
 #include <cstdio>
-#include <cstring>
 #include <optional>
 #include <random>
 #include <span>
@@ -84,15 +83,12 @@ int main(int argc, char** argv) {
   using bench::ms_between;
   using bench::time_ns;
 
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
-      quick = true;
-    } else {
-      std::fprintf(stderr, "usage: bench_classifier [--quick]\n");
-      return 2;
-    }
+  const std::optional<bool> quick_flag = bench::parse_quick_flag(argc, argv);
+  if (!quick_flag.has_value()) {
+    std::fprintf(stderr, "usage: bench_classifier [--quick]\n");
+    return 2;
   }
+  const bool quick = *quick_flag;
 
   const std::vector<std::size_t> sizes =
       quick ? std::vector<std::size_t>{42, 200}

@@ -22,13 +22,30 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
 
 namespace dfw::bench {
+
+/// The benches' one shared flag: --quick shrinks the sweep for CI smoke
+/// and regression runs. Returns the quick state, or nullopt on any other
+/// argument (the caller prints its usage and exits 2).
+inline std::optional<bool> parse_quick_flag(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") {
+      quick = true;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return quick;
+}
 
 using Clock = std::chrono::steady_clock;
 

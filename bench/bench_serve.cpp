@@ -8,11 +8,18 @@
 //
 // Writes BENCH_serve.json (dfw-bench-obs-v1) next to the working
 // directory, with the serve.* counters from each run's registry.
+//
+// --quick trims the sweep to threads {1, 2} x period {none, 2ms} but
+// keeps the per-reader batch count identical, so every quick record is
+// directly comparable to the committed full-sweep baseline under
+// dfw_bench_diff --key-params=threads,swap_period_ms (the other params
+// are measured outputs, not identity).
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
@@ -91,8 +98,15 @@ RunResult run_config(const std::vector<Policy>& ring,
 }  // namespace
 }  // namespace dfw
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dfw;
+
+  const std::optional<bool> quick_flag = bench::parse_quick_flag(argc, argv);
+  if (!quick_flag.has_value()) {
+    std::fprintf(stderr, "usage: bench_serve [--quick]\n");
+    return 2;
+  }
+  const bool quick = *quick_flag;
 
   SynthConfig config;
   config.num_rules = kRules;
@@ -107,8 +121,13 @@ int main() {
   bench::ObsReport report("bench_serve");
   std::printf("%8s %14s %10s %8s %14s\n", "threads", "swap_period_ms",
               "lookups", "swaps", "lookups/sec");
-  for (const std::size_t threads : {1u, 2u, 8u}) {
-    for (const std::uint64_t period_ms : {0ull, 20ull, 2ull}) {
+  const std::vector<std::size_t> thread_counts =
+      quick ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 8};
+  const std::vector<std::uint64_t> periods =
+      quick ? std::vector<std::uint64_t>{0, 2}
+            : std::vector<std::uint64_t>{0, 20, 2};
+  for (const std::size_t threads : thread_counts) {
+    for (const std::uint64_t period_ms : periods) {
       MetricsRegistry registry;
       const RunResult r =
           run_config(ring, pool, threads, period_ms, registry);

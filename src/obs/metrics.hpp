@@ -10,6 +10,16 @@
 // docs/observability.md for the mapping table), so one snapshot() answers
 // "what did this run cost" across every subsystem.
 //
+// Histogram bucketing is log-linear (HDR-style): each power-of-two octave
+// is split into 2^subbits linear sub-buckets, so the relative error of any
+// reconstructed value is bounded by 2^-subbits. The default, subbits = 0,
+// is exactly the original power-of-two bucketing — one bucket per octave —
+// and registries built that way snapshot and serialize byte-identically to
+// the pre-log-linear layer. Finer resolutions are an opt-in knob on the
+// registry (they change bucket boundaries, hence bytes), and are what make
+// HistogramSnapshot::quantile() tight enough to report p99/p999 tail
+// latencies (docs/observability.md, "Quantiles and bucket resolution").
+//
 // Concurrency: counters and histogram buckets are relaxed atomics — safe
 // to bump from any thread, including the Executor's workers. Registering a
 // name takes a short-lived lock, so hot paths should look their Counter /
@@ -21,7 +31,6 @@
 
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -36,6 +45,7 @@ namespace dfw {
 struct ExecutorMetrics;
 struct ArenaStats;
 class RunContext;
+class FaultPlan;
 
 /// A monotonically increasing named value.
 class Counter {
@@ -51,46 +61,88 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
-/// A histogram over fixed power-of-two buckets: bucket i counts values v
-/// with 2^(i-1) <= v < 2^i (bucket 0 counts v == 0). 64 buckets cover the
-/// whole uint64 range, so recording never clips; the intended unit for
-/// timing series is nanoseconds.
+/// A histogram over log-linear buckets. With `subbits` = s, values below
+/// 2^(s+1) get one bucket each (exact), and every octave [2^(w-1), 2^w)
+/// above splits into 2^s equal sub-buckets — so any recorded value is
+/// reconstructible to a relative error below 2^-s. s = 0 is the original
+/// power-of-two scheme: bucket i counts values v with 2^(i-1) <= v < 2^i
+/// (bucket 0 counts v == 0). All 64-bit values land in some bucket, so
+/// recording never clips; the intended unit for timing series is
+/// nanoseconds.
 class Histogram {
  public:
+  /// Bucket count of the default (subbits = 0) resolution, kept for the
+  /// legacy callers; num_buckets() is the general form.
   static constexpr std::size_t kBuckets = 65;
+  /// Resolution cap: 2^6 sub-buckets per octave is a <= 1.6% relative
+  /// error and a 30 KB bucket array — finer would be all memory, no
+  /// signal for nanosecond timings.
+  static constexpr std::uint32_t kMaxSubbits = 6;
+
+  explicit Histogram(std::uint32_t subbits = 0);
 
   void record(std::uint64_t value) {
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
-    buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+    buckets_[bucket_of(value, subbits_)].fetch_add(1,
+                                                   std::memory_order_relaxed);
   }
 
   std::uint64_t count() const {
     return count_.load(std::memory_order_relaxed);
   }
   std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint32_t subbits() const { return subbits_; }
 
-  /// Index of the bucket `value` lands in.
-  static std::size_t bucket_of(std::uint64_t value);
-  /// Inclusive lower bound of bucket i (0 for the first two buckets).
-  static std::uint64_t bucket_lower_bound(std::size_t i);
+  /// Buckets a resolution has: 2^s * (65 - s).
+  static std::size_t num_buckets(std::uint32_t subbits);
+  /// Index of the bucket `value` lands in at the given resolution.
+  static std::size_t bucket_of(std::uint64_t value, std::uint32_t subbits = 0);
+  /// Inclusive lower bound of bucket i (0 for the first two buckets —
+  /// bucket 1 holds exactly v == 1 but reports 0, a wire-format quirk
+  /// kept for byte compatibility).
+  static std::uint64_t bucket_lower_bound(std::size_t i,
+                                          std::uint32_t subbits = 0);
+  /// Exclusive upper bound of the bucket whose lower bound is `lo`
+  /// (saturates to uint64-max for the top bucket). Defined on bounds, not
+  /// indices, so it also serves snapshots, which keep only non-empty
+  /// (bound, count) pairs.
+  static std::uint64_t bucket_next_bound(std::uint64_t lo,
+                                         std::uint32_t subbits = 0);
 
   std::uint64_t bucket_count(std::size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
  private:
+  std::uint32_t subbits_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  // Value-initialized (zeroed) array sized by the resolution.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
 };
 
 /// Point-in-time copy of one histogram: total count and sum plus the
-/// non-empty buckets as (inclusive lower bound, count) pairs.
+/// non-empty buckets as (inclusive lower bound, count) pairs, and the
+/// resolution they were recorded at (needed to recover upper bounds).
 struct HistogramSnapshot {
   std::uint64_t count = 0;
   std::uint64_t sum = 0;
+  std::uint32_t subbits = 0;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+
+  /// The q-quantile (q in [0, 1], clamped) reconstructed from the
+  /// buckets by linear interpolation inside the bucket holding the
+  /// target rank. Exact when the bucket is a single value (the linear
+  /// region); otherwise off by at most the bucket's width — a relative
+  /// error below 2^-subbits. Returns 0 on an empty histogram.
+  double quantile(double q) const;
+
+  /// Folds `other` into this snapshot (counts and sums add, bucket lists
+  /// merge by lower bound). Both sides must share a resolution; merging
+  /// across resolutions throws std::logic_error, because their bucket
+  /// bounds do not line up.
+  void merge(const HistogramSnapshot& other);
 
   friend bool operator==(const HistogramSnapshot&,
                          const HistogramSnapshot&) = default;
@@ -104,7 +156,9 @@ struct MetricsSnapshot {
 
   /// One JSON object: {"counters": {...}, "histograms": {name:
   /// {"count":..,"sum":..,"buckets":[[lo,n],...]}, ...}}. Key order is the
-  /// map order, so equal snapshots serialize to equal bytes.
+  /// map order, so equal snapshots serialize to equal bytes. The
+  /// resolution is deliberately not serialized here — the format predates
+  /// it; obs/export.hpp's JSONL records carry it.
   std::string to_json() const;
 
   friend bool operator==(const MetricsSnapshot&,
@@ -113,7 +167,11 @@ struct MetricsSnapshot {
 
 class MetricsRegistry {
  public:
-  MetricsRegistry() = default;
+  /// `histogram_subbits` is the log-linear resolution every histogram in
+  /// this registry records at (clamped to kMaxSubbits). The default 0
+  /// keeps the original power-of-two buckets and byte-identical
+  /// snapshots.
+  explicit MetricsRegistry(std::uint32_t histogram_subbits = 0);
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
@@ -122,9 +180,12 @@ class MetricsRegistry {
   Counter& counter(std::string_view name);
   Histogram& histogram(std::string_view name);
 
+  std::uint32_t histogram_subbits() const { return subbits_; }
+
   MetricsSnapshot snapshot() const;
 
  private:
+  std::uint32_t subbits_;
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
@@ -138,5 +199,16 @@ class MetricsRegistry {
 void absorb(MetricsRegistry& registry, const ExecutorMetrics& metrics);
 void absorb(MetricsRegistry& registry, const ArenaStats& stats);
 void absorb(MetricsRegistry& registry, const RunContext& context);
+/// The fault plane's per-site observation counters, as
+/// rt.fault.site.<site>.{hits,fires} plus the rt.fault.total_* sums
+/// (obs/names.hpp). Additive like the others — once per window.
+void absorb(MetricsRegistry& registry, const FaultPlan& plan);
+
+/// Overlays the fault plane's *cumulative* per-site counters onto an
+/// already-taken snapshot (set, not add) — the form the serve telemetry
+/// reporter wants, where the same live plan is re-read every tick and
+/// absorption would double-count. A plan with no armed sites adds no
+/// keys, so the null/empty case stays byte-identical.
+void overlay(MetricsSnapshot& snapshot, const FaultPlan& plan);
 
 }  // namespace dfw

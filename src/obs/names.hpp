@@ -41,7 +41,12 @@ inline constexpr const char* kServeReclaimCount = "serve.reclaim.count";
 inline constexpr const char* kServeBatchCount = "serve.batch.count";
 /// Batches refused by admission control (kOverloaded).
 inline constexpr const char* kServeBatchRejected = "serve.batch.rejected";
-/// End-to-end duration per admitted batch.
+/// End-to-end duration per admitted batch — the canonical data-plane
+/// latency histogram (pin + classify + record). The executor-level
+/// rt.executor.chunk_ns histogram is deliberately distinct: it times each
+/// pool *chunk* inside a batch, so under a pool executor one batch fans
+/// into many chunk samples (and under the inline executor the two series
+/// coincide at count parity). Do not re-derive batch latency from it.
 inline constexpr const char* kServeBatchNs = "serve.batch.ns";
 /// Individual packet lookups across all admitted batches.
 inline constexpr const char* kServeLookupCount = "serve.lookup.count";
@@ -52,6 +57,31 @@ inline constexpr const char* kServeBackendPrefixTrie =
     "serve.backend.prefix_trie";
 inline constexpr const char* kServeBackendBitParallel =
     "serve.backend.bit_parallel";
+
+/// Telemetry ticks taken by the serve reporter thread (one per interval
+/// elapse while the core is up; on-demand telemetry_now() calls do not
+/// bump it).
+inline constexpr const char* kServeTelemetryTicks =
+    "serve.telemetry.tick.count";
+
+/// Trace-span names of the serve planes. serve.batch is a *span only*:
+/// its duration histogram is the canonical kServeBatchNs above, recorded
+/// once per batch (the span used to double-record as phase.serve.batch_ns
+/// — deduplicated, see docs/observability.md). serve.swap keeps the
+/// PhaseSpan pairing: phase.serve.swap_ns times the whole self-healing
+/// loop (retries and backoff included) while kServeSwapCompileNs times
+/// each individual compile attempt.
+inline constexpr const char* kSpanServeBatch = "serve.batch";
+inline constexpr const char* kSpanServeSwap = "serve.swap";
+
+/// Fault-plane counters (rt/fault.hpp): per armed site as
+/// rt.fault.site.<site>.hits / .fires, plus the totals below. Registered
+/// by absorb(registry, plan) — once per window — or overlaid point-in-time
+/// onto telemetry snapshots by overlay(snapshot, plan); a null or unarmed
+/// plan registers nothing, preserving byte-identity.
+inline constexpr const char* kFaultSitePrefix = "rt.fault.site.";
+inline constexpr const char* kFaultTotalHits = "rt.fault.total_hits";
+inline constexpr const char* kFaultTotalFires = "rt.fault.total_fires";
 
 /// Per-backend classifier compile phases (phase.<name>_ns histograms via
 /// PhaseSpan, which requires these to be static string literals).

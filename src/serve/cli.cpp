@@ -1,7 +1,10 @@
 #include "serve/cli.hpp"
 
+#include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -9,6 +12,7 @@
 
 #include "cli_common.hpp"
 #include "fw/parser.hpp"
+#include "obs/export.hpp"
 #include "serve/serve.hpp"
 #include "serve/snapshot.hpp"
 
@@ -41,13 +45,26 @@ constexpr const char* kUsage =
     "  --health-interval=N  print the health JSON after every N operator\n"
     "                    commands (default 0 = only on the health command)\n"
     "\n"
+    "telemetry (docs/observability.md):\n"
+    "  --metrics-interval=MS  run the in-core reporter: every MS\n"
+    "                    milliseconds a dedicated thread snapshots\n"
+    "                    metrics + health into a rolling window\n"
+    "                    (default 0 = off)\n"
+    "  --metrics-out=FILE  append one dfw-metrics-v1 JSONL record per\n"
+    "                    reporter tick to FILE, plus a final record at\n"
+    "                    quit (works without --metrics-interval too)\n"
+    "\n"
     "commands (stdin, one per line):\n"
     "  swap FILE       compile FILE and publish it; prints the new version\n"
     "  batch FILE      classify FILE's packets; prints version + decisions\n"
-    "  stats           print the metrics snapshot JSON (serve.* counters)\n"
+    "  stats           print the metrics snapshot JSON (serve.* counters,\n"
+    "                  fault-plane site counters overlaid when armed)\n"
+    "  prom            print the snapshot as Prometheus text exposition\n"
+    "  window          print the reporter's rolling window, one JSONL\n"
+    "                  record per tick (empty until the reporter ticks)\n"
     "  health          print the health JSON (dfw-serve-health-v1)\n"
     "  reclaim         drain the retire limbo now\n"
-    "  quit            flush --trace output and exit\n"
+    "  quit            flush --trace and --metrics-out output and exit\n"
     "\n"
     "The governance flags bound each swap's compile: --max-nodes the\n"
     "diagram, --deadline-ms the wall clock. A breached swap is rejected\n"
@@ -114,6 +131,8 @@ int run_serve_cli(const std::vector<std::string>& args, std::istream& in,
   std::size_t max_inflight = 0;
   std::size_t swap_retries = 0;
   std::size_t health_interval = 0;
+  std::size_t metrics_interval = 0;
+  std::string metrics_out;
   std::string snapshot_path;
   ClassifierBackendKind backend = ClassifierBackendKind::kFlatSlab;
   for (const std::string& arg : args) {
@@ -150,6 +169,19 @@ int run_serve_cli(const std::vector<std::string>& args, std::istream& in,
         return cli::kExitUsage;
       }
       health_interval = *n;
+    } else if (const auto m = cli::flag_value(arg, "--metrics-interval=")) {
+      const auto n = cli::parse_size(*m);
+      if (!n.has_value()) {
+        err << "dfw_serve: bad --metrics-interval value '" << *m << "'\n";
+        return cli::kExitUsage;
+      }
+      metrics_interval = *n;
+    } else if (const auto o = cli::flag_value(arg, "--metrics-out=")) {
+      if (o->empty()) {
+        err << "dfw_serve: --metrics-out needs a file path\n";
+        return cli::kExitUsage;
+      }
+      metrics_out = *o;
     } else if (const auto s = cli::flag_value(arg, "--snapshot=")) {
       if (s->empty()) {
         err << "dfw_serve: --snapshot needs a file path\n";
@@ -196,6 +228,30 @@ int run_serve_cli(const std::vector<std::string>& args, std::istream& in,
   options.swap_deadline_ms = common.deadline_ms;
   options.backend = backend;
   options.swap_max_retries = swap_retries;
+  options.telemetry_interval_ms = metrics_interval;
+
+  // The JSONL sink outlives the core (declared first, destroyed last):
+  // the reporter thread writes through on_telemetry until ~ServeCore
+  // quiesces it, and the final record at quit shares the same mutex and
+  // sequence counter.
+  MetricsExporter exporter;
+  std::ofstream metrics_file;
+  std::mutex metrics_mu;
+  std::uint64_t metrics_seq = 0;
+  if (!metrics_out.empty()) {
+    metrics_file.open(metrics_out, std::ios::trunc);
+    if (!metrics_file) {
+      err << "dfw_serve: cannot open --metrics-out file '" << metrics_out
+          << "'\n";
+      return cli::kExitUsage;
+    }
+    options.on_telemetry = [&](const TelemetryRecord& record) {
+      std::lock_guard<std::mutex> lock(metrics_mu);
+      metrics_file << exporter.jsonl(record.metrics, ++metrics_seq,
+                                     record.uptime_ms);
+      metrics_file.flush();  // each tick is durable — the file tails live
+    };
+  }
 
   const std::size_t field_count = five_tuple_schema().field_count();
 
@@ -267,7 +323,14 @@ int run_serve_cli(const std::vector<std::string>& args, std::istream& in,
     if (command == "quit") {
       break;
     } else if (command == "stats") {
-      out << runtime.metrics().snapshot().to_json() << "\n";
+      out << core->telemetry_now().metrics.to_json() << "\n";
+    } else if (command == "prom") {
+      out << exporter.prometheus(core->telemetry_now().metrics);
+    } else if (command == "window") {
+      for (const TelemetryRecord& record : core->telemetry_window()) {
+        out << exporter.jsonl(record.metrics, record.tick,
+                              record.uptime_ms);
+      }
     } else if (command == "health") {
       out << core->health().to_json() << "\n";
     } else if (command == "reclaim") {
@@ -317,6 +380,16 @@ int run_serve_cli(const std::vector<std::string>& args, std::istream& in,
     if (health_interval != 0 && commands % health_interval == 0) {
       out << core->health().to_json() << "\n";
     }
+  }
+
+  if (metrics_file.is_open()) {
+    // One closing record regardless of interval: a reporterless run
+    // still leaves the final counter state in the series.
+    const TelemetryRecord final_record = core->telemetry_now();
+    std::lock_guard<std::mutex> lock(metrics_mu);
+    metrics_file << exporter.jsonl(final_record.metrics, ++metrics_seq,
+                                   final_record.uptime_ms);
+    metrics_file.flush();
   }
 
   const int trace_status = runtime.finish(err, kTool);

@@ -97,6 +97,7 @@ ServeCore::ServeCore(Policy initial, ServeOptions options)
     : options_(std::move(options)),
       handle_(domain_, boot_version(std::move(initial), options_)) {
   served_backend_.store(options_.backend, std::memory_order_relaxed);
+  start_reporter();
 }
 
 ServeCore::ServeCore(snapshot::SnapshotData restored, ServeOptions options)
@@ -105,9 +106,13 @@ ServeCore::ServeCore(snapshot::SnapshotData restored, ServeOptions options)
   next_sequence_ = handle_.current_sequence() + 1;
   served_backend_.store(handle_.current_unpinned().classifier.backend(),
                         std::memory_order_relaxed);
+  start_reporter();
 }
 
 ServeCore::~ServeCore() {
+  // The reporter quiesces first: once joined, no tick can touch the
+  // handle or the window while teardown proceeds.
+  stop_reporter();
   // Readers are gone (Shards must not outlive the core); drain limbo so
   // retire/reclaim bookkeeping balances before the handle frees current.
   handle_.reclaim();
@@ -147,7 +152,10 @@ BatchResult ServeCore::classify_pinned(std::span<const Packet> packets,
     return result;
   }
   {
-    PhaseSpan span(options_.run.obs, "serve.batch");
+    // Trace span only: the duration histogram is the canonical
+    // kServeBatchNs recorded below — a PhaseSpan here would duplicate
+    // the same samples as phase.serve.batch_ns.
+    ScopedSpan span(options_.run.obs.tracer, names::kSpanServeBatch);
     const auto start = std::chrono::steady_clock::now();
     // The pin is held across the whole batch, parallel_for join
     // included: pool workers classify under the submitting thread's
@@ -178,7 +186,7 @@ BatchResult ServeCore::classify_pinned(std::span<const Packet> packets,
 
 Result<std::uint64_t> ServeCore::swap(const Policy& next) {
   std::lock_guard<std::mutex> lock(swap_mu_);
-  PhaseSpan span(options_.run.obs, "serve.swap");
+  PhaseSpan span(options_.run.obs, names::kSpanServeSwap);
   MetricsRegistry* metrics = options_.run.obs.metrics;
   ClassifierBackendKind backend = options_.backend;
   std::size_t retries = 0;
@@ -337,6 +345,88 @@ ServeHealth ServeCore::health() const {
   h.last_swap_ok = last_swap_ok_.load(std::memory_order_relaxed);
   h.stats = stats();
   return h;
+}
+
+TelemetryRecord ServeCore::telemetry_now() const {
+  TelemetryRecord record;
+  record.tick = telemetry_ticks_.load(std::memory_order_relaxed);
+  record.uptime_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - boot_time_)
+          .count());
+  if (options_.run.obs.metrics != nullptr) {
+    record.metrics = options_.run.obs.metrics->snapshot();
+  }
+  if (options_.run.faults != nullptr) {
+    // Overlay, not absorb: telemetry is point-in-time, and re-adding a
+    // live plan's counters every tick would double-count them.
+    overlay(record.metrics, *options_.run.faults);
+  }
+  record.health = health();
+  return record;
+}
+
+std::vector<TelemetryRecord> ServeCore::telemetry_window() const {
+  std::lock_guard<std::mutex> lock(telemetry_mu_);
+  return {window_.begin(), window_.end()};
+}
+
+void ServeCore::start_reporter() {
+  if (options_.telemetry_interval_ms == 0) {
+    return;
+  }
+  reporter_ = std::thread([this] {
+    const auto interval =
+        std::chrono::milliseconds(options_.telemetry_interval_ms);
+    std::unique_lock<std::mutex> lock(telemetry_mu_);
+    while (!telemetry_stop_) {
+      if (telemetry_cv_.wait_for(lock, interval,
+                                 [this] { return telemetry_stop_; })) {
+        return;
+      }
+      lock.unlock();
+      reporter_tick();
+      lock.lock();
+    }
+  });
+}
+
+void ServeCore::stop_reporter() {
+  if (!reporter_.joinable()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(telemetry_mu_);
+    telemetry_stop_ = true;
+  }
+  telemetry_cv_.notify_all();
+  reporter_.join();
+}
+
+void ServeCore::reporter_tick() {
+  // The tick counter is bumped before the snapshot so the record it
+  // produces already carries this tick in serve.telemetry.tick.count.
+  if (options_.run.obs.metrics != nullptr) {
+    options_.run.obs.metrics->counter(names::kServeTelemetryTicks).add();
+  }
+  TelemetryRecord record = telemetry_now();
+  record.tick = telemetry_ticks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    std::lock_guard<std::mutex> lock(telemetry_mu_);
+    window_.push_back(record);
+    if (options_.telemetry_window != 0) {
+      while (window_.size() > options_.telemetry_window) {
+        window_.pop_front();
+      }
+    }
+  }
+  if (options_.on_telemetry) {
+    try {
+      options_.on_telemetry(record);
+    } catch (...) {
+      // A throwing sink must not take the reporter (or the core) down.
+    }
+  }
 }
 
 std::string ServeCore::snapshot_text() {

@@ -19,6 +19,15 @@
 // in serve.batch.rejected) rather than queued without bound — the
 // governance layer's partial-result philosophy applied to a service.
 //
+// Telemetry: with telemetry_interval_ms set, a dedicated reporter thread
+// snapshots metrics + health every interval into a bounded rolling window
+// (TelemetryRecord), overlaying the fault plane's per-site counters
+// (rt.fault.site.*) when a FaultPlan is installed, and hands each record
+// to an optional on_telemetry callback — the serve CLI appends them as
+// dfw-metrics-v1 JSONL (obs/export.hpp). The thread is quiesced before
+// any teardown in ~ServeCore; interval 0 (the default) starts no thread
+// and is byte-identical to a reporterless core.
+//
 // Self-healing: swap() never disturbs the served version on failure (the
 // last-good guarantee), and it fights back before failing. Transient
 // faults — injected faults from a FaultPlan (rt/fault.hpp), per-attempt
@@ -35,9 +44,14 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/backend.hpp"
@@ -51,6 +65,8 @@ namespace dfw::serve {
 namespace snapshot {
 struct SnapshotData;
 }  // namespace snapshot
+
+struct TelemetryRecord;
 
 /// Knobs for a ServeCore, in the library's options-struct idiom.
 struct ServeOptions {
@@ -109,6 +125,22 @@ struct ServeOptions {
   /// byte-identical across backends, so degradation trades lookup speed
   /// for availability, never correctness.
   bool degrade_on_capacity = true;
+
+  /// Telemetry reporter cadence in milliseconds; 0 (default) starts no
+  /// reporter thread. Each tick snapshots metrics + health into the
+  /// rolling window and bumps serve.telemetry.tick.count.
+  std::uint64_t telemetry_interval_ms = 0;
+
+  /// Records the rolling window retains (oldest evicted first); at
+  /// least 1 when the reporter runs.
+  std::size_t telemetry_window = 64;
+
+  /// Invoked on the reporter thread with each tick's record, after it
+  /// enters the window — the export hook (the CLI appends JSONL here).
+  /// Must not call back into this core's operator plane (swap/snapshot);
+  /// reading stats/health is fine. Exceptions are swallowed: telemetry
+  /// must never take down the data plane.
+  std::function<void(const TelemetryRecord&)> on_telemetry;
 };
 
 /// One batch's outcome. `status` is kOk on success and kOverloaded when
@@ -150,6 +182,18 @@ struct ServeHealth {
   ServeStats stats;
 
   std::string to_json() const;
+};
+
+/// One telemetry observation: the registry snapshot (with the fault
+/// plane's cumulative site counters overlaid when a plan is installed —
+/// obs/names.hpp kFaultSitePrefix) plus the health report, stamped with
+/// the reporter tick that produced it and the core's uptime. On-demand
+/// records from telemetry_now() carry the tick count at the call.
+struct TelemetryRecord {
+  std::uint64_t tick = 0;
+  std::uint64_t uptime_ms = 0;
+  MetricsSnapshot metrics;
+  ServeHealth health;
 };
 
 class ServeCore {
@@ -230,6 +274,22 @@ class ServeCore {
   /// from any thread.
   ServeHealth health() const;
 
+  /// A point-in-time telemetry record, on demand: what a reporter tick
+  /// would capture, without entering the window or bumping the tick
+  /// counter. With no metrics registry installed the snapshot is empty
+  /// and health still reports.
+  TelemetryRecord telemetry_now() const;
+
+  /// A copy of the rolling telemetry window, oldest first (empty when
+  /// the reporter is off or has not ticked yet). Callable from any
+  /// thread.
+  std::vector<TelemetryRecord> telemetry_window() const;
+
+  /// Reporter ticks taken so far.
+  std::uint64_t telemetry_ticks() const {
+    return telemetry_ticks_.load(std::memory_order_relaxed);
+  }
+
   /// The served version serialized as a crash-consistent snapshot
   /// (serve/snapshot.hpp, format dfws 1): policy text, reduced FDD (dfdd
   /// v2 DAG), sequence, backend, checksum. Serialized against swaps so
@@ -239,6 +299,9 @@ class ServeCore {
  private:
   BatchResult classify_pinned(std::span<const Packet> packets,
                               std::size_t slot);
+  void start_reporter();
+  void stop_reporter();
+  void reporter_tick();
 
   ServeOptions options_;
   EpochDomain domain_;
@@ -257,6 +320,18 @@ class ServeCore {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batches_rejected_{0};
   std::atomic<std::uint64_t> lookups_{0};
+
+  // Telemetry plane. The window and the stop flag share telemetry_mu_;
+  // the reporter thread is started last in construction and quiesced
+  // first in destruction, so every tick observes a fully built core.
+  std::chrono::steady_clock::time_point boot_time_{
+      std::chrono::steady_clock::now()};
+  std::atomic<std::uint64_t> telemetry_ticks_{0};
+  mutable std::mutex telemetry_mu_;
+  std::condition_variable telemetry_cv_;
+  bool telemetry_stop_ = false;
+  std::deque<TelemetryRecord> window_;
+  std::thread reporter_;
 };
 
 }  // namespace dfw::serve

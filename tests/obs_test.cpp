@@ -17,8 +17,10 @@
 #include "fdd/compare.hpp"
 #include "fdd/construct.hpp"
 #include "gen/generate.hpp"
+#include "obs/names.hpp"
 #include "obs/obs.hpp"
 #include "rt/executor.hpp"
+#include "rt/fault.hpp"
 #include "rt/govern.hpp"
 #include "synth/synth.hpp"
 
@@ -178,6 +180,192 @@ TEST(MetricsTest, HistogramBucketsArePowersOfTwo) {
     EXPECT_EQ(Histogram::bucket_of(lo), i);
     EXPECT_EQ(Histogram::bucket_of(lo - 1), i - 1);
   }
+}
+
+TEST(MetricsTest, LogLinearBucketsRefineOctavesWithinErrorBound) {
+  // subbits=2: values < 8 get exact buckets, every octave splits into 4
+  // sub-buckets, and the bound/index functions stay inverse of each other.
+  constexpr std::uint32_t kSub = 2;
+  EXPECT_EQ(Histogram::num_buckets(kSub), (std::size_t{65} - kSub) << kSub);
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(Histogram::bucket_of(v, kSub), v);
+  }
+  for (std::size_t i = 2; i < Histogram::num_buckets(kSub); ++i) {
+    const std::uint64_t lo = Histogram::bucket_lower_bound(i, kSub);
+    EXPECT_EQ(Histogram::bucket_of(lo, kSub), i) << "bucket " << i;
+    EXPECT_EQ(Histogram::bucket_of(lo - 1, kSub), i - 1) << "bucket " << i;
+  }
+  // The log-linear relative error bound: a bucket's width never exceeds
+  // 2^-s of its lower bound once past the exact region.
+  for (std::size_t i = 1u << (kSub + 1);
+       i < Histogram::num_buckets(kSub) - 1; ++i) {
+    const std::uint64_t lo = Histogram::bucket_lower_bound(i, kSub);
+    const std::uint64_t hi = Histogram::bucket_next_bound(lo, kSub);
+    EXPECT_LE(hi - lo, lo >> kSub) << "bucket " << i;
+  }
+  // subbits=0 reproduces the legacy power-of-two scheme exactly.
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 7ull, 1000ull,
+                          (1ull << 40) + 17, ~0ull}) {
+    EXPECT_EQ(Histogram::bucket_of(v, 0), Histogram::bucket_of(v));
+  }
+}
+
+TEST(MetricsTest, SubbitsZeroRegistryIsByteIdenticalToDefault) {
+  MetricsRegistry legacy;
+  MetricsRegistry explicit_zero(0);
+  for (MetricsRegistry* r : {&legacy, &explicit_zero}) {
+    r->counter("c").add(3);
+    for (const std::uint64_t v : {1ull, 9ull, 512ull, 100000ull}) {
+      r->histogram("h").record(v);
+    }
+  }
+  EXPECT_EQ(legacy.snapshot().to_json(), explicit_zero.snapshot().to_json());
+}
+
+TEST(MetricsTest, QuantileEdgeCases) {
+  // Empty histogram: every quantile is 0.
+  HistogramSnapshot empty;
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_EQ(empty.quantile(0.999), 0.0);
+
+  // Single occupied bucket: quantiles interpolate inside [lo, hi).
+  MetricsRegistry registry;
+  for (int i = 0; i < 10; ++i) {
+    registry.histogram("one").record(1000);
+  }
+  const HistogramSnapshot one = registry.snapshot().histograms.at("one");
+  const std::uint64_t lo = one.buckets.front().first;
+  const std::uint64_t hi = Histogram::bucket_next_bound(lo, one.subbits);
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(one.quantile(q), static_cast<double>(lo));
+    EXPECT_LE(one.quantile(q), static_cast<double>(hi - 1));
+  }
+  EXPECT_LE(one.quantile(0.5), one.quantile(0.9));
+
+  // Saturating top bucket: the max value lands in the last bucket, whose
+  // upper bound clamps to UINT64_MAX instead of wrapping.
+  registry.histogram("top").record(~std::uint64_t{0});
+  const HistogramSnapshot top = registry.snapshot().histograms.at("top");
+  EXPECT_GE(top.quantile(1.0), static_cast<double>(1ull << 63));
+  const std::uint64_t top_lo = top.buckets.back().first;
+  EXPECT_EQ(Histogram::bucket_next_bound(top_lo, top.subbits),
+            ~std::uint64_t{0});
+}
+
+TEST(MetricsTest, HistogramSnapshotMergeAccumulates) {
+  MetricsRegistry a(2);
+  MetricsRegistry b(2);
+  for (const std::uint64_t v : {1ull, 5ull, 100ull, 100ull, 4096ull}) {
+    a.histogram("h").record(v);
+  }
+  for (const std::uint64_t v : {2ull, 100ull, 1ull << 20}) {
+    b.histogram("h").record(v);
+  }
+  HistogramSnapshot merged = a.snapshot().histograms.at("h");
+  merged.merge(b.snapshot().histograms.at("h"));
+  EXPECT_EQ(merged.count, 8u);
+  EXPECT_EQ(merged.sum, 1ull + 5 + 100 + 100 + 4096 + 2 + 100 + (1u << 20));
+  std::uint64_t total = 0;
+  std::uint64_t prev_lo = 0;
+  for (const auto& [lo, n] : merged.buckets) {
+    EXPECT_GE(lo, prev_lo);
+    prev_lo = lo;
+    total += n;
+  }
+  EXPECT_EQ(total, merged.count);
+  // The shared bucket (both recorded 100) summed, not duplicated.
+  const std::size_t idx = Histogram::bucket_of(100, 2);
+  const std::uint64_t lo100 = Histogram::bucket_lower_bound(idx, 2);
+  std::uint64_t in100 = 0;
+  for (const auto& [lo, n] : merged.buckets) {
+    if (lo == lo100) {
+      in100 += n;
+    }
+  }
+  EXPECT_EQ(in100, 3u);
+
+  // Merging into an empty snapshot adopts the other's resolution;
+  // mismatched non-empty resolutions are a logic error, not silent junk.
+  HistogramSnapshot fresh;
+  fresh.merge(merged);
+  EXPECT_EQ(fresh.subbits, 2u);
+  EXPECT_EQ(fresh, merged);
+  MetricsRegistry c(0);
+  c.histogram("h").record(7);
+  HistogramSnapshot coarse = c.snapshot().histograms.at("h");
+  EXPECT_THROW(coarse.merge(merged), std::logic_error);
+}
+
+TEST(MetricsTest, QuantilesDeterministicAcrossThreadCounts) {
+  // The same multiset of samples must snapshot identically no matter how
+  // many threads recorded it — bucket counts are commutative.
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t i = 0; i < 9000; ++i) {
+    values.push_back((i * 2654435761u) % 1000000);
+  }
+  std::vector<MetricsSnapshot> snaps;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    MetricsRegistry registry(3);
+    Histogram& h = registry.histogram("h");
+    std::vector<std::thread> workers;
+    const std::size_t share = values.size() / threads;
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        const std::size_t begin = t * share;
+        const std::size_t end =
+            t + 1 == threads ? values.size() : begin + share;
+        for (std::size_t i = begin; i < end; ++i) {
+          h.record(values[i]);
+        }
+      });
+    }
+    for (std::thread& w : workers) {
+      w.join();
+    }
+    snaps.push_back(registry.snapshot());
+  }
+  EXPECT_EQ(snaps[0], snaps[1]);
+  EXPECT_EQ(snaps[0], snaps[2]);
+  EXPECT_EQ(snaps[0].histograms.at("h").quantile(0.99),
+            snaps[2].histograms.at("h").quantile(0.99));
+}
+
+TEST(MetricsTest, FaultPlanCountersAbsorbAndOverlay) {
+  FaultSpec spec;
+  spec.site = fault::sites::kSwapCompile;
+  spec.fire_on = 2;
+  FaultPlan plan(7, {spec});
+  for (int i = 0; i < 3; ++i) {
+    try {
+      plan.hit(fault::sites::kSwapCompile);
+    } catch (const Error&) {
+    }
+  }
+
+  MetricsRegistry registry;
+  absorb(registry, plan);
+  MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("rt.fault.site.serve.swap.compile.hits"), 3u);
+  EXPECT_EQ(snap.counters.at("rt.fault.site.serve.swap.compile.fires"), 1u);
+  EXPECT_EQ(snap.counters.at(names::kFaultTotalHits), 3u);
+  EXPECT_EQ(snap.counters.at(names::kFaultTotalFires), 1u);
+
+  // overlay() sets point-in-time values — applying it twice is stable,
+  // where a second absorb() would double.
+  overlay(snap, plan);
+  overlay(snap, plan);
+  EXPECT_EQ(snap.counters.at("rt.fault.site.serve.swap.compile.hits"), 3u);
+
+  // An unarmed plan leaves both forms byte-identical to no plan at all.
+  FaultPlan unarmed(1, {});
+  MetricsRegistry clean;
+  clean.counter("x").add();
+  const std::string before = clean.snapshot().to_json();
+  absorb(clean, unarmed);
+  MetricsSnapshot overlay_snap = clean.snapshot();
+  overlay(overlay_snap, unarmed);
+  EXPECT_EQ(clean.snapshot().to_json(), before);
+  EXPECT_EQ(overlay_snap.to_json(), before);
 }
 
 TEST(MetricsTest, EqualSnapshotsSerializeToEqualJson) {

@@ -1,0 +1,31 @@
+// The perf-regression gate: diff two dfw-bench-obs-v1 documents.
+//
+// Benchmarks produce numbers; numbers only gate anything when something
+// compares them run over run. run_bench_diff_cli matches records between a
+// committed baseline and a fresh run (by name plus a configurable subset
+// of identity params — some params are *measured*, e.g. lookups_per_sec,
+// and must not participate in matching), computes the current/baseline
+// ratio of each record's wall_ns (and optionally a histogram quantile from
+// the embedded metrics snapshot), and fails when any ratio escapes the
+// [min, max] window. Exit codes follow the shared contract
+// (tools/cli_common.hpp): 0 within thresholds, 1 breaches found, 2 the
+// invocation or an input file is at fault.
+//
+// The same binary fronts the obs/export.hpp validators
+// (--validate-prom/--validate-jsonl) so CI can vet scraped exporter output
+// without a second tool.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dfw::bench {
+
+/// The dfw_bench_diff driver. Pure function of its arguments and the
+/// filesystem; writes the human report to `out`, errors to `err`.
+int run_bench_diff_cli(const std::vector<std::string>& args,
+                       std::ostream& out, std::ostream& err);
+
+}  // namespace dfw::bench

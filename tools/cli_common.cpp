@@ -13,6 +13,8 @@ const char* kCommonUsage =
     "  --max-nodes=N     abort governed FDD work past N nodes\n"
     "  --deadline-ms=N   abort governed work after N milliseconds\n"
     "  --trace=FILE      write a Chrome trace of the run to FILE\n"
+    "  --hist-subbits=N  histogram resolution: N linear sub-bucket bits\n"
+    "                    per octave, 0..6 (default 0 = power-of-two)\n"
     "  --format=NAME     input syntax (see the tool's input section)\n"
     "\n"
     "exit codes: 0 clean, 1 findings/partial result, 2 usage/input "
@@ -105,6 +107,15 @@ FlagResult consume_common_flag(CommonOptions& opts, const std::string& arg,
     opts.deadline_ms = static_cast<std::int64_t>(*n);
     return FlagResult::kConsumed;
   }
+  if (const auto v = flag_value(arg, "--hist-subbits=")) {
+    const auto n = parse_size(*v);
+    if (!n.has_value() || *n > Histogram::kMaxSubbits) {
+      err << tool << ": bad --hist-subbits value '" << *v << "' (0..6)\n";
+      return FlagResult::kError;
+    }
+    opts.hist_subbits = static_cast<std::uint32_t>(*n);
+    return FlagResult::kConsumed;
+  }
   if (const auto v = flag_value(arg, "--trace=")) {
     if (v->empty()) {
       err << tool << ": bad --trace value (empty path)\n";
@@ -121,7 +132,7 @@ FlagResult consume_common_flag(CommonOptions& opts, const std::string& arg,
 }
 
 CommonRuntime::CommonRuntime(const CommonOptions& opts)
-    : trace_path_(opts.trace_path) {
+    : metrics_(opts.hist_subbits), trace_path_(opts.trace_path) {
   if (opts.threads != 0) {
     executor_.emplace(opts.threads);
   }

@@ -8,6 +8,8 @@
 //   --max-nodes=N     governance node budget (0 = unlimited)
 //   --deadline-ms=N   governance wall-clock deadline (0 = none)
 //   --trace=FILE      write a Chrome trace of the run to FILE
+//   --hist-subbits=N  log-linear histogram resolution, 0..6 (0 = legacy
+//                     power-of-two buckets; see docs/observability.md)
 //   --format=NAME     input syntax (tool validates its own set of names)
 //
 // and every tool exits through the same three-way contract:
@@ -52,6 +54,7 @@ struct CommonOptions {
   std::size_t threads = 0;
   std::size_t max_nodes = 0;
   std::int64_t deadline_ms = 0;
+  std::uint32_t hist_subbits = 0;
   std::string trace_path;
   std::string format;  ///< empty until --format= is seen
   std::vector<std::string> positional;

@@ -1,0 +1,18 @@
+// dfw_bench_diff: the CI perf-regression gate. Diffs two
+// dfw-bench-obs-v1 documents (committed baseline vs fresh run) and exits
+// 1 when any record's ratio escapes the threshold window; also fronts
+// the obs/export.hpp structural validators for scraped exporter output.
+// The driver lives in bench_diff.cpp (library form, so tests exercise
+// matching, thresholds, and exit codes in-process); this translation
+// unit only adapts main().
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_diff.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return dfw::bench::run_bench_diff_cli(args, std::cout, std::cerr);
+}
