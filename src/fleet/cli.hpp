@@ -1,0 +1,26 @@
+// The dfw_fleet command-line driver, factored as a library function so
+// tests exercise the full CLI — manifest/directory input, the generator
+// mode, report emission, exit codes — in-process against string streams.
+//
+// Exit-code contract (the shared cli_common one):
+//   0  clean: every device analysed completely with no findings and no
+//      divergences
+//   1  findings: lint findings, divergences, parse-error devices, or a
+//      partial (budget-cut) run — the fleet needs attention
+//   2  usage or input error: bad flags, unreadable files, malformed
+//      manifest
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dfw::fleet {
+
+/// Runs the CLI. `args` excludes argv[0]. Reports go to `out`,
+/// usage/errors to `err`. Returns the process exit code.
+int run_fleet_cli(const std::vector<std::string>& args, std::ostream& out,
+                  std::ostream& err);
+
+}  // namespace dfw::fleet

@@ -15,6 +15,12 @@ bool is_hex_digit(char c) {
 std::optional<Baseline> parse_baseline(std::string_view text,
                                        std::string* error) {
   Baseline baseline;
+  // Editors routinely stamp a UTF-8 BOM on an otherwise-empty file; an
+  // empty or whitespace-only baseline means "no suppressions accepted
+  // yet", never a parse error.
+  if (text.size() >= 3 && text.substr(0, 3) == "\xEF\xBB\xBF") {
+    text.remove_prefix(3);
+  }
   std::size_t line_no = 0;
   std::size_t start = 0;
   const auto fail = [&](const std::string& message) -> std::optional<Baseline> {
@@ -33,8 +39,9 @@ std::optional<Baseline> parse_baseline(std::string_view text,
     if (!line.empty() && line.back() == '\r') {
       line.remove_suffix(1);
     }
-    const std::size_t first =
-        line.find_first_not_of(" \t");
+    // The full horizontal-whitespace set: a line of \f/\v (or the spaces
+    // and tabs everyone expects) is blank, not a malformed fingerprint.
+    const std::size_t first = line.find_first_not_of(" \t\v\f");
     if (first == std::string_view::npos || line[first] == '#') {
       continue;
     }

@@ -29,10 +29,12 @@ struct Baseline {
   std::vector<std::string> fingerprints;  ///< sorted, deduplicated
 };
 
-/// Parses baseline text. Grammar per line: blank, '#'-comment, or a
-/// 16-lower-hex-digit fingerprint optionally followed by whitespace and a
-/// trailing comment. Returns nullopt and fills `error` (when non-null,
-/// with a line-numbered message) on anything else.
+/// Parses baseline text. Grammar per line: blank (any mix of space, tab,
+/// \v, \f), '#'-comment, or a 16-lower-hex-digit fingerprint optionally
+/// followed by whitespace and a trailing comment; a leading UTF-8 BOM is
+/// ignored. An empty or whitespace-only file is a valid baseline with no
+/// suppressions. Returns nullopt and fills `error` (when non-null, with a
+/// line-numbered message) on anything else.
 std::optional<Baseline> parse_baseline(std::string_view text,
                                        std::string* error);
 

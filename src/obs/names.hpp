@@ -83,6 +83,39 @@ inline constexpr const char* kFaultSitePrefix = "rt.fault.site.";
 inline constexpr const char* kFaultTotalHits = "rt.fault.total_hits";
 inline constexpr const char* kFaultTotalFires = "rt.fault.total_fires";
 
+/// Simplify pass (src/simplify/): rules removed across all transforms
+/// (dead elimination + merges + subsumption) per simplify_policy call.
+inline constexpr const char* kSimplifyRulesRemoved =
+    "simplify.rules_removed";
+/// Equivalence proofs that ended kProven.
+inline constexpr const char* kSimplifyProven = "simplify.proof.proven";
+/// Simplify runs cut short by governance (original policy returned).
+inline constexpr const char* kSimplifyAborted = "simplify.aborted";
+
+/// Fleet driver (src/fleet/): devices attempted (every manifest entry).
+inline constexpr const char* kFleetDevices = "fleet.device.count";
+/// Devices that finished with a partial (governed) result.
+inline constexpr const char* kFleetDevicePartial = "fleet.device.partial";
+/// Devices skipped outright because the shared context was already
+/// aborted when their task started.
+inline constexpr const char* kFleetDeviceSkipped = "fleet.device.skipped";
+/// Devices whose config failed to parse.
+inline constexpr const char* kFleetParseErrors = "fleet.device.parse_error";
+/// Lint findings across all devices, before fingerprint deduplication.
+inline constexpr const char* kFleetFindings = "fleet.finding.count";
+/// Distinct lint fingerprints across the fleet (the deduplicated count).
+inline constexpr const char* kFleetFindingsDistinct =
+    "fleet.finding.distinct";
+/// Cross-device behavioural divergences recorded by the compare stage.
+inline constexpr const char* kFleetDivergences = "fleet.divergence.count";
+
+/// Fleet phase-span names (PhaseSpan requires static string literals):
+/// fleet.devices wraps the sharded per-device fan-out, fleet.compare the
+/// cross-device comparison stage, fleet.render the report emission.
+inline constexpr const char* kSpanFleetDevices = "fleet.devices";
+inline constexpr const char* kSpanFleetCompare = "fleet.compare";
+inline constexpr const char* kSpanFleetRender = "fleet.render";
+
 /// Per-backend classifier compile phases (phase.<name>_ns histograms via
 /// PhaseSpan, which requires these to be static string literals).
 inline constexpr const char* kClassifierCompileFlatSlab =

@@ -1,0 +1,301 @@
+#include "simplify/simplify.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "analysis/anomaly.hpp"
+#include "fdd/arena.hpp"
+#include "obs/names.hpp"
+#include "obs/obs.hpp"
+
+namespace dfw {
+namespace {
+
+/// Index of the single field where the two rules' conjuncts differ, when
+/// the rules share a decision and differ in exactly one field; SIZE_MAX
+/// otherwise. Merging such a pair into one rule whose differing conjunct
+/// is the union is exact: a packet matches the merged rule iff it matches
+/// the d-1 shared conjuncts and lands in either variant of the field.
+std::size_t mergeable_field(const Rule& a, const Rule& b) {
+  if (a.decision() != b.decision()) {
+    return SIZE_MAX;
+  }
+  std::size_t differing = SIZE_MAX;
+  for (std::size_t f = 0; f < a.conjuncts().size(); ++f) {
+    if (a.conjunct(f) == b.conjunct(f)) {
+      continue;
+    }
+    if (differing != SIZE_MAX) {
+      return SIZE_MAX;  // second differing field
+    }
+    differing = f;
+  }
+  return differing;
+}
+
+Rule merge_pair(const Schema& schema, const Rule& a, const Rule& b,
+                std::size_t field) {
+  std::vector<IntervalSet> conjuncts = a.conjuncts();
+  conjuncts[field] = conjuncts[field].unite(b.conjunct(field));
+  return Rule(schema, std::move(conjuncts), a.decision());
+}
+
+/// Removes rules no packet ever first-matches. Exact via the incremental
+/// coverage FDD behind dead_rules() — the same reachability dfw-lint's
+/// dead-rules pass reports on.
+bool eliminate_dead(const Schema& schema, std::vector<Rule>& rules,
+                    const SimplifyOptions& options, SimplifyStats& stats) {
+  AnomalyOptions scan;
+  // The coverage pass is inherently serial; keep the caller's governance
+  // and sinks but not its executor.
+  scan.run.context = options.run.context;
+  scan.run.obs = options.run.obs;
+  const std::vector<std::size_t> dead =
+      dead_rules(Policy(schema, rules), scan);
+  if (dead.empty()) {
+    return false;
+  }
+  // dead_rules reports ascending indices; erase back-to-front.
+  for (std::size_t i = dead.size(); i-- > 0;) {
+    rules.erase(rules.begin() + static_cast<std::ptrdiff_t>(dead[i]));
+  }
+  stats.dead_eliminated += dead.size();
+  return true;
+}
+
+/// Folds neighbouring same-decision rules that differ in exactly one
+/// field. Sound independently of the surrounding rules: the pair's
+/// combined first-match set equals the merged rule's match set, and no
+/// rule between them exists to observe the difference.
+bool merge_adjacent(const Schema& schema, std::vector<Rule>& rules,
+                    RunContext* ctx, SimplifyStats& stats) {
+  std::vector<Rule> out;
+  out.reserve(rules.size());
+  bool changed = false;
+  for (Rule& rule : rules) {
+    govern::checkpoint(ctx);
+    if (!out.empty()) {
+      const std::size_t field = mergeable_field(out.back(), rule);
+      if (field != SIZE_MAX) {
+        out.back() = merge_pair(schema, out.back(), rule, field);
+        ++stats.adjacent_merged;
+        changed = true;
+        continue;
+      }
+    }
+    out.push_back(std::move(rule));
+  }
+  // The loop moves from `rules` unconditionally, so the result vector is
+  // installed even when nothing merged.
+  rules = std::move(out);
+  return changed;
+}
+
+/// Within one maximal run of consecutive same-decision rules, evaluation
+/// order is immaterial (any packet reaching the run that matches any
+/// member gets the run's one decision, and the run's contribution to the
+/// fall-through set is the complement of the predicate union). That
+/// licenses two rewrites adjacency cannot see: dropping a rule whose
+/// predicate is contained in a sibling's, and merging non-adjacent
+/// single-field pairs.
+bool coalesce_run(const Schema& schema, std::vector<Rule>& run,
+                  RunContext* ctx, SimplifyStats& stats) {
+  bool changed = false;
+  bool progressed = true;
+  while (progressed && run.size() > 1) {
+    progressed = false;
+    // Subsumption: later siblings first, so an equal-predicate pair drops
+    // the later rule.
+    for (std::size_t b = run.size(); b-- > 0 && run.size() > 1;) {
+      for (std::size_t a = 0; a < run.size(); ++a) {
+        govern::checkpoint(ctx);
+        if (a == b) {
+          continue;
+        }
+        if (predicate_subset(run[b], run[a])) {
+          run.erase(run.begin() + static_cast<std::ptrdiff_t>(b));
+          ++stats.run_subsumed;
+          changed = progressed = true;
+          break;
+        }
+      }
+    }
+    // First single-field pair in scan order merges; rescan (the merged
+    // rule may enable further subsumption or merging).
+    for (std::size_t a = 0; a + 1 < run.size() && !progressed; ++a) {
+      for (std::size_t b = a + 1; b < run.size(); ++b) {
+        govern::checkpoint(ctx);
+        const std::size_t field = mergeable_field(run[a], run[b]);
+        if (field == SIZE_MAX) {
+          continue;
+        }
+        run[a] = merge_pair(schema, run[a], run[b], field);
+        run.erase(run.begin() + static_cast<std::ptrdiff_t>(b));
+        ++stats.run_merged;
+        changed = progressed = true;
+        break;
+      }
+    }
+  }
+  return changed;
+}
+
+bool coalesce_runs(const Schema& schema, std::vector<Rule>& rules,
+                   RunContext* ctx, SimplifyStats& stats) {
+  std::vector<Rule> out;
+  out.reserve(rules.size());
+  bool changed = false;
+  std::size_t i = 0;
+  while (i < rules.size()) {
+    std::size_t j = i + 1;
+    while (j < rules.size() &&
+           rules[j].decision() == rules[i].decision()) {
+      ++j;
+    }
+    if (j - i > 1) {
+      std::vector<Rule> run(
+          std::make_move_iterator(rules.begin() +
+                                  static_cast<std::ptrdiff_t>(i)),
+          std::make_move_iterator(rules.begin() +
+                                  static_cast<std::ptrdiff_t>(j)));
+      changed = coalesce_run(schema, run, ctx, stats) || changed;
+      for (Rule& r : run) {
+        out.push_back(std::move(r));
+      }
+    } else {
+      out.push_back(std::move(rules[i]));
+    }
+    i = j;
+  }
+  rules = std::move(out);
+  return changed;
+}
+
+/// Arena-backed equivalence proof. Both policies intern into one
+/// hash-consed arena through build_reduced, whose results are canonical —
+/// the reduced ordered FDD of a packet function is unique, so root-id
+/// equality decides equivalence outright (for partial functions too). The
+/// explicit shape + compare walk is run as the reportable artifact: a
+/// proven rewrite shows zero discrepancies from the same comparison
+/// machinery the paper's cross-team pipeline uses.
+ProofStatus prove(const Policy& original, const Policy& simplified,
+                  RunContext* ctx, SimplifyReport& report) {
+  FddArena arena(original.schema());
+  arena.set_context(ctx);
+  const ArenaNodeId a = arena.build_reduced(original);
+  const ArenaNodeId b = arena.build_reduced(simplified);
+  if (a == b) {
+    const auto shaped = arena.shape_pair(a, b);
+    report.proof_discrepancies =
+        arena.compare({shaped.first, shaped.second}).size();
+    return report.proof_discrepancies == 0 ? ProofStatus::kProven
+                                           : ProofStatus::kRefuted;
+  }
+  // Distinct canonical roots refute equivalence by themselves; the
+  // comparison walk is attempted for witness discrepancies, but partial
+  // diagrams may not shape (std::logic_error), and a governance breach
+  // (dfw::Error) must still unwind to the caller.
+  report.proof_discrepancies = 1;
+  try {
+    const auto shaped = arena.shape_pair(a, b);
+    const std::vector<Discrepancy> found =
+        arena.compare({shaped.first, shaped.second});
+    if (!found.empty()) {
+      report.proof_discrepancies = found.size();
+    }
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    // Root inequality remains the (unitemized) witness.
+  }
+  return ProofStatus::kRefuted;
+}
+
+}  // namespace
+
+const char* to_string(ProofStatus status) {
+  switch (status) {
+    case ProofStatus::kProven:
+      return "proven";
+    case ProofStatus::kSkipped:
+      return "skipped";
+    case ProofStatus::kAborted:
+      return "aborted";
+    case ProofStatus::kRefuted:
+      return "refuted";
+  }
+  return "unknown";
+}
+
+SimplifyOutcome simplify_policy(const Policy& policy,
+                                const SimplifyOptions& options) {
+  PhaseSpan span(options.run.obs, "simplify", "rules",
+                 static_cast<std::uint64_t>(policy.size()));
+  RunContext* ctx = options.run.context;
+
+  SimplifyReport report;
+  report.rules_before = policy.size();
+  report.rules_after = policy.size();
+
+  const Schema& schema = policy.schema();
+  std::vector<Rule> rules = policy.rules();
+  try {
+    for (std::size_t round = 0; round < options.max_passes; ++round) {
+      bool changed = false;
+      if (options.eliminate_dead) {
+        changed = eliminate_dead(schema, rules, options, report.stats);
+      }
+      if (options.merge_adjacent) {
+        changed = merge_adjacent(schema, rules, ctx, report.stats) || changed;
+      }
+      if (options.coalesce_runs) {
+        changed = coalesce_runs(schema, rules, ctx, report.stats) || changed;
+      }
+      if (!changed) {
+        break;
+      }
+      ++report.passes;
+    }
+
+    Policy simplified(schema, rules);
+    if (report.passes == 0) {
+      // Untouched: nothing to prove, nothing to count.
+      return {std::move(simplified), report};
+    }
+    if (options.prove) {
+      report.proof = prove(policy, simplified, ctx, report);
+      if (report.proof == ProofStatus::kRefuted) {
+        // A refuted proof means a transform is unsound (an internal bug):
+        // fail safe by handing back the input untouched.
+        report.rules_after = report.rules_before;
+        return {policy, report};
+      }
+    }
+    report.rules_after = simplified.size();
+    if (MetricsRegistry* metrics = options.run.obs.metrics) {
+      metrics->counter(names::kSimplifyRulesRemoved)
+          .add(report.rules_before - report.rules_after);
+      if (report.proof == ProofStatus::kProven) {
+        metrics->counter(names::kSimplifyProven).add();
+      }
+    }
+    return {std::move(simplified), report};
+  } catch (const Error& e) {
+    report.complete = false;
+    report.status = e.code();
+    report.message = e.what();
+    report.proof = options.prove ? ProofStatus::kAborted
+                                 : ProofStatus::kSkipped;
+    report.rules_after = report.rules_before;
+    if (MetricsRegistry* metrics = options.run.obs.metrics) {
+      metrics->counter(names::kSimplifyAborted).add();
+    }
+    return {policy, report};
+  }
+}
+
+}  // namespace dfw

@@ -1,0 +1,127 @@
+// Semantics-preserving policy simplification (the static-analysis pass of
+// Diekmann et al., "Semantics-Preserving Simplification of Real-World
+// Firewall Rule Sets", recast over this library's rule model).
+//
+// Real rule sets accrete garbage: rules jointly masked by the rules above
+// them, adjacent rules that are one rule written as two, same-decision
+// runs full of subsumed special cases. simplify_policy rewrites a policy
+// into a smaller one with three transforms, each individually
+// order-of-evaluation sound (they preserve the policy's packet-to-decision
+// mapping, including the fall-through set of non-comprehensive policies):
+//
+//   dead elimination   rules no packet ever first-matches, detected
+//                      exactly via the incremental coverage FDD
+//                      (analysis/anomaly.hpp dead_rules — the same
+//                      machinery behind dfw-lint's dead-rules pass)
+//   adjacent merge     neighbouring rules with one decision that differ
+//                      in exactly one field fold into one rule whose
+//                      differing conjunct is the union
+//   run coalescing     within a maximal run of consecutive same-decision
+//                      rules, order is immaterial; rules subsumed by a
+//                      run sibling are dropped and non-adjacent
+//                      single-field pairs are merged
+//
+// The pass iterates the transforms to a fixpoint, then *proves* the
+// result: both policies are interned into one hash-consed FddArena, where
+// id equality of the canonical roots IS semantic equality — backed up by
+// an explicit shape + compare walk reporting zero discrepancies. A policy
+// is never returned unproven: if the proof is refuted (an internal bug)
+// or cut short by governance, the ORIGINAL policy comes back and the
+// report says so.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "fw/policy.hpp"
+#include "rt/govern.hpp"
+#include "rt/run_options.hpp"
+
+namespace dfw {
+
+/// Per-run knobs, in the library's options-struct idiom.
+struct SimplifyOptions {
+  /// Shared execution knobs (rt/run_options.hpp). `run.context` governs
+  /// the whole pass: the dead-rule scan charges its coverage-FDD nodes,
+  /// the proof arena charges every interned node and label byte, and the
+  /// transform scans take amortized checkpoints. A breach aborts the pass
+  /// — the outcome carries the ORIGINAL policy, complete = false, and the
+  /// breach's code. `run.obs`: the pass runs under a "simplify" phase
+  /// span with "simplify.transform" / "simplify.prove" subspans, and
+  /// counts rules removed into "simplify.rules_removed". `run.executor`
+  /// is accepted for uniformity but unused — one policy simplifies
+  /// serially (fleets parallelize across policies, tools/dfw_fleet).
+  RunOptions run = {};
+
+  /// Transform toggles; disabling all three makes the pass an (optionally
+  /// proof-checked) identity.
+  bool eliminate_dead = true;
+  bool merge_adjacent = true;
+  bool coalesce_runs = true;
+
+  /// Prove the rewrite equivalent by arena-backed FDD comparison. Off
+  /// skips the proof (ProofStatus::kSkipped) — for callers that re-prove
+  /// in aggregate, e.g. a randomized harness.
+  bool prove = true;
+
+  /// Fixpoint bound: transform rounds stop after this many passes even if
+  /// the policy is still shrinking (each round removes at least one rule,
+  /// so the bound only matters for adversarial inputs).
+  std::size_t max_passes = 16;
+};
+
+/// How the equivalence proof of a simplification ended.
+enum class ProofStatus {
+  kProven,   ///< canonical arena roots identical; compare walk agrees
+  kSkipped,  ///< proof disabled, or no transform changed the policy
+  kAborted,  ///< governance breach mid-proof; original policy returned
+  kRefuted,  ///< proof found a discrepancy (internal bug); original
+             ///< policy returned
+};
+
+/// Stable identifier string, e.g. "proven".
+const char* to_string(ProofStatus status);
+
+/// Per-transform application counts.
+struct SimplifyStats {
+  std::size_t dead_eliminated = 0;   ///< rules removed by dead elimination
+  std::size_t adjacent_merged = 0;   ///< merges of neighbouring rule pairs
+  std::size_t run_subsumed = 0;      ///< in-run subsumption removals
+  std::size_t run_merged = 0;        ///< in-run non-adjacent merges
+};
+
+/// What simplify_policy did, machine-readable (the fleet report embeds
+/// one per device).
+struct SimplifyReport {
+  std::size_t rules_before = 0;
+  std::size_t rules_after = 0;
+  std::size_t passes = 0;  ///< fixpoint rounds that ran (0 = untouched)
+  SimplifyStats stats;
+  ProofStatus proof = ProofStatus::kSkipped;
+  /// Number of discrepancies the proof's compare walk reported. Proven
+  /// simplifications always show zero; nonzero means kRefuted.
+  std::size_t proof_discrepancies = 0;
+  bool complete = true;
+  ErrorCode status = ErrorCode::kOk;
+  std::string message;  ///< empty when complete; Error::what() otherwise
+};
+
+/// The outcome: the (possibly) simplified policy plus the report. When
+/// the report is not complete, or the proof was refuted, `policy` is the
+/// unmodified input.
+struct SimplifyOutcome {
+  Policy policy;
+  SimplifyReport report;
+};
+
+/// Simplifies `policy` (see the header comment for the transform set and
+/// the proof contract). Works on non-comprehensive policies too — every
+/// transform preserves the fall-through set, and the proof degrades to
+/// canonical-root identity (which is exact for partial functions as
+/// well). Governance breaches are absorbed into the report; other
+/// exceptions propagate.
+SimplifyOutcome simplify_policy(const Policy& policy,
+                                const SimplifyOptions& options = {});
+
+}  // namespace dfw

@@ -110,13 +110,7 @@ IntervalSet synth_proto(const SynthConfig& c, Rng& rng) {
   }
 }
 
-}  // namespace
-
-Policy synth_policy(const SynthConfig& config, Rng& rng) {
-  if (config.num_rules < 1) {
-    throw std::invalid_argument("synth_policy: num_rules must be >= 1");
-  }
-  const Schema schema = five_tuple_schema();
+std::size_t effective_pool_size(const SynthConfig& config) {
   std::size_t pool_size = config.address_pool_size;
   if (pool_size == 0) {
     // Roughly sqrt(n) distinct subnets: a 100-rule site mentions ~10
@@ -127,27 +121,146 @@ Policy synth_policy(const SynthConfig& config, Rng& rng) {
       ++pool_size;
     }
   }
-  const AddressPool pool(pool_size, rng);
+  return pool_size;
+}
+
+Rule synth_rule(const SynthConfig& config, const Schema& schema,
+                const AddressPool& pool, Rng& rng) {
+  std::vector<IntervalSet> conjuncts;
+  conjuncts.reserve(5);
+  conjuncts.push_back(synth_ip(config.sip, pool, rng));
+  conjuncts.push_back(synth_ip(config.dip, pool, rng));
+  conjuncts.push_back(synth_port(config.sport, rng));
+  conjuncts.push_back(synth_port(config.dport, rng));
+  conjuncts.push_back(synth_proto(config, rng));  // proto
+  const Decision d =
+      pick_weighted(rng, {config.accept_weight,
+                          100.0 - std::min(config.accept_weight, 100.0)}) == 0
+          ? kAccept
+          : kDiscard;
+  return Rule(schema, std::move(conjuncts), d);
+}
+
+Policy synth_policy_with_pool(const SynthConfig& config, const Schema& schema,
+                              const AddressPool& pool, Rng& rng) {
   std::vector<Rule> rules;
   rules.reserve(config.num_rules);
   for (std::size_t i = 0; i + 1 < config.num_rules; ++i) {
-    std::vector<IntervalSet> conjuncts;
-    conjuncts.reserve(5);
-    conjuncts.push_back(synth_ip(config.sip, pool, rng));
-    conjuncts.push_back(synth_ip(config.dip, pool, rng));
-    conjuncts.push_back(synth_port(config.sport, rng));
-    conjuncts.push_back(synth_port(config.dport, rng));
-    conjuncts.push_back(synth_proto(config, rng)); // proto
-    const Decision d =
-        pick_weighted(rng, {config.accept_weight,
-                            100.0 - std::min(config.accept_weight, 100.0)}) ==
-                0
-            ? kAccept
-            : kDiscard;
-    rules.emplace_back(schema, std::move(conjuncts), d);
+    rules.push_back(synth_rule(config, schema, pool, rng));
   }
   rules.push_back(Rule::catch_all(schema, config.default_decision));
   return Policy(schema, std::move(rules));
+}
+
+}  // namespace
+
+Policy synth_policy(const SynthConfig& config, Rng& rng) {
+  if (config.num_rules < 1) {
+    throw std::invalid_argument("synth_policy: num_rules must be >= 1");
+  }
+  const Schema schema = five_tuple_schema();
+  const AddressPool pool(effective_pool_size(config), rng);
+  return synth_policy_with_pool(config, schema, pool, rng);
+}
+
+std::vector<Policy> make_fleet(const FleetSynthConfig& config) {
+  if (config.sites == 0) {
+    throw std::invalid_argument("make_fleet: sites must be >= 1");
+  }
+  if (config.base.num_rules < 1) {
+    throw std::invalid_argument("make_fleet: base.num_rules must be >= 1");
+  }
+  for (double percent : {config.perturb_percent, config.duplicate_percent,
+                         config.split_percent}) {
+    if (percent < 0 || percent > 100) {
+      throw std::invalid_argument("make_fleet: percentage out of range");
+    }
+  }
+  const Schema schema = five_tuple_schema();
+
+  // One pool for the whole fleet: every site's rules reference the same
+  // subnets and servers, the way shared object groups propagate through a
+  // real deployment.
+  Rng base_rng(config.seed);
+  const AddressPool pool(effective_pool_size(config.base), base_rng);
+  const Policy base =
+      synth_policy_with_pool(config.base, schema, pool, base_rng);
+
+  std::size_t site_rules = config.site_rules;
+  if (site_rules == 0) {
+    site_rules = std::max<std::size_t>(1, config.base.num_rules / 10);
+  }
+
+  std::vector<Policy> fleet;
+  fleet.reserve(config.sites);
+  for (std::size_t site = 0; site < config.sites; ++site) {
+    // Per-site stream split off the seed, so site k is independent of how
+    // many sites surround it.
+    Rng rng(config.seed ^
+            (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(site + 1)));
+    Policy p = perturb_policy(base, config.perturb_percent, rng);
+
+    // Site-local carve-outs, highest priority, drawn from the shared pool.
+    for (std::size_t k = 0; k < site_rules; ++k) {
+      p.insert(k, synth_rule(config.base, schema, pool, rng));
+    }
+
+    // Redundancy injection (the catch-all is never a target, keeping the
+    // site syntactically comprehensive). Descending insertion positions
+    // keep earlier picks valid.
+    const std::size_t body = p.size() - 1;
+    std::vector<std::size_t> picks(body);
+    for (std::size_t i = 0; i < body; ++i) {
+      picks[i] = i;
+    }
+    std::shuffle(picks.begin(), picks.end(), rng);
+
+    const auto count_of = [body](double percent) {
+      return static_cast<std::size_t>(static_cast<double>(body) * percent /
+                                      100.0);
+    };
+    // Duplicates: the copy lands immediately below the original, so the
+    // original masks it completely — an exactly-dead rule.
+    std::vector<std::size_t> duplicate_at(
+        picks.begin(),
+        picks.begin() +
+            static_cast<std::ptrdiff_t>(count_of(config.duplicate_percent)));
+    std::sort(duplicate_at.rbegin(), duplicate_at.rend());
+    for (std::size_t idx : duplicate_at) {
+      p.insert(idx + 1, p.rule(idx));
+    }
+
+    // Splits: one rule becomes two adjacent halves over its first
+    // splittable field — the "one rule written as two" pattern adjacent
+    // merging re-folds.
+    std::shuffle(picks.begin(), picks.end(), rng);
+    std::vector<std::size_t> split_at(
+        picks.begin(),
+        picks.begin() +
+            static_cast<std::ptrdiff_t>(count_of(config.split_percent)));
+    std::sort(split_at.rbegin(), split_at.rend());
+    for (std::size_t idx : split_at) {
+      const Rule& r = p.rule(idx);
+      for (std::size_t f = 0; f < r.conjuncts().size(); ++f) {
+        const IntervalSet& c = r.conjunct(f);
+        if (c.run_count() != 1 || c.size() < 2) {
+          continue;
+        }
+        const Interval iv = c.intervals()[0];
+        const Value mid = iv.lo() + (iv.hi() - iv.lo()) / 2;
+        std::vector<IntervalSet> lo = r.conjuncts();
+        std::vector<IntervalSet> hi = r.conjuncts();
+        lo[f] = IntervalSet(Interval(iv.lo(), mid));
+        hi[f] = IntervalSet(Interval(mid + 1, iv.hi()));
+        const Decision d = r.decision();
+        p.replace(idx, Rule(schema, std::move(lo), d));
+        p.insert(idx + 1, Rule(schema, std::move(hi), d));
+        break;
+      }
+    }
+    fleet.push_back(std::move(p));
+  }
+  return fleet;
 }
 
 Policy perturb_policy(const Policy& original, double x_percent, Rng& rng) {

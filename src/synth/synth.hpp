@@ -79,6 +79,35 @@ struct SynthConfig {
 /// the rng state.
 Policy synth_policy(const SynthConfig& config, Rng& rng);
 
+/// Geometry of a synthetic fleet: N per-site device policies derived from
+/// one base policy over one shared address pool (the "object groups" of a
+/// real deployment — every site names the same subnets and servers), each
+/// site individually perturbed and salted with the kinds of redundancy
+/// that accrete in production and that simplify_policy provably removes.
+struct FleetSynthConfig {
+  std::size_t sites = 100;
+  /// Geometry of the shared base policy every site derives from.
+  SynthConfig base;
+  /// Section 8.2.1 perturbation applied per site (percent of rules
+  /// flipped/deleted) — the fleet's genuine per-site drift.
+  double perturb_percent = 10;
+  /// Percent of a site's rules duplicated in place (the copy lands right
+  /// below the original, so it is exactly dead).
+  double duplicate_percent = 8;
+  /// Percent of a site's rules split into two adjacent single-field
+  /// halves (one rule written as two; adjacent merging re-folds it).
+  double split_percent = 8;
+  /// Site-local carve-out rules prepended per site, drawn from the shared
+  /// pool. 0 = base.num_rules / 10, at least 1.
+  std::size_t site_rules = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Generates `config.sites` per-site policies (see FleetSynthConfig).
+/// Deterministic in the seed: site k's policy depends only on the config,
+/// never on how many sites are generated around it.
+std::vector<Policy> make_fleet(const FleetSynthConfig& config);
+
 /// Section 8.2.1's perturbation model on an existing policy: select
 /// x_percent of the rules; flip the decision of a random y-percent portion
 /// of the selection (y drawn uniformly from [0, 100]); delete the rest of

@@ -19,6 +19,7 @@
 #include "adapters/cisco.hpp"
 #include "adapters/iptables.hpp"
 #include "engine/classifier.hpp"
+#include "fleet/fleet.hpp"
 #include "fdd/construct.hpp"
 #include "fdd/serialize.hpp"
 #include "fw/parser.hpp"
@@ -576,6 +577,77 @@ TEST(CorpusFuzz, SnapshotMutants) {
         // unlikely, but any accepted mutant must be fully coherent.
         EXPECT_GE(data.sequence, 1u);
       } catch (const Error&) {
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The fleet manifest parser (fleet/fleet.hpp) eats operator-authored
+// files; it must accept or reject (nullopt plus a line-numbered message),
+// never crash.
+
+TEST(Fuzz, FleetManifestParserNeverCrashes) {
+  std::mt19937_64 rng(4242);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string input = random_bytes(rng, 200);
+    std::string error;
+    const auto parsed = fleet::parse_fleet_manifest(input, &error);
+    if (!parsed.has_value()) {
+      EXPECT_FALSE(error.empty()) << input;
+      EXPECT_NE(error.find("line "), std::string::npos) << input;
+    }
+  }
+}
+
+TEST(CorpusFuzz, FleetManifestSeedsBehaveAsDocumented) {
+  // Filename prefixes pin the contract: valid_* seeds parse (and their
+  // referenced sibling-corpus paths exist); bad_* seeds are rejected
+  // with a line-numbered message.
+  const std::filesystem::path dir =
+      std::filesystem::path(DFW_CORPUS_DIR) / "fleet";
+  std::size_t valid_seen = 0;
+  std::size_t bad_seen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    const std::string name = entry.path().filename().string();
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string seed = std::move(buf).str();
+    std::string error;
+    const auto parsed = fleet::parse_fleet_manifest(seed, &error);
+    if (name.rfind("valid_", 0) == 0) {
+      ++valid_seen;
+      ASSERT_TRUE(parsed.has_value()) << name << ": " << error;
+      EXPECT_FALSE(parsed->empty()) << name;
+      for (const fleet::FleetItem& item : *parsed) {
+        EXPECT_TRUE(std::filesystem::exists(dir / item.path))
+            << name << " references missing " << item.path;
+      }
+    } else if (name.rfind("bad_", 0) == 0) {
+      ++bad_seen;
+      EXPECT_FALSE(parsed.has_value()) << name;
+      EXPECT_NE(error.find("line "), std::string::npos) << name;
+    } else {
+      ADD_FAILURE() << "unclassified fleet seed: " << name;
+    }
+  }
+  EXPECT_GE(valid_seen, 1u);
+  EXPECT_GE(bad_seen, 3u);
+}
+
+TEST(CorpusFuzz, FleetManifestMutants) {
+  std::mt19937_64 rng(2008);
+  for (const std::string& seed : load_corpus("fleet")) {
+    for (int i = 0; i < 300; ++i) {
+      const std::string input = mutant_of(seed, i, rng);
+      std::string error;
+      const auto parsed = fleet::parse_fleet_manifest(input, &error);
+      if (!parsed.has_value()) {
+        EXPECT_FALSE(error.empty());
       }
     }
   }

@@ -480,6 +480,26 @@ TEST(Baseline, ParserIsStrict) {
   EXPECT_LE(ok->fingerprints[0], ok->fingerprints[1]);
 }
 
+TEST(Baseline, EmptyOrWhitespaceOnlyMeansNoSuppressions) {
+  // An empty baseline is the natural starting state ("nothing accepted
+  // yet"), not a parse error — strictness is for malformed *content*.
+  for (const char* text :
+       {"", "\n", "   \n\t\n", " \t\v\f\n", "\v\v", "\f", "\r\n\r\n",
+        "\xEF\xBB\xBF", "\xEF\xBB\xBF\n  \n", "# only a comment\n"}) {
+    std::string error;
+    const auto baseline = parse_baseline(text, &error);
+    ASSERT_TRUE(baseline.has_value())
+        << "rejected as '" << error << "': " << ::testing::PrintToString(text);
+    EXPECT_TRUE(baseline->fingerprints.empty());
+  }
+  // The BOM is tolerated in front of real content too.
+  const auto ok =
+      parse_baseline("\xEF\xBB\xBF" "0123456789abcdef  # policy.dead-rule\n",
+                     nullptr);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->fingerprints.size(), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Governance: a hostile policy under a node budget yields a *marked*
 // partial result quickly instead of an exponential blowup.
@@ -605,6 +625,31 @@ TEST(LintCli, BaselineWorkflowGatesOnNewFindingsOnly) {
   std::string err;
   EXPECT_EQ(cli({"--baseline=" + bad, policy}, nullptr, &err), 2);
   EXPECT_NE(err.find("line 1"), std::string::npos);
+}
+
+TEST(LintCli, EmptyBaselineSuppressesNothingAndIsNotAUsageError) {
+  // The fresh-project workflow: `touch baseline && dfw_lint --baseline=...`
+  // must behave exactly like no baseline (exit 1 on findings, 0 when
+  // clean), never exit 2. Whitespace-only and BOM-stamped variants ride
+  // the same path.
+  const std::string policy = std::string(DFW_CORPUS_DIR) + "/native/basic.fw";
+  for (const auto& [name, text] :
+       {std::pair<const char*, const char*>{"lint_cli_baseline_empty.txt", ""},
+        {"lint_cli_baseline_ws.txt", " \t\v\f\n\v\f\n"},
+        {"lint_cli_baseline_bom.txt", "\xEF\xBB\xBF"}}) {
+    const std::string path = write_temp(name, text);
+    std::string out;
+    std::string err;
+    EXPECT_EQ(cli({"--baseline=" + path, policy}, &out, &err), 1)
+        << name << ": " << err;
+    EXPECT_EQ(err.find("dfw_lint:"), std::string::npos) << name << ": " << err;
+  }
+  const std::string clean = write_temp(
+      "lint_cli_clean_for_baseline.fw",
+      "discard sip=0.0.0.0/1\naccept sip=128.0.0.0/1\n");
+  const std::string empty = write_temp("lint_cli_baseline_empty2.txt", "");
+  std::string out;
+  EXPECT_EQ(cli({"--baseline=" + empty, clean}, &out), 0);
 }
 
 TEST(LintCli, BudgetedRunExitsOneWithPartialBanner) {

@@ -1,0 +1,21 @@
+// dfw_fleet: the fleet-scale static-analysis CLI — shard a directory or
+// manifest of device configs through parse -> simplify -> lint ->
+// compare and emit one aggregate report. All logic lives in
+// fleet/cli.cpp so tests drive the same code path in-process; see there
+// (and docs/fleet.md) for flags and the exit-code contract.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fleet/cli.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    return dfw::fleet::run_fleet_cli(args, std::cout, std::cerr);
+  } catch (const std::exception& e) {
+    std::cerr << "dfw_fleet: internal error: " << e.what() << "\n";
+    return 2;
+  }
+}
